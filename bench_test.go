@@ -1,0 +1,286 @@
+// Benchmark harness: one benchmark per experiment of the reproduction
+// (DESIGN.md Section 4; results recorded in EXPERIMENTS.md).
+//
+//	go test -bench=. -benchmem
+package robustatomic
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"robustatomic/internal/experiments"
+	"robustatomic/internal/lowerbound"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/recurrence"
+	"robustatomic/internal/tcpnet"
+	"robustatomic/internal/types"
+
+	corereg "robustatomic/internal/core"
+)
+
+// BenchmarkE1ReadLowerBound executes the full Proposition 1 construction
+// (Figure 1): the chain of partial runs pr_1..pr_{4k−1} with mechanical
+// indistinguishability verification, until the atomicity-violation witness.
+func BenchmarkE1ReadLowerBound(b *testing.B) {
+	for _, t := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("t=%d_S=%d", t, 4*t), func(b *testing.B) {
+			checks := 0
+			for i := 0; i < b.N; i++ {
+				rb := &lowerbound.ReadBound{T: t, Victim: lowerbound.FixedVictim{K: 2, R: 2}}
+				out, err := rb.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Violation == nil {
+					b.Fatal("no violation")
+				}
+				checks = out.IndistinguishabilityChecks
+			}
+			b.ReportMetric(float64(checks), "indist-checks")
+		})
+	}
+}
+
+// BenchmarkE2WriteLowerBound executes the Lemma 1 construction (Figure 2)
+// for k = 2..4 (k = 4 is the paper's illustrated instance: t = 10, S = 31).
+func BenchmarkE2WriteLowerBound(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		tk := lowerbound.TMin(k)
+		b.Run(fmt.Sprintf("k=%d_t=%d_S=%d", k, tk, 3*tk+1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wb := &lowerbound.WriteBound{K: k}
+				out, err := wb.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Violation == nil {
+					b.Fatal("no violation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3Recurrence evaluates the t_k recurrence, its closed form and
+// the Lemma 2 log bound across k = 1..30.
+func BenchmarkE3Recurrence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := recurrence.Table(30)
+		for _, r := range rows {
+			if r.T != r.TClosed {
+				b.Fatal("closed form mismatch")
+			}
+		}
+	}
+}
+
+// BenchmarkE4RoundComplexity measures the Section 5 complexity table: every
+// implementation's worst-case write/read rounds across Byzantine scenarios.
+func BenchmarkE4RoundComplexity(b *testing.B) {
+	for _, t := range []int{1, 2} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.MeasureComplexity(t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Name[0] == 'a' && r.ReadRounds != 4 && r.ReadRounds != 3 {
+						b.Fatalf("%s: %d read rounds", r.Name, r.ReadRounds)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Boundaries probes the resilience boundaries: Proposition 1
+// applies at S = 4t but its partition is impossible at S = 4t+1, and the
+// Lemma 1 partition scales per Proposition 2.
+func BenchmarkE5Boundaries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for t := 1; t <= 4; t++ {
+			if _, err := quorum.NewProp1Partition(4*t, t); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := quorum.NewProp1Partition(4*t+1, t); err == nil {
+				b.Fatal("S = 4t+1 accepted: the construction must not apply")
+			}
+		}
+		for k := 2; k <= 5; k++ {
+			for c := 1; c <= 3; c++ {
+				p, err := quorum.NewScaledLemma1Partition(k, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				t := int64(p.Faults())
+				if int64(p.S()) != recurrence.Resilience(k, t) {
+					b.Fatal("Proposition 2 resilience mismatch")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE6RetryVsOptimal contrasts the pre-2011 retry baseline's read
+// rounds with the optimal 4 under a staleness adversary.
+func BenchmarkE6RetryVsOptimal(b *testing.B) {
+	for _, t := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			var retryRounds, optRounds int
+			for i := 0; i < b.N; i++ {
+				rr, opt, converged, err := experiments.RetryContrast(t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if converged {
+					b.Fatal("retry converged under perpetual staleness")
+				}
+				retryRounds, optRounds = rr, opt
+			}
+			b.ReportMetric(float64(retryRounds), "retry-rounds")
+			b.ReportMetric(float64(optRounds), "optimal-rounds")
+		})
+	}
+}
+
+// BenchmarkE7LiveWrite measures in-process write latency (2 rounds over
+// goroutine channels) across fault budgets.
+func BenchmarkE7LiveWrite(b *testing.B) {
+	for _, t := range []int{1, 2} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			c, err := NewCluster(Options{Faults: t, Readers: 1, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			w := c.Writer()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Write(fmt.Sprintf("v%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7LiveRead measures in-process 4-round read latency.
+func BenchmarkE7LiveRead(b *testing.B) {
+	for _, t := range []int{1, 2} {
+		for _, readers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("t=%d/R=%d", t, readers), func(b *testing.B) {
+				c, err := NewCluster(Options{Faults: t, Readers: readers, Seed: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Writer().Write("x"); err != nil {
+					b.Fatal(err)
+				}
+				r, err := c.Reader(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Read(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE7SecretRead measures the 3-round secret-token read against the
+// 4-round unauthenticated read (the Section 5 model contrast).
+func BenchmarkE7SecretRead(b *testing.B) {
+	c, err := NewCluster(Options{Faults: 1, Readers: 1, Model: SecretTokens, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Writer().Write("x"); err != nil {
+		b.Fatal(err)
+	}
+	r, err := c.Reader(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8TCP measures end-to-end write/read latency over loopback TCP
+// against 4 storage daemons.
+func BenchmarkE8TCP(b *testing.B) {
+	th, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var addrs []string
+	for i := 1; i <= 4; i++ {
+		s, err := tcpnet.NewServer(i, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		addrs = append(addrs, s.Addr())
+	}
+	b.Run("write", func(b *testing.B) {
+		wc := tcpnet.NewClient(types.Writer, addrs)
+		defer wc.Close()
+		wc.RoundTimeout = 5 * time.Second
+		w := corereg.NewWriter(wc, th)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		rc := tcpnet.NewClient(types.Reader(1), addrs)
+		defer rc.Close()
+		rd := corereg.NewReader(rc, th, 1, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rd.Read(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimRegularRead profiles the decision procedure's fault-set
+// enumeration cost (the documented O(S^t) engineering tradeoff).
+func BenchmarkSimRegularRead(b *testing.B) {
+	for _, t := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			c, err := NewCluster(Options{Faults: t, Readers: 1, Seed: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Writer().Write("x"); err != nil {
+				b.Fatal(err)
+			}
+			r, err := c.Reader(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Read(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+// Command lbproof executes the paper's lower-bound constructions and prints
+// the resulting partial runs as block diagrams in the style of Figures 1
+// and 2, ending with the atomicity-violation witness.
+//
+//	lbproof -fig 1 -t 1            # Proposition 1 (read lower bound)
+//	lbproof -fig 2 -k 4            # Lemma 1 (write lower bound), the paper's instance
+//	lbproof -fig 2 -k 2 -victim gullible
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustatomic/internal/lowerbound"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure to regenerate: 1 (read bound) or 2 (write bound)")
+	t := flag.Int("t", 1, "fault budget for -fig 1 (S = 4t)")
+	k := flag.Int("k", 2, "write rounds for -fig 2 (t = t_k, S = 3·t_k+1)")
+	victim := flag.String("victim", "cautious", "victim decision rule: cautious | gullible")
+	diagrams := flag.Bool("diagrams", true, "render block diagrams")
+	flag.Parse()
+	if err := run(*fig, *t, *k, *victim, *diagrams); err != nil {
+		fmt.Fprintln(os.Stderr, "lbproof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, t, k int, victim string, diagrams bool) error {
+	gullible := victim == "gullible"
+	var out *lowerbound.Outcome
+	var err error
+	switch fig {
+	case 1:
+		fmt.Printf("Proposition 1 (Figure 1): no 2-round reads with S = %d ≤ 4t, t = %d, R = 4\n", 4*t, t)
+		fmt.Printf("victim: %s 2-round-write/2-round-read register\n\n", victim)
+		rb := &lowerbound.ReadBound{T: t, Victim: lowerbound.FixedVictim{K: 2, R: 2, Gullible: gullible}, Render: diagrams}
+		out, err = rb.Run()
+	case 2:
+		fmt.Printf("Lemma 1 (Figure 2): no %d-round writes with 3-round reads; t_k = %d, S = %d\n",
+			k, lowerbound.TMin(k), 3*lowerbound.TMin(k)+1)
+		fmt.Printf("victim: %s %d-round-write/3-round-read register\n\n", victim, k)
+		wb := &lowerbound.WriteBound{K: k, Victim: lowerbound.FixedVictim{K: k, R: 3, Gullible: gullible}, Render: diagrams}
+		out, err = wb.Run()
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+	if err != nil {
+		return err
+	}
+	for _, rep := range out.Reports {
+		fmt.Printf("── run %s (appended read returned %s) ──\n", rep.Name, rep.ReadValue)
+		if rep.Diagram != "" {
+			fmt.Println(rep.Diagram)
+		}
+	}
+	fmt.Printf("indistinguishability claims verified mechanically: %d\n\n", out.IndistinguishabilityChecks)
+	fmt.Printf("VIOLATION exhibited in run %s:\n  %v\n", out.Run, out.Violation)
+	return nil
+}

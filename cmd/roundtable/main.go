@@ -1,0 +1,33 @@
+// Command roundtable prints the reproduction's numeric tables: the Lemma 1
+// recurrence (E3), the Section 5 round-complexity comparison measured in the
+// simulator (E4), and the retry-vs-optimal read latency contrast (E6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustatomic/internal/experiments"
+)
+
+func main() {
+	kMax := flag.Int("kmax", 12, "recurrence table rows")
+	t := flag.Int("t", 2, "fault budget for the complexity table")
+	tMax := flag.Int("tmax", 4, "fault budgets for the retry contrast")
+	flag.Parse()
+
+	fmt.Println(experiments.RecurrenceTable(*kMax))
+	tbl, err := experiments.ComplexityTable(*t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roundtable:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tbl)
+	contrast, err := experiments.RetryContrastTable(*tMax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roundtable:", err)
+		os.Exit(1)
+	}
+	fmt.Println(contrast)
+}

@@ -1,0 +1,51 @@
+// Command storaged runs one storage object as a TCP daemon. A robust atomic
+// register needs 3t+1 of these (one per object id):
+//
+//	storaged -id 1 -addr :7001 &
+//	storaged -id 2 -addr :7002 &
+//	storaged -id 3 -addr :7003 &
+//	storaged -id 4 -addr :7004 &
+//
+// Then read/write with storctl. The -chaos flag makes the object Byzantine
+// (for demonstrations: "garbage" or "silent").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"robustatomic/internal/server"
+	"robustatomic/internal/tcpnet"
+)
+
+func main() {
+	id := flag.Int("id", 1, "object id (1-based)")
+	addr := flag.String("addr", ":7001", "listen address")
+	chaos := flag.String("chaos", "", "Byzantine behavior: garbage | silent (empty = honest)")
+	flag.Parse()
+
+	s, err := tcpnet.NewServer(*id, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storaged:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	switch *chaos {
+	case "":
+	case "garbage":
+		s.SetBehavior(server.Garbage{Level: 1 << 30, Val: "forged"})
+	case "silent":
+		s.SetBehavior(server.Silent{})
+	default:
+		fmt.Fprintf(os.Stderr, "storaged: unknown chaos mode %q\n", *chaos)
+		os.Exit(2)
+	}
+	fmt.Printf("storaged: object s%d serving on %s (chaos=%q)\n", *id, s.Addr(), *chaos)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("storaged: shutting down")
+}

@@ -1,0 +1,64 @@
+// Command storctl is the client for a storaged cluster: it reads and writes
+// the robust atomic register over TCP.
+//
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 write hello
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"robustatomic"
+)
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated object addresses (3t+1 of them, in id order)")
+	t := flag.Int("t", 1, "fault budget")
+	readers := flag.Int("readers", 2, "total reader count R")
+	readerIdx := flag.Int("reader", 1, "this client's reader index (1..R)")
+	flag.Parse()
+
+	if err := run(*servers, *t, *readers, *readerIdx, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "storctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(servers string, t, readers, readerIdx int, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: storctl [flags] write <value> | read")
+	}
+	addrs := strings.Split(servers, ",")
+	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	switch args[0] {
+	case "write":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl write <value>")
+		}
+		if err := cluster.Writer().Write(args[1]); err != nil {
+			return err
+		}
+		fmt.Println("OK (2 rounds)")
+		return nil
+	case "read":
+		r, err := cluster.Reader(readerIdx)
+		if err != nil {
+			return err
+		}
+		v, err := r.Read()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q (4 rounds)\n", v)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,144 @@
+// Package abd implements the seminal crash-tolerant robust atomic SWMR
+// register of Attiya, Bar-Noy and Dolev [3] ([ABD95]), the baseline the
+// paper's related-work discussion starts from: writes complete in a single
+// round, reads in two (query + write-back), assuming a majority of correct
+// storage objects and NO Byzantine failures.
+//
+// It shares the storage-object automaton and round machinery with the
+// Byzantine-tolerant protocols so the complexity comparison of experiment
+// E4 is apples-to-apples: the only differences are quorum sizes (majority
+// instead of 2t+1-of-3t+1) and the absence of certification — a single
+// reply is trusted, which is exactly what Byzantine objects exploit (the
+// E4 ablation demonstrates this by running ABD against one Byzantine
+// object).
+package abd
+
+import (
+	"fmt"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/types"
+)
+
+// Config sets the cluster geometry: S objects tolerating F crashes, with
+// S ≥ 2F+1.
+type Config struct {
+	S int
+	F int
+}
+
+// Validate checks the majority-resilience requirement.
+func (c Config) Validate() error {
+	if c.F < 0 || c.S < 2*c.F+1 {
+		return fmt.Errorf("abd: need S ≥ 2F+1, got S=%d F=%d", c.S, c.F)
+	}
+	return nil
+}
+
+// Majority returns the quorum size ⌊S/2⌋+1.
+func (c Config) Majority() int { return c.S/2 + 1 }
+
+// Writer is the single writer.
+type Writer struct {
+	rounder proto.Rounder
+	cfg     Config
+	ts      int64
+}
+
+// NewWriter returns the writer handle.
+func NewWriter(r proto.Rounder, cfg Config) *Writer { return NewWriterAt(r, cfg, 0) }
+
+// NewWriterAt resumes from a known last timestamp.
+func NewWriterAt(r proto.Rounder, cfg Config, lastTS int64) *Writer {
+	return &Writer{rounder: r, cfg: cfg, ts: lastTS}
+}
+
+// Write stores v in a single round: send the timestamped pair to all
+// objects, await a majority of acknowledgements.
+func (w *Writer) Write(v types.Value) error {
+	if v.IsBottom() {
+		return fmt.Errorf("abd: cannot write the reserved initial value ⊥")
+	}
+	if err := w.cfg.Validate(); err != nil {
+		return err
+	}
+	p := types.Pair{TS: w.ts + 1, Val: v}
+	spec := proto.RoundSpec{
+		Label: "ABD_STORE",
+		Req:   func(int) types.Message { return types.Message{Kind: types.MsgABDStore, Pair: p} },
+		Acc:   proto.AckAcc(w.cfg.Majority()),
+	}
+	if err := w.rounder.Round(spec); err != nil {
+		return fmt.Errorf("abd: store: %w", err)
+	}
+	w.ts = p.TS
+	return nil
+}
+
+// LastTS returns the timestamp of the last completed write.
+func (w *Writer) LastTS() int64 { return w.ts }
+
+// Reader reads the register.
+type Reader struct {
+	rounder proto.Rounder
+	cfg     Config
+}
+
+// NewReader returns a reader handle.
+func NewReader(r proto.Rounder, cfg Config) *Reader {
+	return &Reader{rounder: r, cfg: cfg}
+}
+
+// maxAcc collects MsgABDVal replies from a majority, tracking the maximum
+// pair seen.
+type maxAcc struct {
+	need int
+	seen map[int]bool
+	best types.Pair
+}
+
+var _ proto.Accumulator = (*maxAcc)(nil)
+
+func (a *maxAcc) Add(sid int, m types.Message) {
+	if m.Kind != types.MsgABDVal || a.seen[sid] {
+		return
+	}
+	a.seen[sid] = true
+	a.best = types.MaxPair(a.best, m.Pair)
+}
+
+func (a *maxAcc) Done() bool { return len(a.seen) >= a.need }
+
+// Read returns the register value in two rounds: query a majority for their
+// pairs, then write the maximum back to a majority before returning (the
+// write-back is what makes ABD reads atomic rather than merely regular).
+func (r *Reader) Read() (types.Value, error) {
+	p, err := r.ReadPair()
+	return p.Val, err
+}
+
+// ReadPair is Read exposing the timestamp.
+func (r *Reader) ReadPair() (types.Pair, error) {
+	if err := r.cfg.Validate(); err != nil {
+		return types.Pair{}, err
+	}
+	acc := &maxAcc{need: r.cfg.Majority(), seen: make(map[int]bool, r.cfg.S)}
+	query := proto.RoundSpec{
+		Label: "ABD_QUERY",
+		Req:   func(int) types.Message { return types.Message{Kind: types.MsgABDQuery} },
+		Acc:   acc,
+	}
+	if err := r.rounder.Round(query); err != nil {
+		return types.Pair{}, fmt.Errorf("abd: query: %w", err)
+	}
+	best := acc.best
+	wb := proto.RoundSpec{
+		Label: "ABD_WRITEBACK",
+		Req:   func(int) types.Message { return types.Message{Kind: types.MsgABDStore, Pair: best} },
+		Acc:   proto.AckAcc(r.cfg.Majority()),
+	}
+	if err := r.rounder.Round(wb); err != nil {
+		return types.Pair{}, fmt.Errorf("abd: write-back: %w", err)
+	}
+	return best, nil
+}

@@ -1,0 +1,199 @@
+package abd
+
+import (
+	"fmt"
+	"testing"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/server"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+func mustRun(t *testing.T, s *sim.Sim, op *sim.Op) types.Value {
+	t.Helper()
+	if err := s.RunOp(op); err != nil {
+		t.Fatal(err)
+	}
+	v, err := op.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+type harness struct {
+	cfg Config
+	ts  int64
+}
+
+func (h *harness) writeOp(v types.Value) sim.OpFunc {
+	return func(c *sim.Client) (types.Value, error) {
+		w := NewWriterAt(c, h.cfg, h.ts)
+		if err := w.Write(v); err != nil {
+			return types.Bottom, err
+		}
+		h.ts = w.LastTS()
+		return types.Bottom, nil
+	}
+}
+
+func (h *harness) readOp() sim.OpFunc {
+	return func(c *sim.Client) (types.Value, error) {
+		return NewReader(c, h.cfg).Read()
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{S: 3, F: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Config{S: 2, F: 1}).Validate(); err == nil {
+		t.Error("S=2 F=1 accepted")
+	}
+	if err := (Config{S: 3, F: -1}).Validate(); err == nil {
+		t.Error("negative F accepted")
+	}
+	if got := (Config{S: 5}).Majority(); got != 3 {
+		t.Errorf("majority = %d", got)
+	}
+}
+
+func TestWriteOneRoundReadTwoRounds(t *testing.T) {
+	h := &harness{cfg: Config{S: 3, F: 1}}
+	s := sim.New(sim.Config{Servers: 3})
+	defer s.Close()
+	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", h.writeOp("a"))
+	mustRun(t, s, w)
+	if w.Rounds() != 1 {
+		t.Errorf("ABD write rounds = %d, want 1", w.Rounds())
+	}
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, h.readOp())
+	if v := mustRun(t, s, rd); v != "a" {
+		t.Errorf("read = %q", v)
+	}
+	if rd.Rounds() != 2 {
+		t.Errorf("ABD read rounds = %d, want 2", rd.Rounds())
+	}
+}
+
+func TestToleratesCrashes(t *testing.T) {
+	// F objects silent (crashed): everything still works.
+	h := &harness{cfg: Config{S: 5, F: 2}}
+	s := sim.New(sim.Config{Servers: 5})
+	defer s.Close()
+	s.SetByzantine(4, server.Silent{})
+	s.SetByzantine(5, server.Silent{})
+	mustRun(t, s, s.Spawn("w", types.Writer, checker.OpWrite, "a", h.writeOp("a")))
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, h.readOp())
+	if v := mustRun(t, s, rd); v != "a" {
+		t.Errorf("read = %q", v)
+	}
+}
+
+func TestWriteBackPreventsInversion(t *testing.T) {
+	// Write reaches only object 1, writer crashes; r1 reads "a" (write-back
+	// completes it); r2 must then also read "a".
+	h := &harness{cfg: Config{S: 3, F: 1}}
+	hist := &checker.History{}
+	s := sim.New(sim.Config{Servers: 3, History: hist})
+	defer s.Close()
+	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", h.writeOp("a"))
+	s.Step(w, 1)
+	s.Crash(w)
+	r1 := s.Spawn("r1", types.Reader(1), checker.OpRead, types.Bottom, h.readOp())
+	v1 := mustRun(t, s, r1)
+	r2 := s.Spawn("r2", types.Reader(2), checker.OpRead, types.Bottom, h.readOp())
+	v2 := mustRun(t, s, r2)
+	if v1 == "a" && v2 != "a" {
+		t.Fatalf("new/old inversion: %q then %q", v1, v2)
+	}
+	if err := checker.CheckAtomic(hist); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizedAtomicity(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		h := &harness{cfg: Config{S: 5, F: 2}}
+		hist := &checker.History{}
+		s := sim.New(sim.Config{Servers: 5, History: hist})
+		if seed%3 == 1 {
+			s.SetByzantine(1+int(seed)%5, server.Silent{})
+		}
+		readers := []*sim.Op{
+			s.Spawn("r1", types.Reader(1), checker.OpRead, types.Bottom, h.readOp()),
+			s.Spawn("r2", types.Reader(2), checker.OpRead, types.Bottom, h.readOp()),
+		}
+		for i := 1; i <= 3; i++ {
+			v := types.Value(fmt.Sprintf("v%d", i))
+			w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, v, h.writeOp(v))
+			if err := s.RunConcurrent(seed*17+int64(i), w, readers[0], readers[1]); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		for _, rd := range readers {
+			if !rd.Done() {
+				if err := s.RunOp(rd); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		}
+		if err := checker.CheckAtomic(hist); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s.Close()
+	}
+}
+
+func TestByzantineBreaksABD(t *testing.T) {
+	// The E4 ablation: ABD trusts single replies, so one Byzantine object
+	// can serve a fabricated value to a reader — demonstrating why the
+	// Byzantine model needs certification (and costs more rounds).
+	h := &harness{cfg: Config{S: 3, F: 1}}
+	hist := &checker.History{}
+	s := sim.New(sim.Config{Servers: 3, History: hist})
+	defer s.Close()
+	mustRun(t, s, s.Spawn("w", types.Writer, checker.OpWrite, "a", h.writeOp("a")))
+	s.SetByzantine(1, server.Garbage{Level: 99, Val: "evil"})
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, h.readOp())
+	v := mustRun(t, s, rd)
+	if v != "evil" {
+		t.Fatalf("expected the Byzantine object to fool ABD, read = %q", v)
+	}
+	if err := checker.CheckAtomic(hist); err == nil {
+		t.Fatal("checker did not flag the fabricated value")
+	}
+}
+
+func TestRejectsBottomWrite(t *testing.T) {
+	h := &harness{cfg: Config{S: 3, F: 1}}
+	s := sim.New(sim.Config{Servers: 3})
+	defer s.Close()
+	op := s.Spawn("w", types.Writer, checker.OpWrite, types.Bottom, func(c *sim.Client) (types.Value, error) {
+		if err := NewWriter(c, h.cfg).Write(types.Bottom); err == nil {
+			return types.Bottom, fmt.Errorf("⊥ accepted")
+		}
+		return types.Bottom, nil
+	})
+	mustRun(t, s, op)
+}
+
+func TestInvalidConfigSurfacesOnOps(t *testing.T) {
+	s := sim.New(sim.Config{Servers: 2})
+	defer s.Close()
+	op := s.Spawn("w", types.Writer, checker.OpWrite, "a", func(c *sim.Client) (types.Value, error) {
+		if err := NewWriter(c, Config{S: 2, F: 1}).Write("a"); err == nil {
+			return types.Bottom, fmt.Errorf("invalid config accepted on write")
+		}
+		if _, err := NewReader(c, Config{S: 2, F: 1}).Read(); err == nil {
+			return types.Bottom, fmt.Errorf("invalid config accepted on read")
+		}
+		return types.Bottom, nil
+	})
+	mustRun(t, s, op)
+}

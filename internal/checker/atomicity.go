@@ -1,0 +1,250 @@
+package checker
+
+import (
+	"fmt"
+
+	"robustatomic/internal/types"
+)
+
+// swContext is the preprocessed view of a single-writer history: the write
+// sequence val_1..val_n (val_0 = ⊥) and the complete reads.
+type swContext struct {
+	writes []Op // by Seq, 1-based at writes[seq-1]
+	valSeq map[types.Value]int
+	reads  []Op
+}
+
+// prepareSW validates single-writer well-formedness: writes are sequential
+// (each write precedes the next), and written values are pairwise distinct
+// and never ⊥ — distinctness makes "read returns val_k" unambiguous, which
+// the specialized checkers rely on (the linearizability checker has no such
+// restriction).
+func prepareSW(h *History) (*swContext, *Violation) {
+	ctx := &swContext{valSeq: make(map[types.Value]int)}
+	for _, op := range h.Ops() {
+		switch op.Kind {
+		case OpWrite:
+			ctx.writes = append(ctx.writes, op)
+		case OpRead:
+			if op.Complete() {
+				ctx.reads = append(ctx.reads, op)
+			}
+		}
+	}
+	for i, w := range ctx.writes {
+		if w.Seq != i+1 {
+			return nil, &Violation{Prop: "well-formed", Detail: "write sequence numbering broken", Ops: []Op{w}}
+		}
+		if w.Arg.IsBottom() {
+			return nil, &Violation{Prop: "well-formed", Detail: "⊥ written", Ops: []Op{w}}
+		}
+		if prev, dup := ctx.valSeq[w.Arg]; dup {
+			return nil, &Violation{
+				Prop:   "well-formed",
+				Detail: fmt.Sprintf("duplicate written value %q (writes %d and %d); use distinct values", w.Arg, prev, w.Seq),
+				Ops:    []Op{w},
+			}
+		}
+		ctx.valSeq[w.Arg] = w.Seq
+		if i > 0 {
+			prev := ctx.writes[i-1]
+			if !prev.Complete() {
+				if w.Invoke > prev.Invoke { // a later write after a pending one
+					return nil, &Violation{Prop: "well-formed", Detail: "writer invoked a write while one is pending", Ops: []Op{prev, w}}
+				}
+			} else if prev.Respond > w.Invoke {
+				return nil, &Violation{Prop: "well-formed", Detail: "writes overlap", Ops: []Op{prev, w}}
+			}
+		}
+	}
+	return ctx, nil
+}
+
+// retSeq resolves a read's returned value to a write sequence number:
+// 0 for ⊥, the write's Seq for a written value, or −1 for a value that was
+// never written.
+func (ctx *swContext) retSeq(v types.Value) int {
+	if v.IsBottom() {
+		return 0
+	}
+	if k, ok := ctx.valSeq[v]; ok {
+		return k
+	}
+	return -1
+}
+
+// lastCompleteBefore returns the largest k such that wr_k completed before
+// the given operation was invoked (0 if none).
+func (ctx *swContext) lastCompleteBefore(op Op) int {
+	last := 0
+	for _, w := range ctx.writes {
+		if w.Precedes(op) && w.Seq > last {
+			last = w.Seq
+		}
+	}
+	return last
+}
+
+// CheckAtomic verifies the four atomicity properties of Section 2.2 for a
+// single-writer history:
+//
+//	(1) if a read returns x then there is k such that val_k = x;
+//	(2) if a complete read rd succeeds wr_k then rd returns val_l with l ≥ k;
+//	(3) if a read returns val_k (k ≥ 1) then wr_k precedes or is concurrent
+//	    with rd;
+//	(4) if rd1 returns val_k and rd2 succeeds rd1 and returns val_l, then
+//	    l ≥ k.
+//
+// It returns nil if the history is atomic, or the first *Violation found.
+func CheckAtomic(h *History) error {
+	ctx, v := prepareSW(h)
+	if v != nil {
+		return v
+	}
+	if v := ctx.checkValidity(); v != nil {
+		return v
+	}
+	if v := ctx.checkReadAfterWrite(); v != nil {
+		return v
+	}
+	if v := ctx.checkNoFuture(); v != nil {
+		return v
+	}
+	if v := ctx.checkReadAfterRead(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// CheckRegular verifies regularity: properties (1)–(3) but not (4). A
+// regular read may be new/old-inverted with respect to other reads, but must
+// return the last complete write or a concurrent one.
+func CheckRegular(h *History) error {
+	ctx, v := prepareSW(h)
+	if v != nil {
+		return v
+	}
+	if v := ctx.checkValidity(); v != nil {
+		return v
+	}
+	if v := ctx.checkReadAfterWrite(); v != nil {
+		return v
+	}
+	if v := ctx.checkNoFuture(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// CheckSafe verifies safety: a complete read that is not concurrent with any
+// write returns the value of the last complete write ("validity" applies
+// only to such reads; concurrent reads may return anything written or ⊥ —
+// we still require returned values to be ⊥ or genuinely written, matching
+// the storage model where values cannot be fabricated).
+func CheckSafe(h *History) error {
+	ctx, v := prepareSW(h)
+	if v != nil {
+		return v
+	}
+	for _, rd := range ctx.reads {
+		concurrent := false
+		for _, w := range ctx.writes {
+			if rd.ConcurrentWith(w) {
+				concurrent = true
+				break
+			}
+		}
+		if concurrent {
+			continue
+		}
+		want := ctx.lastCompleteBefore(rd)
+		got := ctx.retSeq(rd.Ret)
+		if got != want {
+			wantVal := types.Bottom
+			if want > 0 {
+				wantVal = ctx.writes[want-1].Arg
+			}
+			return &Violation{
+				Prop:   "safety",
+				Detail: fmt.Sprintf("contention-free read returned %s, want val_%d = %s", rd.Ret, want, wantVal),
+				Ops:    []Op{rd},
+			}
+		}
+	}
+	return nil
+}
+
+// checkValidity is property (1): returned values were written (or ⊥).
+func (ctx *swContext) checkValidity() *Violation {
+	for _, rd := range ctx.reads {
+		if ctx.retSeq(rd.Ret) < 0 {
+			return &Violation{
+				Prop:   "atomicity(1)",
+				Detail: fmt.Sprintf("read returned %q which was never written", rd.Ret),
+				Ops:    []Op{rd},
+			}
+		}
+	}
+	return nil
+}
+
+// checkReadAfterWrite is property (2): a read succeeding wr_k returns l ≥ k.
+func (ctx *swContext) checkReadAfterWrite() *Violation {
+	for _, rd := range ctx.reads {
+		k := ctx.lastCompleteBefore(rd)
+		if l := ctx.retSeq(rd.Ret); l < k {
+			ops := []Op{rd}
+			if k >= 1 {
+				ops = append(ops, ctx.writes[k-1])
+			}
+			return &Violation{
+				Prop:   "atomicity(2)",
+				Detail: fmt.Sprintf("read returned val_%d but succeeds wr_%d", l, k),
+				Ops:    ops,
+			}
+		}
+	}
+	return nil
+}
+
+// checkNoFuture is property (3): a read returning val_k does not precede
+// wr_k.
+func (ctx *swContext) checkNoFuture() *Violation {
+	for _, rd := range ctx.reads {
+		k := ctx.retSeq(rd.Ret)
+		if k < 1 {
+			continue
+		}
+		wr := ctx.writes[k-1]
+		if rd.Precedes(wr) {
+			return &Violation{
+				Prop:   "atomicity(3)",
+				Detail: fmt.Sprintf("read returned val_%d but completed before wr_%d was invoked", k, k),
+				Ops:    []Op{rd, wr},
+			}
+		}
+	}
+	return nil
+}
+
+// checkReadAfterRead is property (4): no new/old inversion between
+// non-concurrent reads.
+func (ctx *swContext) checkReadAfterRead() *Violation {
+	for _, rd1 := range ctx.reads {
+		for _, rd2 := range ctx.reads {
+			if rd1.ID == rd2.ID || !rd1.Precedes(rd2) {
+				continue
+			}
+			k := ctx.retSeq(rd1.Ret)
+			l := ctx.retSeq(rd2.Ret)
+			if l < k {
+				return &Violation{
+					Prop:   "atomicity(4)",
+					Detail: fmt.Sprintf("rd2 succeeds rd1 but returned val_%d < val_%d (new/old inversion)", l, k),
+					Ops:    []Op{rd1, rd2},
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"robustatomic/internal/types"
+)
+
+// hist builds a history from a compact script. Each step is one of:
+//
+//	iw:v  – invoke write(v)        rw    – respond last pending write
+//	ir:N  – invoke read by reader N
+//	rr:N:v – respond reader N's read with value v
+func hist(t *testing.T, steps ...string) *History {
+	t.Helper()
+	h := &History{}
+	pendingWrite := -1
+	pendingRead := map[string]int{}
+	for _, s := range steps {
+		parts := strings.Split(s, ":")
+		switch parts[0] {
+		case "iw":
+			pendingWrite = h.Invoke(types.Writer, OpWrite, types.Value(parts[1]))
+		case "rw":
+			h.Respond(pendingWrite, types.Bottom)
+		case "ir":
+			n := parts[1]
+			pendingRead[n] = h.Invoke(types.Reader(int(n[0]-'0')), OpRead, types.Bottom)
+		case "rr":
+			n := parts[1]
+			v := types.Bottom
+			if len(parts) > 2 {
+				v = types.Value(parts[2])
+			}
+			h.Respond(pendingRead[n], v)
+		default:
+			t.Fatalf("bad step %q", s)
+		}
+	}
+	return h
+}
+
+func wantViolation(t *testing.T, err error, prop string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected %s violation, got nil", prop)
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T: %v", err, err)
+	}
+	if v.Prop != prop {
+		t.Fatalf("expected %s, got %s: %v", prop, v.Prop, v)
+	}
+}
+
+func TestAtomicSequentialHistory(t *testing.T) {
+	h := hist(t,
+		"iw:a", "rw", "ir:1", "rr:1:a",
+		"iw:b", "rw", "ir:2", "rr:2:b",
+	)
+	if err := CheckAtomic(h); err != nil {
+		t.Errorf("sequential history flagged: %v", err)
+	}
+	if lin, _ := CheckLinearizable(h); !lin {
+		t.Error("sequential history not linearizable")
+	}
+}
+
+func TestAtomicEmptyAndBottomRead(t *testing.T) {
+	h := hist(t, "ir:1", "rr:1")
+	if err := CheckAtomic(h); err != nil {
+		t.Errorf("⊥ read before any write flagged: %v", err)
+	}
+}
+
+func TestValidityViolation(t *testing.T) {
+	// Read returns a value never written: property (1).
+	h := hist(t, "iw:a", "rw", "ir:1", "rr:1:z")
+	wantViolation(t, CheckAtomic(h), "atomicity(1)")
+	wantViolation(t, CheckRegular(h), "atomicity(1)")
+	if lin, _ := CheckLinearizable(h); lin {
+		t.Error("invalid value accepted by linearizability checker")
+	}
+}
+
+func TestValidityViolationNoWrite(t *testing.T) {
+	// The lower-bound constructions end here: a read returns 1 although no
+	// write was ever invoked.
+	h := hist(t, "ir:1", "rr:1:1")
+	wantViolation(t, CheckAtomic(h), "atomicity(1)")
+	wantViolation(t, CheckRegular(h), "atomicity(1)")
+	wantViolation(t, CheckSafe(h), "safety")
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	// Read succeeds wr_2 but returns val_1: property (2).
+	h := hist(t, "iw:a", "rw", "iw:b", "rw", "ir:1", "rr:1:a")
+	wantViolation(t, CheckAtomic(h), "atomicity(2)")
+	wantViolation(t, CheckRegular(h), "atomicity(2)")
+	if lin, _ := CheckLinearizable(h); lin {
+		t.Error("stale read accepted by linearizability checker")
+	}
+}
+
+func TestBottomAfterWriteViolation(t *testing.T) {
+	h := hist(t, "iw:a", "rw", "ir:1", "rr:1")
+	wantViolation(t, CheckAtomic(h), "atomicity(2)")
+}
+
+func TestFutureReadViolation(t *testing.T) {
+	// Read completes before wr_1 invoked yet returns val_1: property (3).
+	h := &History{}
+	r := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	h.Respond(r, "a")
+	w := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(w, types.Bottom)
+	wantViolation(t, CheckAtomic(h), "atomicity(3)")
+	wantViolation(t, CheckRegular(h), "atomicity(3)")
+	if lin, _ := CheckLinearizable(h); lin {
+		t.Error("future read accepted by linearizability checker")
+	}
+}
+
+func TestNewOldInversion(t *testing.T) {
+	// rd1 returns val_2, rd2 succeeds rd1 and returns val_1: property (4)
+	// violated, but regularity holds (write(b) concurrent with both reads).
+	h := &History{}
+	w1 := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(w1, types.Bottom)
+	w2 := h.Invoke(types.Writer, OpWrite, "b") // stays pending (concurrent)
+	r1 := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	h.Respond(r1, "b")
+	r2 := h.Invoke(types.Reader(2), OpRead, types.Bottom)
+	h.Respond(r2, "a")
+	_ = w2
+	wantViolation(t, CheckAtomic(h), "atomicity(4)")
+	if err := CheckRegular(h); err != nil {
+		t.Errorf("regular history flagged: %v", err)
+	}
+	if lin, _ := CheckLinearizable(h); lin {
+		t.Error("new/old inversion accepted by linearizability checker")
+	}
+}
+
+func TestConcurrentReadsMayDiverge(t *testing.T) {
+	// Two overlapping reads around a concurrent write may return old and new
+	// in any combination.
+	h := &History{}
+	w1 := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(w1, types.Bottom)
+	w2 := h.Invoke(types.Writer, OpWrite, "b")
+	r1 := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	r2 := h.Invoke(types.Reader(2), OpRead, types.Bottom)
+	h.Respond(r1, "b")
+	h.Respond(r2, "a")
+	h.Respond(w2, types.Bottom)
+	if err := CheckAtomic(h); err != nil {
+		t.Errorf("concurrent reads flagged: %v", err)
+	}
+	if lin, _ := CheckLinearizable(h); !lin {
+		t.Error("valid concurrent history not linearizable")
+	}
+}
+
+func TestReadConcurrentWithWriteMayReturnEither(t *testing.T) {
+	for _, ret := range []types.Value{"a", "b"} {
+		h := &History{}
+		w1 := h.Invoke(types.Writer, OpWrite, "a")
+		h.Respond(w1, types.Bottom)
+		w2 := h.Invoke(types.Writer, OpWrite, "b")
+		r1 := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+		h.Respond(r1, ret)
+		h.Respond(w2, types.Bottom)
+		if err := CheckAtomic(h); err != nil {
+			t.Errorf("ret=%s flagged: %v", ret, err)
+		}
+	}
+}
+
+func TestSafetyAllowsAnythingUnderConcurrency(t *testing.T) {
+	// A safe register may return any written value under read/write
+	// concurrency — but never an unwritten one in our model.
+	h := &History{}
+	w1 := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(w1, types.Bottom)
+	w2 := h.Invoke(types.Writer, OpWrite, "b")
+	r1 := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	h.Respond(r1, types.Bottom) // stale ⊥ under concurrency: safe, not regular
+	h.Respond(w2, types.Bottom)
+	if err := CheckSafe(h); err != nil {
+		t.Errorf("safe history flagged: %v", err)
+	}
+	wantViolation(t, CheckRegular(h), "atomicity(2)")
+}
+
+func TestWellFormedDuplicateValues(t *testing.T) {
+	h := hist(t, "iw:a", "rw", "iw:a", "rw")
+	wantViolation(t, CheckAtomic(h), "well-formed")
+}
+
+func TestWellFormedOverlappingWrites(t *testing.T) {
+	h := &History{}
+	h.Invoke(types.Writer, OpWrite, "a") // pending
+	h.Invoke(types.Writer, OpWrite, "b") // invoked while pending
+	wantViolation(t, CheckAtomic(h), "well-formed")
+}
+
+func TestWellFormedBottomWrite(t *testing.T) {
+	h := &History{}
+	w := h.Invoke(types.Writer, OpWrite, types.Bottom)
+	h.Respond(w, types.Bottom)
+	wantViolation(t, CheckAtomic(h), "well-formed")
+}
+
+func TestPendingWriteMayTakeEffect(t *testing.T) {
+	// A crashed writer's value may legitimately be returned forever after.
+	h := &History{}
+	h.Invoke(types.Writer, OpWrite, "a") // never responds
+	r1 := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	h.Respond(r1, "a")
+	r2 := h.Invoke(types.Reader(2), OpRead, types.Bottom)
+	h.Respond(r2, "a")
+	if err := CheckAtomic(h); err != nil {
+		t.Errorf("pending write effect flagged: %v", err)
+	}
+	if lin, _ := CheckLinearizable(h); !lin {
+		t.Error("pending-write history not linearizable")
+	}
+}
+
+func TestPendingWriteOnceVisibleStaysVisible(t *testing.T) {
+	// Atomicity(4): after rd1 returned the pending write, rd2 cannot revert.
+	h := &History{}
+	h.Invoke(types.Writer, OpWrite, "a") // never responds
+	r1 := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	h.Respond(r1, "a")
+	r2 := h.Invoke(types.Reader(2), OpRead, types.Bottom)
+	h.Respond(r2, types.Bottom)
+	wantViolation(t, CheckAtomic(h), "atomicity(4)")
+	if lin, _ := CheckLinearizable(h); lin {
+		t.Error("revert of pending write accepted by linearizability checker")
+	}
+}
+
+func TestLinearizableHandlesDuplicateValues(t *testing.T) {
+	h := &History{}
+	w1 := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(w1, types.Bottom)
+	w2 := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(w2, types.Bottom)
+	r := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+	h.Respond(r, "a")
+	if lin, _ := CheckLinearizable(h); !lin {
+		t.Error("duplicate-value history not linearizable")
+	}
+}
+
+func TestLinearizableSizeLimit(t *testing.T) {
+	h := &History{}
+	for i := 0; i < MaxLinearizableOps+1; i++ {
+		id := h.Invoke(types.Reader(1), OpRead, types.Bottom)
+		h.Respond(id, types.Bottom)
+	}
+	if _, err := CheckLinearizable(h); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestHistoryAccessors(t *testing.T) {
+	h := hist(t, "iw:a", "rw", "iw:b", "rw", "ir:1", "rr:1:b")
+	if h.Len() != 3 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	ws := h.Writes()
+	if len(ws) != 2 || ws[0].Arg != "a" || ws[1].Arg != "b" {
+		t.Errorf("Writes = %v", ws)
+	}
+	if !ws[0].Precedes(ws[1]) || ws[1].Precedes(ws[0]) {
+		t.Error("precedence broken")
+	}
+	if ws[0].ConcurrentWith(ws[1]) {
+		t.Error("sequential writes reported concurrent")
+	}
+	if s := ws[0].String(); !strings.Contains(s, "write_1(a)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestViolationErrorFormat(t *testing.T) {
+	h := hist(t, "iw:a", "rw", "ir:1", "rr:1:z")
+	err := CheckAtomic(h)
+	if err == nil || !strings.Contains(err.Error(), "atomicity(1)") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+func TestRespondPanics(t *testing.T) {
+	h := &History{}
+	id := h.Invoke(types.Writer, OpWrite, "a")
+	h.Respond(id, types.Bottom)
+	for name, f := range map[string]func(){
+		"twice":   func() { h.Respond(id, types.Bottom) },
+		"unknown": func() { h.Respond(99, types.Bottom) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,126 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"robustatomic/internal/types"
+)
+
+// MaxLinearizableOps bounds the history size accepted by CheckLinearizable;
+// the permutation search is exponential in the worst case.
+const MaxLinearizableOps = 20
+
+// CheckLinearizable performs a Wing–Gong style search for a linearization of
+// the history under read/write register semantics with initial value ⊥. It
+// handles duplicate written values and incomplete operations: a pending
+// write may or may not take effect; a pending read is ignored (its return
+// value is unknown). It returns true if a valid linearization exists.
+//
+// This is the generic cross-check for the specialized single-writer
+// checkers; it accepts multi-writer histories too.
+func CheckLinearizable(h *History) (bool, error) {
+	ops := h.Ops()
+	if len(ops) > MaxLinearizableOps {
+		return false, fmt.Errorf("checker: history has %d ops, max %d", len(ops), MaxLinearizableOps)
+	}
+	// Pending reads carry no obligations: drop them.
+	kept := ops[:0:0]
+	for _, op := range ops {
+		if op.Kind == OpRead && !op.Complete() {
+			continue
+		}
+		kept = append(kept, op)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Invoke < kept[j].Invoke })
+	s := &linSearch{ops: kept, memo: make(map[string]bool)}
+	return s.search(0, types.Bottom), nil
+}
+
+type linSearch struct {
+	ops  []Op
+	done uint32 // bitmask of linearized ops
+	skip uint32 // bitmask of pending writes decided to never take effect
+	memo map[string]bool
+}
+
+// minimalCandidates returns indices of ops that may be linearized next: an
+// op is blocked if some other unlinearized op completed before it was
+// invoked.
+func (s *linSearch) minimalCandidates() []int {
+	var out []int
+	for i, op := range s.ops {
+		if s.done&(1<<uint(i)) != 0 || s.skip&(1<<uint(i)) != 0 {
+			continue
+		}
+		blocked := false
+		for j, other := range s.ops {
+			if i == j || s.done&(1<<uint(j)) != 0 || s.skip&(1<<uint(j)) != 0 {
+				continue
+			}
+			if other.Precedes(op) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			out = append(out, i)
+		}
+		_ = op
+	}
+	return out
+}
+
+func (s *linSearch) remaining() int {
+	n := 0
+	for i := range s.ops {
+		if s.done&(1<<uint(i)) == 0 && s.skip&(1<<uint(i)) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *linSearch) search(depth int, current types.Value) bool {
+	if s.remaining() == 0 {
+		return true
+	}
+	key := fmt.Sprintf("%d/%d/%s", s.done, s.skip, current)
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	ok := false
+	for _, i := range s.minimalCandidates() {
+		op := s.ops[i]
+		switch op.Kind {
+		case OpWrite:
+			// Option A: linearize the write now.
+			s.done |= 1 << uint(i)
+			if s.search(depth+1, op.Arg) {
+				ok = true
+			}
+			s.done &^= 1 << uint(i)
+			// Option B: a pending write may never take effect.
+			if !ok && !op.Complete() {
+				s.skip |= 1 << uint(i)
+				if s.search(depth+1, current) {
+					ok = true
+				}
+				s.skip &^= 1 << uint(i)
+			}
+		case OpRead:
+			if op.Ret == current {
+				s.done |= 1 << uint(i)
+				if s.search(depth+1, current) {
+					ok = true
+				}
+				s.done &^= 1 << uint(i)
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	s.memo[key] = ok
+	return ok
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/server"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+func th(t *testing.T, s, tt int) quorum.Thresholds {
+	t.Helper()
+	out, err := quorum.NewThresholds(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// cluster tracks per-client protocol state across simulated operations.
+type cluster struct {
+	thr     quorum.Thresholds
+	readers int
+	writeTS int64
+	seqs    map[int]int64 // reader idx → write-back seq
+}
+
+func newCluster(thr quorum.Thresholds, readers int) *cluster {
+	return &cluster{thr: thr, readers: readers, seqs: make(map[int]int64, readers)}
+}
+
+func (cl *cluster) writeOp(v types.Value) sim.OpFunc {
+	return func(c *sim.Client) (types.Value, error) {
+		w := NewWriterAt(c, cl.thr, cl.writeTS)
+		if err := w.Write(v); err != nil {
+			return types.Bottom, err
+		}
+		cl.writeTS = w.LastTS()
+		return types.Bottom, nil
+	}
+}
+
+func (cl *cluster) readOp(idx int) sim.OpFunc {
+	return func(c *sim.Client) (types.Value, error) {
+		r := NewReaderAt(c, cl.thr, idx, cl.readers, cl.seqs[idx])
+		v, err := r.Read()
+		if err != nil {
+			return types.Bottom, err
+		}
+		cl.seqs[idx] = r.Seq()
+		return v, nil
+	}
+}
+
+func mustRun(t *testing.T, s *sim.Sim, op *sim.Op) types.Value {
+	t.Helper()
+	if err := s.RunOp(op); err != nil {
+		t.Fatal(err)
+	}
+	v, err := op.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRoundComplexity(t *testing.T) {
+	// The headline numbers of Section 5: 2-round writes, 4-round reads.
+	thr := th(t, 4, 1)
+	cl := newCluster(thr, 2)
+	s := sim.New(sim.Config{Servers: 4})
+	defer s.Close()
+	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", cl.writeOp("a"))
+	mustRun(t, s, w)
+	if w.Rounds() != 2 {
+		t.Errorf("write rounds = %d, want 2", w.Rounds())
+	}
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+	if v := mustRun(t, s, rd); v != "a" {
+		t.Errorf("read = %q, want a", v)
+	}
+	if rd.Rounds() != 4 {
+		t.Errorf("read rounds = %d, want 4", rd.Rounds())
+	}
+}
+
+func TestInitialReadBottom(t *testing.T) {
+	thr := th(t, 4, 1)
+	cl := newCluster(thr, 2)
+	s := sim.New(sim.Config{Servers: 4})
+	defer s.Close()
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+	if v := mustRun(t, s, rd); !v.IsBottom() {
+		t.Errorf("initial read = %q", v)
+	}
+}
+
+func TestSequentialReadsSeeWrites(t *testing.T) {
+	thr := th(t, 7, 2)
+	cl := newCluster(thr, 3)
+	s := sim.New(sim.Config{Servers: 7})
+	defer s.Close()
+	for i := 1; i <= 4; i++ {
+		v := types.Value(fmt.Sprintf("v%d", i))
+		mustRun(t, s, s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, v, cl.writeOp(v)))
+		for r := 1; r <= 3; r++ {
+			rd := s.Spawn(fmt.Sprintf("rd%d-%d", i, r), types.Reader(r), checker.OpRead, types.Bottom, cl.readOp(r))
+			if got := mustRun(t, s, rd); got != v {
+				t.Errorf("reader %d after write %d: %q", r, i, got)
+			}
+		}
+	}
+}
+
+func TestReadersSeeOtherReadersWriteBacks(t *testing.T) {
+	// The mechanism behind atomicity property (4): reader 1 reads "a" while
+	// the write is in flight; after r1 completes, reader 2 must also see
+	// "a" even though the writer's own register still lacks a full quorum.
+	thr := th(t, 4, 1)
+	cl := newCluster(thr, 2)
+	s := sim.New(sim.Config{Servers: 4})
+	defer s.Close()
+	// Write reaches PREWRITE everywhere but WRITE only on {1,2,3}… actually
+	// complete the PREWRITE quorum and leave WRITE entirely undelivered,
+	// then crash: only pw carries (1,a).
+	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", cl.writeOp("a"))
+	s.Step(w, 1, 2, 3)
+	s.Crash(w)
+	r1 := s.Spawn("r1", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+	v1 := mustRun(t, s, r1)
+	r2 := s.Spawn("r2", types.Reader(2), checker.OpRead, types.Bottom, cl.readOp(2))
+	v2 := mustRun(t, s, r2)
+	if v1 == "a" && v2 != "a" {
+		t.Fatalf("new/old inversion: r1=%q then r2=%q", v1, v2)
+	}
+}
+
+func TestAtomicDespiteByzantine(t *testing.T) {
+	for _, tt := range []int{1, 2} {
+		S := 3*tt + 1
+		thr := th(t, S, tt)
+		for _, name := range []string{"silent", "garbage", "stale", "equivocate"} {
+			t.Run(fmt.Sprintf("t=%d/%s", tt, name), func(t *testing.T) {
+				cl := newCluster(thr, 2)
+				h := &checker.History{}
+				s := sim.New(sim.Config{Servers: S, History: h})
+				defer s.Close()
+				mustRun(t, s, s.Spawn("w1", types.Writer, checker.OpWrite, "a", cl.writeOp("a")))
+				for i := 1; i <= tt; i++ {
+					switch name {
+					case "silent":
+						s.SetByzantine(i, server.Silent{})
+					case "garbage":
+						s.SetByzantine(i, server.Garbage{})
+					case "stale":
+						s.SetByzantine(i, &server.Stale{Snap: s.Snapshot(i)})
+					case "equivocate":
+						s.SetByzantine(i, server.Equivocate{Readers: &server.Stale{Snap: s.Snapshot(i)}})
+					}
+				}
+				mustRun(t, s, s.Spawn("w2", types.Writer, checker.OpWrite, "b", cl.writeOp("b")))
+				rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+				for !rd.Done() {
+					if err := s.CheckLiveness(rd); err != nil {
+						t.Fatalf("liveness: %v", err)
+					}
+				}
+				if v, _ := rd.Result(); v != "b" {
+					t.Errorf("read = %q, want b", v)
+				}
+				rd2 := s.Spawn("rd2", types.Reader(2), checker.OpRead, types.Bottom, cl.readOp(2))
+				if v := mustRun(t, s, rd2); v != "b" {
+					t.Errorf("second read = %q, want b", v)
+				}
+				if err := checker.CheckAtomic(h); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestRandomizedModelCheckAtomicity(t *testing.T) {
+	// The core validation: seeded random schedules, random Byzantine
+	// subsets/behaviors, sequential writes concurrent with overlapping
+	// reads by multiple readers; the complete history must be atomic
+	// (properties (1)-(4)), and small histories are cross-checked with the
+	// generic linearizability checker.
+	seeds := 300
+	if testing.Short() {
+		seeds = 20
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAtomicSchedule(t, seed)
+		})
+	}
+}
+
+func runAtomicSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed * 104729))
+	tt := 1 + rng.Intn(2)
+	S := 3*tt + 1
+	thr := th(t, S, tt)
+	const R = 3
+	cl := newCluster(thr, R)
+	h := &checker.History{}
+	s := sim.New(sim.Config{Servers: S, History: h})
+	defer s.Close()
+	nByz := rng.Intn(tt + 1)
+	perm := rng.Perm(S)
+	for i := 0; i < nByz; i++ {
+		sid := perm[i] + 1
+		switch rng.Intn(5) {
+		case 0:
+			s.SetByzantine(sid, server.Silent{})
+		case 1:
+			s.SetByzantine(sid, server.Garbage{Level: int64(rng.Intn(8)), Val: "evil"})
+		case 2:
+			s.SetByzantine(sid, &server.ReplayOnly{Rand: rng})
+		case 3:
+			s.SetByzantine(sid, &server.Stale{Snap: s.Snapshot(sid)})
+		default:
+			s.SetByzantine(sid, server.Flaky{Rand: rng, DropProb: 0.3})
+		}
+	}
+	readers := make([]*sim.Op, R)
+	for i := 1; i <= R; i++ {
+		readers[i-1] = s.Spawn(fmt.Sprintf("r%d", i), types.Reader(i), checker.OpRead, types.Bottom, cl.readOp(i))
+	}
+	writes := 2 + rng.Intn(2)
+	for i := 1; i <= writes; i++ {
+		v := types.Value(fmt.Sprintf("v%d", i))
+		w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, v, cl.writeOp(v))
+		ops := append([]*sim.Op{w}, readers...)
+		if err := s.RunConcurrent(seed*31+int64(i), ops...); err != nil {
+			t.Fatalf("liveness: %v", err)
+		}
+		// Replace finished readers with fresh reads to keep contention up.
+		for j, rd := range readers {
+			if rd.Done() {
+				readers[j] = s.Spawn(fmt.Sprintf("r%d.%d", j+1, i), types.Reader(j+1), checker.OpRead, types.Bottom, cl.readOp(j+1))
+			}
+		}
+	}
+	for _, rd := range readers {
+		if err := s.RunOp(rd); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	if err := checker.CheckAtomic(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() <= checker.MaxLinearizableOps {
+		lin, err := checker.CheckLinearizable(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lin {
+			t.Fatal("history not linearizable despite passing atomicity properties")
+		}
+	}
+}
+
+func TestEncodeDecodePair(t *testing.T) {
+	cases := []types.Pair{
+		types.BottomPair,
+		{TS: 1, Val: "a"},
+		{TS: 42, Val: "hello|world"}, // payload containing the separator
+		{TS: 7, Val: ""},
+	}
+	for _, p := range cases {
+		got, err := DecodePair(EncodePair(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if p.TS == 7 && p.Val == "" {
+			// (7, "") encodes as "7|" and round-trips exactly.
+			if got.TS != 7 || got.Val != "" {
+				t.Errorf("round trip %v → %v", p, got)
+			}
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %v → %v", p, got)
+		}
+	}
+	for _, bad := range []types.Value{"junk", "x|y", "-3|v", "0|v"} {
+		if _, err := DecodePair(bad); err == nil {
+			t.Errorf("DecodePair(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewReaderPanicsOnBadIndex(t *testing.T) {
+	thr := th(t, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad index accepted")
+		}
+	}()
+	NewReader(nil, thr, 3, 2)
+}

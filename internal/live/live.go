@@ -1,0 +1,262 @@
+// Package live is the concurrent runtime: storage objects run as goroutines
+// behind channels, messages suffer seeded random delays (asynchrony), and
+// clients execute protocol rounds against the same proto.Rounder interface
+// the deterministic simulator implements — so every register implementation
+// in this repository runs unchanged under real concurrency, with Byzantine
+// behavior injection, for the stress tests, the examples and the throughput
+// experiments (E7).
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/server"
+	"robustatomic/internal/types"
+)
+
+// ErrClosed is returned by rounds after the cluster shut down.
+var ErrClosed = errors.New("live: cluster closed")
+
+// ErrRoundStuck is returned when a round cannot terminate within the
+// configured timeout — with a correct protocol this indicates more than t
+// faulty objects (or a wait-freedom bug, which is what the tests assert
+// against).
+var ErrRoundStuck = errors.New("live: round did not terminate")
+
+// Config configures a cluster.
+type Config struct {
+	// Servers is the object count S.
+	Servers int
+	// Seed drives all randomized delays.
+	Seed int64
+	// MaxDelay bounds the random per-message delay (0 = no delays).
+	MaxDelay time.Duration
+	// RoundTimeout bounds one communication round (default 10s).
+	RoundTimeout time.Duration
+}
+
+// Cluster is a set of storage-object goroutines.
+type Cluster struct {
+	cfg     Config
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	servers []*serverProc
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+type request struct {
+	from    types.ProcID
+	msg     types.Message
+	replyTo chan<- reply
+}
+
+// reply tags a message with the responding object's id.
+type reply struct {
+	sid int
+	msg types.Message
+}
+
+type serverProc struct {
+	id    int
+	reqCh chan request
+
+	mu       sync.Mutex
+	store    *server.Store
+	byz      bool
+	behavior server.Behavior
+}
+
+// New starts a cluster of correct, empty storage objects.
+func New(cfg Config) *Cluster {
+	if cfg.Servers <= 0 {
+		panic(fmt.Sprintf("live: need at least one server, got %d", cfg.Servers))
+	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{cfg: cfg, ctx: ctx, cancel: cancel, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 1; i <= cfg.Servers; i++ {
+		sp := &serverProc{id: i, reqCh: make(chan request, 64), store: server.NewStore()}
+		c.servers = append(c.servers, sp)
+		c.wg.Add(1)
+		go c.serve(sp)
+	}
+	return c
+}
+
+// NumServers returns S.
+func (c *Cluster) NumServers() int { return c.cfg.Servers }
+
+// Close shuts the cluster down and waits for every goroutine to exit.
+func (c *Cluster) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// SetByzantine makes object sid Byzantine with the given behavior (nil for
+// honest-but-flagged).
+func (c *Cluster) SetByzantine(sid int, b server.Behavior) {
+	sp := c.server(sid)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.byz = true
+	if b != nil {
+		sp.behavior = b
+	}
+}
+
+// Snapshot captures object sid's state (for staleness attacks in tests).
+func (c *Cluster) Snapshot(sid int) []byte {
+	sp := c.server(sid)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	snap, err := sp.store.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("live: snapshot s%d: %v", sid, err))
+	}
+	return snap
+}
+
+func (c *Cluster) server(sid int) *serverProc {
+	if sid < 1 || sid > len(c.servers) {
+		panic(fmt.Sprintf("live: server %d out of range", sid))
+	}
+	return c.servers[sid-1]
+}
+
+// delay returns a random message delay.
+func (c *Cluster) delay() time.Duration {
+	if c.cfg.MaxDelay <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay)))
+}
+
+// sleep waits for d or cluster shutdown.
+func (c *Cluster) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return c.ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.ctx.Done():
+		return false
+	}
+}
+
+// serve is one object's event loop: process each request (objects reply to a
+// message before receiving any other) and send the reply after a random
+// delay.
+func (c *Cluster) serve(sp *serverProc) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case req := <-sp.reqCh:
+			sp.mu.Lock()
+			behavior := server.Behavior(server.Honest{})
+			if sp.byz && sp.behavior != nil {
+				behavior = sp.behavior
+			}
+			rep, ok := behavior.Reply(sp.store, req.from, req.msg)
+			sp.mu.Unlock()
+			if !ok {
+				continue
+			}
+			rep.Seq = req.msg.Seq
+			d := c.delay()
+			c.wg.Add(1)
+			go func(r reply, to chan<- reply) {
+				defer c.wg.Done()
+				if !c.sleep(d) {
+					return
+				}
+				select {
+				case to <- r:
+				case <-c.ctx.Done():
+				}
+			}(reply{sid: sp.id, msg: rep}, req.replyTo)
+		}
+	}
+}
+
+// Client executes protocol rounds for one process. Safe for use by a single
+// goroutine (the model's clients issue one operation at a time).
+type Client struct {
+	c    *Cluster
+	proc types.ProcID
+	seq  int
+	// Rounds counts completed communication rounds (instrumentation).
+	Rounds int
+}
+
+var _ proto.Rounder = (*Client)(nil)
+
+// NewClient returns a round executor for the given process identity.
+func (c *Cluster) NewClient(proc types.ProcID) *Client {
+	return &Client{c: c, proc: proc}
+}
+
+// NumServers implements proto.Rounder.
+func (cl *Client) NumServers() int { return cl.c.NumServers() }
+
+// Round implements proto.Rounder: send to all objects (with random delays),
+// integrate replies until the accumulator is satisfied.
+func (cl *Client) Round(spec proto.RoundSpec) error {
+	cl.seq++
+	seq := cl.seq
+	replyCh := make(chan reply, cl.c.NumServers()*2)
+	for sid := 1; sid <= cl.c.NumServers(); sid++ {
+		msg := spec.Req(sid)
+		msg.Seq = seq
+		d := cl.c.delay()
+		cl.c.wg.Add(1)
+		go func(sid int, msg types.Message) {
+			defer cl.c.wg.Done()
+			if !cl.c.sleep(d) {
+				return
+			}
+			select {
+			case cl.c.server(sid).reqCh <- request{from: cl.proc, msg: msg, replyTo: replyCh}:
+			case <-cl.c.ctx.Done():
+			}
+		}(sid, msg)
+	}
+	deadline := time.NewTimer(cl.c.cfg.RoundTimeout)
+	defer deadline.Stop()
+	received := 0
+	for {
+		select {
+		case rep := <-replyCh:
+			if rep.msg.Seq != seq {
+				continue // late reply from an earlier round: received, ignored
+			}
+			received++
+			spec.Acc.Add(rep.sid, rep.msg)
+			if spec.Acc.Done() {
+				cl.Rounds++
+				return nil
+			}
+		case <-cl.c.ctx.Done():
+			return ErrClosed
+		case <-deadline.C:
+			return fmt.Errorf("%w: %s after %v (%d replies)", ErrRoundStuck, spec.Label, cl.c.cfg.RoundTimeout, received)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package lowerbound
+
+import (
+	"fmt"
+	"reflect"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+// ReadBound executes the Proposition 1 (Section 3, Figure 1) construction:
+// if S ≤ 4t and R > 3, no SWMR atomic register can complete all reads in
+// two rounds. The harness drives the victim through the paper's chain of
+// partial runs pr_1 … pr_{4k−1} and their deletion counterparts ∆pr_n,
+// mechanically verifying each indistinguishability claim, and reports the
+// first executed run whose history violates atomicity.
+type ReadBound struct {
+	// T is the fault budget; the object count is S (default 4t).
+	T int
+	S int
+	// Victim is the 2-round-read implementation under attack.
+	Victim Victim
+	// Render enables block-diagram rendering of every run.
+	Render bool
+}
+
+// RunReport describes one executed partial run.
+type RunReport struct {
+	Name      string
+	ReadValue types.Value
+	Diagram   string
+}
+
+// Outcome is the result of executing a lower-bound construction.
+type Outcome struct {
+	// Violation is the atomicity violation found; nil only on harness error.
+	Violation *checker.Violation
+	// Run names the partial run exhibiting the violation.
+	Run string
+	// Reports lists every executed run in order.
+	Reports []RunReport
+	// IndistinguishabilityChecks counts verified paired-run view equalities.
+	IndistinguishabilityChecks int
+}
+
+// runIndex identifies one step of the chain: iteration i (0-based; the
+// paper's pr_1..pr_3 are i=0) and reader j ∈ 1..4. The run number is
+// n = 4i + (j mod 4).
+type runIndex struct{ i, j int }
+
+func (ri runIndex) n() int { return 4*ri.i + ri.j%4 }
+
+// order returns the chain pr_1 … pr_{4k−1}.
+func order(k int) []runIndex {
+	out := []runIndex{{0, 1}, {0, 2}, {0, 3}}
+	for i := 1; i <= k-1; i++ {
+		out = append(out, runIndex{i, 4}, runIndex{i, 1}, runIndex{i, 2}, runIndex{i, 3})
+	}
+	return out
+}
+
+// Run executes the construction and returns the violation outcome.
+func (rb *ReadBound) Run() (*Outcome, error) {
+	if rb.T < 1 {
+		return nil, fmt.Errorf("lowerbound: Proposition 1 needs t ≥ 1")
+	}
+	s := rb.S
+	if s == 0 {
+		s = 4 * rb.T
+	}
+	part, err := quorum.NewProp1Partition(s, rb.T)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	th, err := quorum.NewThresholds(s, rb.T)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	if rb.Victim == nil {
+		return nil, fmt.Errorf("lowerbound: no victim")
+	}
+	if rb.Victim.ReadRounds() != 2 {
+		return nil, fmt.Errorf("lowerbound: Proposition 1 targets 2-round reads, victim has %d", rb.Victim.ReadRounds())
+	}
+	k := rb.Victim.WriteRounds()
+	if k < 2 {
+		return nil, fmt.Errorf("lowerbound: chain needs k ≥ 2 write rounds (k=1 leaves no round to delete)")
+	}
+	h := &rbHarness{rb: rb, th: th, part: part, k: k}
+	if err := h.captureSigmas(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{}
+
+	ord := order(k)
+	for pos, ri := range ord {
+		var prev *runIndex
+		if pos > 0 {
+			prev = &ord[pos-1]
+		}
+		pr, err := h.execute(fmt.Sprintf("pr%d", ri.n()), prev, &ri)
+		if err != nil {
+			return nil, err
+		}
+		out.Reports = append(out.Reports, pr.report())
+		if v := checker.CheckAtomic(pr.hist); v != nil {
+			out.Violation = v.(*checker.Violation)
+			out.Run = pr.name
+			return out, nil
+		}
+		delta, err := h.execute(fmt.Sprintf("∆pr%d", ri.n()), &ri, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Reports = append(out.Reports, delta.report())
+		if !reflect.DeepEqual(pr.appendedObs, delta.appendedObs) {
+			return nil, fmt.Errorf("lowerbound: construction broken: rd%d views differ between %s and %s:\n%v\n%v",
+				ri.j, pr.name, delta.name, pr.appendedObs, delta.appendedObs)
+		}
+		out.IndistinguishabilityChecks++
+		if pr.appendedVal != delta.appendedVal {
+			return nil, fmt.Errorf("lowerbound: victim nondeterministic: rd%d returned %q in %s but %q in %s",
+				ri.j, pr.appendedVal, pr.name, delta.appendedVal, delta.name)
+		}
+	}
+
+	// Terminal: ∆pr_{4k−1} differs from a run with no write only at the
+	// writer; execute that no-write run and check it.
+	last := ord[len(ord)-1]
+	nowrite, err := h.executeNoWrite(fmt.Sprintf("∆pr%d/no-write", last.n()), last)
+	if err != nil {
+		return nil, err
+	}
+	out.Reports = append(out.Reports, nowrite.report())
+	if v := checker.CheckAtomic(nowrite.hist); v != nil {
+		out.Violation = v.(*checker.Violation)
+		out.Run = nowrite.name
+		return out, nil
+	}
+	return nil, fmt.Errorf("lowerbound: victim %s survived the Proposition 1 chain — harness bug (a violation must exist)", rb.Victim.Name())
+}
+
+// rbHarness holds the construction's fixed data.
+type rbHarness struct {
+	rb   *ReadBound
+	th   quorum.Thresholds
+	part *quorum.Prop1Partition
+	k    int
+	// sigma[m][sid] is object sid's snapshot after write rounds 1..m.
+	sigma []map[int][]byte
+}
+
+// run is one executed partial run.
+type run struct {
+	name         string
+	sim          *sim.Sim
+	trace        *sim.Trace
+	hist         *checker.History
+	lastComplete *sim.Op
+	appendedObs  []sim.Observed
+	appendedVal  types.Value
+	prevObs      []sim.Observed
+	diagram      string
+}
+
+func (r *run) report() RunReport {
+	return RunReport{Name: r.name, ReadValue: r.appendedVal, Diagram: r.diagram}
+}
+
+// blocks returns the object ids of block j (1..4).
+func (h *rbHarness) blocks(j int) []int { return h.part.Block(j) }
+
+// objsExcept returns all object ids not in the given blocks.
+func (h *rbHarness) objsExcept(skip ...int) []int {
+	drop := map[int]bool{}
+	for _, j := range skip {
+		for _, sid := range h.blocks(j) {
+			drop[sid] = true
+		}
+	}
+	var out []int
+	for sid := 1; sid <= h.part.S(); sid++ {
+		if !drop[sid] {
+			out = append(out, sid)
+		}
+	}
+	return out
+}
+
+// captureSigmas executes the reference complete write wr and snapshots every
+// object after each round.
+func (h *rbHarness) captureSigmas() error {
+	s := sim.New(sim.Config{Servers: h.part.S()})
+	defer s.Close()
+	h.sigma = make([]map[int][]byte, h.k+1)
+	capture := func(m int) {
+		h.sigma[m] = make(map[int][]byte, h.part.S())
+		for sid := 1; sid <= h.part.S(); sid++ {
+			h.sigma[m][sid] = s.Snapshot(sid)
+		}
+	}
+	capture(0)
+	w := s.Spawn("write(1)", types.Writer, checker.OpWrite, "1", h.rb.Victim.WriteOp(h.th, "1"))
+	for r := 1; r <= h.k; r++ {
+		s.Step(w, h.objsExcept(4)...)
+		if _, seq, ok := w.CurrentRound(); ok && seq != r+1 {
+			return fmt.Errorf("lowerbound: victim write round %d did not terminate on B1∪B2∪B3", r)
+		}
+		capture(r)
+	}
+	if !w.Done() {
+		return fmt.Errorf("lowerbound: victim write did not complete in %d rounds", h.k)
+	}
+	return nil
+}
+
+// readerProc maps chain reader j to its process id.
+func readerProc(j int) types.ProcID { return types.Reader(j) }
+
+// prevReader returns the reader index c steps before j (cyclic in 1..4).
+func prevReader(j, c int) int { return ((j-c-1)%4+4+4)%4 + 1 }
+
+// execute runs a partial run: the ∆ prefix of `prefix` (nil for the full
+// write wr) and, when append is non-nil, the appended complete read of
+// pr_n with its Byzantine forging.
+func (h *rbHarness) execute(name string, prefix, app *runIndex) (*run, error) {
+	r := &run{name: name, trace: &sim.Trace{}, hist: &checker.History{}}
+	r.sim = sim.New(sim.Config{Servers: h.part.S(), History: r.hist, Trace: r.trace})
+	defer r.sim.Close()
+
+	w := r.sim.Spawn("write(1)", types.Writer, checker.OpWrite, "1", h.rb.Victim.WriteOp(h.th, "1"))
+	var appendedOp *sim.Op
+	if prefix == nil {
+		// Full write wr: all k rounds terminated, skipping B4.
+		for rr := 1; rr <= h.k; rr++ {
+			r.sim.Step(w, h.objsExcept(4)...)
+		}
+		if !w.Done() {
+			return nil, fmt.Errorf("lowerbound: %s: write incomplete", name)
+		}
+	} else {
+		if err := h.deltaPrefix(r, w, *prefix); err != nil {
+			return nil, err
+		}
+		if app == nil {
+			// The ∆ run itself: its complete read is the last appended one.
+			appendedOp = r.lastComplete
+		}
+	}
+	if app != nil {
+		op, err := h.appendRead(r, *app, true)
+		if err != nil {
+			return nil, err
+		}
+		appendedOp = op
+	}
+	if appendedOp == nil {
+		return nil, fmt.Errorf("lowerbound: %s: no appended read", name)
+	}
+	r.appendedObs = appendedOp.Observations()
+	v, err := appendedOp.Result()
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %s: appended read failed: %w", name, err)
+	}
+	r.appendedVal = v
+	h.render(r)
+	return r, nil
+}
+
+// executeNoWrite executes the terminal ∆ run without ever invoking the
+// write.
+func (h *rbHarness) executeNoWrite(name string, ri runIndex) (*run, error) {
+	r := &run{name: name, trace: &sim.Trace{}, hist: &checker.History{}}
+	r.sim = sim.New(sim.Config{Servers: h.part.S(), History: r.hist, Trace: r.trace})
+	defer r.sim.Close()
+	if err := h.deltaPrefix(r, nil, ri); err != nil {
+		return nil, err
+	}
+	appendedOp := r.lastComplete
+	r.appendedObs = appendedOp.Observations()
+	v, err := appendedOp.Result()
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %s: read failed: %w", name, err)
+	}
+	r.appendedVal = v
+	h.render(r)
+	return r, nil
+}
+
+func (h *rbHarness) render(r *run) {
+	if !h.rb.Render {
+		return
+	}
+	rows := []string{"B1", "B2", "B3", "B4"}
+	blocks := map[string][]int{}
+	for j := 1; j <= 4; j++ {
+		blocks[fmt.Sprintf("B%d", j)] = h.blocks(j)
+	}
+	r.diagram = r.trace.BlockDiagram(rows, blocks)
+}

@@ -1,0 +1,103 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+// deltaPrefix builds ∆pr_n (n = ri.n()) inside r.sim: the partial write
+// wr^{k−i}_{(j mod 4)+1}, the surviving incomplete reads rd_{j−2} and
+// rd_{j−1}, and the complete read rd_j against genuine states. A nil write
+// op builds the terminal no-write variant.
+func (h *rbHarness) deltaPrefix(r *run, w *sim.Op, ri runIndex) error {
+	n := ri.n()
+	if w != nil {
+		termRounds := h.k - ri.i - 1
+		for rr := 1; rr <= termRounds; rr++ {
+			r.sim.Step(w, h.objsExcept(4)...)
+		}
+		if _, seq, ok := w.CurrentRound(); !ok || seq != termRounds+1 {
+			return fmt.Errorf("lowerbound: ∆pr%d: write rounds out of sync", n)
+		}
+		// Partial round k−i: requests reach blocks B_{(j mod 4)+1}..B_3;
+		// the replies stay in transit (the round is not terminated).
+		var partial []int
+		for b := ri.j%4 + 1; b <= 3; b++ {
+			partial = append(partial, h.blocks(b)...)
+		}
+		if len(partial) > 0 {
+			r.sim.DeliverRequests(w, partial...)
+		}
+	}
+	// The wrap-around block is malicious in ∆pr_n for n ≥ 3 (it forges σʳ
+	// states towards the incomplete reads; with query-only victims those
+	// coincide with its genuine state, so no restore is needed).
+	if n >= 3 {
+		for _, sid := range h.blocks(ri.j%4 + 1) {
+			r.sim.SetByzantine(sid, nil)
+		}
+	}
+	// Incomplete reads, oldest first.
+	if n >= 3 {
+		j2 := prevReader(ri.j, 2)
+		rd := r.sim.Spawn(fmt.Sprintf("rd%d", j2), readerProc(j2), checker.OpRead, types.Bottom,
+			h.rb.Victim.ReadOp(h.th))
+		r.sim.Step(rd, h.objsExcept(j2%4+1, ri.j%4+1)...)
+		if rd.Done() {
+			return fmt.Errorf("lowerbound: ∆pr%d: rd%d completed but must stay incomplete", n, j2)
+		}
+	}
+	if n >= 2 {
+		j1 := prevReader(ri.j, 1)
+		rd := r.sim.Spawn(fmt.Sprintf("rd%d", j1), readerProc(j1), checker.OpRead, types.Bottom,
+			h.rb.Victim.ReadOp(h.th))
+		r.sim.Step(rd, h.objsExcept(j1%4+1)...) // round 1 terminates
+		if _, seq, ok := rd.CurrentRound(); !ok || seq != 2 {
+			return fmt.Errorf("lowerbound: ∆pr%d: rd%d round 1 did not terminate", n, j1)
+		}
+		r.sim.Step(rd, h.objsExcept(j1, ri.j%4+1)...) // round 2 stays open
+		if rd.Done() {
+			return fmt.Errorf("lowerbound: ∆pr%d: rd%d completed but must stay incomplete", n, j1)
+		}
+	}
+	// The complete read rd_j, against genuine states.
+	if _, err := h.appendRead(r, ri, false); err != nil {
+		return fmt.Errorf("lowerbound: ∆pr%d: %w", n, err)
+	}
+	return nil
+}
+
+// appendRead spawns rd_j and delivers its two rounds per the paper's skip
+// pattern (round 1 skips B_{(j mod 4)+1}, round 2 skips B_j). With forge
+// set, block B_j first turns Byzantine and forges its state to σ_{k−i−1}
+// (σ_0 for j = 4).
+func (h *rbHarness) appendRead(r *run, ri runIndex, forge bool) (*sim.Op, error) {
+	if forge {
+		target := h.sigma[0]
+		if ri.j != 4 {
+			target = h.sigma[h.k-ri.i-1]
+		}
+		for _, sid := range h.blocks(ri.j) {
+			r.sim.SetByzantine(sid, nil)
+			r.sim.Restore(sid, target[sid])
+		}
+	}
+	rd := r.sim.Spawn(fmt.Sprintf("rd%d", ri.j), readerProc(ri.j), checker.OpRead, types.Bottom,
+		h.rb.Victim.ReadOp(h.th))
+	r.sim.Step(rd, h.objsExcept(ri.j%4+1)...)
+	if _, seq, ok := rd.CurrentRound(); !ok || seq != 2 {
+		if rd.Done() {
+			return nil, fmt.Errorf("rd%d finished before its second round", ri.j)
+		}
+		return nil, fmt.Errorf("rd%d round 1 did not terminate on its quorum pattern", ri.j)
+	}
+	r.sim.Step(rd, h.objsExcept(ri.j)...)
+	if !rd.Done() {
+		return nil, fmt.Errorf("rd%d did not complete in two rounds on its quorum pattern", ri.j)
+	}
+	r.lastComplete = rd
+	return rd, nil
+}

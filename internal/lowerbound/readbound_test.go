@@ -1,0 +1,125 @@
+package lowerbound
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrevReader(t *testing.T) {
+	cases := []struct{ j, c, want int }{
+		{1, 1, 4}, {2, 1, 1}, {4, 1, 3}, {1, 2, 3}, {3, 2, 1}, {4, 2, 2},
+	}
+	for _, c := range cases {
+		if got := prevReader(c.j, c.c); got != c.want {
+			t.Errorf("prevReader(%d,%d) = %d, want %d", c.j, c.c, got, c.want)
+		}
+	}
+}
+
+func TestOrder(t *testing.T) {
+	ord := order(2)
+	if len(ord) != 7 {
+		t.Fatalf("order(2) has %d runs, want 7 (= 4k−1)", len(ord))
+	}
+	wantN := []int{1, 2, 3, 4, 5, 6, 7}
+	for i, ri := range ord {
+		if ri.n() != wantN[i] {
+			t.Errorf("ord[%d].n() = %d, want %d", i, ri.n(), wantN[i])
+		}
+	}
+	if ord[3] != (runIndex{1, 4}) || ord[4] != (runIndex{1, 1}) {
+		t.Errorf("iteration boundary wrong: %v", ord[:5])
+	}
+}
+
+func TestReadBoundCautiousVictim(t *testing.T) {
+	for _, tt := range []int{1, 2} {
+		rb := &ReadBound{T: tt, Victim: FixedVictim{K: 2, R: 2}, Render: true}
+		out, err := rb.Run()
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		if out.Violation == nil {
+			t.Fatalf("t=%d: no violation found", tt)
+		}
+		t.Logf("t=%d: violation in %s: %v (after %d indistinguishability checks)",
+			tt, out.Run, out.Violation, out.IndistinguishabilityChecks)
+		if out.IndistinguishabilityChecks < 1 {
+			t.Error("no indistinguishability checks performed")
+		}
+	}
+}
+
+func TestReadBoundGullibleVictim(t *testing.T) {
+	rb := &ReadBound{T: 1, Victim: FixedVictim{K: 2, R: 2, Gullible: true}}
+	out, err := rb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	t.Logf("violation in %s: %v", out.Run, out.Violation)
+}
+
+func TestReadBoundThreeWriteRounds(t *testing.T) {
+	// More write rounds mean more chain iterations to delete them.
+	rb := &ReadBound{T: 1, Victim: FixedVictim{K: 3, R: 2}}
+	out, err := rb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	t.Logf("k=3 violation in %s after %d checks", out.Run, out.IndistinguishabilityChecks)
+}
+
+func TestReadBoundSubMaximalS(t *testing.T) {
+	// The proposition covers any 3t+1 ≤ S ≤ 4t; exercise S = 4t−1.
+	rb := &ReadBound{T: 2, S: 7, Victim: FixedVictim{K: 2, R: 2}}
+	out, err := rb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+}
+
+func TestReadBoundRejectsBadConfigs(t *testing.T) {
+	if _, err := (&ReadBound{T: 0, Victim: FixedVictim{K: 2, R: 2}}).Run(); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := (&ReadBound{T: 1, S: 5, Victim: FixedVictim{K: 2, R: 2}}).Run(); err == nil {
+		t.Error("S=5 > 4t accepted (construction must not apply)")
+	}
+	if _, err := (&ReadBound{T: 1, Victim: FixedVictim{K: 2, R: 3}}).Run(); err == nil {
+		t.Error("3-round-read victim accepted by Proposition 1 harness")
+	}
+	if _, err := (&ReadBound{T: 1, Victim: FixedVictim{K: 1, R: 2}}).Run(); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := (&ReadBound{T: 1}).Run(); err == nil {
+		t.Error("nil victim accepted")
+	}
+}
+
+func TestReadBoundDiagramsRendered(t *testing.T) {
+	rb := &ReadBound{T: 1, Victim: FixedVictim{K: 2, R: 2}, Render: true}
+	out, err := rb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reports) == 0 {
+		t.Fatal("no run reports")
+	}
+	for _, rep := range out.Reports {
+		if rep.Diagram == "" {
+			t.Fatalf("run %s has no diagram", rep.Name)
+		}
+		if !strings.Contains(rep.Diagram, "B1") {
+			t.Fatalf("diagram of %s missing block rows:\n%s", rep.Name, rep.Diagram)
+		}
+	}
+}

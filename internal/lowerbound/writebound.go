@@ -1,0 +1,237 @@
+package lowerbound
+
+import (
+	"fmt"
+	"reflect"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/recurrence"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+// WriteBound executes the Lemma 1 (Section 4, Figure 2) construction: no
+// k-reader atomic storage over 3·t_k+1 objects with t_k = t_{k−1}+2·t_{k−2}+1
+// Byzantine faults can combine k-round writes with 3-round reads. The chain
+// appends reads rd_1 … rd_k; for each, the harness executes the paper's run
+// pr_l and its mimicry counterpart pr^C_l (in which superblock P_l is
+// malicious and simulates rd_l's earlier invocation), verifies the reader's
+// views are identical, and checks the executed histories for atomicity
+// violations; the terminal run ∆pr_k replays pr_k without ever invoking the
+// write.
+//
+// In closed form (Lemma 2) this yields k = Ω(log t): writes need at least
+// min{R, ⌊log₂⌈(3t+1)/2⌉⌋} rounds when reads finish in three.
+type WriteBound struct {
+	// K is the write round count to defeat; the construction uses t_k
+	// faults and S = 3·t_k + 1 objects (scaled by Scale ≥ 1 per
+	// Proposition 2).
+	K     int
+	Scale int
+	// Victim is the k-round-write / 3-round-read implementation under
+	// attack; nil uses the cautious FixedVictim.
+	Victim Victim
+	// Render enables block-diagram rendering.
+	Render bool
+}
+
+// Run executes the construction.
+func (wb *WriteBound) Run() (*Outcome, error) {
+	if wb.K < 2 {
+		return nil, fmt.Errorf("lowerbound: Lemma 1 harness needs k ≥ 2 (k = 1 is the write bound of Abraham et al. [1])")
+	}
+	scale := wb.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	part, err := quorum.NewScaledLemma1Partition(wb.K, scale)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	victim := wb.Victim
+	if victim == nil {
+		victim = FixedVictim{K: wb.K, R: 3}
+	}
+	if victim.WriteRounds() != wb.K || victim.ReadRounds() != 3 {
+		return nil, fmt.Errorf("lowerbound: Lemma 1 targets %d-round writes with 3-round reads, victim is %dW/%dR",
+			wb.K, victim.WriteRounds(), victim.ReadRounds())
+	}
+	th, err := quorum.NewThresholds(part.S(), part.Faults())
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	h := &wbHarness{wb: wb, th: th, part: part, k: wb.K, victim: victim}
+	if err := h.captureSigmas(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{}
+
+	var prevPR *run
+	for l := 1; l <= wb.K; l++ {
+		pr, err := h.executeRun(fmt.Sprintf("pr%d", l), l, variantPR)
+		if err != nil {
+			return nil, err
+		}
+		out.Reports = append(out.Reports, pr.report())
+		prc, err := h.executeRun(fmt.Sprintf("prC%d", l), l, variantPRC)
+		if err != nil {
+			return nil, err
+		}
+		out.Reports = append(out.Reports, prc.report())
+		// rd_l sees identical views in pr_l and pr^C_l.
+		if !reflect.DeepEqual(pr.appendedObs, prc.appendedObs) {
+			return nil, fmt.Errorf("lowerbound: construction broken: rd%d views differ between %s and %s:\n%v\n%v",
+				l, pr.name, prc.name, pr.appendedObs, prc.appendedObs)
+		}
+		out.IndistinguishabilityChecks++
+		// rd_{l−1}'s view in pr^C_l matches its view in pr_{l−1} (the
+		// @pr_{l−1} ~ pr_{l−1} claim).
+		if l >= 2 && prevPR != nil {
+			if !reflect.DeepEqual(prevPR.appendedObs, prc.prevObs) {
+				return nil, fmt.Errorf("lowerbound: construction broken: rd%d views differ between %s and %s",
+					l-1, prevPR.name, prc.name)
+			}
+			out.IndistinguishabilityChecks++
+		}
+		if v := checker.CheckAtomic(prc.hist); v != nil {
+			out.Violation = v.(*checker.Violation)
+			out.Run = prc.name
+			return out, nil
+		}
+		prevPR = pr
+	}
+
+	// Terminal ∆pr_k: replay pr_k without ever invoking the write; the
+	// malicious superblock M_{k−1} fabricates the write's traces.
+	delta, err := h.executeRun(fmt.Sprintf("∆pr%d", wb.K), wb.K, variantDeltaK)
+	if err != nil {
+		return nil, err
+	}
+	out.Reports = append(out.Reports, delta.report())
+	if !reflect.DeepEqual(prevPR.appendedObs, delta.appendedObs) {
+		return nil, fmt.Errorf("lowerbound: construction broken: rd%d views differ between %s and %s",
+			wb.K, prevPR.name, delta.name)
+	}
+	out.IndistinguishabilityChecks++
+	if v := checker.CheckAtomic(delta.hist); v != nil {
+		out.Violation = v.(*checker.Violation)
+		out.Run = delta.name
+		return out, nil
+	}
+	return nil, fmt.Errorf("lowerbound: victim %s survived the Lemma 1 chain — harness bug (a violation must exist)", victim.Name())
+}
+
+// TMin returns the fault budget t_k the construction needs for k write
+// rounds — the recurrence of Lemma 1.
+func TMin(k int) int64 { return recurrence.T(k) }
+
+type wbVariant int
+
+const (
+	variantPR     wbVariant = iota + 1 // pr_l
+	variantPRC                         // pr^C_l (P_l malicious mimicry)
+	variantDeltaK                      // terminal ∆pr_k (no write)
+)
+
+// wbHarness holds the Lemma 1 construction's fixed data.
+type wbHarness struct {
+	wb     *WriteBound
+	th     quorum.Thresholds
+	part   *quorum.Lemma1Partition
+	k      int
+	victim Victim
+	// sigma[m][sid]: snapshot of object sid after write rounds 1..m.
+	sigma []map[int][]byte
+}
+
+// bObjects returns the object ids of every B block (the write's targets).
+func (h *wbHarness) bObjects() []int {
+	var blocks []quorum.BlockName
+	for j := 0; j <= h.k+1; j++ {
+		blocks = append(blocks, quorum.B(j))
+	}
+	return h.part.Union(blocks)
+}
+
+// rnd12Recipients returns the recipients of rd_l's first two rounds:
+// everything but M_{l−2} ∪ P_{l+1}.
+func (h *wbHarness) rnd12Recipients(l int) []int {
+	skip := append(h.part.Malicious(l-2), h.part.Parity(l+1)...)
+	return h.part.Complement(skip)
+}
+
+// rnd3Recipients returns the recipients of rd_l's third round: everything
+// but M_{l−2} ∪ C_{l+1} for l < k; rd_k's third round keeps the rnd1/2
+// pattern.
+func (h *wbHarness) rnd3Recipients(l int) []int {
+	if l >= h.k {
+		return h.rnd12Recipients(l)
+	}
+	skip := append(h.part.Malicious(l-2), h.part.CorrectSB(l+1)...)
+	return h.part.Complement(skip)
+}
+
+// inc3Round3Recipients returns the round-3 request targets of an inc3 read
+// rd_l: everything but M_{l−2} ∪ C_{l+1} ∪ P_{l+1}.
+func (h *wbHarness) inc3Round3Recipients(l int) []int {
+	skip := append(h.part.Malicious(l-2), h.part.CorrectSB(l+1)...)
+	skip = append(skip, h.part.Parity(l+1)...)
+	return h.part.Complement(skip)
+}
+
+// partialWriteRecipients returns the targets of the unterminated write round
+// of wr^{k−i}: B_0 plus the B blocks outside parity superblock P_{2−(i mod 2)}.
+func (h *wbHarness) partialWriteRecipients(i int) []int {
+	keep := 1 + i%2 // skip parity 2−(i mod 2); keep the other class
+	out := append([]int{}, h.part.Objects(quorum.B(0))...)
+	out = append(out, h.part.Union(h.part.Parity(keep))...)
+	return out
+}
+
+// minus returns xs without the object ids in the given blocks.
+func (h *wbHarness) minus(xs []int, blocks []quorum.BlockName) []int {
+	drop := map[int]bool{}
+	for _, b := range blocks {
+		for _, sid := range h.part.Objects(b) {
+			drop[sid] = true
+		}
+	}
+	out := make([]int, 0, len(xs))
+	for _, sid := range xs {
+		if !drop[sid] {
+			out = append(out, sid)
+		}
+	}
+	return out
+}
+
+// captureSigmas runs prinit plus the complete write and snapshots every
+// object after each terminated round.
+func (h *wbHarness) captureSigmas() error {
+	s := sim.New(sim.Config{Servers: h.part.S()})
+	defer s.Close()
+	h.sigma = make([]map[int][]byte, h.k+1)
+	capture := func(m int) {
+		h.sigma[m] = make(map[int][]byte, h.part.S())
+		for sid := 1; sid <= h.part.S(); sid++ {
+			h.sigma[m][sid] = s.Snapshot(sid)
+		}
+	}
+	capture(0)
+	w := s.Spawn("write(1)", types.Writer, checker.OpWrite, "1", h.victim.WriteOp(h.th, "1"))
+	bObjs := h.bObjects()
+	for r := 1; r <= h.k; r++ {
+		s.Step(w, bObjs...)
+		if !w.Done() {
+			if _, seq, ok := w.CurrentRound(); !ok || seq != r+1 {
+				return fmt.Errorf("lowerbound: victim write round %d did not terminate on the B blocks", r)
+			}
+		}
+		capture(r)
+	}
+	if !w.Done() {
+		return fmt.Errorf("lowerbound: victim write did not complete in %d rounds", h.k)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+// executeRun builds and executes one run of the Lemma 1 chain: pr_l, its
+// mimicry pr^C_l, or the terminal ∆pr_k.
+func (h *wbHarness) executeRun(name string, l int, variant wbVariant) (*run, error) {
+	r := &run{name: name, trace: &sim.Trace{}, hist: &checker.History{}}
+	r.sim = sim.New(sim.Config{Servers: h.part.S(), History: r.hist, Trace: r.trace})
+	defer r.sim.Close()
+
+	// prinit: every reader invokes its read; round-1 requests reach only
+	// its parity superblock P_m, whose replies stay in transit. In pr^C_l,
+	// rd_l is never invoked here — the malicious P_l will fake its traces.
+	reads := make(map[int]*sim.Op, h.k)
+	for m := 1; m <= h.k; m++ {
+		if variant == variantPRC && m == l {
+			continue
+		}
+		rd := r.sim.Spawn(fmt.Sprintf("rd%d", m), types.Reader(m), checker.OpRead, types.Bottom,
+			h.victim.ReadOp(h.th))
+		r.sim.DeliverRequests(rd, h.part.Union(h.part.Parity(m))...)
+		reads[m] = rd
+	}
+
+	// The write: wr^{k−l} in pr_l, wr^{k−l+1} in pr^C_l, absent in ∆pr_k.
+	if variant != variantDeltaK {
+		w := r.sim.Spawn("write(1)", types.Writer, checker.OpWrite, "1", h.victim.WriteOp(h.th, "1"))
+		termRounds, partialIdx := h.k-l, l
+		if variant == variantPRC {
+			termRounds, partialIdx = h.k-l+1, l-1
+		}
+		bObjs := h.bObjects()
+		for rr := 1; rr <= termRounds; rr++ {
+			r.sim.Step(w, bObjs...)
+		}
+		if partialIdx >= 1 {
+			r.sim.DeliverRequests(w, h.partialWriteRecipients(partialIdx)...)
+		}
+	}
+
+	// Byzantine superblocks (functional work happens via state restores).
+	h.markByz(r, l, variant)
+
+	// Incomplete reads rd_1 … rd_{l−2} of type inc2: round 1 terminated,
+	// round-2 requests reach only C_m.
+	for m := 1; m <= l-2; m++ {
+		h.restoreBeforeRead(r, m, variant)
+		if err := h.completeRound1(r, reads[m], m, false); err != nil {
+			return nil, fmt.Errorf("lowerbound: %s: %w", name, err)
+		}
+		r.sim.DeliverRequests(reads[m], h.part.Objects(quorum.C(m))...)
+		if reads[m].Done() {
+			return nil, fmt.Errorf("lowerbound: %s: rd%d must stay incomplete", name, m)
+		}
+	}
+
+	// rd_{l−1}: inc3 in pr_l and ∆pr_k (rounds 1–2 terminated, round-3
+	// requests pending); complete in pr^C_l, where its value feeds the
+	// atomicity forcing.
+	if l >= 2 {
+		m := l - 1
+		h.restoreBeforeRead(r, m, variant)
+		if err := h.completeRound1(r, reads[m], m, false); err != nil {
+			return nil, fmt.Errorf("lowerbound: %s: %w", name, err)
+		}
+		r.sim.Step(reads[m], h.rnd12Recipients(m)...)
+		if _, seq, ok := reads[m].CurrentRound(); !ok || seq != 3 {
+			return nil, fmt.Errorf("lowerbound: %s: rd%d round 2 did not terminate", name, m)
+		}
+		if variant == variantPRC {
+			r.sim.Step(reads[m], h.rnd3Recipients(m)...)
+			if !reads[m].Done() {
+				return nil, fmt.Errorf("lowerbound: %s: rd%d did not complete in three rounds", name, m)
+			}
+			r.prevObs = reads[m].Observations()
+		} else {
+			r.sim.DeliverRequests(reads[m], h.inc3Round3Recipients(m)...)
+			if reads[m].Done() {
+				return nil, fmt.Errorf("lowerbound: %s: rd%d must stay incomplete", name, m)
+			}
+		}
+	}
+
+	// The appended read rd_l.
+	rdl := reads[l]
+	if variant == variantPRC {
+		// Spawned only now; the malicious P_l mimics the initial state σ_0
+		// its stale prinit replies would have shown.
+		rdl = r.sim.Spawn(fmt.Sprintf("rd%d", l), types.Reader(l), checker.OpRead, types.Bottom,
+			h.victim.ReadOp(h.th))
+		for _, sid := range h.part.Union(h.part.Parity(l)) {
+			r.sim.Restore(sid, h.sigma[0][sid])
+		}
+	}
+	if variant == variantDeltaK {
+		// {B_{k−1}, C_{k−1}} fabricate σʳ_{k−1}: the state B_{k−1} had in
+		// pr_k after the write's first (partial) round — write data that
+		// was never written in this run.
+		for _, sid := range h.part.Objects(quorum.B(h.k - 1)) {
+			r.sim.Restore(sid, h.sigma[1][sid])
+		}
+	}
+	if err := h.completeRound1(r, rdl, l, variant == variantPRC); err != nil {
+		return nil, fmt.Errorf("lowerbound: %s: %w", name, err)
+	}
+	if variant == variantPRC {
+		// Before round 2, P_l forges σ*_{k−l}: the state it genuinely has
+		// in pr_l, one write round behind its state here.
+		for _, sid := range h.part.Union(h.part.Parity(l)) {
+			r.sim.Restore(sid, h.sigma[h.k-l][sid])
+		}
+	}
+	r.sim.Step(rdl, h.rnd12Recipients(l)...)
+	if _, seq, ok := rdl.CurrentRound(); !ok || seq != 3 {
+		if !rdl.Done() {
+			return nil, fmt.Errorf("lowerbound: %s: rd%d round 2 did not terminate", name, l)
+		}
+	}
+	r.sim.Step(rdl, h.rnd3Recipients(l)...)
+	if !rdl.Done() {
+		return nil, fmt.Errorf("lowerbound: %s: rd%d did not complete in three rounds", name, l)
+	}
+	r.appendedObs = rdl.Observations()
+	v, err := rdl.Result()
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %s: rd%d failed: %w", name, l, err)
+	}
+	r.appendedVal = v
+	h.renderWB(r)
+	return r, nil
+}
+
+// completeRound1 terminates rd_m's first round: fresh requests go to the
+// round's recipients (minus the parity superblock whose stale prinit
+// replies are already in transit, unless freshPm), then every recipient's
+// reply is delivered.
+func (h *wbHarness) completeRound1(r *run, rd *sim.Op, m int, freshPm bool) error {
+	recipients := h.rnd12Recipients(m)
+	fresh := recipients
+	if !freshPm {
+		fresh = h.minus(recipients, h.part.Parity(m))
+	}
+	r.sim.DeliverRequests(rd, fresh...)
+	r.sim.DeliverReplies(rd, recipients...)
+	if _, seq, ok := rd.CurrentRound(); !ok || seq != 2 {
+		return fmt.Errorf("rd%d round 1 did not terminate on its %d-object pattern", m, len(recipients))
+	}
+	return nil
+}
+
+// restoreBeforeRead applies the proof's forging schedule before the
+// incomplete read rd_m is serviced: B_0 forges the complete-write state σ_k
+// before replying to rd_1, and {B_{m−1}, C_{m−1}} forge σʳ_{m−1} (which for
+// query-only victims is the write-round state σ_{k−m+1}) before replying to
+// rd_m. In the terminal run these restores ARE the fabrication of a write
+// that never happened.
+func (h *wbHarness) restoreBeforeRead(r *run, m int, variant wbVariant) {
+	if m == 1 {
+		for _, sid := range h.part.Objects(quorum.B(0)) {
+			r.sim.Restore(sid, h.sigma[h.k][sid])
+		}
+		return
+	}
+	for _, sid := range h.part.Objects(quorum.B(m - 1)) {
+		r.sim.Restore(sid, h.sigma[h.k-m+1][sid])
+	}
+}
+
+// markByz marks the run's malicious superblocks.
+func (h *wbHarness) markByz(r *run, l int, variant wbVariant) {
+	mal := func(idx int) []quorum.BlockName {
+		if idx < -1 {
+			idx = -1
+		}
+		return h.part.Malicious(idx)
+	}
+	var blocks []quorum.BlockName
+	switch variant {
+	case variantPR:
+		blocks = mal(l - 2)
+	case variantPRC:
+		blocks = append(mal(l-3), h.part.Parity(l)...)
+	case variantDeltaK:
+		blocks = mal(h.k - 1)
+	}
+	for _, sid := range h.part.Union(blocks) {
+		r.sim.SetByzantine(sid, nil)
+	}
+}
+
+// renderWB renders the Figure 2 style block diagram.
+func (h *wbHarness) renderWB(r *run) {
+	if !h.wb.Render {
+		return
+	}
+	var rows []string
+	blocks := map[string][]int{}
+	for _, name := range h.part.BlockNames() {
+		rows = append(rows, name.String())
+		blocks[name.String()] = h.part.Objects(name)
+	}
+	r.diagram = r.trace.BlockDiagram(rows, blocks)
+}

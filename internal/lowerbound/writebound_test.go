@@ -1,0 +1,114 @@
+package lowerbound
+
+import (
+	"strings"
+	"testing"
+
+	"robustatomic/internal/recurrence"
+)
+
+func TestWriteBoundK2(t *testing.T) {
+	wb := &WriteBound{K: 2, Render: true}
+	out, err := wb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	t.Logf("k=2 (t=%d, S=%d): violation in %s: %v (checks: %d)",
+		TMin(2), 3*TMin(2)+1, out.Run, out.Violation, out.IndistinguishabilityChecks)
+}
+
+func TestWriteBoundK3(t *testing.T) {
+	wb := &WriteBound{K: 3}
+	out, err := wb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	t.Logf("k=3 (t=%d, S=%d): violation in %s: %v", TMin(3), 3*TMin(3)+1, out.Run, out.Violation)
+}
+
+func TestWriteBoundK4PaperInstance(t *testing.T) {
+	// The paper's Figure 2 instance: k = 4, t_4 = 10, S = 31.
+	if TMin(4) != 10 {
+		t.Fatalf("t_4 = %d, want 10", TMin(4))
+	}
+	wb := &WriteBound{K: 4, Render: true}
+	out, err := wb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	t.Logf("k=4: violation in %s after %d indistinguishability checks", out.Run, out.IndistinguishabilityChecks)
+	if len(out.Reports) == 0 || out.Reports[0].Diagram == "" {
+		t.Error("diagrams not rendered")
+	}
+}
+
+func TestWriteBoundGullible(t *testing.T) {
+	wb := &WriteBound{K: 2, Victim: FixedVictim{K: 2, R: 3, Gullible: true}}
+	out, err := wb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	t.Logf("gullible: violation in %s: %v", out.Run, out.Violation)
+}
+
+func TestWriteBoundScaled(t *testing.T) {
+	// Proposition 2 generalization: every block ×2 gives S = 3t + ⌊t/t_k⌋
+	// with t = 2·t_k.
+	wb := &WriteBound{K: 2, Scale: 2}
+	out, err := wb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("no violation found at scale 2")
+	}
+	t.Logf("scaled: violation in %s", out.Run)
+}
+
+func TestWriteBoundRejects(t *testing.T) {
+	if _, err := (&WriteBound{K: 1}).Run(); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := (&WriteBound{K: 2, Victim: FixedVictim{K: 2, R: 2}}).Run(); err == nil {
+		t.Error("2-round-read victim accepted by Lemma 1 harness")
+	}
+	if _, err := (&WriteBound{K: 2, Victim: FixedVictim{K: 3, R: 3}}).Run(); err == nil {
+		t.Error("write-round mismatch accepted")
+	}
+}
+
+func TestWriteBoundMatchesRecurrence(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		if got, want := TMin(k), recurrence.T(k); got != want {
+			t.Errorf("TMin(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestWriteBoundDiagramShowsBlocks(t *testing.T) {
+	wb := &WriteBound{K: 2, Render: true}
+	out, err := wb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range out.Reports {
+		if rep.Diagram == "" {
+			continue
+		}
+		if !strings.Contains(rep.Diagram, "B0") || !strings.Contains(rep.Diagram, "C2") {
+			t.Fatalf("diagram of %s missing rows:\n%s", rep.Name, rep.Diagram)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package proto defines the client-side round abstraction shared by every
+// protocol implementation and every runtime (deterministic simulator, live
+// goroutine runtime, TCP transport).
+//
+// A round follows Definition 1 of the paper: the client sends a message to
+// all objects, objects reply immediately, and the round terminates when the
+// client has received a "sufficient" set of replies. Sufficiency is the
+// adaptive predicate Accumulator.Done: a round may terminate missing an
+// object's reply only if that object is faulty in some indistinguishable
+// run, and conversely must terminate once every correct object has replied
+// (the runtimes' liveness detectors enforce the latter).
+package proto
+
+import "robustatomic/internal/types"
+
+// Accumulator integrates the replies of one round and decides termination.
+// Implementations must be monotone: once Done returns true it must keep
+// returning true as further replies are added. Monotonicity makes
+// multiplexed rounds (several register instances sharing a physical round)
+// sound.
+type Accumulator interface {
+	// Add integrates the reply of object sid (1-based). Duplicate deliveries
+	// from the same object must be idempotent.
+	Add(sid int, m types.Message)
+	// Done reports whether the round may terminate.
+	Done() bool
+}
+
+// RoundSpec describes one communication round.
+type RoundSpec struct {
+	// Label names the round for traces and diagrams (e.g. "PREWRITE").
+	Label string
+	// Req builds the request for object sid. Runtimes stamp Seq themselves.
+	Req func(sid int) types.Message
+	// Acc receives replies and decides termination.
+	Acc Accumulator
+}
+
+// Rounder executes rounds on behalf of a client. Implementations:
+// sim.Client (deterministic, adversary-scheduled), live.Client (goroutines
+// and channels) and tcpnet.Client (real sockets).
+type Rounder interface {
+	// Round runs one communication round to completion. It returns an error
+	// if the client crashed or the runtime shut down; protocols must
+	// propagate it.
+	Round(spec RoundSpec) error
+	// NumServers returns S, the number of storage objects.
+	NumServers() int
+}
+
+// CountAcc is the simplest accumulator: done after replies from n distinct
+// objects, optionally filtered by a predicate.
+type CountAcc struct {
+	Need   int
+	Filter func(sid int, m types.Message) bool // nil accepts everything
+	seen   map[int]bool
+}
+
+// NewCountAcc returns a CountAcc waiting for need distinct accepted replies.
+func NewCountAcc(need int, filter func(int, types.Message) bool) *CountAcc {
+	return &CountAcc{Need: need, Filter: filter, seen: make(map[int]bool, need)}
+}
+
+// Add implements Accumulator.
+func (a *CountAcc) Add(sid int, m types.Message) {
+	if a.Filter != nil && !a.Filter(sid, m) {
+		return
+	}
+	a.seen[sid] = true
+}
+
+// Done implements Accumulator.
+func (a *CountAcc) Done() bool { return len(a.seen) >= a.Need }
+
+// Count returns the number of accepted distinct repliers so far.
+func (a *CountAcc) Count() int { return len(a.seen) }
+
+// AckAcc waits for n MsgAck replies.
+func AckAcc(need int) *CountAcc {
+	return NewCountAcc(need, func(_ int, m types.Message) bool { return m.Kind == types.MsgAck })
+}
+
+var _ Accumulator = (*CountAcc)(nil)

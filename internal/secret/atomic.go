@@ -1,0 +1,154 @@
+package secret
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustatomic/internal/core"
+	"robustatomic/internal/proto"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/regular"
+	"robustatomic/internal/types"
+)
+
+// AtomicWriter is the secret-model atomic register's writer: identical to
+// the unauthenticated one except every write phase carries a fresh token.
+// 2 rounds per write.
+type AtomicWriter struct {
+	inner *Writer
+}
+
+// NewAtomicWriter returns the writer handle.
+func NewAtomicWriter(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand) *AtomicWriter {
+	return NewAtomicWriterAt(r, th, rng, 0)
+}
+
+// NewAtomicWriterAt resumes from a known last timestamp.
+func NewAtomicWriterAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, lastTS int64) *AtomicWriter {
+	return &AtomicWriter{inner: NewWriterAt(r, th, rng, lastTS)}
+}
+
+// Write stores v (2 rounds).
+func (w *AtomicWriter) Write(v types.Value) error { return w.inner.Write(v) }
+
+// LastTS returns the timestamp of the last completed write.
+func (w *AtomicWriter) LastTS() int64 { return w.inner.LastTS() }
+
+// AtomicReader performs 3-round atomic reads in contention-free executions
+// (the [DMSS09]-model optimum the paper cites in Section 5), degrading to 4
+// rounds under read/write contention: one multiplexed fast-path query round
+// over the R+1 registers, an extra decision round only if some register
+// could not decide fast, then the 2-round write-back into the reader's own
+// register.
+type AtomicReader struct {
+	rounder proto.Rounder
+	th      quorum.Thresholds
+	idx     int
+	readers int
+	seq     int64
+	rng     *rand.Rand
+	// FastPath reports whether the last read skipped the decision round.
+	FastPath bool
+}
+
+// NewAtomicReader returns the handle of reader idx out of `readers`.
+func NewAtomicReader(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, idx, readers int) *AtomicReader {
+	return NewAtomicReaderAt(r, th, rng, idx, readers, 0)
+}
+
+// NewAtomicReaderAt resumes the reader's write-back register from a known
+// internal sequence number.
+func NewAtomicReaderAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, idx, readers int, seq int64) *AtomicReader {
+	if idx < 1 || idx > readers {
+		panic(fmt.Sprintf("secret: reader index %d out of 1..%d", idx, readers))
+	}
+	return &AtomicReader{rounder: r, th: th, rng: rng, idx: idx, readers: readers, seq: seq}
+}
+
+// Seq returns the reader's current write-back sequence number.
+func (r *AtomicReader) Seq() int64 { return r.seq }
+
+// Read performs the atomic read.
+func (r *AtomicReader) Read() (types.Value, error) {
+	p, err := r.ReadPair()
+	return p.Val, err
+}
+
+// ReadPair performs the atomic read, returning the chosen pair.
+func (r *AtomicReader) ReadPair() (types.Pair, error) {
+	regs := make([]types.RegID, 0, r.readers+1)
+	regs = append(regs, types.WriterReg)
+	for i := 1; i <= r.readers; i++ {
+		regs = append(regs, types.ReaderReg(i))
+	}
+
+	// Physical round 1: fast-path query of every register.
+	fasts := make([]*FastAcc, len(regs))
+	parts := make([]core.MuxPart, len(regs))
+	for i, reg := range regs {
+		fasts[i] = NewFastAcc(r.th)
+		parts[i] = core.MuxPart{
+			Reg: reg,
+			Req: func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
+			Acc: fasts[i],
+		}
+	}
+	if err := r.rounder.Round(core.MuxRound("SAREAD1", parts)); err != nil {
+		return types.Pair{}, fmt.Errorf("secret: read round 1: %w", err)
+	}
+
+	choices := make([]types.Pair, len(regs))
+	var slowParts []core.MuxPart
+	var slowAccs []*regular.DecideAcc
+	var slowIdx []int
+	for i := range regs {
+		if p, ok := fasts[i].Fast(); ok {
+			choices[i] = p
+			continue
+		}
+		acc := regular.NewDecideAcc(r.th, fasts[i].Replies)
+		slowAccs = append(slowAccs, acc)
+		slowIdx = append(slowIdx, i)
+		slowParts = append(slowParts, core.MuxPart{
+			Reg: regs[i],
+			Req: func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
+			Acc: acc,
+		})
+	}
+	r.FastPath = len(slowParts) == 0
+	if !r.FastPath {
+		// Physical round 2 (slow path only): decision round for the
+		// registers that could not decide fast.
+		if err := r.rounder.Round(core.MuxRound("SAREAD2", slowParts)); err != nil {
+			return types.Pair{}, fmt.Errorf("secret: read round 2: %w", err)
+		}
+		for j, acc := range slowAccs {
+			choices[slowIdx[j]] = acc.Choice()
+		}
+	}
+
+	best := choices[0]
+	for i := 1; i < len(regs); i++ {
+		p, err := core.DecodePair(choices[i].Val)
+		if err != nil {
+			return types.Pair{}, fmt.Errorf("secret: write-back register %v: %w", regs[i], err)
+		}
+		best = types.MaxPair(best, p)
+	}
+
+	// Final two physical rounds: token-carrying write-back into the
+	// reader's own register.
+	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), r.seq)
+	wb.NextToken = func() types.Token {
+		for {
+			if tok := types.Token(r.rng.Uint64()); tok != 0 {
+				return tok
+			}
+		}
+	}
+	if err := wb.WritePair(types.Pair{TS: r.seq + 1, Val: core.EncodePair(best)}); err != nil {
+		return types.Pair{}, fmt.Errorf("secret: write-back: %w", err)
+	}
+	r.seq++
+	return best, nil
+}

@@ -1,0 +1,188 @@
+// Package server implements the storage-object automaton of the paper's
+// model: a passive process that replies to client messages and never
+// initiates communication, plus the Byzantine behaviors used for fault
+// injection and for the lower-bound adversaries.
+//
+// One Store hosts any number of register instances (multiplexed by RegID),
+// which is what the regular→atomic transformation of Section 5 needs: the
+// writer's register and the R per-reader write-back registers live on the
+// same S physical objects and share physical communication rounds.
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"robustatomic/internal/types"
+)
+
+// Automaton is a storage object's state machine. Handle processes one client
+// message and returns the reply (objects reply to each message before
+// receiving any other message, per the round model). Snapshot and Restore
+// expose the full state — the lower-bound adversaries "forge the state to σ"
+// by restoring snapshots taken at earlier points of a run.
+type Automaton interface {
+	Handle(from types.ProcID, m types.Message) types.Message
+	Snapshot() ([]byte, error)
+	Restore(snap []byte) error
+}
+
+// RegState is the per-register state of a storage object in the regular
+// register protocol: the pre-written pair pw, the written pair w, and the
+// secret tokens received with each (zero outside the [DMSS09] model).
+type RegState struct {
+	PW      types.Pair
+	W       types.Pair
+	TokenPW types.Token
+	TokenW  types.Token
+}
+
+// Store is the storage object automaton. The zero value is not usable; use
+// NewStore. It is not safe for concurrent use; runtimes serialize access
+// (the model's objects process one message at a time).
+type Store struct {
+	regs map[types.RegID]*RegState
+}
+
+// NewStore returns an empty storage object.
+func NewStore() *Store {
+	return &Store{regs: make(map[types.RegID]*RegState)}
+}
+
+var _ Automaton = (*Store)(nil)
+
+// reg returns the state of register id, creating it on first touch.
+func (s *Store) reg(id types.RegID) *RegState {
+	st, ok := s.regs[id]
+	if !ok {
+		st = &RegState{}
+		s.regs[id] = st
+	}
+	return st
+}
+
+// Reg returns a copy of register id's current state (for tests and
+// assertions).
+func (s *Store) Reg(id types.RegID) RegState { return *s.reg(id) }
+
+// Handle implements Automaton.
+func (s *Store) Handle(from types.ProcID, m types.Message) types.Message {
+	reply := s.handle(from, m, types.WriterReg)
+	reply.Seq = m.Seq
+	return reply
+}
+
+// handle dispatches one (possibly nested) message against register reg;
+// top-level non-mux messages address the writer's register.
+func (s *Store) handle(from types.ProcID, m types.Message, def types.RegID) types.Message {
+	switch m.Kind {
+	case types.MsgMux:
+		out := types.Message{Kind: types.MsgMux, Sub: make([]types.SubMsg, len(m.Sub))}
+		for i, sub := range m.Sub {
+			out.Sub[i] = types.SubMsg{Reg: sub.Reg, Msg: s.handleReg(from, sub.Msg, sub.Reg)}
+		}
+		return out
+	default:
+		return s.handleReg(from, m, def)
+	}
+}
+
+// handleReg processes a register-level message.
+func (s *Store) handleReg(from types.ProcID, m types.Message, id types.RegID) types.Message {
+	st := s.reg(id)
+	switch m.Kind {
+	case types.MsgPreWrite:
+		if st.PW.Less(m.Pair) {
+			st.PW = m.Pair
+			st.TokenPW = m.Token
+		}
+		return types.Message{Kind: types.MsgAck}
+	case types.MsgWrite, types.MsgWriteBack:
+		if st.W.Less(m.Pair) {
+			st.W = m.Pair
+			st.TokenW = m.Token
+		}
+		return types.Message{Kind: types.MsgAck}
+	case types.MsgRead1:
+		return types.Message{
+			Kind:    types.MsgState,
+			PW:      st.PW,
+			W:       st.W,
+			TokenPW: st.TokenPW,
+			Token:   st.TokenW,
+		}
+	case types.MsgABDQuery:
+		return types.Message{Kind: types.MsgABDVal, Pair: st.W}
+	case types.MsgABDStore:
+		if st.W.Less(m.Pair) {
+			st.W = m.Pair
+		}
+		return types.Message{Kind: types.MsgAck}
+	case types.MsgConfirm:
+		// Vouch for a pair the object has seen at or above the queried
+		// timestamp in its written state.
+		if st.W == m.Pair || st.PW == m.Pair {
+			return types.Message{Kind: types.MsgAck, Pair: m.Pair}
+		}
+		return types.Message{Kind: types.MsgState, PW: st.PW, W: st.W}
+	default:
+		return types.Message{Kind: types.MsgState, PW: st.PW, W: st.W}
+	}
+}
+
+// storeSnapshot is the gob wire form of a Store.
+type storeSnapshot struct {
+	IDs    []types.RegID
+	States []RegState
+}
+
+// Snapshot implements Automaton.
+func (s *Store) Snapshot() ([]byte, error) {
+	snap := storeSnapshot{}
+	ids := make([]types.RegID, 0, len(s.regs))
+	for id := range s.regs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Idx < b.Idx
+	})
+	for _, id := range ids {
+		snap.IDs = append(snap.IDs, id)
+		snap.States = append(snap.States, *s.regs[id])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("server: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Automaton.
+func (s *Store) Restore(b []byte) error {
+	var snap storeSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
+		return fmt.Errorf("server: restore: %w", err)
+	}
+	s.regs = make(map[types.RegID]*RegState, len(snap.IDs))
+	for i, id := range snap.IDs {
+		st := snap.States[i]
+		s.regs[id] = &st
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for id, st := range s.regs {
+		cp := *st
+		out.regs[id] = &cp
+	}
+	return out
+}

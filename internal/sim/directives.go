@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustatomic/internal/server"
+)
+
+// DeliverRequests delivers every queued (undelivered) request from op to the
+// given objects, oldest first, honoring the model's FIFO rule: an object
+// processes a pending earlier-round invocation before a later one. Each
+// delivered request is processed immediately by the object, whose reply (if
+// any — Byzantine objects may withhold) enters the reply transit queue.
+func (s *Sim) DeliverRequests(op *Op, sids ...int) {
+	for _, sid := range sids {
+		sl := s.slotFor(sid)
+		queue := op.pendingReq[sid]
+		op.pendingReq[sid] = nil
+		for _, tm := range queue {
+			behavior := server.Behavior(server.Honest{})
+			if sl.byz && sl.behavior != nil {
+				behavior = sl.behavior
+			}
+			reply, ok := behavior.Reply(sl.store, op.Client, tm.msg)
+			late := op.cur == nil || tm.seq != op.cur.seq
+			s.trace(TraceEvent{Op: op.Label, Round: tm.seq, Server: sid, Kind: TraceRequest, Byz: sl.byz, Late: late})
+			if ok {
+				reply.Seq = tm.msg.Seq
+				op.pendingRep[sid] = append(op.pendingRep[sid], transitMsg{seq: tm.seq, msg: reply})
+			}
+		}
+	}
+}
+
+// DeliverReplies delivers every in-transit reply from the given objects to
+// op, oldest first. Replies for the current round feed its accumulator;
+// replies from already-terminated rounds are received and ignored (the
+// model's "late replies"). If, after the directive, the current round's
+// accumulator is satisfied, the round terminates and the client resumes
+// (running until it posts its next round or completes).
+func (s *Sim) DeliverReplies(op *Op, sids ...int) {
+	for _, sid := range sids {
+		queue := op.pendingRep[sid]
+		op.pendingRep[sid] = nil
+		for _, tm := range queue {
+			op.observed = append(op.observed, Observed{Server: sid, Seq: tm.seq, Msg: tm.msg})
+			late := op.cur == nil || tm.seq != op.cur.seq
+			s.trace(TraceEvent{Op: op.Label, Round: tm.seq, Server: sid, Kind: TraceReply, Byz: s.slotFor(sid).byz, Late: late})
+			if !late && !op.cur.finished {
+				op.cur.spec.Acc.Add(sid, tm.msg)
+			}
+		}
+	}
+	s.maybeFinishRound(op)
+}
+
+// maybeFinishRound terminates the current round if its accumulator is
+// satisfied, resuming the client.
+func (s *Sim) maybeFinishRound(op *Op) {
+	if op.cur == nil || op.cur.finished || !op.cur.spec.Acc.Done() {
+		return
+	}
+	op.cur.finished = true
+	op.rounds++
+	s.resume(op, nil)
+}
+
+// Step delivers requests then replies for op at the given objects.
+func (s *Sim) Step(op *Op, sids ...int) {
+	s.DeliverRequests(op, sids...)
+	s.DeliverReplies(op, sids...)
+}
+
+// allServers returns 1..S.
+func (s *Sim) allServers() []int {
+	out := make([]int, s.NumServers())
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// StepAll delivers requests and replies for op at every object.
+func (s *Sim) StepAll(op *Op) { s.Step(op, s.allServers()...) }
+
+// Crash crashes the client executing op: if a round is pending it fails with
+// ErrCrashed and the operation is marked done. Its invocation stays pending
+// in the history (a crashed client's operation never responds).
+func (s *Sim) Crash(op *Op) {
+	if op.done {
+		return
+	}
+	op.crashed = true
+	if op.cur != nil {
+		op.cur.finished = true
+		s.resume(op, ErrCrashed)
+	}
+	// The client may ignore ErrCrashed and try more rounds; drain until it
+	// gives up (Round returns ErrCrashed immediately once crashed).
+	for !op.done {
+		s.resume(op, ErrCrashed)
+	}
+}
+
+// LivenessError reports a wait-freedom violation: a round that cannot
+// terminate even though every correct object's reply has been delivered.
+type LivenessError struct {
+	Op    string
+	Round string
+	Seq   int
+}
+
+// Error implements the error interface.
+func (e *LivenessError) Error() string {
+	return fmt.Sprintf("sim: wait-freedom violated: op %s round %q (#%d) cannot terminate on all correct replies", e.Op, e.Round, e.Seq)
+}
+
+// CheckLiveness delivers all requests and replies from every correct
+// (non-Byzantine) object and fails if the current round still cannot
+// terminate — the situation the paper's Definition 1 forbids: a round may
+// only keep waiting for objects that are faulty in some indistinguishable
+// run, and here all potentially-correct replies are in.
+func (s *Sim) CheckLiveness(op *Op) error {
+	if op.done || op.cur == nil {
+		return nil
+	}
+	var correct []int
+	for _, sl := range s.slots {
+		if !sl.byz {
+			correct = append(correct, sl.id)
+		}
+	}
+	entry := op.cur
+	s.Step(op, correct...)
+	if !entry.finished {
+		return &LivenessError{Op: op.Label, Round: entry.spec.Label, Seq: entry.seq}
+	}
+	return nil
+}
+
+// RunOp drives op to completion by repeatedly delivering everything from
+// every object. It returns a LivenessError if the operation stops making
+// progress (its round cannot terminate even with every object's reply).
+func (s *Sim) RunOp(op *Op) error {
+	for !op.done {
+		before := op.seq
+		s.StepAll(op)
+		if op.done {
+			break
+		}
+		if op.seq == before && op.cur != nil && !op.cur.finished {
+			// No new round started and the current one cannot finish even
+			// though everything deliverable was delivered.
+			label, seq, _ := op.CurrentRound()
+			return &LivenessError{Op: op.Label, Round: label, Seq: seq}
+		}
+	}
+	return nil
+}
+
+// RunConcurrent drives the given operations to completion under a seeded
+// uniformly random schedule: at each step one deliverable (op, object,
+// request|reply) event is chosen at random and delivered. It returns a
+// LivenessError if pending operations stop making progress.
+func (s *Sim) RunConcurrent(seed int64, ops ...*Op) error {
+	rng := rand.New(rand.NewSource(seed))
+	type event struct {
+		op  *Op
+		sid int
+		req bool
+	}
+	for {
+		var events []event
+		anyPending := false
+		for _, op := range ops {
+			if op.done {
+				continue
+			}
+			anyPending = true
+			for sid := 1; sid <= s.NumServers(); sid++ {
+				if len(op.pendingReq[sid]) > 0 {
+					events = append(events, event{op: op, sid: sid, req: true})
+				}
+				if len(op.pendingRep[sid]) > 0 {
+					events = append(events, event{op: op, sid: sid, req: false})
+				}
+			}
+		}
+		if !anyPending {
+			return nil
+		}
+		if len(events) == 0 {
+			for _, op := range ops {
+				if !op.done {
+					label, seq, _ := op.CurrentRound()
+					return &LivenessError{Op: op.Label, Round: label, Seq: seq}
+				}
+			}
+			return nil
+		}
+		ev := events[rng.Intn(len(events))]
+		if ev.req {
+			q := ev.op.pendingReq[ev.sid]
+			ev.op.pendingReq[ev.sid] = q[1:]
+			s.deliverOneRequest(ev.op, ev.sid, q[0])
+		} else {
+			q := ev.op.pendingRep[ev.sid]
+			ev.op.pendingRep[ev.sid] = q[1:]
+			s.deliverOneReply(ev.op, ev.sid, q[0])
+		}
+	}
+}
+
+// deliverOneRequest delivers a single request message to an object.
+func (s *Sim) deliverOneRequest(op *Op, sid int, tm transitMsg) {
+	sl := s.slotFor(sid)
+	behavior := server.Behavior(server.Honest{})
+	if sl.byz && sl.behavior != nil {
+		behavior = sl.behavior
+	}
+	reply, ok := behavior.Reply(sl.store, op.Client, tm.msg)
+	late := op.cur == nil || tm.seq != op.cur.seq
+	s.trace(TraceEvent{Op: op.Label, Round: tm.seq, Server: sid, Kind: TraceRequest, Byz: sl.byz, Late: late})
+	if ok {
+		reply.Seq = tm.msg.Seq
+		op.pendingRep[sid] = append(op.pendingRep[sid], transitMsg{seq: tm.seq, msg: reply})
+	}
+}
+
+// deliverOneReply delivers a single reply message to the client, finishing
+// the round if its accumulator is now satisfied.
+func (s *Sim) deliverOneReply(op *Op, sid int, tm transitMsg) {
+	op.observed = append(op.observed, Observed{Server: sid, Seq: tm.seq, Msg: tm.msg})
+	late := op.cur == nil || tm.seq != op.cur.seq
+	s.trace(TraceEvent{Op: op.Label, Round: tm.seq, Server: sid, Kind: TraceReply, Byz: s.slotFor(sid).byz, Late: late})
+	if !late && !op.cur.finished {
+		op.cur.spec.Acc.Add(sid, tm.msg)
+	}
+	s.maybeFinishRound(op)
+}

@@ -1,0 +1,347 @@
+// Package sim is a deterministic message-passing simulator for the paper's
+// system model (Section 2): clients (one writer, R readers) exchange
+// request/reply messages with S storage objects over reliable FIFO
+// point-to-point channels; objects reply to each message before receiving
+// any other; up to t objects are Byzantine; clients fail by crashing.
+//
+// Client operations run in goroutines, but every scheduling decision —
+// which requests and replies are delivered, in what order, which objects
+// turn Byzantine, which states get forged — is made by the single driver
+// goroutine through explicit directives, so every run is fully
+// deterministic and replayable. This is the substrate on which the paper's
+// lower-bound constructions (Figures 1 and 2) execute, and on which the
+// protocol implementations are model-checked against adversarial and
+// randomized schedules.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/proto"
+	"robustatomic/internal/server"
+	"robustatomic/internal/types"
+)
+
+// actionTimeout bounds every rendezvous with a client goroutine; exceeding
+// it means a harness bug (a protocol that blocks outside Round), and the
+// simulator panics with a diagnostic rather than deadlocking the test.
+const actionTimeout = 30 * time.Second
+
+// ErrCrashed is returned from Client.Round when the driver crashed the
+// operation; protocols must propagate it.
+var ErrCrashed = errors.New("sim: client crashed")
+
+// Config configures a simulation instance.
+type Config struct {
+	// Servers is S, the number of storage objects (ids 1..S).
+	Servers int
+	// History, when non-nil, records operation invocations/responses for
+	// the checkers.
+	History *checker.History
+	// Trace, when non-nil, records delivery events for diagram rendering.
+	Trace *Trace
+}
+
+// Sim is one simulated execution (a partial run under construction).
+type Sim struct {
+	cfg   Config
+	slots []*slot
+	ops   []*Op
+	wg    sync.WaitGroup
+}
+
+// slot is the simulator-side wrapper of one storage object.
+type slot struct {
+	id       int
+	store    *server.Store
+	byz      bool
+	behavior server.Behavior
+}
+
+// New creates a simulation with cfg.Servers correct, empty storage objects.
+func New(cfg Config) *Sim {
+	if cfg.Servers <= 0 {
+		panic(fmt.Sprintf("sim: need at least one server, got %d", cfg.Servers))
+	}
+	s := &Sim{cfg: cfg}
+	s.slots = make([]*slot, cfg.Servers)
+	for i := range s.slots {
+		s.slots[i] = &slot{id: i + 1, store: server.NewStore()}
+	}
+	return s
+}
+
+// NumServers returns S.
+func (s *Sim) NumServers() int { return len(s.slots) }
+
+// slotFor returns the slot of object sid (1-based).
+func (s *Sim) slotFor(sid int) *slot {
+	if sid < 1 || sid > len(s.slots) {
+		panic(fmt.Sprintf("sim: server %d out of range 1..%d", sid, len(s.slots)))
+	}
+	return s.slots[sid-1]
+}
+
+// SetByzantine marks object sid Byzantine with the given behavior
+// (nil keeps the previous behavior, or Honest if none was set). Byzantine
+// objects are excluded from liveness accounting.
+func (s *Sim) SetByzantine(sid int, b server.Behavior) {
+	sl := s.slotFor(sid)
+	sl.byz = true
+	if b != nil {
+		sl.behavior = b
+	}
+	if sl.behavior == nil {
+		sl.behavior = server.Honest{}
+	}
+}
+
+// IsByzantine reports whether object sid is currently Byzantine.
+func (s *Sim) IsByzantine(sid int) bool { return s.slotFor(sid).byz }
+
+// Byzantines returns the ids of all currently Byzantine objects.
+func (s *Sim) Byzantines() []int {
+	var out []int
+	for _, sl := range s.slots {
+		if sl.byz {
+			out = append(out, sl.id)
+		}
+	}
+	return out
+}
+
+// Snapshot captures the full state of object sid. The lower-bound
+// adversaries snapshot block states σ_i at chosen points of a run.
+func (s *Sim) Snapshot(sid int) []byte {
+	snap, err := s.slotFor(sid).store.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("sim: snapshot of s%d: %v", sid, err))
+	}
+	return snap
+}
+
+// Restore forges the state of object sid to a previously captured snapshot
+// ("the objects forge their state to σ before replying"). The object keeps
+// evolving honestly from the forged state unless a behavior overrides it.
+func (s *Sim) Restore(sid int, snap []byte) {
+	if err := s.slotFor(sid).store.Restore(snap); err != nil {
+		panic(fmt.Sprintf("sim: restore of s%d: %v", sid, err))
+	}
+}
+
+// Store exposes object sid's automaton for white-box assertions in tests.
+func (s *Sim) Store(sid int) *server.Store { return s.slotFor(sid).store }
+
+// Close crashes every live operation and waits for all client goroutines to
+// exit. Always call it (usually via defer) to avoid leaking goroutines.
+func (s *Sim) Close() {
+	for _, op := range s.ops {
+		if !op.done {
+			s.Crash(op)
+		}
+	}
+	s.wg.Wait()
+}
+
+// --- Operations and the client rendezvous ----------------------------------
+
+// OpFunc is the body of a client operation; it issues rounds through the
+// Client and returns the operation's result.
+type OpFunc func(c *Client) (types.Value, error)
+
+type actionKind int
+
+const (
+	actionRound actionKind = iota + 1
+	actionDone
+)
+
+type action struct {
+	kind   actionKind
+	round  *pendingRound
+	result types.Value
+	err    error
+}
+
+// pendingRound is one in-flight communication round of an operation.
+type pendingRound struct {
+	spec     proto.RoundSpec
+	seq      int
+	reqs     map[int]types.Message
+	finished bool
+}
+
+// Observed is one reply as seen by a client, in delivery order. The
+// lower-bound harness compares Observed streams across paired runs to
+// verify the proofs' indistinguishability claims.
+type Observed struct {
+	Server int
+	Seq    int
+	Msg    types.Message
+}
+
+// Op is a client operation under simulation.
+type Op struct {
+	sim    *Sim
+	ID     int
+	Label  string
+	Client types.ProcID
+
+	kind   checker.OpKind
+	histID int
+
+	actionCh chan action
+	resumeCh chan error
+
+	cur      *pendingRound
+	seq      int
+	rounds   int
+	done     bool
+	crashed  bool
+	result   types.Value
+	err      error
+	observed []Observed
+
+	pendingReq map[int][]transitMsg // per server, FIFO
+	pendingRep map[int][]transitMsg // per server, FIFO
+}
+
+type transitMsg struct {
+	seq int
+	msg types.Message
+}
+
+// Client is the protocol-facing handle passed to OpFunc. It implements
+// proto.Rounder.
+type Client struct {
+	op *Op
+}
+
+var _ proto.Rounder = (*Client)(nil)
+
+// NumServers implements proto.Rounder.
+func (c *Client) NumServers() int { return c.op.sim.NumServers() }
+
+// Round implements proto.Rounder: it posts the round to the driver and
+// blocks until the driver completes it (or crashes the client).
+func (c *Client) Round(spec proto.RoundSpec) error {
+	op := c.op
+	if op.crashed {
+		return ErrCrashed
+	}
+	op.seq++
+	pr := &pendingRound{spec: spec, seq: op.seq, reqs: make(map[int]types.Message, op.sim.NumServers())}
+	for sid := 1; sid <= op.sim.NumServers(); sid++ {
+		m := spec.Req(sid)
+		m.Seq = pr.seq
+		pr.reqs[sid] = m
+	}
+	op.actionCh <- action{kind: actionRound, round: pr}
+	return <-op.resumeCh
+}
+
+// Spawn starts a client operation and blocks until it posts its first round
+// or completes. kind/arg feed the history checker (use checker.OpRead with
+// types.Bottom for reads).
+func (s *Sim) Spawn(label string, client types.ProcID, kind checker.OpKind, arg types.Value, fn OpFunc) *Op {
+	op := &Op{
+		sim:        s,
+		ID:         len(s.ops),
+		Label:      label,
+		Client:     client,
+		kind:       kind,
+		histID:     -1,
+		actionCh:   make(chan action),
+		resumeCh:   make(chan error),
+		pendingReq: make(map[int][]transitMsg),
+		pendingRep: make(map[int][]transitMsg),
+	}
+	if s.cfg.History != nil {
+		op.histID = s.cfg.History.Invoke(client, kind, arg)
+	}
+	s.ops = append(s.ops, op)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		v, err := fn(&Client{op: op})
+		op.actionCh <- action{kind: actionDone, result: v, err: err}
+	}()
+	s.waitAction(op)
+	return op
+}
+
+// waitAction blocks until op's goroutine posts its next action (a new round
+// or completion) and updates op state accordingly.
+func (s *Sim) waitAction(op *Op) {
+	select {
+	case a := <-op.actionCh:
+		switch a.kind {
+		case actionRound:
+			op.cur = a.round
+			// The client "sends messages to all objects": requests enter
+			// the per-server FIFO transit queues.
+			for sid := 1; sid <= s.NumServers(); sid++ {
+				op.pendingReq[sid] = append(op.pendingReq[sid], transitMsg{seq: a.round.seq, msg: a.round.reqs[sid]})
+			}
+		case actionDone:
+			op.cur = nil
+			op.done = true
+			op.result = a.result
+			op.err = a.err
+			if s.cfg.History != nil && op.histID >= 0 && a.err == nil {
+				s.cfg.History.Respond(op.histID, a.result)
+			}
+		}
+	case <-time.After(actionTimeout):
+		panic(fmt.Sprintf("sim: op %s (%s) stuck outside Round for %v — protocol bug", op.Label, op.Client, actionTimeout))
+	}
+}
+
+// resume hands the finished round back to the client and waits for its next
+// action.
+func (s *Sim) resume(op *Op, err error) {
+	select {
+	case op.resumeCh <- err:
+	case <-time.After(actionTimeout):
+		panic(fmt.Sprintf("sim: op %s not waiting for resume — driver bug", op.Label))
+	}
+	s.waitAction(op)
+}
+
+// Done reports whether the operation completed (including by crash).
+func (op *Op) Done() bool { return op.done }
+
+// Crashed reports whether the operation was crashed by the driver.
+func (op *Op) Crashed() bool { return op.crashed }
+
+// Result returns the operation's result once done.
+func (op *Op) Result() (types.Value, error) {
+	if !op.done {
+		return types.Bottom, fmt.Errorf("sim: op %s not done", op.Label)
+	}
+	return op.result, op.err
+}
+
+// Rounds returns the number of communication rounds the operation has
+// completed so far.
+func (op *Op) Rounds() int { return op.rounds }
+
+// CurrentRound returns the label and sequence number of the in-flight round.
+func (op *Op) CurrentRound() (label string, seq int, ok bool) {
+	if op.cur == nil {
+		return "", 0, false
+	}
+	return op.cur.spec.Label, op.cur.seq, true
+}
+
+// Observations returns the full reply stream the client has received, in
+// delivery order.
+func (op *Op) Observations() []Observed {
+	out := make([]Observed, len(op.observed))
+	copy(out, op.observed)
+	return out
+}

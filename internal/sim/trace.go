@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceRequest records an object receiving a round's request (and
+	// replying, per the model) — this is what the paper's block diagrams
+	// draw as a rectangle.
+	TraceRequest TraceKind = iota + 1
+	// TraceReply records the client receiving a reply.
+	TraceReply
+)
+
+// TraceEvent is one delivery event of a run.
+type TraceEvent struct {
+	Op     string
+	Round  int
+	Server int
+	Kind   TraceKind
+	Byz    bool // object was Byzantine at delivery time
+	Late   bool // delivered after the round had terminated (the paper's
+	// "late replies", not illustrated in its diagrams)
+}
+
+// Trace accumulates the delivery events of a run.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// trace appends an event if tracing is enabled.
+func (s *Sim) trace(ev TraceEvent) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Events = append(s.cfg.Trace.Events, ev)
+	}
+}
+
+// Received reports whether object sid received op's round-r request
+// on time (ignoring late catch-up deliveries).
+func (tr *Trace) Received(op string, round, sid int) bool {
+	for _, ev := range tr.Events {
+		if ev.Kind == TraceRequest && ev.Op == op && ev.Round == round && ev.Server == sid && !ev.Late {
+			return true
+		}
+	}
+	return false
+}
+
+// OpRounds returns the highest round number traced for op.
+func (tr *Trace) OpRounds(op string) int {
+	max := 0
+	for _, ev := range tr.Events {
+		if ev.Op == op && ev.Round > max {
+			max = ev.Round
+		}
+	}
+	return max
+}
+
+// Ops returns the distinct op labels in first-appearance order.
+func (tr *Trace) Ops() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, ev := range tr.Events {
+		if !seen[ev.Op] {
+			seen[ev.Op] = true
+			out = append(out, ev.Op)
+		}
+	}
+	return out
+}
+
+// BlockDiagram renders the run in the style of the paper's Figures 1 and 2:
+// one row per named block of objects, one column per (operation, round); a
+// filled cell means every object of the block received that round's message
+// (a rectangle in the paper), "@" marks blocks Byzantine at that point,
+// partial receipt renders as "▪".
+//
+// blocks maps display names (e.g. "B1", "C2") to object ids; rows lists the
+// display order.
+func (tr *Trace) BlockDiagram(rows []string, blocks map[string][]int) string {
+	type col struct {
+		op    string
+		round int
+	}
+	var cols []col
+	for _, op := range tr.Ops() {
+		for r := 1; r <= tr.OpRounds(op); r++ {
+			cols = append(cols, col{op: op, round: r})
+		}
+	}
+	byzAt := func(name string, c col) bool {
+		for _, sid := range blocks[name] {
+			for _, ev := range tr.Events {
+				if ev.Kind == TraceRequest && ev.Op == c.op && ev.Round == c.round && ev.Server == sid && ev.Byz {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var b strings.Builder
+	// Header: operation names spanning their rounds.
+	head := make([]string, len(cols))
+	for i, c := range cols {
+		if i == 0 || cols[i-1].op != c.op {
+			head[i] = c.op
+		}
+	}
+	fmt.Fprintf(&b, "%-5s", "")
+	for i, h := range head {
+		fmt.Fprintf(&b, "|%-8s", h)
+		_ = i
+	}
+	b.WriteString("|\n")
+	fmt.Fprintf(&b, "%-5s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "|rnd %-4d", c.round)
+	}
+	b.WriteString("|\n")
+	for _, name := range rows {
+		fmt.Fprintf(&b, "%-5s", name)
+		for _, c := range cols {
+			total, got := 0, 0
+			for _, sid := range blocks[name] {
+				total++
+				if tr.Received(c.op, c.round, sid) {
+					got++
+				}
+			}
+			byz := byzAt(name, c)
+			var cell string
+			switch {
+			case total == 0:
+				cell = "   --   "
+			case got == total && byz:
+				cell = " @████  "
+			case got == total:
+				cell = "  ████  "
+			case got > 0 && byz:
+				cell = " @▪▪    "
+			case got > 0:
+				cell = "  ▪▪    "
+			case byz:
+				cell = " @      "
+			default:
+				cell = "        "
+			}
+			b.WriteString("|" + cell)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

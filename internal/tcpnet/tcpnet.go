@@ -1,0 +1,241 @@
+// Package tcpnet runs the storage protocol over real TCP sockets: a Server
+// exposes one storage object on a listener, and a Client implements
+// proto.Rounder against a set of object addresses, so every register
+// implementation in the repository runs unchanged across machines
+// (cmd/storaged and cmd/storctl are the deployable binaries).
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/server"
+	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
+)
+
+// Server serves one storage object over TCP.
+type Server struct {
+	ID int
+
+	lis    net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	store    *server.Store
+	behavior server.Behavior
+}
+
+// NewServer starts serving object id on addr ("host:port"; ":0" picks a free
+// port — use Addr to discover it).
+func NewServer(id int, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{ID: id, lis: lis, ctx: ctx, cancel: cancel, store: server.NewStore()}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// SetBehavior injects a (Byzantine) behavior; nil restores honesty.
+func (s *Server) SetBehavior(b server.Behavior) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.behavior = b
+}
+
+// Close stops the server and waits for its connections to drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.lis.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	go func() {
+		<-s.ctx.Done()
+		conn.Close()
+	}()
+	dec := wire.NewDecoder(conn)
+	enc := wire.NewEncoder(conn)
+	for {
+		req, err := dec.DecodeRequest()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		b := s.behavior
+		if b == nil {
+			b = server.Honest{}
+		}
+		reply, ok := b.Reply(s.store, req.From, req.Msg)
+		s.mu.Unlock()
+		if !ok {
+			continue // withheld reply: the client sees silence
+		}
+		reply.Seq = req.Msg.Seq
+		if err := enc.Encode(wire.Response{Server: s.ID, Msg: reply}); err != nil {
+			return
+		}
+	}
+}
+
+// ErrRoundTimeout is returned when a round cannot gather sufficient replies.
+var ErrRoundTimeout = errors.New("tcpnet: round timed out")
+
+// Client executes protocol rounds against a set of object addresses
+// (addresses[i] serves object i+1). One Client serves one logical process;
+// operations are issued one at a time.
+type Client struct {
+	Proc         types.ProcID
+	RoundTimeout time.Duration // default 5s
+
+	addrs   []string
+	mu      sync.Mutex
+	conns   []*clientConn
+	replyCh chan wire.Response
+	seq     int
+	// Rounds counts completed rounds (instrumentation).
+	Rounds int
+}
+
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *wire.Encoder
+}
+
+// NewClient returns a round executor for proc against the given addresses.
+func NewClient(proc types.ProcID, addrs []string) *Client {
+	return &Client{
+		Proc:         proc,
+		RoundTimeout: 5 * time.Second,
+		addrs:        addrs,
+		conns:        make([]*clientConn, len(addrs)),
+		replyCh:      make(chan wire.Response, 4*len(addrs)+16),
+	}
+}
+
+var _ proto.Rounder = (*Client)(nil)
+
+// NumServers implements proto.Rounder.
+func (c *Client) NumServers() int { return len(c.addrs) }
+
+// Close tears down the client's connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		if cc != nil && cc.conn != nil {
+			cc.conn.Close()
+		}
+	}
+}
+
+// conn returns (dialing if needed) the pooled connection to object sid; a
+// reader goroutine pumps its responses into the client's reply channel.
+func (c *Client) conn(sid int) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc := c.conns[sid-1]; cc != nil && cc.conn != nil {
+		return cc, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addrs[sid-1], 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, err)
+	}
+	cc := &clientConn{conn: conn, enc: wire.NewEncoder(conn)}
+	c.conns[sid-1] = cc
+	go func() {
+		dec := wire.NewDecoder(conn)
+		for {
+			rsp, err := dec.DecodeResponse()
+			if err != nil {
+				return
+			}
+			select {
+			case c.replyCh <- rsp:
+			default:
+				// Client gone or drowning in late replies; drop.
+			}
+		}
+	}()
+	return cc, nil
+}
+
+// Round implements proto.Rounder.
+func (c *Client) Round(spec proto.RoundSpec) error {
+	c.seq++
+	seq := c.seq
+	for sid := 1; sid <= len(c.addrs); sid++ {
+		msg := spec.Req(sid)
+		msg.Seq = seq
+		cc, err := c.conn(sid)
+		if err != nil {
+			continue // unreachable object: counted as faulty
+		}
+		cc.mu.Lock()
+		err = cc.enc.Encode(wire.Request{From: c.Proc, Msg: msg})
+		cc.mu.Unlock()
+		if err != nil {
+			c.dropConn(sid)
+		}
+	}
+	timeout := c.RoundTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case rsp := <-c.replyCh:
+			if rsp.Msg.Seq != seq {
+				continue // late reply from an earlier round
+			}
+			spec.Acc.Add(rsp.Server, rsp.Msg)
+			if spec.Acc.Done() {
+				c.Rounds++
+				return nil
+			}
+		case <-deadline.C:
+			return fmt.Errorf("%w: %s", ErrRoundTimeout, spec.Label)
+		}
+	}
+}
+
+func (c *Client) dropConn(sid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc := c.conns[sid-1]; cc != nil && cc.conn != nil {
+		cc.conn.Close()
+		c.conns[sid-1] = nil
+	}
+}

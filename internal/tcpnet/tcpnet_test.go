@@ -1,0 +1,176 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/core"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/server"
+	"robustatomic/internal/types"
+)
+
+// startCluster launches n object servers on loopback.
+func startCluster(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	var servers []*Server
+	var addrs []string
+	for i := 1; i <= n; i++ {
+		s, err := NewServer(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	return servers, addrs
+}
+
+func TestTCPAtomicRegisterEndToEnd(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addrs := startCluster(t, 4)
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	w := core.NewWriter(wc, thr)
+	for i := 1; i <= 3; i++ {
+		if err := w.Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := NewClient(types.Reader(1), addrs)
+	defer rc.Close()
+	rd := core.NewReader(rc, thr, 1, 2)
+	v, err := rd.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "v3" {
+		t.Errorf("read = %q, want v3", v)
+	}
+	if rc.Rounds != 4 {
+		t.Errorf("read rounds = %d, want 4", rc.Rounds)
+	}
+}
+
+func TestTCPByzantineServer(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, addrs := startCluster(t, 4)
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	w := core.NewWriter(wc, thr)
+	if err := w.Write("a"); err != nil {
+		t.Fatal(err)
+	}
+	servers[0].SetBehavior(server.Garbage{Level: 777, Val: "evil"})
+	rc := NewClient(types.Reader(1), addrs)
+	defer rc.Close()
+	rd := core.NewReader(rc, thr, 1, 2)
+	v, err := rd.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "a" {
+		t.Errorf("read = %q despite one Byzantine server", v)
+	}
+}
+
+func TestTCPServerDownWithinBudget(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, addrs := startCluster(t, 4)
+	servers[3].Close() // one object crashes: within the t=1 budget
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	w := core.NewWriter(wc, thr)
+	if err := w.Write("a"); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewClient(types.Reader(1), addrs)
+	defer rc.Close()
+	rd := core.NewReader(rc, thr, 1, 2)
+	v, err := rd.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "a" {
+		t.Errorf("read = %q", v)
+	}
+}
+
+func TestTCPRoundTimeoutBeyondBudget(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, addrs := startCluster(t, 4)
+	servers[2].Close()
+	servers[3].Close() // two objects down: beyond the t=1 budget
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	wc.RoundTimeout = 200 * time.Millisecond
+	w := core.NewWriter(wc, thr)
+	if err := w.Write("a"); err == nil {
+		t.Fatal("write succeeded with 2 of 4 objects down")
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addrs := startCluster(t, 4)
+	h := &checker.History{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wc := NewClient(types.Writer, addrs)
+		defer wc.Close()
+		w := core.NewWriter(wc, thr)
+		for i := 1; i <= 4; i++ {
+			v := types.Value(fmt.Sprintf("v%d", i))
+			id := h.Invoke(types.Writer, checker.OpWrite, v)
+			if err := w.Write(v); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			h.Respond(id, types.Bottom)
+		}
+	}()
+	for r := 1; r <= 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rc := NewClient(types.Reader(r), addrs)
+			defer rc.Close()
+			rd := core.NewReader(rc, thr, r, 2)
+			for i := 0; i < 3; i++ {
+				id := h.Invoke(types.Reader(r), checker.OpRead, types.Bottom)
+				v, err := rd.Read()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				h.Respond(id, v)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := checker.CheckAtomic(h); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package types defines the shared vocabulary of the robust atomic storage
+// implementation: register values, timestamp-value pairs, process identities
+// and the wire message exchanged between clients and storage objects.
+//
+// The model follows Section 2 of "The Complexity of Robust Atomic Storage"
+// (Dobre, Guerraoui, Majuntke, Suri, Vukolić; PODC 2011): a single writer w,
+// readers r_1..r_R and storage objects s_1..s_S communicate over reliable
+// point-to-point channels. Objects only reply to client messages; clients
+// fail by crashing; up to t objects are Byzantine.
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is the register value domain. The initial register value is the
+// reserved Bottom value, which is not a valid input to a write operation
+// (Section 2.2 of the paper).
+type Value string
+
+// Bottom is the initial register value ⊥.
+const Bottom Value = ""
+
+// IsBottom reports whether v is the reserved initial value ⊥.
+func (v Value) IsBottom() bool { return v == Bottom }
+
+// String implements fmt.Stringer, rendering ⊥ visibly.
+func (v Value) String() string {
+	if v.IsBottom() {
+		return "⊥"
+	}
+	return string(v)
+}
+
+// Pair is a timestamp-value pair. Timestamps are assigned by the single
+// writer and are totally ordered; the pair with TS 0 is the initial pair
+// holding ⊥. Pair is comparable (usable as a map key), which the protocols
+// rely on for exact-match certification of genuinely written pairs.
+type Pair struct {
+	TS  int64
+	Val Value
+}
+
+// BottomPair is the initial register state (timestamp 0, value ⊥).
+var BottomPair = Pair{TS: 0, Val: Bottom}
+
+// Less orders pairs by timestamp. Values never disagree for equal timestamps
+// of genuine pairs because only the writer issues timestamps.
+func (p Pair) Less(q Pair) bool { return p.TS < q.TS }
+
+// IsBottom reports whether p is the initial pair.
+func (p Pair) IsBottom() bool { return p.TS == 0 }
+
+// String implements fmt.Stringer.
+func (p Pair) String() string {
+	return "(" + strconv.FormatInt(p.TS, 10) + "," + p.Val.String() + ")"
+}
+
+// MaxPair returns the pair with the larger timestamp.
+func MaxPair(a, b Pair) Pair {
+	if a.TS >= b.TS {
+		return a
+	}
+	return b
+}
+
+// Token is a secret value attached to write phases in the stronger model of
+// [DMSS09] (Section 5 of the paper). Tokens are unguessable nonces: a
+// Byzantine object can replay tokens it received but cannot fabricate ones it
+// has not seen. Token 0 means "no token" (unauthenticated model).
+type Token uint64
+
+// ProcKind distinguishes the three disjoint process sets of the model.
+type ProcKind int
+
+// Process kinds. Enums start at one so the zero ProcID is invalid.
+const (
+	KindWriter ProcKind = iota + 1
+	KindReader
+	KindServer
+)
+
+// String implements fmt.Stringer.
+func (k ProcKind) String() string {
+	switch k {
+	case KindWriter:
+		return "w"
+	case KindReader:
+		return "r"
+	case KindServer:
+		return "s"
+	default:
+		return "?"
+	}
+}
+
+// ProcID identifies a process. Writers are {KindWriter, 0}; readers are
+// {KindReader, i} with i ≥ 1; servers (storage objects) are {KindServer, i}
+// with i ≥ 1 matching the paper's s_1..s_S.
+type ProcID struct {
+	Kind ProcKind
+	Idx  int
+}
+
+// Writer is the identity of the single writer process.
+var Writer = ProcID{Kind: KindWriter}
+
+// Reader returns the identity of reader r_i (1-based).
+func Reader(i int) ProcID { return ProcID{Kind: KindReader, Idx: i} }
+
+// Server returns the identity of storage object s_i (1-based).
+func Server(i int) ProcID { return ProcID{Kind: KindServer, Idx: i} }
+
+// IsClient reports whether the process is a writer or reader.
+func (p ProcID) IsClient() bool { return p.Kind == KindWriter || p.Kind == KindReader }
+
+// String implements fmt.Stringer.
+func (p ProcID) String() string {
+	if p.Kind == KindWriter {
+		return "w"
+	}
+	return fmt.Sprintf("%s%d", p.Kind, p.Idx)
+}
+
+// RegClass distinguishes the register instances multiplexed onto one physical
+// object by the regular→atomic transformation (Section 5, footnote 6): one
+// register owned by the writer plus one write-back register per reader.
+type RegClass int
+
+// Register classes.
+const (
+	RegWriter RegClass = iota + 1 // the writer's SWMR regular register
+	RegReader                     // reader i's write-back register
+)
+
+// RegID identifies one register instance hosted on the storage objects.
+type RegID struct {
+	Class RegClass
+	Idx   int // reader index for RegReader; 0 for RegWriter
+}
+
+// WriterReg is the RegID of the writer's register.
+var WriterReg = RegID{Class: RegWriter}
+
+// ReaderReg returns the RegID of reader i's write-back register.
+func ReaderReg(i int) RegID { return RegID{Class: RegReader, Idx: i} }
+
+// String implements fmt.Stringer.
+func (r RegID) String() string {
+	if r.Class == RegWriter {
+		return "REGw"
+	}
+	return fmt.Sprintf("REGr%d", r.Idx)
+}
+
+// MsgKind enumerates protocol message types across all implemented protocols.
+type MsgKind int
+
+// Message kinds. One shared message vocabulary keeps the simulator, the live
+// runtime and the TCP wire format uniform across protocols.
+const (
+	// Regular register protocol (internal/regular) and derivatives.
+	MsgPreWrite  MsgKind = iota + 1 // writer round 1: store pair in pw
+	MsgWrite                        // writer round 2: store pair in w
+	MsgRead1                        // reader round 1: query (pw, w)
+	MsgWriteBack                    // reader round 2: install certified pair
+	MsgAck                          // generic acknowledgement
+	MsgState                        // reply carrying (pw, w) state
+
+	// ABD protocol (internal/abd).
+	MsgABDQuery // read phase 1 / write phase 0: query timestamp
+	MsgABDStore // store a pair
+	MsgABDVal   // reply carrying a pair
+
+	// Retry baseline (internal/retry).
+	MsgConfirm // ask whether object vouches for a pair
+
+	// Multiplexed physical round of the atomic transformation.
+	MsgMux // bundle of per-register sub-messages
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgPreWrite:
+		return "PREWRITE"
+	case MsgWrite:
+		return "WRITE"
+	case MsgRead1:
+		return "READ1"
+	case MsgWriteBack:
+		return "WRITEBACK"
+	case MsgAck:
+		return "ACK"
+	case MsgState:
+		return "STATE"
+	case MsgABDQuery:
+		return "ABD_QUERY"
+	case MsgABDStore:
+		return "ABD_STORE"
+	case MsgABDVal:
+		return "ABD_VAL"
+	case MsgConfirm:
+		return "CONFIRM"
+	case MsgMux:
+		return "MUX"
+	default:
+		return "MSG(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// SubMsg is a per-register payload inside a multiplexed physical round.
+type SubMsg struct {
+	Reg RegID
+	Msg Message
+}
+
+// Message is the single wire message type. Fields beyond Kind are
+// kind-specific; unused fields stay at their zero values. Using one concrete
+// struct (rather than an interface hierarchy) keeps messages trivially
+// copyable, comparable where needed, gob-encodable for the TCP transport and
+// forgeable by simulated Byzantine objects.
+type Message struct {
+	Kind MsgKind
+
+	// Pair carries the written / queried / written-back pair.
+	Pair Pair
+
+	// PW and W carry an object's state in MsgState replies.
+	PW Pair
+	W  Pair
+
+	// Token carries the secret value of the [DMSS09] model; TokenPW is the
+	// token the object received with its current pw pair, Token the one with
+	// its current w pair (or the fresh token on writes).
+	Token   Token
+	TokenPW Token
+
+	// Seq numbers rounds within an operation so late replies from earlier
+	// rounds are never mistaken for current-round replies.
+	Seq int
+
+	// Sub carries the per-register payloads of a MsgMux bundle.
+	Sub []SubMsg
+}
+
+// Clone returns a deep copy of m (the Sub slice is copied).
+func (m Message) Clone() Message {
+	out := m
+	if m.Sub != nil {
+		out.Sub = make([]SubMsg, len(m.Sub))
+		for i, sm := range m.Sub {
+			out.Sub[i] = SubMsg{Reg: sm.Reg, Msg: sm.Msg.Clone()}
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (m Message) String() string {
+	switch m.Kind {
+	case MsgState:
+		return fmt.Sprintf("STATE{pw:%s w:%s}", m.PW, m.W)
+	case MsgMux:
+		return fmt.Sprintf("MUX{%d subs}", len(m.Sub))
+	default:
+		return fmt.Sprintf("%s%s", m.Kind, m.Pair)
+	}
+}

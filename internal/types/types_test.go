@@ -1,0 +1,125 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBottom(t *testing.T) {
+	if !Bottom.IsBottom() || !Value("").IsBottom() {
+		t.Error("bottom detection")
+	}
+	if Value("x").IsBottom() {
+		t.Error("non-bottom flagged")
+	}
+	if Bottom.String() != "⊥" || Value("x").String() != "x" {
+		t.Error("value rendering")
+	}
+}
+
+func TestPairOrdering(t *testing.T) {
+	if !BottomPair.IsBottom() || BottomPair.TS != 0 {
+		t.Error("bottom pair")
+	}
+	a, b := Pair{TS: 1, Val: "a"}, Pair{TS: 2, Val: "b"}
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("Less")
+	}
+	if MaxPair(a, b) != b || MaxPair(b, a) != b || MaxPair(a, a) != a {
+		t.Error("MaxPair")
+	}
+	if got := a.String(); got != "(1,a)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMaxPairProperties(t *testing.T) {
+	// MaxPair is commutative up to timestamp ties and always returns one of
+	// its arguments with the maximal timestamp.
+	f := func(ts1, ts2 int64, v1, v2 string) bool {
+		a := Pair{TS: ts1, Val: Value(v1)}
+		b := Pair{TS: ts2, Val: Value(v2)}
+		m := MaxPair(a, b)
+		if m != a && m != b {
+			return false
+		}
+		return m.TS >= a.TS && m.TS >= b.TS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcIDs(t *testing.T) {
+	if Writer.String() != "w" || !Writer.IsClient() {
+		t.Error("writer id")
+	}
+	if Reader(3).String() != "r3" || !Reader(3).IsClient() {
+		t.Error("reader id")
+	}
+	if Server(7).String() != "s7" || Server(7).IsClient() {
+		t.Error("server id")
+	}
+	if KindWriter.String() != "w" || KindReader.String() != "r" || KindServer.String() != "s" {
+		t.Error("kind strings")
+	}
+	if ProcKind(99).String() != "?" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestRegIDs(t *testing.T) {
+	if WriterReg.String() != "REGw" {
+		t.Errorf("writer reg = %q", WriterReg.String())
+	}
+	if ReaderReg(2).String() != "REGr2" {
+		t.Errorf("reader reg = %q", ReaderReg(2).String())
+	}
+	if WriterReg == ReaderReg(0) {
+		t.Error("register classes collide")
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	kinds := []MsgKind{
+		MsgPreWrite, MsgWrite, MsgRead1, MsgWriteBack, MsgAck, MsgState,
+		MsgABDQuery, MsgABDStore, MsgABDVal, MsgConfirm, MsgMux,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d renders %q (dup or empty)", k, s)
+		}
+		seen[s] = true
+	}
+	if MsgKind(99).String() != "MSG(99)" {
+		t.Error("unknown kind rendering")
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := Message{
+		Kind: MsgMux,
+		Sub: []SubMsg{
+			{Reg: WriterReg, Msg: Message{Kind: MsgWrite, Pair: Pair{TS: 1, Val: "a"}}},
+		},
+	}
+	c := m.Clone()
+	c.Sub[0].Msg.Pair.Val = "mutated"
+	if m.Sub[0].Msg.Pair.Val != "a" {
+		t.Error("Clone aliases Sub")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	if s := (Message{Kind: MsgState, PW: Pair{TS: 1, Val: "a"}, W: BottomPair}).String(); s != "STATE{pw:(1,a) w:(0,⊥)}" {
+		t.Errorf("state string = %q", s)
+	}
+	if s := (Message{Kind: MsgMux, Sub: make([]SubMsg, 3)}).String(); s != "MUX{3 subs}" {
+		t.Errorf("mux string = %q", s)
+	}
+	if s := (Message{Kind: MsgWrite, Pair: Pair{TS: 2, Val: "b"}}).String(); s != "WRITE(2,b)" {
+		t.Errorf("write string = %q", s)
+	}
+}

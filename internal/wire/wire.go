@@ -1,0 +1,70 @@
+// Package wire defines the gob-encoded TCP wire format of the storage
+// protocol: a request envelope carrying the client identity and message, and
+// a response envelope carrying the object's reply. One request yields at
+// most one response (objects reply to a message before receiving any other,
+// per the model); responses are matched to rounds by Message.Seq.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"robustatomic/internal/types"
+)
+
+// Request is a client→object message.
+type Request struct {
+	From types.ProcID
+	Msg  types.Message
+}
+
+// Response is an object→client message.
+type Response struct {
+	Server int
+	Msg    types.Message
+}
+
+// Encoder writes envelopes to a stream.
+type Encoder struct{ enc *gob.Encoder }
+
+// NewEncoder returns an Encoder on w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{enc: gob.NewEncoder(w)} }
+
+// Encode writes one envelope.
+func (e *Encoder) Encode(v any) error {
+	if err := e.enc.Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads envelopes from a stream.
+type Decoder struct{ dec *gob.Decoder }
+
+// NewDecoder returns a Decoder on r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{dec: gob.NewDecoder(r)} }
+
+// DecodeRequest reads one request.
+func (d *Decoder) DecodeRequest() (Request, error) {
+	var req Request
+	if err := d.dec.Decode(&req); err != nil {
+		if err == io.EOF {
+			return req, io.EOF
+		}
+		return req, fmt.Errorf("wire: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// DecodeResponse reads one response.
+func (d *Decoder) DecodeResponse() (Response, error) {
+	var rsp Response
+	if err := d.dec.Decode(&rsp); err != nil {
+		if err == io.EOF {
+			return rsp, io.EOF
+		}
+		return rsp, fmt.Errorf("wire: decode response: %w", err)
+	}
+	return rsp, nil
+}

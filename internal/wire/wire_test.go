@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"robustatomic/internal/types"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	req := Request{
+		From: types.Reader(3),
+		Msg: types.Message{
+			Kind: types.MsgMux,
+			Seq:  7,
+			Sub: []types.SubMsg{
+				{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgRead1}},
+				{Reg: types.ReaderReg(1), Msg: types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: 4, Val: "x"}, Token: 99}},
+			},
+		},
+	}
+	if err := enc.Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf).DecodeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("round trip:\n%+v\n%+v", req, got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rsp := Response{
+		Server: 2,
+		Msg:    types.Message{Kind: types.MsgState, PW: types.Pair{TS: 1, Val: "a"}, W: types.BottomPair, Seq: 3},
+	}
+	if err := NewEncoder(&buf).Encode(rsp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf).DecodeResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rsp, got) {
+		t.Fatalf("round trip:\n%+v\n%+v", rsp, got)
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i := 1; i <= 5; i++ {
+		if err := enc.Encode(Request{From: types.Writer, Msg: types.Message{Kind: types.MsgWrite, Seq: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := 1; i <= 5; i++ {
+		req, err := dec.DecodeRequest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Msg.Seq != i {
+			t.Fatalf("seq %d, want %d", req.Msg.Seq, i)
+		}
+	}
+	if _, err := dec.DecodeRequest(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader([]byte("this is not gob")))
+	if _, err := dec.DecodeRequest(); err == nil || err == io.EOF {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPairWireProperty(t *testing.T) {
+	f := func(ts int64, val string, tok uint64, seq int) bool {
+		var buf bytes.Buffer
+		in := Response{Server: 1, Msg: types.Message{
+			Kind: types.MsgState, W: types.Pair{TS: ts, Val: types.Value(val)},
+			Token: types.Token(tok), Seq: seq,
+		}}
+		if err := NewEncoder(&buf).Encode(in); err != nil {
+			return false
+		}
+		out, err := NewDecoder(&buf).DecodeResponse()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package robustatomic is a robust atomic read/write storage library: a
+// wait-free, optimally resilient single-writer multi-reader atomic register
+// over S = 3t+1 Byzantine-prone storage objects without data authentication,
+// with time-optimal operation latency — 2-round writes and 4-round reads —
+// per "The Complexity of Robust Atomic Storage" (Dobre, Guerraoui, Majuntke,
+// Suri, Vukolić; PODC 2011), whose lower bounds prove no scalable
+// implementation can do better.
+//
+// The library runs over an in-process cluster (goroutines and channels, with
+// optional fault injection and random delays) or over TCP against storage
+// daemons (cmd/storaged); the protocol stack is identical in both cases.
+//
+//	cluster, _ := robustatomic.NewCluster(robustatomic.Options{Faults: 1, Readers: 2})
+//	defer cluster.Close()
+//	w := cluster.Writer()
+//	_ = w.Write("hello")
+//	r, _ := cluster.Reader(1)
+//	v, _ := r.Read() // "hello"
+//
+// See DESIGN.md for the paper reproduction map and EXPERIMENTS.md for the
+// measured results.
+package robustatomic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"robustatomic/internal/core"
+	"robustatomic/internal/live"
+	"robustatomic/internal/proto"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/secret"
+	"robustatomic/internal/server"
+	"robustatomic/internal/tcpnet"
+	"robustatomic/internal/types"
+)
+
+// Model selects the failure/authentication model.
+type Model int
+
+// Models.
+const (
+	// Unauthenticated is the paper's primary model: Byzantine objects, no
+	// data authentication. Writes take 2 rounds, reads 4 — optimal.
+	Unauthenticated Model = iota + 1
+	// SecretTokens is the stronger model of [DMSS09]: reads take 3 rounds
+	// in contention-free executions.
+	SecretTokens
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Faults is t, the number of Byzantine storage objects tolerated.
+	// The cluster uses S = 3t+1 objects. Default 1.
+	Faults int
+	// Readers is R, the number of reader handles (each gets a dedicated
+	// write-back register). Default 2.
+	Readers int
+	// Model selects the failure model. Default Unauthenticated.
+	Model Model
+	// Seed drives randomized delays and token generation.
+	Seed int64
+	// MaxDelay bounds random in-process message delays (0 = none).
+	MaxDelay time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Faults == 0 {
+		o.Faults = 1
+	}
+	if o.Readers == 0 {
+		o.Readers = 2
+	}
+	if o.Model == 0 {
+		o.Model = Unauthenticated
+	}
+}
+
+// Cluster is a handle to a running storage cluster (in-process or remote).
+type Cluster struct {
+	opts Options
+	th   quorum.Thresholds
+	rng  *rand.Rand
+
+	inproc *live.Cluster // nil when remote
+	addrs  []string      // nil when in-process
+
+	tcpClients []*tcpnet.Client
+}
+
+// NewCluster starts an in-process cluster of S = 3t+1 storage objects.
+func NewCluster(opts Options) (*Cluster, error) {
+	opts.defaults()
+	th, err := quorum.NewThresholds(quorum.OptimalObjects(opts.Faults), opts.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("robustatomic: %w", err)
+	}
+	c := &Cluster{
+		opts: opts,
+		th:   th,
+		rng:  rand.New(rand.NewSource(opts.Seed ^ 0x5eedcafe)),
+		inproc: live.New(live.Config{
+			Servers:  th.S,
+			Seed:     opts.Seed,
+			MaxDelay: opts.MaxDelay,
+		}),
+	}
+	return c, nil
+}
+
+// Connect attaches to a remote cluster of storage daemons (cmd/storaged);
+// addrs[i] must serve object i+1 and len(addrs) must be 3t+1 for the
+// configured fault budget.
+func Connect(addrs []string, opts Options) (*Cluster, error) {
+	opts.defaults()
+	th, err := quorum.NewThresholds(len(addrs), opts.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("robustatomic: %w", err)
+	}
+	return &Cluster{
+		opts:  opts,
+		th:    th,
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x5eedcafe)),
+		addrs: addrs,
+	}, nil
+}
+
+// Close shuts down an in-process cluster or the TCP connections.
+func (c *Cluster) Close() {
+	if c.inproc != nil {
+		c.inproc.Close()
+	}
+	for _, tc := range c.tcpClients {
+		tc.Close()
+	}
+}
+
+// Faults returns t.
+func (c *Cluster) Faults() int { return c.th.T }
+
+// Objects returns S = 3t+1.
+func (c *Cluster) Objects() int { return c.th.S }
+
+// InjectFault makes in-process object sid Byzantine with a named behavior:
+// "silent", "garbage", "stale", "equivocate" or "flaky". It is a no-op
+// template for chaos testing; remote clusters configure behaviors on the
+// daemons instead.
+func (c *Cluster) InjectFault(sid int, mode string) error {
+	if c.inproc == nil {
+		return fmt.Errorf("robustatomic: fault injection needs an in-process cluster")
+	}
+	var b server.Behavior
+	switch mode {
+	case "silent":
+		b = server.Silent{}
+	case "garbage":
+		b = server.Garbage{Level: 1 << 30, Val: "forged"}
+	case "stale":
+		b = &server.Stale{Snap: c.inproc.Snapshot(sid)}
+	case "equivocate":
+		b = server.Equivocate{Readers: &server.Stale{Snap: c.inproc.Snapshot(sid)}}
+	case "flaky":
+		b = server.Flaky{Rand: rand.New(rand.NewSource(c.opts.Seed)), DropProb: 0.5}
+	default:
+		return fmt.Errorf("robustatomic: unknown fault mode %q", mode)
+	}
+	c.inproc.SetByzantine(sid, b)
+	return nil
+}
+
+// rounder builds the transport handle for one process.
+func (c *Cluster) rounder(proc types.ProcID) proto.Rounder {
+	if c.inproc != nil {
+		return c.inproc.NewClient(proc)
+	}
+	tc := tcpnet.NewClient(proc, c.addrs)
+	c.tcpClients = append(c.tcpClients, tc)
+	return tc
+}
+
+// Writer is the register's single writer handle.
+type Writer struct {
+	c      *Cluster
+	plain  *core.Writer
+	secret *secret.AtomicWriter
+}
+
+// Writer returns the writer handle (create it once; the register is
+// single-writer).
+func (c *Cluster) Writer() *Writer {
+	rc := c.rounder(types.Writer)
+	w := &Writer{c: c}
+	switch c.opts.Model {
+	case SecretTokens:
+		w.secret = secret.NewAtomicWriter(rc, c.th, c.rng)
+	default:
+		w.plain = core.NewWriter(rc, c.th)
+	}
+	return w
+}
+
+// Write stores v (2 communication rounds).
+func (w *Writer) Write(v string) error {
+	if w.plain != nil {
+		return w.plain.Write(types.Value(v))
+	}
+	return w.secret.Write(types.Value(v))
+}
+
+// Reader is one of the register's R reader handles.
+type Reader struct {
+	c      *Cluster
+	plain  *core.Reader
+	secret *secret.AtomicReader
+}
+
+// Reader returns reader handle idx (1-based, ≤ Options.Readers). Each
+// reader identity must be used by at most one client at a time.
+func (c *Cluster) Reader(idx int) (*Reader, error) {
+	if idx < 1 || idx > c.opts.Readers {
+		return nil, fmt.Errorf("robustatomic: reader index %d out of 1..%d", idx, c.opts.Readers)
+	}
+	rc := c.rounder(types.Reader(idx))
+	r := &Reader{c: c}
+	switch c.opts.Model {
+	case SecretTokens:
+		r.secret = secret.NewAtomicReader(rc, c.th, c.rng, idx, c.opts.Readers)
+	default:
+		r.plain = core.NewReader(rc, c.th, idx, c.opts.Readers)
+	}
+	return r, nil
+}
+
+// Read returns the register's current value (4 communication rounds; 3 in
+// the SecretTokens model without contention). The empty string is the
+// initial value.
+func (r *Reader) Read() (string, error) {
+	if r.plain != nil {
+		v, err := r.plain.Read()
+		return string(v), err
+	}
+	v, err := r.secret.Read()
+	return string(v), err
+}
