@@ -6,6 +6,7 @@ package robustatomic
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -256,6 +257,88 @@ func BenchmarkE8TCP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE9StorePut measures aggregate multi-key write throughput of the
+// sharded Store layer across shard counts: 64 keys, parallel putters. Each
+// shard is an independent single-writer register, so aggregate ops/sec
+// scales with the shard count until the runtime saturates (compare ns/op
+// across sub-benchmarks; lower is more throughput).
+func BenchmarkE9StorePut(b *testing.B) {
+	const keyCount = 64
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := NewCluster(Options{Faults: 1, Readers: 2, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			st, err := c.NewStore(StoreOptions{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, k := range keys { // instantiate every shard up front
+				if err := st.Put(k, "warm"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var ctr int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := atomic.AddInt64(&ctr, 1)
+					if err := st.Put(keys[i%keyCount], fmt.Sprintf("v%d", i)); err != nil {
+						b.Error(err) // Fatal must not run off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE9StoreGet measures aggregate multi-key read throughput: reads of
+// one shard contend for its pool of R reader identities, so shards × R
+// bounds read parallelism.
+func BenchmarkE9StoreGet(b *testing.B) {
+	const keyCount = 64
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := NewCluster(Options{Faults: 1, Readers: 2, Seed: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			st, err := c.NewStore(StoreOptions{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, k := range keys {
+				if err := st.Put(k, fmt.Sprintf("v%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var ctr int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := atomic.AddInt64(&ctr, 1)
+					if _, err := st.Get(keys[i%keyCount]); err != nil {
+						b.Error(err) // Fatal must not run off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkSimRegularRead profiles the decision procedure's fault-set

@@ -1,13 +1,16 @@
 // Command storaged runs one storage object as a TCP daemon. A robust atomic
-// register needs 3t+1 of these (one per object id):
+// deployment needs 3t+1 of these (one per object id):
 //
 //	storaged -id 1 -addr :7001 &
 //	storaged -id 2 -addr :7002 &
 //	storaged -id 3 -addr :7003 &
 //	storaged -id 4 -addr :7004 &
 //
-// Then read/write with storctl. The -chaos flag makes the object Byzantine
-// (for demonstrations: "garbage" or "silent").
+// One daemon set hosts any number of independent register instances, lazily
+// instantiated as clients address them — the single register of
+// storctl read/write, and all N shards of the keyed Store layer behind
+// storctl put/get. The -chaos flag makes the object Byzantine (for
+// demonstrations: "garbage" or "silent").
 package main
 
 import (
@@ -47,5 +50,5 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("storaged: shutting down")
+	fmt.Printf("storaged: shutting down (%d register instances hosted)\n", s.Registers())
 }

@@ -1,8 +1,18 @@
-// Command storctl is the client for a storaged cluster: it reads and writes
-// the robust atomic register over TCP.
+// Command storctl is the client for a storaged cluster. It speaks both
+// APIs: the paper's single robust atomic register (write/read) and the
+// sharded multi-key Store layer (put/get/del), which hashes keys onto
+// -shards independent registers hosted on the same daemons.
 //
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 write hello
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 read
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 put order:42 shipped
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 get order:42
+//
+// Every invocation recovers shard state from the cluster before writing, so
+// sequential puts from the key owner compose across invocations. Keys are
+// single-writer: concurrent puts to the same shard from different processes
+// are outside the model. All clients of one deployment must agree on
+// -shards — it determines which register a key routes to.
 package main
 
 import (
@@ -19,17 +29,18 @@ func main() {
 	t := flag.Int("t", 1, "fault budget")
 	readers := flag.Int("readers", 2, "total reader count R")
 	readerIdx := flag.Int("reader", 1, "this client's reader index (1..R)")
+	shards := flag.Int("shards", 8, "shard count of the keyed store (put/get/del)")
 	flag.Parse()
 
-	if err := run(*servers, *t, *readers, *readerIdx, flag.Args()); err != nil {
+	if err := run(*servers, *t, *readers, *readerIdx, *shards, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "storctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers string, t, readers, readerIdx int, args []string) error {
+func run(servers string, t, readers, readerIdx, shards int, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: storctl [flags] write <value> | read")
+		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key>")
 	}
 	addrs := strings.Split(servers, ",")
 	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers})
@@ -57,6 +68,46 @@ func run(servers string, t, readers, readerIdx int, args []string) error {
 			return err
 		}
 		fmt.Printf("%q (4 rounds)\n", v)
+		return nil
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: storctl put <key> <value>")
+		}
+		st, err := cluster.NewStore(robustatomic.StoreOptions{Shards: shards})
+		if err != nil {
+			return err
+		}
+		if err := st.Put(args[1], args[2]); err != nil {
+			return err
+		}
+		fmt.Printf("OK (shard %d/%d)\n", st.ShardOf(args[1]), st.Shards())
+		return nil
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl get <key>")
+		}
+		st, err := cluster.NewStore(robustatomic.StoreOptions{Shards: shards})
+		if err != nil {
+			return err
+		}
+		v, err := st.Get(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q (shard %d/%d)\n", v, st.ShardOf(args[1]), st.Shards())
+		return nil
+	case "del":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl del <key>")
+		}
+		st, err := cluster.NewStore(robustatomic.StoreOptions{Shards: shards})
+		if err != nil {
+			return err
+		}
+		if err := st.Delete(args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("OK (shard %d/%d)\n", st.ShardOf(args[1]), st.Shards())
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])

@@ -3,79 +3,20 @@
 // so clients get strong consistency without trusting any single storage
 // node — up to t of the 3t+1 nodes may be arbitrarily corrupt.
 //
-// Each key maps to one single-writer register; the owner of a key writes
-// it, everyone may read. The demo runs an order-tracking workload with a
-// Byzantine storage node serving stale data.
+// The demo uses the library's sharded Store layer: keys are hashed onto 8
+// independent single-writer atomic registers hosted on the same 4 objects,
+// so an order-tracking workload over many keys runs with per-key atomicity
+// while one storage node serves garbage. (Multi-writer keys need the
+// further transformation of [4, 20]; see DESIGN.md.)
 package main
 
 import (
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"robustatomic"
 )
-
-// KV is a key-value facade over per-key atomic registers. Keys are owned:
-// only the owner process writes a key (single-writer registers; multi-writer
-// needs the further transformation of [4, 20], see DESIGN.md).
-type KV struct {
-	cluster *robustatomic.Cluster
-
-	mu      sync.Mutex
-	writers map[string]*robustatomic.Writer
-	readers map[string]*robustatomic.Reader
-}
-
-// NewKV builds the facade. Every key shares the cluster's objects; the
-// per-key registers are multiplexed over the same physical rounds machinery.
-func NewKV(cluster *robustatomic.Cluster) *KV {
-	return &KV{
-		cluster: cluster,
-		writers: make(map[string]*robustatomic.Writer),
-		readers: make(map[string]*robustatomic.Reader),
-	}
-}
-
-// Put stores value under key (owner-only).
-func (kv *KV) Put(key, value string) error {
-	kv.mu.Lock()
-	w, ok := kv.writers[key]
-	kv.mu.Unlock()
-	if !ok {
-		// NOTE: this demo keeps one register per cluster and one cluster
-		// per key for clarity; a production layout would multiplex keys
-		// over one object set.
-		return fmt.Errorf("cloudkv: key %q not provisioned", key)
-	}
-	return w.Write(value)
-}
-
-// Get returns the value under key.
-func (kv *KV) Get(key string) (string, error) {
-	kv.mu.Lock()
-	r, ok := kv.readers[key]
-	kv.mu.Unlock()
-	if !ok {
-		return "", fmt.Errorf("cloudkv: key %q not provisioned", key)
-	}
-	return r.Read()
-}
-
-// provision creates the register handles for a key.
-func (kv *KV) provision(key string) error {
-	w := kv.cluster.Writer()
-	r, err := kv.cluster.Reader(1)
-	if err != nil {
-		return err
-	}
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	kv.writers[key] = w
-	kv.readers[key] = r
-	return nil
-}
 
 func main() {
 	cluster, err := robustatomic.NewCluster(robustatomic.Options{
@@ -89,33 +30,48 @@ func main() {
 	}
 	defer cluster.Close()
 
-	kv := NewKV(cluster)
-	if err := kv.provision("order:42"); err != nil {
+	kv, err := cluster.NewStore(robustatomic.StoreOptions{Shards: 8})
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("cloud KV store over robust atomic storage (t=1, S=4)")
+	fmt.Println("cloud KV store over robust atomic storage (t=1, S=4, 8 shards)")
+
+	// A fleet of orders progresses through states; order:7 is tracked in
+	// detail. Each key is an independent atomic register projection.
+	orders := []string{"order:7", "order:13", "order:42", "order:99"}
 	states := []string{"placed", "paid", "shipped", "delivered"}
 	for i, st := range states {
-		if err := kv.Put("order:42", st); err != nil {
-			log.Fatal(err)
+		for _, o := range orders {
+			if err := kv.Put(o, st); err != nil {
+				log.Fatal(err)
+			}
 		}
-		got, err := kv.Get("order:42")
+		got, err := kv.Get("order:7")
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  put order:42=%q → get %q\n", st, got)
+		fmt.Printf("  put %d orders=%q → get order:7 %q (shard %d)\n", len(orders), st, got, kv.ShardOf("order:7"))
 		if got != st {
 			log.Fatalf("consistency violation: wrote %q read %q", st, got)
 		}
 		if i == 1 {
-			// Midway, one storage node turns Byzantine and serves stale
-			// state to readers; atomicity must hold regardless.
-			if err := cluster.InjectFault(2, "stale"); err != nil {
+			// Midway, one storage node turns Byzantine and fabricates
+			// replies; per-key atomicity must hold regardless.
+			if err := cluster.InjectFault(2, "garbage"); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println("  [node s2 is now Byzantine: serving stale state to readers]")
+			fmt.Println("  [node s2 is now Byzantine: fabricating replies on every shard]")
 		}
 	}
-	fmt.Println("all reads returned the latest completed write — atomic despite the corrupt node")
+	for _, o := range orders {
+		got, err := kv.Get(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got != "delivered" {
+			log.Fatalf("consistency violation: %s = %q", o, got)
+		}
+	}
+	fmt.Println("all keys on all shards read the latest completed write — atomic despite the corrupt node")
 }

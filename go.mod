@@ -1,0 +1,3 @@
+module robustatomic
+
+go 1.22

@@ -55,6 +55,7 @@ type Cluster struct {
 
 type request struct {
 	from    types.ProcID
+	reg     int // register instance addressed (0 = default register)
 	msg     types.Message
 	replyTo chan<- reply
 }
@@ -70,9 +71,24 @@ type serverProc struct {
 	reqCh chan request
 
 	mu       sync.Mutex
-	store    *server.Store
+	stores   map[int]*server.Store // lazily instantiated register instances
 	byz      bool
 	behavior server.Behavior
+}
+
+// storeFor returns register instance reg's automaton, creating it on first
+// touch (instances are client-addressed; negative instances panic, as only
+// in-process code we control reaches here). Callers must hold sp.mu.
+func (sp *serverProc) storeFor(reg int) *server.Store {
+	if reg < 0 {
+		panic(fmt.Sprintf("live: negative register instance %d", reg))
+	}
+	st, ok := sp.stores[reg]
+	if !ok {
+		st = server.NewStore()
+		sp.stores[reg] = st
+	}
+	return st
 }
 
 // New starts a cluster of correct, empty storage objects.
@@ -86,7 +102,7 @@ func New(cfg Config) *Cluster {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{cfg: cfg, ctx: ctx, cancel: cancel, rng: rand.New(rand.NewSource(cfg.Seed))}
 	for i := 1; i <= cfg.Servers; i++ {
-		sp := &serverProc{id: i, reqCh: make(chan request, 64), store: server.NewStore()}
+		sp := &serverProc{id: i, reqCh: make(chan request, 64), stores: make(map[int]*server.Store)}
 		c.servers = append(c.servers, sp)
 		c.wg.Add(1)
 		go c.serve(sp)
@@ -115,12 +131,14 @@ func (c *Cluster) SetByzantine(sid int, b server.Behavior) {
 	}
 }
 
-// Snapshot captures object sid's state (for staleness attacks in tests).
+// Snapshot captures object sid's default-register state (for explicit
+// staleness/forging attacks in tests; multi-register staleness freezes per
+// instance inside server.Stale instead).
 func (c *Cluster) Snapshot(sid int) []byte {
 	sp := c.server(sid)
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	snap, err := sp.store.Snapshot()
+	snap, err := sp.storeFor(0).Snapshot()
 	if err != nil {
 		panic(fmt.Sprintf("live: snapshot s%d: %v", sid, err))
 	}
@@ -174,7 +192,7 @@ func (c *Cluster) serve(sp *serverProc) {
 			if sp.byz && sp.behavior != nil {
 				behavior = sp.behavior
 			}
-			rep, ok := behavior.Reply(sp.store, req.from, req.msg)
+			rep, ok := behavior.Reply(sp.storeFor(req.reg), req.from, req.msg)
 			sp.mu.Unlock()
 			if !ok {
 				continue
@@ -196,11 +214,13 @@ func (c *Cluster) serve(sp *serverProc) {
 	}
 }
 
-// Client executes protocol rounds for one process. Safe for use by a single
-// goroutine (the model's clients issue one operation at a time).
+// Client executes protocol rounds for one process against one register
+// instance. Safe for use by a single goroutine (the model's clients issue
+// one operation at a time).
 type Client struct {
 	c    *Cluster
 	proc types.ProcID
+	reg  int
 	seq  int
 	// Rounds counts completed communication rounds (instrumentation).
 	Rounds int
@@ -208,9 +228,17 @@ type Client struct {
 
 var _ proto.Rounder = (*Client)(nil)
 
-// NewClient returns a round executor for the given process identity.
+// NewClient returns a round executor for the given process identity against
+// the default register (instance 0).
 func (c *Cluster) NewClient(proc types.ProcID) *Client {
-	return &Client{c: c, proc: proc}
+	return c.NewClientReg(proc, 0)
+}
+
+// NewClientReg returns a round executor for proc against register instance
+// reg; distinct instances are fully independent registers hosted on the same
+// S objects.
+func (c *Cluster) NewClientReg(proc types.ProcID, reg int) *Client {
+	return &Client{c: c, proc: proc, reg: reg}
 }
 
 // NumServers implements proto.Rounder.
@@ -233,7 +261,7 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 				return
 			}
 			select {
-			case cl.c.server(sid).reqCh <- request{from: cl.proc, msg: msg, replyTo: replyCh}:
+			case cl.c.server(sid).reqCh <- request{from: cl.proc, reg: cl.reg, msg: msg, replyTo: replyCh}:
 			case <-cl.c.ctx.Done():
 			}
 		}(sid, msg)

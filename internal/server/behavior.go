@@ -59,25 +59,43 @@ func (f *Forge) Reply(inner *Store, from types.ProcID, m types.Message) (types.M
 	return inner.Handle(from, m), true
 }
 
-// Stale answers every read from a frozen snapshot while silently advancing
+// Stale answers every read from a frozen past state while silently advancing
 // its true state; write-class messages are acknowledged but reads never see
-// them. It simulates an object stuck in the past.
+// them. It simulates an object stuck in the past. With Snap set, the frozen
+// state is that explicit snapshot (the lower-bound constructions' "forge to
+// σ"). With Snap nil, each register instance the object hosts is frozen at
+// its state on first touch after injection — the right semantics for
+// multi-register objects, where every shard must be served its own past.
 type Stale struct {
 	Snap   []byte
-	frozen *Store
+	frozen *Store            // Snap path: one frozen state for every instance
+	perReg map[*Store]*Store // nil-Snap path: per-instance freeze on first touch
 }
 
 // Reply implements Behavior.
 func (s *Stale) Reply(inner *Store, from types.ProcID, m types.Message) (types.Message, bool) {
-	if s.frozen == nil {
-		s.frozen = NewStore()
-		if err := s.frozen.Restore(s.Snap); err != nil {
-			return types.Message{Kind: types.MsgState}, true
+	var frozen *Store
+	if s.Snap != nil {
+		if s.frozen == nil {
+			s.frozen = NewStore()
+			if err := s.frozen.Restore(s.Snap); err != nil {
+				return types.Message{Kind: types.MsgState}, true
+			}
+		}
+		frozen = s.frozen
+	} else {
+		if s.perReg == nil {
+			s.perReg = make(map[*Store]*Store)
+		}
+		frozen = s.perReg[inner]
+		if frozen == nil {
+			frozen = inner.Clone()
+			s.perReg[inner] = frozen
 		}
 	}
 	reply := inner.Handle(from, m)
 	if isReadOnly(m) {
-		return s.frozen.Handle(from, m), true
+		return frozen.Handle(from, m), true
 	}
 	return reply, true
 }

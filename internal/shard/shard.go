@@ -1,0 +1,199 @@
+// Package shard provides the machinery of the keyed multi-register Store
+// layer: hash-based routing of keys onto N independent atomic registers, a
+// lazily-instantiated per-shard table, a blocking pool of client handles,
+// and the codec that packs one shard's key→value table into a single
+// register value.
+//
+// The layering mirrors the paper's cloud key-value scenario (Section 1.1):
+// each shard is one robust atomic SWMR register hosted on the same S = 3t+1
+// Byzantine-prone objects; a key's reads and writes are the projection of
+// that register's atomic operations, so per-key atomicity follows directly
+// from per-register atomicity.
+package shard
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Router maps keys onto shard indices 0..N-1 with FNV-1a hashing. The zero
+// value routes everything to shard 0.
+type Router struct {
+	n int
+}
+
+// NewRouter returns a router over n shards (n ≥ 1).
+func NewRouter(n int) (Router, error) {
+	if n < 1 {
+		return Router{}, fmt.Errorf("shard: need at least one shard, got %d", n)
+	}
+	return Router{n: n}, nil
+}
+
+// N returns the shard count.
+func (r Router) N() int {
+	if r.n == 0 {
+		return 1
+	}
+	return r.n
+}
+
+// Locate returns key's shard index.
+func (r Router) Locate(key string) int {
+	// FNV-1a, inlined to avoid allocating a hash.Hash per lookup.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(r.N()))
+}
+
+// Lazy is a fixed-size table of per-shard values built on first use. Each
+// slot locks independently, so building one shard (which may involve a slow
+// network recovery read) never stalls operations on other shards. A slot
+// whose build fails stays empty and is retried on the next Get, so a
+// transient failure (e.g. an unreachable cluster during shard recovery) does
+// not poison the shard forever.
+type Lazy[T any] struct {
+	build func(int) (T, error)
+	slots []lazySlot[T]
+}
+
+type lazySlot[T any] struct {
+	mu    sync.Mutex
+	built bool
+	val   T
+}
+
+// NewLazy returns a table of n slots built by build (called at most once per
+// slot per success).
+func NewLazy[T any](n int, build func(int) (T, error)) *Lazy[T] {
+	return &Lazy[T]{build: build, slots: make([]lazySlot[T], n)}
+}
+
+// Get returns slot i, building it on first touch. Concurrent Gets of the
+// same slot observe a single build; Gets of different slots never contend.
+func (l *Lazy[T]) Get(i int) (T, error) {
+	if i < 0 || i >= len(l.slots) {
+		var zero T
+		return zero, fmt.Errorf("shard: slot %d out of 0..%d", i, len(l.slots)-1)
+	}
+	s := &l.slots[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.built {
+		v, err := l.build(i)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		s.built, s.val = true, v
+	}
+	return s.val, nil
+}
+
+// Built returns the values instantiated so far, in slot order.
+func (l *Lazy[T]) Built() []T {
+	var out []T
+	for i := range l.slots {
+		s := &l.slots[i]
+		s.mu.Lock()
+		if s.built {
+			out = append(out, s.val)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Pool is a fixed-size blocking pool of client handles. The model's reader
+// identities must each be used by at most one client at a time; the pool
+// enforces that by handing a handle to exactly one acquirer until released.
+type Pool[T any] struct {
+	ch chan T
+}
+
+// NewPool returns a pool holding the given handles.
+func NewPool[T any](items []T) *Pool[T] {
+	p := &Pool[T]{ch: make(chan T, len(items))}
+	for _, it := range items {
+		p.ch <- it
+	}
+	return p
+}
+
+// Acquire takes a handle, blocking until one is free.
+func (p *Pool[T]) Acquire() T { return <-p.ch }
+
+// Release returns a handle to the pool.
+func (p *Pool[T]) Release(v T) {
+	select {
+	case p.ch <- v:
+	default:
+		panic("shard: pool release without acquire")
+	}
+}
+
+// emptyTable encodes a table with no entries. It must differ from the
+// register's initial value ⊥ (the empty string), which the protocol refuses
+// to write, and can never collide with a real entry list because '!' is
+// percent-escaped in entries.
+const emptyTable = "!"
+
+// EncodeTable packs a shard's key→value table into one register value. The
+// encoding is deterministic (keys sorted) and injective: keys and values are
+// percent-escaped so the separators never collide with payload bytes.
+func EncodeTable(m map[string]string) string {
+	if len(m) == 0 {
+		return emptyTable
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(url.QueryEscape(k))
+		b.WriteByte('=')
+		b.WriteString(url.QueryEscape(m[k]))
+	}
+	return b.String()
+}
+
+// DecodeTable unpacks an encoded shard table. The empty string (the
+// register's initial value ⊥) and the empty-table sentinel both decode to an
+// empty table.
+func DecodeTable(s string) (map[string]string, error) {
+	m := make(map[string]string)
+	if s == "" || s == emptyTable {
+		return m, nil
+	}
+	for _, pair := range strings.Split(s, "&") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("shard: malformed table entry %q", pair)
+		}
+		k, err := url.QueryUnescape(pair[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("shard: malformed table key %q: %w", pair[:eq], err)
+		}
+		v, err := url.QueryUnescape(pair[eq+1:])
+		if err != nil {
+			return nil, fmt.Errorf("shard: malformed table value %q: %w", pair[eq+1:], err)
+		}
+		m[k] = v
+	}
+	return m, nil
+}

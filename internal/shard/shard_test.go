@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRouterSpreadAndDeterminism(t *testing.T) {
+	r, err := NewRouter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(map[int]int)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		s := r.Locate(key)
+		if s < 0 || s >= 8 {
+			t.Fatalf("Locate(%q) = %d out of range", key, s)
+		}
+		if again := r.Locate(key); again != s {
+			t.Fatalf("Locate(%q) not deterministic: %d then %d", key, s, again)
+		}
+		hit[s]++
+	}
+	if len(hit) != 8 {
+		t.Errorf("64 keys hit only %d of 8 shards: %v", len(hit), hit)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0); err == nil {
+		t.Error("NewRouter(0) accepted")
+	}
+	var zero Router
+	if zero.Locate("x") != 0 {
+		t.Error("zero router must route to shard 0")
+	}
+}
+
+func TestLazySingleBuildUnderConcurrency(t *testing.T) {
+	var builds int32
+	l := NewLazy(4, func(i int) (int, error) {
+		atomic.AddInt32(&builds, 1)
+		return i * 10, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				v, err := l.Get(i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != i*10 {
+					t.Errorf("slot %d = %d", i, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 4 {
+		t.Errorf("built %d times, want 4", builds)
+	}
+	if got := len(l.Built()); got != 4 {
+		t.Errorf("Built() returned %d values", got)
+	}
+}
+
+func TestLazyRetriesFailedBuild(t *testing.T) {
+	fail := true
+	l := NewLazy(1, func(i int) (string, error) {
+		if fail {
+			return "", errors.New("transient")
+		}
+		return "ok", nil
+	})
+	if _, err := l.Get(0); err == nil {
+		t.Fatal("first build should fail")
+	}
+	fail = false
+	v, err := l.Get(0)
+	if err != nil || v != "ok" {
+		t.Fatalf("retry: %q, %v", v, err)
+	}
+	if _, err := l.Get(5); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestPoolExclusiveHandles(t *testing.T) {
+	p := NewPool([]int{1, 2})
+	var inUse, maxInUse int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				h := p.Acquire()
+				n := atomic.AddInt32(&inUse, 1)
+				for {
+					m := atomic.LoadInt32(&maxInUse)
+					if n <= m || atomic.CompareAndSwapInt32(&maxInUse, m, n) {
+						break
+					}
+				}
+				atomic.AddInt32(&inUse, -1)
+				p.Release(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInUse > 2 {
+		t.Errorf("%d handles in use at once from a pool of 2", maxInUse)
+	}
+}
+
+func TestEmptyTableIsNotBottom(t *testing.T) {
+	if EncodeTable(nil) == "" {
+		t.Fatal("empty table must not encode to the reserved initial value ⊥")
+	}
+}
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	cases := []map[string]string{
+		{},
+		{"a": "1"},
+		{"a": "1", "b": "2", "order:42": "shipped"},
+		{"k=ey": "v&al", "a&b=c": "=&=", "unicode-⊥": "värde", "empty": ""},
+	}
+	for _, m := range cases {
+		enc := EncodeTable(m)
+		dec, err := DecodeTable(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", enc, err)
+		}
+		if len(dec) != len(m) {
+			t.Fatalf("round trip of %v lost entries: %v", m, dec)
+		}
+		for k, v := range m {
+			if dec[k] != v {
+				t.Errorf("round trip of %v: key %q = %q", m, k, dec[k])
+			}
+		}
+	}
+}
+
+func TestTableCodecDeterministic(t *testing.T) {
+	a := EncodeTable(map[string]string{"x": "1", "y": "2", "z": "3"})
+	b := EncodeTable(map[string]string{"z": "3", "x": "1", "y": "2"})
+	if a != b {
+		t.Errorf("encoding not deterministic: %q vs %q", a, b)
+	}
+}
+
+func TestTableCodecRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"no-separator", "a=b&broken", "%zz=x"} {
+		if _, err := DecodeTable(s); err == nil {
+			t.Errorf("DecodeTable(%q) accepted", s)
+		}
+	}
+}

@@ -19,7 +19,10 @@ import (
 	"robustatomic/internal/wire"
 )
 
-// Server serves one storage object over TCP.
+// Server serves one storage object over TCP. One object hosts any number of
+// independent register instances (lazily instantiated, keyed by the Reg
+// field of incoming requests), so a single daemon set backs a whole sharded
+// multi-key Store.
 type Server struct {
 	ID int
 
@@ -29,7 +32,7 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	mu       sync.Mutex
-	store    *server.Store
+	stores   map[int]*server.Store
 	behavior server.Behavior
 }
 
@@ -41,10 +44,25 @@ func NewServer(id int, addr string) (*Server, error) {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{ID: id, lis: lis, ctx: ctx, cancel: cancel, store: server.NewStore()}
+	s := &Server{ID: id, lis: lis, ctx: ctx, cancel: cancel, stores: make(map[int]*server.Store)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// MaxRegisters bounds the register instances one object will host. Register
+// instances are allocated on first touch from a client-supplied field, so an
+// unbounded map would let a buggy client grow the daemon's heap without
+// limit; past the cap (and for negative instances) the object stays silent,
+// which correct protocols treat as a faulty object.
+const MaxRegisters = 1 << 16
+
+// Registers returns the number of register instances the object currently
+// hosts (instrumentation).
+func (s *Server) Registers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stores)
 }
 
 // Addr returns the server's listen address.
@@ -90,12 +108,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if req.Reg < 0 || req.Reg >= MaxRegisters {
+			continue // invalid instance: the client sees silence
+		}
 		s.mu.Lock()
+		st, found := s.stores[req.Reg]
+		if !found {
+			st = server.NewStore()
+			s.stores[req.Reg] = st
+		}
 		b := s.behavior
 		if b == nil {
 			b = server.Honest{}
 		}
-		reply, ok := b.Reply(s.store, req.From, req.Msg)
+		reply, ok := b.Reply(st, req.From, req.Msg)
 		s.mu.Unlock()
 		if !ok {
 			continue // withheld reply: the client sees silence
@@ -111,13 +137,14 @@ func (s *Server) serveConn(conn net.Conn) {
 var ErrRoundTimeout = errors.New("tcpnet: round timed out")
 
 // Client executes protocol rounds against a set of object addresses
-// (addresses[i] serves object i+1). One Client serves one logical process;
-// operations are issued one at a time.
+// (addresses[i] serves object i+1). One Client serves one logical process
+// against one register instance; operations are issued one at a time.
 type Client struct {
 	Proc         types.ProcID
 	RoundTimeout time.Duration // default 5s
 
 	addrs   []string
+	reg     int
 	mu      sync.Mutex
 	conns   []*clientConn
 	replyCh chan wire.Response
@@ -132,12 +159,20 @@ type clientConn struct {
 	enc  *wire.Encoder
 }
 
-// NewClient returns a round executor for proc against the given addresses.
+// NewClient returns a round executor for proc against the given addresses,
+// addressing the default register (instance 0).
 func NewClient(proc types.ProcID, addrs []string) *Client {
+	return NewClientReg(proc, addrs, 0)
+}
+
+// NewClientReg returns a round executor for proc against register instance
+// reg of the given objects.
+func NewClientReg(proc types.ProcID, addrs []string, reg int) *Client {
 	return &Client{
 		Proc:         proc,
 		RoundTimeout: 5 * time.Second,
 		addrs:        addrs,
+		reg:          reg,
 		conns:        make([]*clientConn, len(addrs)),
 		replyCh:      make(chan wire.Response, 4*len(addrs)+16),
 	}
@@ -202,7 +237,7 @@ func (c *Client) Round(spec proto.RoundSpec) error {
 			continue // unreachable object: counted as faulty
 		}
 		cc.mu.Lock()
-		err = cc.enc.Encode(wire.Request{From: c.Proc, Msg: msg})
+		err = cc.enc.Encode(wire.Request{From: c.Proc, Reg: c.reg, Msg: msg})
 		cc.mu.Unlock()
 		if err != nil {
 			c.dropConn(sid)

@@ -1,8 +1,9 @@
 // Package wire defines the gob-encoded TCP wire format of the storage
-// protocol: a request envelope carrying the client identity and message, and
-// a response envelope carrying the object's reply. One request yields at
-// most one response (objects reply to a message before receiving any other,
-// per the model); responses are matched to rounds by Message.Seq.
+// protocol: a request envelope carrying the client identity, the target
+// register and the message, and a response envelope carrying the object's
+// reply. One request yields at most one response (objects reply to a message
+// before receiving any other, per the model); responses are matched to
+// rounds by Message.Seq.
 package wire
 
 import (
@@ -13,9 +14,15 @@ import (
 	"robustatomic/internal/types"
 )
 
-// Request is a client→object message.
+// Request is a client→object message. Reg selects the register instance the
+// message addresses: one physical object hosts any number of independent
+// atomic registers (the shards of the keyed Store layer), each a fully
+// separate protocol state machine. Reg 0 is the default register of the
+// original single-register deployment, so old clients interoperate
+// unchanged.
 type Request struct {
 	From types.ProcID
+	Reg  int
 	Msg  types.Message
 }
 

@@ -15,6 +15,7 @@ func TestRequestRoundTrip(t *testing.T) {
 	enc := NewEncoder(&buf)
 	req := Request{
 		From: types.Reader(3),
+		Reg:  5,
 		Msg: types.Message{
 			Kind: types.MsgMux,
 			Seq:  7,
@@ -51,6 +52,26 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rsp, got) {
 		t.Fatalf("round trip:\n%+v\n%+v", rsp, got)
+	}
+}
+
+// TestRegisterRoutingDefault pins backward compatibility: a request encoded
+// without a register field (an old single-register client) decodes as
+// addressing register instance 0.
+func TestRegisterRoutingDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(struct {
+		From types.ProcID
+		Msg  types.Message
+	}{From: types.Writer, Msg: types.Message{Kind: types.MsgWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf).DecodeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reg != 0 {
+		t.Fatalf("legacy request routed to register %d, want 0", got.Reg)
 	}
 }
 

@@ -17,13 +17,21 @@
 //	r, _ := cluster.Reader(1)
 //	v, _ := r.Read() // "hello"
 //
-// See DESIGN.md for the paper reproduction map and EXPERIMENTS.md for the
-// measured results.
+// Beyond the paper's single register, Store shards a keyed Put/Get API over
+// N independent registers hosted on the same objects:
+//
+//	st, _ := cluster.NewStore(robustatomic.StoreOptions{Shards: 8})
+//	_ = st.Put("order:42", "shipped")
+//	v, _ = st.Get("order:42") // "shipped"
+//
+// See DESIGN.md for the paper reproduction map and the Store layer design,
+// and EXPERIMENTS.md for the measured results.
 package robustatomic
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"robustatomic/internal/core"
@@ -78,15 +86,38 @@ func (o *Options) defaults() {
 }
 
 // Cluster is a handle to a running storage cluster (in-process or remote).
+// Handle creation (Writer, Reader, NewStore) is safe for concurrent use;
+// each handle is then single-goroutine as the model prescribes.
 type Cluster struct {
 	opts Options
 	th   quorum.Thresholds
-	rng  *rand.Rand
 
 	inproc *live.Cluster // nil when remote
 	addrs  []string      // nil when in-process
 
+	mu         sync.Mutex // guards tcpClients
 	tcpClients []*tcpnet.Client
+}
+
+// mixSeed derives a deterministic sub-seed from the cluster seed and a
+// handle's coordinates, splitmix64-style, so every handle gets a private
+// rand stream: near-identical inputs (adjacent reader indices, adjacent
+// shards) yield unrelated streams, and no two handles ever share a
+// *rand.Rand (which is not concurrency-safe).
+func mixSeed(seed int64, salts ...int64) int64 {
+	z := uint64(seed) ^ 0x5eedcafe
+	for _, s := range salts {
+		z ^= uint64(s) + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// handleRNG returns a fresh private rand stream for the handle (proc, reg).
+func (c *Cluster) handleRNG(proc types.ProcID, reg int) *rand.Rand {
+	return rand.New(rand.NewSource(mixSeed(c.opts.Seed, int64(proc.Kind), int64(proc.Idx), int64(reg))))
 }
 
 // NewCluster starts an in-process cluster of S = 3t+1 storage objects.
@@ -99,7 +130,6 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c := &Cluster{
 		opts: opts,
 		th:   th,
-		rng:  rand.New(rand.NewSource(opts.Seed ^ 0x5eedcafe)),
 		inproc: live.New(live.Config{
 			Servers:  th.S,
 			Seed:     opts.Seed,
@@ -121,7 +151,6 @@ func Connect(addrs []string, opts Options) (*Cluster, error) {
 	return &Cluster{
 		opts:  opts,
 		th:    th,
-		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x5eedcafe)),
 		addrs: addrs,
 	}, nil
 }
@@ -131,6 +160,8 @@ func (c *Cluster) Close() {
 	if c.inproc != nil {
 		c.inproc.Close()
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, tc := range c.tcpClients {
 		tc.Close()
 	}
@@ -157,11 +188,17 @@ func (c *Cluster) InjectFault(sid int, mode string) error {
 	case "garbage":
 		b = server.Garbage{Level: 1 << 30, Val: "forged"}
 	case "stale":
-		b = &server.Stale{Snap: c.inproc.Snapshot(sid)}
+		// No explicit snapshot: every register instance the object hosts
+		// (the single default register and each Store shard) is frozen at
+		// its own state when the fault first bites, so staleness attacks
+		// stay meaningful per shard.
+		b = &server.Stale{}
 	case "equivocate":
-		b = server.Equivocate{Readers: &server.Stale{Snap: c.inproc.Snapshot(sid)}}
+		b = server.Equivocate{Readers: &server.Stale{}}
 	case "flaky":
-		b = server.Flaky{Rand: rand.New(rand.NewSource(c.opts.Seed)), DropProb: 0.5}
+		// Seed per object: flaky objects must not drop the same message
+		// pattern in lockstep, or t flaky objects act as one.
+		b = server.Flaky{Rand: rand.New(rand.NewSource(mixSeed(c.opts.Seed, int64(sid)))), DropProb: 0.5}
 	default:
 		return fmt.Errorf("robustatomic: unknown fault mode %q", mode)
 	}
@@ -169,13 +206,17 @@ func (c *Cluster) InjectFault(sid int, mode string) error {
 	return nil
 }
 
-// rounder builds the transport handle for one process.
-func (c *Cluster) rounder(proc types.ProcID) proto.Rounder {
+// rounder builds the transport handle for one process against register
+// instance reg (0 is the default single register; the Store layer uses
+// 1..Shards).
+func (c *Cluster) rounder(proc types.ProcID, reg int) proto.Rounder {
 	if c.inproc != nil {
-		return c.inproc.NewClient(proc)
+		return c.inproc.NewClientReg(proc, reg)
 	}
-	tc := tcpnet.NewClient(proc, c.addrs)
+	tc := tcpnet.NewClientReg(proc, c.addrs, reg)
+	c.mu.Lock()
 	c.tcpClients = append(c.tcpClients, tc)
+	c.mu.Unlock()
 	return tc
 }
 
@@ -188,14 +229,18 @@ type Writer struct {
 
 // Writer returns the writer handle (create it once; the register is
 // single-writer).
-func (c *Cluster) Writer() *Writer {
-	rc := c.rounder(types.Writer)
+func (c *Cluster) Writer() *Writer { return c.writerReg(0, 0) }
+
+// writerReg builds the writer handle for register instance reg, resuming
+// from a known last timestamp (0 for a fresh register).
+func (c *Cluster) writerReg(reg int, lastTS int64) *Writer {
+	rc := c.rounder(types.Writer, reg)
 	w := &Writer{c: c}
 	switch c.opts.Model {
 	case SecretTokens:
-		w.secret = secret.NewAtomicWriter(rc, c.th, c.rng)
+		w.secret = secret.NewAtomicWriterAt(rc, c.th, c.handleRNG(types.Writer, reg), lastTS)
 	default:
-		w.plain = core.NewWriter(rc, c.th)
+		w.plain = core.NewWriterAt(rc, c.th, lastTS)
 	}
 	return w
 }
@@ -217,15 +262,18 @@ type Reader struct {
 
 // Reader returns reader handle idx (1-based, ≤ Options.Readers). Each
 // reader identity must be used by at most one client at a time.
-func (c *Cluster) Reader(idx int) (*Reader, error) {
+func (c *Cluster) Reader(idx int) (*Reader, error) { return c.readerReg(idx, 0) }
+
+// readerReg builds reader handle idx for register instance reg.
+func (c *Cluster) readerReg(idx, reg int) (*Reader, error) {
 	if idx < 1 || idx > c.opts.Readers {
 		return nil, fmt.Errorf("robustatomic: reader index %d out of 1..%d", idx, c.opts.Readers)
 	}
-	rc := c.rounder(types.Reader(idx))
+	rc := c.rounder(types.Reader(idx), reg)
 	r := &Reader{c: c}
 	switch c.opts.Model {
 	case SecretTokens:
-		r.secret = secret.NewAtomicReader(rc, c.th, c.rng, idx, c.opts.Readers)
+		r.secret = secret.NewAtomicReader(rc, c.th, c.handleRNG(types.Reader(idx), reg), idx, c.opts.Readers)
 	default:
 		r.plain = core.NewReader(rc, c.th, idx, c.opts.Readers)
 	}
@@ -236,10 +284,15 @@ func (c *Cluster) Reader(idx int) (*Reader, error) {
 // the SecretTokens model without contention). The empty string is the
 // initial value.
 func (r *Reader) Read() (string, error) {
+	p, err := r.readPair()
+	return string(p.Val), err
+}
+
+// readPair performs the atomic read and returns the chosen timestamp-value
+// pair (the Store layer needs the timestamp for writer recovery).
+func (r *Reader) readPair() (types.Pair, error) {
 	if r.plain != nil {
-		v, err := r.plain.Read()
-		return string(v), err
+		return r.plain.ReadPair()
 	}
-	v, err := r.secret.Read()
-	return string(v), err
+	return r.secret.ReadPair()
 }

@@ -1,0 +1,157 @@
+package robustatomic
+
+import (
+	"fmt"
+	"sync"
+
+	"robustatomic/internal/shard"
+)
+
+// StoreOptions configures the sharded multi-key Store layer.
+type StoreOptions struct {
+	// Shards is the number of independent atomic registers keys are hashed
+	// onto. More shards mean more write parallelism (each shard has its own
+	// single writer) and smaller per-shard tables. Default 8.
+	Shards int
+}
+
+func (o *StoreOptions) defaults() {
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+}
+
+// Store is a keyed Put/Get layer over N independent robust atomic registers
+// (the paper's cloud key-value scenario, Section 1.1): keys are hashed onto
+// shards, each shard is one SWMR atomic register hosted on the cluster's
+// S = 3t+1 Byzantine-prone objects, and a shard's register value holds the
+// shard's whole key→value table. Per-key atomicity is the projection of
+// per-register atomicity, so every guarantee of the underlying protocol
+// carries over key by key.
+//
+// Shards are instantiated lazily: the first operation touching a shard
+// creates its writer handle and reader pool and recovers the shard's
+// current contents and write timestamp from the cluster, so a Store attached
+// to a non-empty cluster (e.g. a fresh Connect to running daemons) resumes
+// where the previous owner stopped.
+//
+// Store is safe for concurrent use. Writes to the same shard serialize on
+// the shard's single writer (the model is single-writer per register);
+// concurrent reads of a shard are limited by its pool of Options.Readers
+// reader identities.
+type Store struct {
+	c      *Cluster
+	router shard.Router
+	shards *shard.Lazy[*storeShard]
+}
+
+// storeShard is one shard's client-side state: the register's writer handle,
+// the writer's authoritative copy of the shard table, and the reader pool.
+type storeShard struct {
+	mu    sync.Mutex // serializes writes; guards w and table
+	w     *Writer
+	table map[string]string
+	pool  *shard.Pool[*Reader]
+}
+
+// NewStore returns a keyed store over the cluster.
+func (c *Cluster) NewStore(opts StoreOptions) (*Store, error) {
+	opts.defaults()
+	router, err := shard.NewRouter(opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("robustatomic: %w", err)
+	}
+	s := &Store{c: c, router: router}
+	s.shards = shard.NewLazy(opts.Shards, s.buildShard)
+	return s, nil
+}
+
+// buildShard instantiates shard i: handles, then recovery. Register instance
+// 0 is the legacy standalone register, so shard i lives on instance i+1.
+func (s *Store) buildShard(i int) (*storeShard, error) {
+	reg := i + 1
+	readers := make([]*Reader, s.c.opts.Readers)
+	for idx := 1; idx <= s.c.opts.Readers; idx++ {
+		r, err := s.c.readerReg(idx, reg)
+		if err != nil {
+			return nil, fmt.Errorf("robustatomic: shard %d: %w", i, err)
+		}
+		readers[idx-1] = r
+	}
+	// Recovery read: learn the shard's current table and the timestamp the
+	// writer must resume from, so a new Store over an existing cluster
+	// neither clobbers other keys in the shard nor reuses timestamps.
+	cur, err := readers[0].readPair()
+	if err != nil {
+		return nil, fmt.Errorf("robustatomic: shard %d recovery: %w", i, err)
+	}
+	table, err := shard.DecodeTable(string(cur.Val))
+	if err != nil {
+		return nil, fmt.Errorf("robustatomic: shard %d recovery: %w", i, err)
+	}
+	return &storeShard{
+		w:     s.c.writerReg(reg, cur.TS),
+		table: table,
+		pool:  shard.NewPool(readers),
+	}, nil
+}
+
+// Shards returns the shard count N.
+func (s *Store) Shards() int { return s.router.N() }
+
+// ShardOf returns the shard index key routes to.
+func (s *Store) ShardOf(key string) int { return s.router.Locate(key) }
+
+// Put stores value under key (2 communication rounds on the key's shard).
+// Keys are single-writer: at most one process may put a given shard's keys
+// at a time, matching the model's single-writer registers.
+func (s *Store) Put(key, value string) error {
+	sh, err := s.shards.Get(s.router.Locate(key))
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// The table entry stays updated even if the write errors: a timed-out
+	// write may have reached some objects, and the next successful write to
+	// the shard re-asserts it at a higher timestamp (the failed Put
+	// linearizes there), rather than making it appear and then vanish.
+	sh.table[key] = value
+	return sh.w.Write(shard.EncodeTable(sh.table))
+}
+
+// Delete removes key (a write of the shard table without it). Deleting an
+// absent key is a no-op write.
+func (s *Store) Delete(key string) error {
+	sh, err := s.shards.Get(s.router.Locate(key))
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.table, key)
+	return sh.w.Write(shard.EncodeTable(sh.table))
+}
+
+// Get returns the value under key (4 communication rounds on the key's
+// shard; 3 in the SecretTokens model without contention). Absent keys read
+// as the empty string, matching the register initial value ⊥.
+func (s *Store) Get(key string) (string, error) {
+	sh, err := s.shards.Get(s.router.Locate(key))
+	if err != nil {
+		return "", err
+	}
+	r := sh.pool.Acquire()
+	defer sh.pool.Release(r)
+	p, err := r.readPair()
+	if err != nil {
+		return "", err
+	}
+	table, err := shard.DecodeTable(string(p.Val))
+	if err != nil {
+		// Unreachable against ≤ t Byzantine objects: reads only return
+		// values certified by t+1 objects, hence genuinely written ones.
+		return "", fmt.Errorf("robustatomic: shard %d returned corrupt table: %w", s.router.Locate(key), err)
+	}
+	return table[key], nil
+}

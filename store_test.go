@@ -1,0 +1,369 @@
+package robustatomic
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/tcpnet"
+	"robustatomic/internal/types"
+)
+
+func storeKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	return keys
+}
+
+func TestStoreBasic(t *testing.T) {
+	c, err := NewCluster(Options{Faults: 1, Readers: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 8 {
+		t.Fatalf("Shards() = %d", st.Shards())
+	}
+	keys := storeKeys(64)
+	hit := make(map[int]bool)
+	for i, k := range keys {
+		hit[st.ShardOf(k)] = true
+		if err := st.Put(k, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	if len(hit) != 8 {
+		t.Errorf("64 keys hit only %d of 8 shards", len(hit))
+	}
+	for i, k := range keys {
+		v, err := st.Get(k)
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if want := fmt.Sprintf("v%d", i); v != want {
+			t.Errorf("get %s = %q, want %q", k, v, want)
+		}
+	}
+	if v, err := st.Get("never-written"); err != nil || v != "" {
+		t.Errorf("absent key = %q, %v", v, err)
+	}
+}
+
+func TestStoreDefaultsAndDelete(t *testing.T) {
+	c, err := NewCluster(Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 8 {
+		t.Fatalf("default shards = %d", st.Shards())
+	}
+	if err := st.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get("a"); v != "" {
+		t.Errorf("deleted key reads %q", v)
+	}
+	// Deleting an absent key is a no-op write, not an error.
+	if err := st.Delete("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreKeysShareShardIndependently(t *testing.T) {
+	c, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One shard forces every key onto the same register: per-key values must
+	// still be independent.
+	st, err := c.NewStore(StoreOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("x", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get("y"); v != "2" {
+		t.Errorf("y = %q after writes to x", v)
+	}
+	if v, _ := st.Get("x"); v != "3" {
+		t.Errorf("x = %q", v)
+	}
+}
+
+func TestStoreSecretModel(t *testing.T) {
+	c, err := NewCluster(Options{Faults: 1, Readers: 2, Model: SecretTokens, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("s%d", i)
+		if err := st.Put(k, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := st.Get(k); err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %s = %q, %v", k, v, err)
+		}
+	}
+}
+
+// TestStorePerKeyAtomicity drives the acceptance scenario: 64 keys over 8
+// shards under concurrent putters and getters, with a Byzantine (flaky)
+// object injected on one shard's objects mid-workload, and verifies per-key
+// atomicity with the checker.
+func TestStorePerKeyAtomicity(t *testing.T) {
+	const (
+		shards  = 8
+		keys    = 64
+		writes  = 4
+		reads   = 3
+		readers = 2
+	)
+	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: 15, MaxDelay: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object s2 turns Byzantine for the whole run: it drops about half its
+	// replies across every shard it hosts (the injected behavior applies to
+	// the physical object, hence to all register instances on it).
+	if err := c.InjectFault(2, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+
+	hists := make([]*checker.History, keys)
+	for i := range hists {
+		hists[i] = &checker.History{}
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		k := k
+		key := fmt.Sprintf("key-%03d", k)
+		wg.Add(1)
+		go func() { // one putter per key: per-key writes stay sequential
+			defer wg.Done()
+			for i := 1; i <= writes; i++ {
+				val := fmt.Sprintf("k%d-v%d", k, i)
+				id := hists[k].Invoke(types.Writer, checker.OpWrite, types.Value(val))
+				if err := st.Put(key, val); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				hists[k].Respond(id, types.Value(val))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				id := hists[k].Invoke(types.Reader(k+1), checker.OpRead, "")
+				v, err := st.Get(key)
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				hists[k].Respond(id, types.Value(v))
+			}
+		}()
+	}
+	wg.Wait()
+	for k, h := range hists {
+		if err := checker.CheckAtomic(h); err != nil {
+			t.Errorf("key %d: %v", k, err)
+		}
+	}
+}
+
+// TestStoreTCPRecovery runs the Store against real TCP daemons and verifies
+// that a second client recovers each shard's contents and resumes its write
+// timestamps, and that the daemons host many register instances.
+func TestStoreTCPRecovery(t *testing.T) {
+	var addrs []string
+	var servers []*tcpnet.Server
+	for i := 1; i <= 4; i++ {
+		s, err := tcpnet.NewServer(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	keys := storeKeys(16)
+
+	c1, err := Connect(addrs, Options{Faults: 1, Readers: 2, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c1.NewStore(StoreOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := st1.Put(k, fmt.Sprintf("gen1-%d", i)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	c1.Close()
+
+	if got := servers[0].Registers(); got < 4 {
+		t.Errorf("s1 hosts %d register instances, want ≥ 4", got)
+	}
+
+	// A fresh client must see generation 1 and be able to overwrite it:
+	// shard recovery reads back each shard's table and last timestamp.
+	c2, err := Connect(addrs, Options{Faults: 1, Readers: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st2, err := c2.NewStore(StoreOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, err := st2.Get(k)
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if want := fmt.Sprintf("gen1-%d", i); v != want {
+			t.Errorf("recovered %s = %q, want %q", k, v, want)
+		}
+	}
+	if err := st2.Put(keys[0], "gen2-0"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st2.Get(keys[0]); v != "gen2-0" {
+		t.Errorf("post-recovery put not visible: %q", v)
+	}
+	if v, _ := st2.Get(keys[1]); v != "gen1-1" {
+		t.Errorf("sibling key clobbered by recovery: %q", v)
+	}
+}
+
+// TestConcurrentHandleCreation creates handles from many goroutines at once,
+// in-process (shared-rng hazard) and over TCP (tcpClients slice hazard);
+// run with -race.
+func TestConcurrentHandleCreation(t *testing.T) {
+	t.Run("inproc-secret", func(t *testing.T) {
+		c, err := NewCluster(Options{Faults: 1, Readers: 8, Model: SecretTokens, Seed: 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var wg sync.WaitGroup
+		for g := 1; g <= 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() { // concurrent creation AND use: tokens draw from rngs
+				defer wg.Done()
+				r, err := c.Reader(g)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.Read(); err != nil {
+					t.Errorf("reader %d: %v", g, err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := c.Writer()
+			for i := 0; i < 4; i++ {
+				if err := w.Write(fmt.Sprintf("v%d", i)); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}
+		}()
+		wg.Wait()
+	})
+	t.Run("tcp", func(t *testing.T) {
+		var addrs []string
+		for i := 1; i <= 4; i++ {
+			s, err := tcpnet.NewServer(i, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			addrs = append(addrs, s.Addr())
+		}
+		c, err := Connect(addrs, Options{Faults: 1, Readers: 8, Seed: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var wg sync.WaitGroup
+		for g := 1; g <= 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() { // races on the cluster's tcpClients slice if unguarded
+				defer wg.Done()
+				if _, err := c.Reader(g); err != nil {
+					t.Error(err)
+				}
+				c.Writer()
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// TestFlakySeedDerivation pins the InjectFault("flaky") fix: distinct
+// objects must get distinct drop patterns from the same cluster seed.
+func TestFlakySeedDerivation(t *testing.T) {
+	seen := make(map[int64]int)
+	for sid := 1; sid <= 4; sid++ {
+		s := mixSeed(7, int64(sid))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("objects %d and %d derive the same seed", prev, sid)
+		}
+		seen[s] = sid
+	}
+	a := rand.New(rand.NewSource(mixSeed(7, 1)))
+	b := rand.New(rand.NewSource(mixSeed(7, 2)))
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("flaky objects 1 and 2 would drop identical message patterns")
+	}
+}
