@@ -1,0 +1,30 @@
+GO ?= go
+# bash + pipefail so piping through tee cannot mask a benchmark failure.
+SHELL := /bin/bash -o pipefail
+
+.PHONY: all build vet test race bench bench-codec
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path experiment benchmarks (E7 live-runtime latency,
+# E9 sharded-Store throughput) the way CI records them; output feeds the
+# benchmark trajectory in EXPERIMENTS.md.
+bench:
+	$(GO) test -run xxx -bench 'E7|E9' -benchmem -count=3 . | tee bench.txt
+
+# bench-codec compares the legacy text shard-table codec against the binary
+# codec across table sizes.
+bench-codec:
+	$(GO) test -run xxx -bench TableCodec -benchmem ./internal/shard/

@@ -301,6 +301,55 @@ func BenchmarkE9StorePut(b *testing.B) {
 	}
 }
 
+// BenchmarkE9StorePutCoalesced isolates the group-commit win: every putter
+// hammers keys of ONE shard, so without write coalescing all operations
+// would serialize into one 2-round protocol execution each, while with
+// coalescing concurrent mutations share register writes. The reported
+// writes/op metric is the average number of register writes one Put costs
+// (1.0 = no batching; lower = batched).
+func BenchmarkE9StorePutCoalesced(b *testing.B) {
+	const keyCount = 16
+	c, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		if err := st.Put(keys[i], "warm"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sh, err := st.shards.Get(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flushes int64
+	flush := sh.flush
+	sh.flush = func(enc string) error {
+		atomic.AddInt64(&flushes, 1)
+		return flush(enc)
+	}
+	var ctr int64
+	b.SetParallelism(8) // 8×GOMAXPROCS putters: contention even on small boxes
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&ctr, 1)
+			if err := st.Put(keys[i%keyCount], fmt.Sprintf("v%d", i)); err != nil {
+				b.Error(err) // Fatal must not run off the benchmark goroutine
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(atomic.LoadInt64(&flushes))/float64(b.N), "writes/op")
+}
+
 // BenchmarkE9StoreGet measures aggregate multi-key read throughput: reads of
 // one shard contend for its pool of R reader identities, so shards × R
 // bounds read parallelism.

@@ -179,7 +179,10 @@ func (c *Cluster) sleep(d time.Duration) bool {
 
 // serve is one object's event loop: process each request (objects reply to a
 // message before receiving any other) and send the reply after a random
-// delay.
+// delay. With no asynchrony injection (MaxDelay == 0, the production and
+// benchmark configuration) the reply is sent inline — no goroutine per
+// message; the delayed path keeps the goroutine so injected asynchrony can
+// reorder replies.
 func (c *Cluster) serve(sp *serverProc) {
 	defer c.wg.Done()
 	for {
@@ -198,20 +201,37 @@ func (c *Cluster) serve(sp *serverProc) {
 				continue
 			}
 			rep.Seq = req.msg.Seq
-			d := c.delay()
-			c.wg.Add(1)
-			go func(r reply, to chan<- reply) {
-				defer c.wg.Done()
-				if !c.sleep(d) {
-					return
-				}
+			r := reply{sid: sp.id, msg: rep}
+			if c.cfg.MaxDelay <= 0 {
 				select {
-				case to <- r:
-				case <-c.ctx.Done():
+				case req.replyTo <- r:
+				default:
+					// The client's buffer is momentarily full (it stopped
+					// draining after its round terminated). Fall back to a
+					// goroutine rather than stall this object's event loop
+					// or drop the reply.
+					c.deliver(r, req.replyTo, 0)
 				}
-			}(reply{sid: sp.id, msg: rep}, req.replyTo)
+				continue
+			}
+			c.deliver(r, req.replyTo, c.delay())
 		}
 	}
+}
+
+// deliver sends a reply from a goroutine after d, respecting shutdown.
+func (c *Cluster) deliver(r reply, to chan<- reply, d time.Duration) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if !c.sleep(d) {
+			return
+		}
+		select {
+		case to <- r:
+		case <-c.ctx.Done():
+		}
+	}()
 }
 
 // Client executes protocol rounds for one process against one register
@@ -222,6 +242,14 @@ type Client struct {
 	proc types.ProcID
 	reg  int
 	seq  int
+	// replyCh is the client's persistent reply channel, reused across
+	// rounds instead of allocating one per Round; replies are matched to
+	// the current round by Seq and stale deposits are drained at round
+	// start.
+	replyCh chan reply
+	// timer is the round deadline timer, reset per round (stopped and
+	// drained between uses).
+	timer *time.Timer
 	// Rounds counts completed communication rounds (instrumentation).
 	Rounds int
 }
@@ -238,21 +266,43 @@ func (c *Cluster) NewClient(proc types.ProcID) *Client {
 // reg; distinct instances are fully independent registers hosted on the same
 // S objects.
 func (c *Cluster) NewClientReg(proc types.ProcID, reg int) *Client {
-	return &Client{c: c, proc: proc, reg: reg}
+	return &Client{c: c, proc: proc, reg: reg, replyCh: make(chan reply, 4*c.cfg.Servers+16)}
 }
 
 // NumServers implements proto.Rounder.
 func (cl *Client) NumServers() int { return cl.c.NumServers() }
 
-// Round implements proto.Rounder: send to all objects (with random delays),
-// integrate replies until the accumulator is satisfied.
+// Round implements proto.Rounder: send to all objects, integrate replies
+// until the accumulator is satisfied. With no asynchrony injection
+// (MaxDelay == 0) requests are sent inline on the caller's goroutine and no
+// per-round channel is allocated — the whole round runs without spawning a
+// single goroutine; with MaxDelay > 0 each send goes through a goroutine
+// that sleeps the injected delay first.
 func (cl *Client) Round(spec proto.RoundSpec) error {
 	cl.seq++
 	seq := cl.seq
-	replyCh := make(chan reply, cl.c.NumServers()*2)
+	// Anything buffered now is a stale reply to an earlier round: drain it
+	// so the channel has room for this round's replies.
+	for {
+		select {
+		case <-cl.replyCh:
+			continue
+		default:
+		}
+		break
+	}
+	fast := cl.c.cfg.MaxDelay <= 0
 	for sid := 1; sid <= cl.c.NumServers(); sid++ {
 		msg := spec.Req(sid)
 		msg.Seq = seq
+		if fast {
+			select {
+			case cl.c.server(sid).reqCh <- request{from: cl.proc, reg: cl.reg, msg: msg, replyTo: cl.replyCh}:
+			case <-cl.c.ctx.Done():
+				return ErrClosed
+			}
+			continue
+		}
 		d := cl.c.delay()
 		cl.c.wg.Add(1)
 		go func(sid int, msg types.Message) {
@@ -261,17 +311,30 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 				return
 			}
 			select {
-			case cl.c.server(sid).reqCh <- request{from: cl.proc, reg: cl.reg, msg: msg, replyTo: replyCh}:
+			case cl.c.server(sid).reqCh <- request{from: cl.proc, reg: cl.reg, msg: msg, replyTo: cl.replyCh}:
 			case <-cl.c.ctx.Done():
 			}
 		}(sid, msg)
 	}
-	deadline := time.NewTimer(cl.c.cfg.RoundTimeout)
-	defer deadline.Stop()
+	if cl.timer == nil {
+		cl.timer = time.NewTimer(cl.c.cfg.RoundTimeout)
+	} else {
+		cl.timer.Reset(cl.c.cfg.RoundTimeout)
+	}
+	fired := false
+	defer func() {
+		// The timer must be quiescent before the next round's Reset. If Stop
+		// fails and this round did not consume the expiry, the send into
+		// timer.C is concurrent (pre-go1.23 semantics): wait for it — a
+		// non-blocking drain could miss it and poison the next round.
+		if !cl.timer.Stop() && !fired {
+			<-cl.timer.C
+		}
+	}()
 	received := 0
 	for {
 		select {
-		case rep := <-replyCh:
+		case rep := <-cl.replyCh:
 			if rep.msg.Seq != seq {
 				continue // late reply from an earlier round: received, ignored
 			}
@@ -283,7 +346,8 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 			}
 		case <-cl.c.ctx.Done():
 			return ErrClosed
-		case <-deadline.C:
+		case <-cl.timer.C:
+			fired = true
 			return fmt.Errorf("%w: %s after %v (%d replies)", ErrRoundStuck, spec.Label, cl.c.cfg.RoundTimeout, received)
 		}
 	}

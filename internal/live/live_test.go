@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"robustatomic/internal/abd"
 	"robustatomic/internal/checker"
 	"robustatomic/internal/core"
+	"robustatomic/internal/proto"
 	"robustatomic/internal/quorum"
 	"robustatomic/internal/regular"
 	"robustatomic/internal/secret"
@@ -183,6 +185,36 @@ func TestLiveRoundCounting(t *testing.T) {
 	}
 	if rcl.Rounds != 4 {
 		t.Errorf("atomic read rounds = %d, want 4", rcl.Rounds)
+	}
+}
+
+// TestFastPathSpawnsNoGoroutines pins the MaxDelay == 0 fast path: rounds
+// deliver requests and replies inline, so the goroutine count after many
+// rounds equals the count before (with asynchrony injection every message
+// costs a goroutine; that path is exercised by the MaxDelay > 0 tests).
+func TestFastPathSpawnsNoGoroutines(t *testing.T) {
+	c := New(Config{Servers: 4, Seed: 8})
+	defer c.Close()
+	cl := c.NewClient(types.Writer)
+	round := func() {
+		// Need all S replies so the round consumes every deposit before
+		// returning and no overflow fallback can fire.
+		spec := proto.RoundSpec{
+			Label: "PROBE",
+			Req:   func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
+			Acc:   proto.NewCountAcc(4, nil),
+		}
+		if err := cl.Round(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // warm up (lazily allocates the round timer)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		round()
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew %d → %d across 200 fast-path rounds", before, after)
 	}
 }
 

@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// The shard-table codec packs one shard's key→value table into a single
+// register value. Two formats exist:
+//
+//   - Binary v1 (current): a 0x01 header byte, a varint entry count, then
+//     per entry a varint-length-prefixed key and value, keys in sorted
+//     order. No escaping, no per-encode sorting (writers maintain the
+//     sorted key slice incrementally), one allocation per encode.
+//   - Legacy text: percent-escaped "k=v&k=v" pairs, or "!" for the empty
+//     table. Encoded by releases before the binary codec; DecodeTable
+//     still accepts it, so tables persisted on a running cluster survive
+//     a client upgrade.
+//
+// The header byte dispatches decoding: a legacy encoding's first byte is
+// '!' or a percent-escape-safe character ('=' when the key is empty), never
+// a control byte, so 0x01 is unambiguous. The register's reserved initial
+// value ⊥ (the empty string) is never encoded and decodes to an empty
+// table in both formats.
+
+// binaryMagic is the header byte of binary codec version 1.
+const binaryMagic = 0x01
+
+// legacyEmptyTable is the legacy text encoding of a table with no entries.
+// It must differ from ⊥ (the empty string), which the protocol refuses to
+// write, and can never collide with a real entry list because '!' is
+// percent-escaped in entries.
+const legacyEmptyTable = "!"
+
+// EncodeTable packs a table into one register value (binary v1). The
+// encoding is deterministic (keys sorted) and injective.
+func EncodeTable(m map[string]string) string {
+	return EncodeSorted(SortedKeys(m), m)
+}
+
+// EncodeSorted packs a table whose sorted key slice the caller already
+// maintains, skipping the per-encode sort and key-slice allocation — the
+// write hot path. keys must hold exactly m's keys in ascending order.
+func EncodeSorted(keys []string, m map[string]string) string {
+	size := 1 + varintLen(uint64(len(keys)))
+	for _, k := range keys {
+		v := m[k]
+		size += varintLen(uint64(len(k))) + len(k) + varintLen(uint64(len(v))) + len(v)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	var tmp [binary.MaxVarintLen64]byte
+	b.WriteByte(binaryMagic)
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(keys)))])
+	for _, k := range keys {
+		v := m[k]
+		b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(k)))])
+		b.WriteString(k)
+		b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(v)))])
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// varintLen returns the encoded size of x as a uvarint.
+func varintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeTable unpacks an encoded shard table in either format. The empty
+// string (the register's initial value ⊥) decodes to an empty table.
+func DecodeTable(s string) (map[string]string, error) {
+	if s == "" {
+		return map[string]string{}, nil
+	}
+	if s[0] == binaryMagic {
+		return decodeBinary(s)
+	}
+	return decodeLegacy(s)
+}
+
+func decodeBinary(s string) (map[string]string, error) {
+	rest := s[1:]
+	n, w := uvarint(rest)
+	if w <= 0 {
+		return nil, fmt.Errorf("shard: truncated table entry count")
+	}
+	rest = rest[w:]
+	if n > uint64(len(rest)) { // each entry costs ≥ 2 bytes; cheap bound against forged counts
+		return nil, fmt.Errorf("shard: table entry count %d exceeds payload", n)
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		var err error
+		if k, rest, err = cutPrefixed(rest, "key"); err != nil {
+			return nil, err
+		}
+		if v, rest, err = cutPrefixed(rest, "value"); err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after table entries", len(rest))
+	}
+	return m, nil
+}
+
+// cutPrefixed cuts one varint-length-prefixed field off the front of s.
+func cutPrefixed(s, what string) (field, rest string, err error) {
+	n, w := uvarint(s)
+	if w <= 0 || n > uint64(len(s)-w) {
+		return "", "", fmt.Errorf("shard: truncated table %s", what)
+	}
+	return s[w : w+int(n)], s[w+int(n):], nil
+}
+
+// uvarint is binary.Uvarint over a string, avoiding a []byte conversion.
+func uvarint(s string) (uint64, int) {
+	var x uint64
+	var shift uint
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b < 0x80 {
+			if i > 9 || i == 9 && b > 1 {
+				return 0, -(i + 1) // overflow
+			}
+			return x | uint64(b)<<shift, i + 1
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}
+
+// legacyEncodeTable emits the pre-binary text format. Kept (unexported) as
+// the reference encoder for compatibility tests and the codec benchmark;
+// production encoding is binary-only.
+func legacyEncodeTable(m map[string]string) string {
+	if len(m) == 0 {
+		return legacyEmptyTable
+	}
+	keys := SortedKeys(m)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(url.QueryEscape(k))
+		b.WriteByte('=')
+		b.WriteString(url.QueryEscape(m[k]))
+	}
+	return b.String()
+}
+
+func decodeLegacy(s string) (map[string]string, error) {
+	m := make(map[string]string)
+	if s == legacyEmptyTable {
+		return m, nil
+	}
+	for _, pair := range strings.Split(s, "&") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("shard: malformed table entry %q", pair)
+		}
+		k, err := url.QueryUnescape(pair[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("shard: malformed table key %q: %w", pair[:eq], err)
+		}
+		v, err := url.QueryUnescape(pair[eq+1:])
+		if err != nil {
+			return nil, fmt.Errorf("shard: malformed table value %q: %w", pair[eq+1:], err)
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// SortedKeys returns m's keys in ascending order.
+func SortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// InsertSorted inserts key into the ascending slice keys if absent,
+// returning the updated slice. Writers maintain their shard's key slice
+// with this instead of re-sorting per encode.
+func InsertSorted(keys []string, key string) []string {
+	i := sort.SearchStrings(keys, key)
+	if i < len(keys) && keys[i] == key {
+		return keys
+	}
+	keys = append(keys, "")
+	copy(keys[i+1:], keys[i:])
+	keys[i] = key
+	return keys
+}
+
+// RemoveSorted removes key from the ascending slice keys if present.
+func RemoveSorted(keys []string, key string) []string {
+	i := sort.SearchStrings(keys, key)
+	if i >= len(keys) || keys[i] != key {
+		return keys
+	}
+	return append(keys[:i], keys[i+1:]...)
+}

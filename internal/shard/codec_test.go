@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestLegacyTablesStillDecode pins the upgrade path: tables persisted on a
+// running cluster by the pre-binary text codec must decode byte-identically
+// after the codec switch.
+func TestLegacyTablesStillDecode(t *testing.T) {
+	cases := []map[string]string{
+		{},
+		{"a": "1"},
+		{"a": "1", "b": "2", "order:42": "shipped"},
+		{"k=ey": "v&al", "a&b=c": "=&=", "unicode-⊥": "värde", "empty": ""},
+		{"": "empty-key"},
+	}
+	for _, m := range cases {
+		enc := legacyEncodeTable(m)
+		if len(enc) > 0 && enc[0] == binaryMagic {
+			t.Fatalf("legacy encoding %q starts with the binary magic byte", enc)
+		}
+		dec, err := DecodeTable(enc)
+		if err != nil {
+			t.Fatalf("legacy decode(%q): %v", enc, err)
+		}
+		if len(dec) != len(m) {
+			t.Fatalf("legacy round trip of %v lost entries: %v", m, dec)
+		}
+		for k, v := range m {
+			if dec[k] != v {
+				t.Errorf("legacy round trip of %v: key %q = %q", m, k, dec[k])
+			}
+		}
+	}
+}
+
+func TestBinaryCodecRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"\x01",                  // truncated count
+		"\x01\x05",              // count 5, no entries
+		"\x01\x01\x09key",       // key length past payload
+		"\x01\x01\x03key",       // missing value length
+		"\x01\x01\x03key\x05va", // value length past payload
+		"\x01\x00trailing",      // bytes after the last entry
+		"\x01\x01\x03key\x02vvEXTRA",
+		"\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff", // varint overflow
+	}
+	for _, s := range cases {
+		if m, err := DecodeTable(s); err == nil {
+			t.Errorf("DecodeTable(%q) accepted: %v", s, m)
+		}
+	}
+}
+
+func TestEncodeSortedMatchesEncodeTable(t *testing.T) {
+	m := map[string]string{"z": "26", "a": "1", "m": "13", "": "empty"}
+	keys := SortedKeys(m)
+	if got, want := EncodeSorted(keys, m), EncodeTable(m); got != want {
+		t.Errorf("EncodeSorted = %q, EncodeTable = %q", got, want)
+	}
+}
+
+func TestSortedKeyMaintenance(t *testing.T) {
+	var keys []string
+	for _, k := range []string{"m", "a", "z", "a", "m"} { // duplicates are no-ops
+		keys = InsertSorted(keys, k)
+	}
+	if !sort.StringsAreSorted(keys) || len(keys) != 3 {
+		t.Fatalf("after inserts: %v", keys)
+	}
+	keys = RemoveSorted(keys, "m")
+	keys = RemoveSorted(keys, "absent") // removing an absent key is a no-op
+	if fmt.Sprint(keys) != "[a z]" {
+		t.Fatalf("after removes: %v", keys)
+	}
+	keys = RemoveSorted(RemoveSorted(keys, "a"), "z")
+	if len(keys) != 0 {
+		t.Fatalf("not emptied: %v", keys)
+	}
+}
+
+// benchTable builds a deterministic n-key table and its sorted key slice.
+func benchTable(n int) (map[string]string, []string) {
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("key-%06d", i)] = fmt.Sprintf("value-%d-of-a-realistic-size", i)
+	}
+	return m, SortedKeys(m)
+}
+
+// BenchmarkTableCodec compares the legacy percent-escaped text codec against
+// the binary codec across table sizes (run with -benchmem: the binary
+// encoder's advantage is as much allocations as time).
+func BenchmarkTableCodec(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		m, keys := benchTable(n)
+		b.Run(fmt.Sprintf("text/encode/keys=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				legacyEncodeTable(m)
+			}
+		})
+		b.Run(fmt.Sprintf("binary/encode/keys=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				EncodeSorted(keys, m)
+			}
+		})
+		textEnc := legacyEncodeTable(m)
+		binEnc := EncodeSorted(keys, m)
+		b.Run(fmt.Sprintf("text/decode/keys=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeTable(textEnc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("binary/decode/keys=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeTable(binEnc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,9 +13,6 @@ package shard
 
 import (
 	"fmt"
-	"net/url"
-	"sort"
-	"strings"
 	"sync"
 )
 
@@ -140,60 +137,4 @@ func (p *Pool[T]) Release(v T) {
 	default:
 		panic("shard: pool release without acquire")
 	}
-}
-
-// emptyTable encodes a table with no entries. It must differ from the
-// register's initial value ⊥ (the empty string), which the protocol refuses
-// to write, and can never collide with a real entry list because '!' is
-// percent-escaped in entries.
-const emptyTable = "!"
-
-// EncodeTable packs a shard's key→value table into one register value. The
-// encoding is deterministic (keys sorted) and injective: keys and values are
-// percent-escaped so the separators never collide with payload bytes.
-func EncodeTable(m map[string]string) string {
-	if len(m) == 0 {
-		return emptyTable
-	}
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for i, k := range keys {
-		if i > 0 {
-			b.WriteByte('&')
-		}
-		b.WriteString(url.QueryEscape(k))
-		b.WriteByte('=')
-		b.WriteString(url.QueryEscape(m[k]))
-	}
-	return b.String()
-}
-
-// DecodeTable unpacks an encoded shard table. The empty string (the
-// register's initial value ⊥) and the empty-table sentinel both decode to an
-// empty table.
-func DecodeTable(s string) (map[string]string, error) {
-	m := make(map[string]string)
-	if s == "" || s == emptyTable {
-		return m, nil
-	}
-	for _, pair := range strings.Split(s, "&") {
-		eq := strings.IndexByte(pair, '=')
-		if eq < 0 {
-			return nil, fmt.Errorf("shard: malformed table entry %q", pair)
-		}
-		k, err := url.QueryUnescape(pair[:eq])
-		if err != nil {
-			return nil, fmt.Errorf("shard: malformed table key %q: %w", pair[:eq], err)
-		}
-		v, err := url.QueryUnescape(pair[eq+1:])
-		if err != nil {
-			return nil, fmt.Errorf("shard: malformed table value %q: %w", pair[eq+1:], err)
-		}
-		m[k] = v
-	}
-	return m, nil
 }

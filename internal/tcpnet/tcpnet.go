@@ -136,6 +136,22 @@ func (s *Server) serveConn(conn net.Conn) {
 // ErrRoundTimeout is returned when a round cannot gather sufficient replies.
 var ErrRoundTimeout = errors.New("tcpnet: round timed out")
 
+// errDialPending is returned by conn while a (re)dial is in flight.
+var errDialPending = errors.New("tcpnet: dial in progress")
+
+// errObjectDown is returned by conn while a recently-failed object is in its
+// redial backoff window.
+var errObjectDown = errors.New("tcpnet: object unreachable, in dial backoff")
+
+// dialTimeout bounds one connection attempt.
+const dialTimeout = 2 * time.Second
+
+// dialBackoff is how long after a failed dial the client waits before
+// trying that object again. During the window, rounds skip the object
+// immediately instead of stalling on a fresh dial — one unreachable object
+// must not add dial latency to every round.
+const dialBackoff = 1 * time.Second
+
 // Client executes protocol rounds against a set of object addresses
 // (addresses[i] serves object i+1). One Client serves one logical process
 // against one register instance; operations are issued one at a time.
@@ -147,6 +163,9 @@ type Client struct {
 	reg     int
 	mu      sync.Mutex
 	conns   []*clientConn
+	dials   []dialState
+	closed  bool
+	done    chan struct{} // closed by Close; releases blocked reader sends
 	replyCh chan wire.Response
 	seq     int
 	// Rounds counts completed rounds (instrumentation).
@@ -157,6 +176,16 @@ type clientConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *wire.Encoder
+}
+
+// dialState tracks one object's connection attempts. A zero failedAt means
+// the next attempt dials synchronously (first contact, or after an
+// established connection dropped — the common case of a healthy peer);
+// after a failed dial, retries run in the background at most once per
+// backoff window so rounds never block on a dead peer.
+type dialState struct {
+	failedAt time.Time
+	inflight bool
 }
 
 // NewClient returns a round executor for proc against the given addresses,
@@ -174,6 +203,8 @@ func NewClientReg(proc types.ProcID, addrs []string, reg int) *Client {
 		addrs:        addrs,
 		reg:          reg,
 		conns:        make([]*clientConn, len(addrs)),
+		dials:        make([]dialState, len(addrs)),
+		done:         make(chan struct{}),
 		replyCh:      make(chan wire.Response, 4*len(addrs)+16),
 	}
 }
@@ -183,10 +214,16 @@ var _ proto.Rounder = (*Client)(nil)
 // NumServers implements proto.Rounder.
 func (c *Client) NumServers() int { return len(c.addrs) }
 
-// Close tears down the client's connections.
+// Close tears down the client's connections and releases its reader
+// goroutines.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.done)
 	for _, cc := range c.conns {
 		if cc != nil && cc.conn != nil {
 			cc.conn.Close()
@@ -194,18 +231,73 @@ func (c *Client) Close() {
 	}
 }
 
-// conn returns (dialing if needed) the pooled connection to object sid; a
-// reader goroutine pumps its responses into the client's reply channel.
+// conn returns the pooled connection to object sid, dialing if needed. The
+// first attempt (and the first after an established connection drops) dials
+// synchronously; once an attempt has failed, further attempts are skipped
+// for the backoff window and then retried in the background, so sends to
+// live objects proceed immediately while a peer is down.
 func (c *Client) conn(sid int) (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if cc := c.conns[sid-1]; cc != nil && cc.conn != nil {
+		c.mu.Unlock()
 		return cc, nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addrs[sid-1], 2*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, err)
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("tcpnet: client closed")
 	}
+	ds := &c.dials[sid-1]
+	if ds.inflight {
+		c.mu.Unlock()
+		return nil, errDialPending
+	}
+	if ds.failedAt.IsZero() {
+		ds.inflight = true
+		c.mu.Unlock()
+		conn, err := net.DialTimeout("tcp", c.addrs[sid-1], dialTimeout)
+		c.mu.Lock()
+		ds.inflight = false
+		cc, installErr := c.installLocked(sid, conn, err)
+		c.mu.Unlock()
+		if installErr != nil {
+			return nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, installErr)
+		}
+		return cc, nil
+	}
+	if time.Since(ds.failedAt) < dialBackoff {
+		c.mu.Unlock()
+		return nil, errObjectDown
+	}
+	// Backoff expired: retry in the background; this round still skips the
+	// object, the next one uses the connection if the dial succeeded.
+	ds.inflight = true
+	go func() {
+		conn, err := net.DialTimeout("tcp", c.addrs[sid-1], dialTimeout)
+		c.mu.Lock()
+		ds.inflight = false
+		c.installLocked(sid, conn, err)
+		c.mu.Unlock()
+	}()
+	c.mu.Unlock()
+	return nil, errDialPending
+}
+
+// installLocked records the outcome of a dial attempt (under c.mu): on
+// success it pools the connection and starts its reader goroutine, which
+// pumps responses into the client's reply channel — blocking when the
+// channel is momentarily full rather than dropping, so current-round
+// replies are never lost; Close releases any blocked reader.
+func (c *Client) installLocked(sid int, conn net.Conn, err error) (*clientConn, error) {
+	ds := &c.dials[sid-1]
+	if err != nil {
+		ds.failedAt = time.Now()
+		return nil, err
+	}
+	if c.closed {
+		conn.Close()
+		return nil, errors.New("tcpnet: client closed")
+	}
+	ds.failedAt = time.Time{}
 	cc := &clientConn{conn: conn, enc: wire.NewEncoder(conn)}
 	c.conns[sid-1] = cc
 	go func() {
@@ -217,8 +309,8 @@ func (c *Client) conn(sid int) (*clientConn, error) {
 			}
 			select {
 			case c.replyCh <- rsp:
-			default:
-				// Client gone or drowning in late replies; drop.
+			case <-c.done:
+				return
 			}
 		}
 	}()
@@ -229,6 +321,16 @@ func (c *Client) conn(sid int) (*clientConn, error) {
 func (c *Client) Round(spec proto.RoundSpec) error {
 	c.seq++
 	seq := c.seq
+	// Anything buffered now answers an earlier round: drain it so readers
+	// blocked on a momentarily-full channel can deliver current replies.
+	for {
+		select {
+		case <-c.replyCh:
+			continue
+		default:
+		}
+		break
+	}
 	for sid := 1; sid <= len(c.addrs); sid++ {
 		msg := spec.Req(sid)
 		msg.Seq = seq
@@ -260,6 +362,8 @@ func (c *Client) Round(spec proto.RoundSpec) error {
 				c.Rounds++
 				return nil
 			}
+		case <-c.done:
+			return errors.New("tcpnet: client closed")
 		case <-deadline.C:
 			return fmt.Errorf("%w: %s", ErrRoundTimeout, spec.Label)
 		}
@@ -273,4 +377,8 @@ func (c *Client) dropConn(sid int) {
 		cc.conn.Close()
 		c.conns[sid-1] = nil
 	}
+	// An established connection died mid-send; the peer is probably still
+	// up (daemon restart, transient reset), so the next attempt dials
+	// synchronously again.
+	c.dials[sid-1] = dialState{}
 }

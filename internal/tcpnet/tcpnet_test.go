@@ -11,6 +11,7 @@ import (
 	"robustatomic/internal/quorum"
 	"robustatomic/internal/server"
 	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
 )
 
 // startCluster launches n object servers on loopback.
@@ -123,6 +124,113 @@ func TestTCPRoundTimeoutBeyondBudget(t *testing.T) {
 	w := core.NewWriter(wc, thr)
 	if err := w.Write("a"); err == nil {
 		t.Fatal("write succeeded with 2 of 4 objects down")
+	}
+}
+
+// TestClientReaderNeverDropsReplies pins the reply-drop fix: a pooled
+// connection's reader used to discard responses when the client's reply
+// channel was momentarily full, which could stall an otherwise-healthy
+// round. The reader must instead block until the client drains. This test
+// squeezes 8 responses through a reply channel of capacity 1.
+func TestClientReaderNeverDropsReplies(t *testing.T) {
+	_, addrs := startCluster(t, 1)
+	c := &Client{
+		Proc:         types.Writer,
+		RoundTimeout: 5 * time.Second,
+		addrs:        addrs,
+		conns:        make([]*clientConn, 1),
+		dials:        make([]dialState, 1),
+		done:         make(chan struct{}),
+		replyCh:      make(chan wire.Response, 1),
+	}
+	defer c.Close()
+	cc, err := c.conn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 1; i <= n; i++ {
+		req := wire.Request{From: c.Proc, Msg: types.Message{Kind: types.MsgRead1, Seq: i}}
+		if err := cc.enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for got := 0; got < n; got++ {
+		select {
+		case <-c.replyCh:
+			time.Sleep(time.Millisecond) // keep the channel congested
+		case <-deadline:
+			t.Fatalf("only %d of %d replies delivered: reader dropped responses", got, n)
+		}
+	}
+}
+
+// TestDeadPeerDoesNotStallRounds pins the dial-backoff fix: after one failed
+// dial, rounds must skip the dead object immediately (no synchronous redial
+// per round), and a background redial must adopt the object once it is back.
+func TestDeadPeerDoesNotStallRounds(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, addrs := startCluster(t, 4)
+	deadAddr := servers[3].Addr()
+	servers[3].Close() // object 4 is down from the start
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	w := core.NewWriter(wc, thr)
+	if err := w.Write("a"); err != nil { // pays the one failed dial
+		t.Fatal(err)
+	}
+	wc.mu.Lock()
+	failedAt := wc.dials[3].failedAt
+	wc.mu.Unlock()
+	if failedAt.IsZero() {
+		t.Fatal("failed dial not recorded")
+	}
+	// Within the backoff window conn must refuse instantly, not dial.
+	start := time.Now()
+	if _, err := wc.conn(4); err != errObjectDown {
+		t.Fatalf("conn(dead) = %v, want errObjectDown", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("conn(dead) took %v during backoff, want immediate", d)
+	}
+	start = time.Now()
+	if err := w.Write("b"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > dialTimeout {
+		t.Errorf("round with a dead peer took %v, want no dial stall", d)
+	}
+
+	// Bring object 4 back and expire the backoff: the next conn kicks off a
+	// background dial, and the connection appears without blocking a round.
+	s4, err := NewServer(4, deadAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", deadAddr, err)
+	}
+	defer s4.Close()
+	wc.mu.Lock()
+	wc.dials[3].failedAt = time.Now().Add(-2 * dialBackoff)
+	wc.mu.Unlock()
+	if _, err := wc.conn(4); err != errDialPending {
+		t.Fatalf("conn(recovering) = %v, want errDialPending", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cc, err := wc.conn(4)
+		if err == nil && cc != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background dial never adopted the recovered object")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := w.Write("c"); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -18,7 +18,10 @@
 //	v, _ := r.Read() // "hello"
 //
 // Beyond the paper's single register, Store shards a keyed Put/Get API over
-// N independent registers hosted on the same objects:
+// N independent registers hosted on the same objects; concurrent writes to
+// one shard coalesce into a single 2-round register write (group commit),
+// so aggregate throughput scales with both shard count and write
+// concurrency while every operation keeps the paper's optimal round counts:
 //
 //	st, _ := cluster.NewStore(robustatomic.StoreOptions{Shards: 8})
 //	_ = st.Put("order:42", "shipped")

@@ -35,9 +35,12 @@ func (o *StoreOptions) defaults() {
 // to a non-empty cluster (e.g. a fresh Connect to running daemons) resumes
 // where the previous owner stopped.
 //
-// Store is safe for concurrent use. Writes to the same shard serialize on
-// the shard's single writer (the model is single-writer per register);
-// concurrent reads of a shard are limited by its pool of Options.Readers
+// Store is safe for concurrent use. Writes to the same shard coalesce on
+// the shard's single writer (the model is single-writer per register):
+// mutations that arrive while a register write is in flight merge into one
+// pending batch and commit together in the next 2-round write, so N
+// concurrent Puts to a shard cost far fewer than N protocol executions.
+// Concurrent reads of a shard are limited by its pool of Options.Readers
 // reader identities.
 type Store struct {
 	c      *Cluster
@@ -45,13 +48,35 @@ type Store struct {
 	shards *shard.Lazy[*storeShard]
 }
 
-// storeShard is one shard's client-side state: the register's writer handle,
-// the writer's authoritative copy of the shard table, and the reader pool.
+// storeShard is one shard's client-side state: the writer's authoritative
+// copy of the shard table (plus its incrementally-maintained sorted key
+// slice), the group-commit state, and the reader pool.
 type storeShard struct {
-	mu    sync.Mutex // serializes writes; guards w and table
-	w     *Writer
+	mu    sync.Mutex // guards table, keys, next, flushing
 	table map[string]string
+	keys  []string // table's keys, ascending; maintained incrementally
 	pool  *shard.Pool[*Reader]
+
+	// flush performs one register write of the encoded table. Only the
+	// current committer calls it, so the underlying single-writer handle is
+	// never used concurrently. Swappable in tests.
+	flush    func(encoded string) error
+	flushing bool         // a committer is running (its write may be in flight)
+	next     *commitBatch // batch collecting mutations for the next write; nil if none pending
+}
+
+// commitBatch represents one group commit: the set of mutations applied to
+// the shard table since the previous write was snapshotted. Every mutator
+// whose change rides in the batch blocks on done; exactly one of them (or
+// the previous committer, via lead) performs the write.
+type commitBatch struct {
+	done chan struct{} // closed when the covering register write completes
+	lead chan struct{} // capacity 1: the handoff token making its receiver the committer
+	err  error         // the covering write's result; valid after done is closed
+}
+
+func newCommitBatch() *commitBatch {
+	return &commitBatch{done: make(chan struct{}), lead: make(chan struct{}, 1)}
 }
 
 // NewStore returns a keyed store over the cluster.
@@ -89,10 +114,12 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("robustatomic: shard %d recovery: %w", i, err)
 	}
+	w := s.c.writerReg(reg, cur.TS)
 	return &storeShard{
-		w:     s.c.writerReg(reg, cur.TS),
 		table: table,
+		keys:  shard.SortedKeys(table),
 		pool:  shard.NewPool(readers),
+		flush: w.Write,
 	}, nil
 }
 
@@ -102,22 +129,22 @@ func (s *Store) Shards() int { return s.router.N() }
 // ShardOf returns the shard index key routes to.
 func (s *Store) ShardOf(key string) int { return s.router.Locate(key) }
 
-// Put stores value under key (2 communication rounds on the key's shard).
-// Keys are single-writer: at most one process may put a given shard's keys
-// at a time, matching the model's single-writer registers.
+// Put stores value under key. The mutation commits in the shard's next
+// 2-round register write, shared with any other mutations that coalesced
+// into the same batch; Put returns when that write completes. Keys are
+// single-writer: at most one process may put a given shard's keys at a
+// time, matching the model's single-writer registers.
 func (s *Store) Put(key, value string) error {
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return err
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	// The table entry stays updated even if the write errors: a timed-out
-	// write may have reached some objects, and the next successful write to
-	// the shard re-asserts it at a higher timestamp (the failed Put
-	// linearizes there), rather than making it appear and then vanish.
-	sh.table[key] = value
-	return sh.w.Write(shard.EncodeTable(sh.table))
+	return sh.mutate(func() {
+		if _, ok := sh.table[key]; !ok {
+			sh.keys = shard.InsertSorted(sh.keys, key)
+		}
+		sh.table[key] = value
+	})
 }
 
 // Delete removes key (a write of the shard table without it). Deleting an
@@ -127,10 +154,64 @@ func (s *Store) Delete(key string) error {
 	if err != nil {
 		return err
 	}
+	return sh.mutate(func() {
+		if _, ok := sh.table[key]; ok {
+			sh.keys = shard.RemoveSorted(sh.keys, key)
+			delete(sh.table, key)
+		}
+	})
+}
+
+// mutate applies one key mutation to the shard table and blocks until a
+// register write covering it completes (group commit). Mutations apply to
+// the table in call order under the shard lock, so a batch holding a Put
+// and a Delete of the same key resolves to whichever came last. The batch
+// linearizes its mutations at its single write, which is a write of the
+// merged table — per-key atomicity is preserved because each key's value
+// still changes only at register writes, in the order the calls applied.
+//
+// The table entry stays updated even if the write errors: a timed-out
+// write may have reached some objects, and the next successful write to
+// the shard re-asserts it at a higher timestamp (the failed mutation
+// linearizes there), rather than making it appear and then vanish.
+func (sh *storeShard) mutate(apply func()) error {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	delete(sh.table, key)
-	return sh.w.Write(shard.EncodeTable(sh.table))
+	apply()
+	b := sh.next
+	if b == nil {
+		b = newCommitBatch()
+		sh.next = b
+	}
+	if sh.flushing {
+		// A committer is running. Wait for our batch's write — unless the
+		// committer hands this batch off, making us the next committer.
+		sh.mu.Unlock()
+		select {
+		case <-b.done:
+			return b.err
+		case <-b.lead:
+			sh.mu.Lock()
+		}
+	}
+	// Committer: write the current table snapshot; it covers batch b.
+	sh.flushing = true
+	sh.next = nil
+	encoded := shard.EncodeSorted(sh.keys, sh.table)
+	flush := sh.flush
+	sh.mu.Unlock()
+	b.err = flush(encoded)
+	close(b.done)
+	// Hand off to a waiter of the batch that accumulated during our write,
+	// if any; it performs the next write (each caller flushes at most once,
+	// always for a batch containing its own mutation).
+	sh.mu.Lock()
+	if sh.next != nil {
+		sh.next.lead <- struct{}{}
+	} else {
+		sh.flushing = false
+	}
+	sh.mu.Unlock()
+	return b.err
 }
 
 // Get returns the value under key (4 communication rounds on the key's

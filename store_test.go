@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"robustatomic/internal/checker"
+	"robustatomic/internal/shard"
 	"robustatomic/internal/tcpnet"
 	"robustatomic/internal/types"
 )
@@ -164,6 +165,199 @@ func TestStorePerKeyAtomicity(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	hists := make([]*checker.History, keys)
+	for i := range hists {
+		hists[i] = &checker.History{}
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		k := k
+		key := fmt.Sprintf("key-%03d", k)
+		wg.Add(1)
+		go func() { // one putter per key: per-key writes stay sequential
+			defer wg.Done()
+			for i := 1; i <= writes; i++ {
+				val := fmt.Sprintf("k%d-v%d", k, i)
+				id := hists[k].Invoke(types.Writer, checker.OpWrite, types.Value(val))
+				if err := st.Put(key, val); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				hists[k].Respond(id, types.Value(val))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				id := hists[k].Invoke(types.Reader(k+1), checker.OpRead, "")
+				v, err := st.Get(key)
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				hists[k].Respond(id, types.Value(v))
+			}
+		}()
+	}
+	wg.Wait()
+	for k, h := range hists {
+		if err := checker.CheckAtomic(h); err != nil {
+			t.Errorf("key %d: %v", k, err)
+		}
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestStoreBatchAppliesPutDeleteInCallOrder pins the group-commit merge
+// semantics: a batch holding both a Put and a Delete of the same key applies
+// them in call order, and the whole batch commits as one register write.
+func TestStoreBatchAppliesPutDeleteInCallOrder(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		first      func(st *Store) error
+		afterFirst func(v string, ok bool) bool
+		second     func(st *Store) error
+		want       string
+		present    bool
+	}{
+		{
+			name:       "put-then-delete",
+			first:      func(st *Store) error { return st.Put("k", "v1") },
+			afterFirst: func(v string, ok bool) bool { return ok && v == "v1" },
+			second:     func(st *Store) error { return st.Delete("k") },
+			want:       "", present: false,
+		},
+		{
+			name:       "delete-then-put",
+			first:      func(st *Store) error { return st.Delete("k") },
+			afterFirst: func(v string, ok bool) bool { return !ok },
+			second:     func(st *Store) error { return st.Put("k", "v2") },
+			want:       "v2", present: true,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 21})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			st, err := c.NewStore(StoreOptions{Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put("k", "v0"); err != nil { // both cases start with k present
+				t.Fatal(err)
+			}
+			sh, err := st.shards.Get(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Instrument the shard's flush: record every committed table and
+			// hold the next write in flight while the test batch forms.
+			gate := make(chan struct{})
+			entered := make(chan struct{}, 1)
+			var mu sync.Mutex
+			var committed []map[string]string
+			hold := true
+			orig := sh.flush
+			sh.flush = func(enc string) error {
+				dec, err := shard.DecodeTable(enc)
+				if err != nil {
+					t.Errorf("committed table does not decode: %v", err)
+				}
+				mu.Lock()
+				committed = append(committed, dec)
+				block := hold
+				hold = false
+				mu.Unlock()
+				if block {
+					entered <- struct{}{}
+					<-gate
+				}
+				return orig(enc)
+			}
+
+			var wg sync.WaitGroup
+			run := func(f func(st *Store) error) {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := f(st); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			run(func(st *Store) error { return st.Put("blocker", "x") })
+			<-entered // the blocker's write is now in flight
+			run(tc.first)
+			waitUntil(t, "first mutation applied", func() bool {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				v, ok := sh.table["k"]
+				return tc.afterFirst(v, ok)
+			})
+			run(tc.second)
+			waitUntil(t, "second mutation applied", func() bool {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				v, ok := sh.table["k"]
+				return ok == tc.present && v == tc.want
+			})
+			close(gate)
+			wg.Wait()
+
+			mu.Lock()
+			defer mu.Unlock()
+			if len(committed) != 2 {
+				t.Fatalf("batched mutations took %d register writes, want 2 (blocker + one batch)", len(committed))
+			}
+			v, ok := committed[1]["k"]
+			if ok != tc.present || v != tc.want {
+				t.Errorf("batch committed k = %q (present %v), want %q (present %v)", v, ok, tc.want, tc.present)
+			}
+			if v, err := st.Get("k"); err != nil || v != tc.want {
+				t.Errorf("Get(k) after batch = %q, %v", v, err)
+			}
+		})
+	}
+}
+
+// TestStoreCoalescedAtomicityUnderFault drives concurrent batched Puts
+// through the coalescing write path (few shards, many keys, zero delay — the
+// live fast path) with a flaky Byzantine object, and verifies per-key
+// atomicity with the checker.
+func TestStoreCoalescedAtomicityUnderFault(t *testing.T) {
+	const (
+		shards  = 2
+		keys    = 16
+		writes  = 5
+		reads   = 4
+		readers = 2
+	)
+	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(3, "flaky"); err != nil {
+		t.Fatal(err)
+	}
 	hists := make([]*checker.History, keys)
 	for i := range hists {
 		hists[i] = &checker.History{}
