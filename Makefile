@@ -2,7 +2,7 @@ GO ?= go
 # bash + pipefail so piping through tee cannot mask a benchmark failure.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build vet test race bench bench-codec
+.PHONY: all build vet test race bench bench-codec bench-persist integration
 
 all: build vet test
 
@@ -19,12 +19,23 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the hot-path experiment benchmarks (E7 live-runtime latency,
-# E9 sharded-Store throughput) the way CI records them; output feeds the
-# benchmark trajectory in EXPERIMENTS.md.
+# E9 sharded-Store throughput, E10 durability tax) the way CI records them;
+# output feeds the benchmark trajectory in EXPERIMENTS.md.
 bench:
-	$(GO) test -run xxx -bench 'E7|E9' -benchmem -count=3 . | tee bench.txt
+	$(GO) test -run xxx -bench 'E7|E9|E10' -benchmem -count=3 . | tee bench.txt
 
 # bench-codec compares the legacy text shard-table codec against the binary
 # codec across table sizes.
 bench-codec:
 	$(GO) test -run xxx -bench TableCodec -benchmem ./internal/shard/
+
+# bench-persist measures the durability subsystem: the E10 Store write path
+# at each fsync mode plus the raw WAL append micro-benchmark.
+bench-persist:
+	$(GO) test -run xxx -bench E10 -benchmem .
+	$(GO) test -run xxx -bench WALAppend -benchmem ./internal/persist/
+
+# integration drills the real binaries: 4-daemon durable cluster, kill -9,
+# restart from disk, quorum repair of a wiped daemon, degraded reads.
+integration:
+	./scripts/integration.sh

@@ -12,6 +12,7 @@ import (
 
 	"robustatomic/internal/experiments"
 	"robustatomic/internal/lowerbound"
+	"robustatomic/internal/persist"
 	"robustatomic/internal/quorum"
 	"robustatomic/internal/recurrence"
 	"robustatomic/internal/tcpnet"
@@ -381,6 +382,74 @@ func BenchmarkE9StoreGet(b *testing.B) {
 				for pb.Next() {
 					i := atomic.AddInt64(&ctr, 1)
 					if _, err := st.Get(keys[i%keyCount]); err != nil {
+						b.Error(err) // Fatal must not run off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE10PersistPut measures the durability tax on the sharded Store
+// write path: the E9StorePut workload shape (64 keys, 8 shards, parallel
+// putters) over loopback TCP against 4 daemons, with a volatile control and
+// the three WAL fsync modes. "off" and "batch" share the same hot path (one
+// write(2) per logged record; batch adds background fsyncs), so they should
+// sit close together; "always" pays a group-committed fsync per batch of
+// concurrent appends.
+func BenchmarkE10PersistPut(b *testing.B) {
+	const keyCount = 64
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	for _, tc := range []struct {
+		name    string
+		durable bool
+		mode    persist.FsyncMode
+	}{
+		{"volatile", false, 0},
+		{"fsync=off", true, persist.FsyncOff},
+		{"fsync=batch", true, persist.FsyncBatch},
+		{"fsync=always", true, persist.FsyncAlways},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			base := b.TempDir()
+			var addrs []string
+			for i := 1; i <= 4; i++ {
+				opts := tcpnet.ServerOptions{}
+				if tc.durable {
+					opts.DataDir = fmt.Sprintf("%s/s%d", base, i)
+					opts.Fsync = tc.mode
+				}
+				s, err := tcpnet.NewServerWith(i, "127.0.0.1:0", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				addrs = append(addrs, s.Addr())
+			}
+			c, err := Connect(addrs, Options{Faults: 1, Readers: 2, Seed: 12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			st, err := c.NewStore(StoreOptions{Shards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, k := range keys { // instantiate every shard up front
+				if err := st.Put(k, "warm"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var ctr int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := atomic.AddInt64(&ctr, 1)
+					if err := st.Put(keys[i%keyCount], fmt.Sprintf("v%d", i)); err != nil {
 						b.Error(err) // Fatal must not run off the benchmark goroutine
 						return
 					}

@@ -1,25 +1,54 @@
 // Command storaged runs one storage object as a TCP daemon. A robust atomic
 // deployment needs 3t+1 of these (one per object id):
 //
-//	storaged -id 1 -addr :7001 &
-//	storaged -id 2 -addr :7002 &
-//	storaged -id 3 -addr :7003 &
-//	storaged -id 4 -addr :7004 &
+//	storaged -id 1 -addr :7001 -data-dir /var/lib/robustatomic/s1 &
+//	storaged -id 2 -addr :7002 -data-dir /var/lib/robustatomic/s2 &
+//	storaged -id 3 -addr :7003 -data-dir /var/lib/robustatomic/s3 &
+//	storaged -id 4 -addr :7004 -data-dir /var/lib/robustatomic/s4 &
 //
 // One daemon set hosts any number of independent register instances, lazily
 // instantiated as clients address them — the single register of
 // storctl read/write, and all N shards of the keyed Store layer behind
-// storctl put/get. The -chaos flag makes the object Byzantine (for
-// demonstrations: "garbage" or "silent").
+// storctl put/get.
+//
+// # Durability
+//
+// With -data-dir set, every state-mutating request is logged to a
+// write-ahead log before the reply leaves and the state is periodically
+// snapshotted and the log truncated, so a crashed or kill -9'd daemon
+// restarts exactly where it stopped — a correct-but-slow object instead of
+// an amnesiac one that silently burns the fault budget. -fsync picks the
+// machine-crash window: "always" fsyncs before every ack (group-committed
+// under load), "batch" (default) fsyncs in the background every couple of
+// milliseconds, "off" leaves flushing to the OS. All modes survive a killed
+// process; fsync only matters when the whole machine dies. An empty
+// -data-dir keeps the daemon purely in-memory, exactly the old behavior.
+//
+// To replace a dead machine, start a blank daemon on the old address and
+// reconstitute it from the live quorum with `storctl repair`.
+//
+// # Chaos
+//
+// The -chaos flag makes the object Byzantine for demonstrations and drills:
+//
+//	garbage     fabricate huge-timestamp replies, drop writes
+//	silent      process every message but never reply
+//	flaky       honest, but drop each reply with -chaos-drop probability
+//	            (seeded by -chaos-seed)
+//	stale       acknowledge writes but serve reads from a state frozen at
+//	            injection time, per register instance
+//	equivocate  split-brain: honest to the writer, stale to readers
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"robustatomic/internal/persist"
 	"robustatomic/internal/server"
 	"robustatomic/internal/tcpnet"
 )
@@ -27,10 +56,19 @@ import (
 func main() {
 	id := flag.Int("id", 1, "object id (1-based)")
 	addr := flag.String("addr", ":7001", "listen address")
-	chaos := flag.String("chaos", "", "Byzantine behavior: garbage | silent (empty = honest)")
+	dataDir := flag.String("data-dir", "", "durability directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "batch", "WAL fsync policy: always | batch | off")
+	chaos := flag.String("chaos", "", "Byzantine behavior: garbage | silent | flaky | stale | equivocate (empty = honest)")
+	chaosDrop := flag.Float64("chaos-drop", 0.5, "flaky: probability of dropping a reply")
+	chaosSeed := flag.Int64("chaos-seed", 1, "flaky: RNG seed for the drop pattern")
 	flag.Parse()
 
-	s, err := tcpnet.NewServer(*id, *addr)
+	mode, err := persist.ParseFsyncMode(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storaged:", err)
+		os.Exit(2)
+	}
+	s, err := tcpnet.NewServerWith(*id, *addr, tcpnet.ServerOptions{DataDir: *dataDir, Fsync: mode})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "storaged:", err)
 		os.Exit(1)
@@ -42,11 +80,24 @@ func main() {
 		s.SetBehavior(server.Garbage{Level: 1 << 30, Val: "forged"})
 	case "silent":
 		s.SetBehavior(server.Silent{})
+	case "flaky":
+		s.SetBehavior(server.Flaky{
+			Rand:     rand.New(rand.NewSource(*chaosSeed)),
+			DropProb: *chaosDrop,
+		})
+	case "stale":
+		s.SetBehavior(&server.Stale{})
+	case "equivocate":
+		s.SetBehavior(server.Equivocate{Readers: &server.Stale{}})
 	default:
 		fmt.Fprintf(os.Stderr, "storaged: unknown chaos mode %q\n", *chaos)
 		os.Exit(2)
 	}
-	fmt.Printf("storaged: object s%d serving on %s (chaos=%q)\n", *id, s.Addr(), *chaos)
+	durability := "volatile"
+	if *dataDir != "" {
+		durability = fmt.Sprintf("wal@%s fsync=%s", *dataDir, mode)
+	}
+	fmt.Printf("storaged: object s%d serving on %s (%s, chaos=%q)\n", *id, s.Addr(), durability, *chaos)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig

@@ -1,27 +1,36 @@
 // Command storctl is the client for a storaged cluster. It speaks both
 // APIs: the paper's single robust atomic register (write/read) and the
 // sharded multi-key Store layer (put/get/del), which hashes keys onto
-// -shards independent registers hosted on the same daemons.
+// -shards independent registers hosted on the same daemons. It is also the
+// operator tool for node replacement: repair reconstitutes a blank
+// replacement daemon from a quorum of its live peers, and probe inspects
+// one daemon's raw register state.
 //
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 write hello
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 read
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 put order:42 shipped
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 get order:42
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 repair 3
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 probe 3
 //
 // Every invocation recovers shard state from the cluster before writing, so
 // sequential puts from the key owner compose across invocations. Keys are
 // single-writer: concurrent puts to the same shard from different processes
 // are outside the model. All clients of one deployment must agree on
-// -shards — it determines which register a key routes to.
+// -shards — it determines which register a key routes to, and how many
+// register instances repair reconstitutes (instance 0 plus one per shard).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"robustatomic"
+	"robustatomic/internal/tcpnet"
 )
 
 func main() {
@@ -29,7 +38,7 @@ func main() {
 	t := flag.Int("t", 1, "fault budget")
 	readers := flag.Int("readers", 2, "total reader count R")
 	readerIdx := flag.Int("reader", 1, "this client's reader index (1..R)")
-	shards := flag.Int("shards", 8, "shard count of the keyed store (put/get/del)")
+	shards := flag.Int("shards", 8, "shard count of the keyed store (put/get/del, repair/probe)")
 	flag.Parse()
 
 	if err := run(*servers, *t, *readers, *readerIdx, *shards, flag.Args()); err != nil {
@@ -40,9 +49,32 @@ func main() {
 
 func run(servers string, t, readers, readerIdx, shards int, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key>")
+		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | repair <object-id> | probe <object-id>")
 	}
 	addrs := strings.Split(servers, ",")
+	if args[0] == "probe" {
+		// Probe talks to a single daemon directly; no cluster needed.
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl probe <object-id>")
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil || id < 1 || id > len(addrs) {
+			return fmt.Errorf("probe: object id %q out of 1..%d", args[1], len(addrs))
+		}
+		d, err := tcpnet.DialDirect(addrs[id-1], 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		for reg := 0; reg <= shards; reg++ {
+			pw, w, err := d.Probe(reg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("s%d reg %d: pw=%s w=%s\n", id, reg, pw, w)
+		}
+		return nil
+	}
 	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers})
 	if err != nil {
 		return err
@@ -108,6 +140,27 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 			return err
 		}
 		fmt.Printf("OK (shard %d/%d)\n", st.ShardOf(args[1]), st.Shards())
+		return nil
+	case "repair":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl repair <object-id>")
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("repair: bad object id %q", args[1])
+		}
+		repaired, err := cluster.Repair(id, shards)
+		for _, r := range repaired {
+			if r.Skipped {
+				fmt.Printf("s%d reg %d: blank (never written), skipped\n", id, r.Reg)
+				continue
+			}
+			fmt.Printf("s%d reg %d: installed ts=%d (%d bytes) from quorum\n", id, r.Reg, r.TS, r.Bytes)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK (%d register instances)\n", len(repaired))
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])

@@ -1,0 +1,62 @@
+package persist
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
+)
+
+// BenchmarkWALAppend measures the raw per-record append cost at each fsync
+// mode, sequentially and with concurrent appenders (where FsyncAlways's
+// group commit amortizes the fsync across the batch).
+func BenchmarkWALAppend(b *testing.B) {
+	req := wire.Request{
+		From: types.Writer,
+		Msg:  types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: 1, Val: "benchmark-payload-benchmark-payload"}},
+	}
+	for _, mode := range []FsyncMode{FsyncOff, FsyncBatch, FsyncAlways} {
+		b.Run(fmt.Sprintf("fsync=%s/seq", mode), func(b *testing.B) {
+			e, err := Open(b.TempDir(), Options{Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			if _, err := e.Recover(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := req
+				r.Msg.Pair.TS = int64(i + 1)
+				if err := e.Append(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fsync=%s/par", mode), func(b *testing.B) {
+			e, err := Open(b.TempDir(), Options{Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			if _, err := e.Recover(); err != nil {
+				b.Fatal(err)
+			}
+			var ctr int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					r := req
+					r.Msg.Pair.TS = atomic.AddInt64(&ctr, 1)
+					if err := e.Append(r); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,694 @@
+// Package persist is the durability engine of a storage daemon: a
+// write-ahead log plus snapshot/compaction machinery that makes every
+// register instance a storage object hosts survive a crash or restart.
+//
+// The paper's resilience guarantee (wait-free atomicity over S = 3t+1
+// objects, t Byzantine) silently assumes object state survives between
+// rounds. Without durability, an honest daemon restart is indistinguishable
+// from a Byzantine amnesia fault and permanently burns the fault budget;
+// with it, a restarted daemon resumes exactly where it crashed and is merely
+// slow — which asynchrony already accounts for.
+//
+// # On-disk layout
+//
+// A data directory holds numbered generations:
+//
+//	wal-<gen>.log    framed records (see wal.go), one gob stream per file
+//	snap-<gen>.snap  state snapshot + CRC32 trailer, covering every
+//	                 generation before <gen>
+//
+// Every Open starts a fresh WAL generation (a gob stream cannot be extended
+// across process lifetimes), so recovery loads the newest intact snapshot
+// and replays all WAL generations at or after it, in order. Compaction
+// (Rotate + Commit) writes a new snapshot with an atomic rename and then
+// prunes every older generation; a crash at any point between those steps
+// recovers cleanly because the old snapshot and WAL files are only deleted
+// after the new snapshot is durably in place.
+//
+// # Durability modes
+//
+// Every mode writes each record to the operating system before Append
+// returns, so a killed *process* never loses an acknowledged write. The
+// modes differ in when fsync makes records survive a killed *machine*:
+// FsyncAlways group-commits (concurrent appends amortize one fsync, every
+// append waits for it — the storeShard group-commit pattern applied to
+// fsync), FsyncBatch syncs in the background every BatchInterval (bounded
+// loss window), FsyncOff leaves flushing to the OS entirely.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"robustatomic/internal/server"
+	"robustatomic/internal/wire"
+)
+
+// FsyncMode selects when appended records are fsynced. The zero value is
+// FsyncBatch, the production default.
+type FsyncMode int
+
+// Fsync modes.
+const (
+	// FsyncBatch writes each record to the OS synchronously and fsyncs in
+	// the background every BatchInterval: a machine crash can lose at most
+	// the last interval's acknowledgements, a process crash loses nothing.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways fsyncs before Append returns. Concurrent appends share
+	// one fsync (group commit), so the cost amortizes under load.
+	FsyncAlways
+	// FsyncOff never fsyncs on the append path (only on rotation and
+	// close). Survives process crashes, not machine crashes.
+	FsyncOff
+)
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncOff:
+		return "off"
+	default:
+		return "fsync(" + strconv.Itoa(int(m)) + ")"
+	}
+}
+
+// ParseFsyncMode parses the -fsync flag vocabulary: always | batch | off.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch", "":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown fsync mode %q (want always | batch | off)", s)
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Mode is the fsync policy. Default FsyncBatch.
+	Mode FsyncMode
+	// BatchInterval is the background fsync period of FsyncBatch (and the
+	// bound on its loss window under a machine crash). Default 2ms.
+	BatchInterval time.Duration
+}
+
+// walFile locates one recovered WAL generation.
+type walFile struct {
+	gen  uint64
+	path string
+}
+
+// syncBatch is one group-commit fsync: every Append whose record it covers
+// blocks on done; exactly one of them (or the previous leader, via lead)
+// performs the fsync.
+type syncBatch struct {
+	done chan struct{}
+	lead chan struct{} // capacity 1: handoff token making its receiver the syncer
+	err  error
+}
+
+func newSyncBatch() *syncBatch {
+	return &syncBatch{done: make(chan struct{}), lead: make(chan struct{}, 1)}
+}
+
+// Engine is the durability engine for one storage object's data directory.
+// Append is safe for concurrent use. Recover must be called exactly once,
+// before the first Append. Rotate and Commit must not race Append — the
+// tcpnet server guarantees this by quiescing mutations around compaction.
+type Engine struct {
+	dir      string
+	mode     FsyncMode
+	interval time.Duration
+
+	// Recovery inputs, fixed at Open and consumed by Recover.
+	baseGen  uint64
+	baseSnap []byte // validated snapshot payload; nil when no generation exists
+	replays  []walFile
+
+	mu        sync.Mutex
+	gen       uint64
+	f         *os.File
+	buf       bytes.Buffer
+	enc       *wire.Encoder
+	frame     []byte // reusable frame build buffer
+	walSize   int64
+	records   int64
+	recovered bool
+	closed    bool
+	failed    error // latched after a WAL write/fsync failure: all appends refuse
+	pending   *syncBatch // FsyncAlways: batch collecting appends for the next fsync
+	syncing   bool       // FsyncAlways: a group-commit leader is running
+	dirty     bool       // FsyncBatch: bytes written since the last background sync
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+const (
+	walSuffix  = ".log"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d%s", gen, walSuffix))
+}
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016d%s", gen, snapSuffix))
+}
+
+// parseGen extracts the generation number from a data-dir file name.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return g, err == nil
+}
+
+// Open opens (or creates) the data directory, selects the recovery base
+// (newest intact snapshot), prunes generations older than it, and starts a
+// fresh WAL generation for this process lifetime. Call Recover next.
+func Open(dir string, o Options) (*Engine, error) {
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = 2 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var wals []walFile
+	var snapGens []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(dir, name)) // crashed mid-snapshot: the rename never happened
+			continue
+		}
+		if g, ok := parseGen(name, "wal-", walSuffix); ok {
+			wals = append(wals, walFile{gen: g, path: filepath.Join(dir, name)})
+		}
+		if g, ok := parseGen(name, "snap-", snapSuffix); ok {
+			snapGens = append(snapGens, g)
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i].gen < wals[j].gen })
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+
+	e := &Engine{
+		dir:      dir,
+		mode:     o.Mode,
+		interval: o.BatchInterval,
+		stopSync: make(chan struct{}),
+		syncDone: make(chan struct{}),
+	}
+	// The base is the newest snapshot whose CRC validates; older or corrupt
+	// snapshots are skipped (their WAL generations are then replayed
+	// instead, if still present). If snapshots exist but none validates,
+	// the WAL generations they covered are long pruned, so booting from the
+	// surviving suffix would silently regress acknowledged state — refuse,
+	// and let the operator reconstitute from a live quorum instead.
+	for _, g := range snapGens {
+		if payload, err := readSnapshotFile(snapPath(dir, g)); err == nil {
+			e.baseGen, e.baseSnap = g, payload
+			break
+		}
+	}
+	if len(snapGens) > 0 && e.baseSnap == nil {
+		return nil, fmt.Errorf("persist: %s: no intact snapshot among %d (reconstitute from a live quorum)", dir, len(snapGens))
+	}
+	maxGen := e.baseGen
+	for _, w := range wals {
+		if w.gen > maxGen {
+			maxGen = w.gen
+		}
+		if w.gen < e.baseGen {
+			os.Remove(w.path) // superseded by the base snapshot
+			continue
+		}
+		if fi, err := os.Stat(w.path); err == nil && fi.Size() == 0 {
+			os.Remove(w.path) // empty generation from an idle restart
+			continue
+		}
+		e.replays = append(e.replays, w)
+	}
+	e.gen = maxGen + 1
+	f, err := os.OpenFile(walPath(dir, e.gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: create wal: %w", err)
+	}
+	e.f = f
+	e.enc = wire.NewEncoder(&e.buf)
+	if e.mode == FsyncBatch {
+		go e.syncLoop()
+	} else {
+		close(e.syncDone)
+	}
+	return e, nil
+}
+
+// Recover loads the base snapshot and replays every surviving WAL
+// generation in order, returning the reconstituted register-instance map
+// (keyed by wire register instance). A torn tail in the newest generation
+// is truncated silently — those records' acknowledgements never left.
+// Damage in any older generation is an error: records after the damage are
+// unreachable and replaying around them could durably regress acknowledged
+// state; the operator should reconstitute the object from a live quorum
+// (storctl repair) instead.
+func (e *Engine) Recover() (map[int]*server.Store, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.recovered {
+		return nil, fmt.Errorf("persist: Recover called twice")
+	}
+	e.recovered = true
+	stores := make(map[int]*server.Store)
+	if e.baseSnap != nil {
+		if err := decodeStores(e.baseSnap, stores); err != nil {
+			return nil, err
+		}
+		e.baseSnap = nil // one-shot; free the payload
+	}
+	for i, w := range e.replays {
+		last := i == len(e.replays)-1
+		n, err := replayWAL(w.path, last, func(req wire.Request) error {
+			st := stores[req.Reg]
+			if st == nil {
+				st = server.NewStore()
+				stores[req.Reg] = st
+			}
+			st.Handle(req.From, req.Msg)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.records += int64(n)
+	}
+	return stores, nil
+}
+
+// replayWAL replays one WAL file. tolerateTear permits a damaged tail (the
+// newest generation may have been torn by the crash) — the file is then
+// truncated back to its last intact record, so that on the next recovery,
+// when this generation is no longer the newest, it replays cleanly instead
+// of reading as corruption. In older generations damage is an error.
+func replayWAL(path string, tolerateTear bool, apply func(wire.Request) error) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("persist: replay: %w", err)
+	}
+	stream, ends, valid := parseFrames(data)
+	if valid != len(data) && !tolerateTear {
+		return 0, fmt.Errorf("persist: %s: corrupt record at offset %d (not the newest generation; reconstitute from a live quorum)", path, valid)
+	}
+	dec := wire.NewDecoder(bytes.NewReader(stream))
+	applied := 0
+	for i := 0; i < len(ends); i++ {
+		req, err := dec.DecodeRequest()
+		if err != nil {
+			if tolerateTear {
+				break
+			}
+			return applied, fmt.Errorf("persist: %s: record %d: %w", path, i, err)
+		}
+		if err := apply(req); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	if tolerateTear && (valid != len(data) || applied < len(ends)) {
+		cut := int64(0)
+		if applied > 0 {
+			cut = int64(ends[applied-1])
+		}
+		if err := os.Truncate(path, cut); err != nil {
+			return applied, fmt.Errorf("persist: %s: truncating torn tail: %w", path, err)
+		}
+	}
+	return applied, nil
+}
+
+// Append durably logs one mutating request envelope. It returns once the
+// record is on disk per the engine's fsync mode; the caller must not let
+// the reply leave before then.
+func (e *Engine) Append(req wire.Request) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("persist: engine closed")
+	}
+	if !e.recovered {
+		e.mu.Unlock()
+		return fmt.Errorf("persist: Append before Recover")
+	}
+	if e.failed != nil {
+		err := e.failed
+		e.mu.Unlock()
+		return fmt.Errorf("persist: wal latched after earlier failure: %w", err)
+	}
+	e.buf.Reset()
+	if err := e.enc.Encode(req); err != nil {
+		// The encoder's gob stream may now hold a partial message; no
+		// further record could be framed coherently after it.
+		e.failed = err
+		e.mu.Unlock()
+		return fmt.Errorf("persist: %w", err)
+	}
+	e.frame = appendFrame(e.frame[:0], e.buf.Bytes())
+	if _, err := e.f.Write(e.frame); err != nil {
+		// A partial frame may sit mid-file now. Without latching, later
+		// appends would land after the damage and replay would silently
+		// drop them at the torn frame — acked records lost, the amnesia
+		// fault this engine exists to prevent. Refuse all further appends;
+		// the object goes silent, which correct clients tolerate.
+		e.failed = err
+		e.mu.Unlock()
+		return fmt.Errorf("persist: wal write: %w", err)
+	}
+	e.walSize += int64(len(e.frame))
+	e.records++
+	switch e.mode {
+	case FsyncOff:
+		e.mu.Unlock()
+		return nil
+	case FsyncBatch:
+		e.dirty = true
+		e.mu.Unlock()
+		return nil
+	}
+	// FsyncAlways: group commit. Join (or start) the batch covering this
+	// record; one member fsyncs for all of them.
+	b := e.pending
+	if b == nil {
+		b = newSyncBatch()
+		e.pending = b
+	}
+	if e.syncing {
+		// A leader is fsyncing an earlier batch. Wait for ours — unless the
+		// leader hands off, making us the next leader.
+		e.mu.Unlock()
+		select {
+		case <-b.done:
+			return b.err
+		case <-b.lead:
+			e.mu.Lock()
+		}
+	}
+	e.syncing = true
+	e.pending = nil
+	f := e.f
+	e.mu.Unlock()
+	b.err = f.Sync()
+	close(b.done)
+	e.mu.Lock()
+	if b.err != nil && e.f == f && !e.closed {
+		e.failed = b.err // a disk that cannot fsync must stop acking
+	}
+	if e.pending != nil {
+		e.pending.lead <- struct{}{}
+	} else {
+		e.syncing = false
+	}
+	e.mu.Unlock()
+	if b.err != nil {
+		return fmt.Errorf("persist: wal fsync: %w", b.err)
+	}
+	return nil
+}
+
+// syncLoop is the FsyncBatch background syncer.
+func (e *Engine) syncLoop() {
+	defer close(e.syncDone)
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopSync:
+			return
+		case <-t.C:
+			e.mu.Lock()
+			if !e.dirty || e.closed {
+				e.mu.Unlock()
+				continue
+			}
+			e.dirty = false
+			f := e.f
+			e.mu.Unlock()
+			if err := f.Sync(); err != nil {
+				// A rotation may have closed f concurrently (rotation
+				// fsyncs the old file itself, so that loses nothing);
+				// only a failure on the still-current file latches.
+				e.mu.Lock()
+				if e.f == f && !e.closed {
+					e.failed = err
+				}
+				e.mu.Unlock()
+			}
+		}
+	}
+}
+
+// WALSize returns the bytes appended to the current WAL generation — the
+// compaction trigger input.
+func (e *Engine) WALSize() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.walSize
+}
+
+// Records returns the total records appended and replayed (instrumentation).
+func (e *Engine) Records() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.records
+}
+
+// Gen returns the current WAL generation (instrumentation and tests).
+func (e *Engine) Gen() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
+// Rotate begins a compaction cycle: it seals the current WAL generation and
+// starts a new one, so that a snapshot taken now (with mutations quiesced)
+// covers every sealed generation. It returns the new generation number,
+// which the caller must pass to Commit along with that snapshot — pairing
+// them explicitly, so that if another cycle rotates in between, each
+// snapshot is still installed under the generation whose sealed prefix it
+// actually covers (a stale snapshot under a newer number would prune WAL
+// records it lacks). Callers must quiesce Append around Rotate and the
+// state capture.
+func (e *Engine) Rotate() (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, fmt.Errorf("persist: engine closed")
+	}
+	if err := e.f.Sync(); err != nil {
+		return 0, fmt.Errorf("persist: rotate sync: %w", err)
+	}
+	if err := e.f.Close(); err != nil {
+		return 0, fmt.Errorf("persist: rotate close: %w", err)
+	}
+	e.gen++
+	f, err := os.OpenFile(walPath(e.dir, e.gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: rotate: %w", err)
+	}
+	e.f = f
+	e.walSize = 0
+	e.dirty = false
+	e.buf.Reset()
+	e.enc = wire.NewEncoder(&e.buf) // each generation is its own gob stream
+	return e.gen, nil
+}
+
+// Commit durably installs snap as the snapshot covering every generation
+// before gen (the state captured at the matching Rotate), then prunes the
+// generations it supersedes. The write is crash-atomic: the snapshot is
+// fsynced under a temporary name and renamed into place, and old
+// generations are deleted only afterwards, so a crash anywhere in between
+// recovers from either the old base or the new one.
+func (e *Engine) Commit(gen uint64, snap []byte) error {
+	if err := writeSnapshotFile(snapPath(e.dir, gen), snap); err != nil {
+		return err
+	}
+	// Prune: everything before gen is now covered by the snapshot.
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return nil // pruning is best-effort; recovery tolerates leftovers
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if g, ok := parseGen(name, "wal-", walSuffix); ok && g < gen {
+			os.Remove(filepath.Join(e.dir, name))
+		}
+		if g, ok := parseGen(name, "snap-", snapSuffix); ok && g < gen {
+			os.Remove(filepath.Join(e.dir, name))
+		}
+	}
+	return nil
+}
+
+// Close seals the WAL (final fsync) and releases the engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.stopSync)
+	err := e.f.Sync()
+	if cerr := e.f.Close(); err == nil {
+		err = cerr
+	}
+	e.mu.Unlock()
+	<-e.syncDone
+	if err != nil {
+		return fmt.Errorf("persist: close: %w", err)
+	}
+	return nil
+}
+
+// Snapshot files carry the payload followed by a 4-byte little-endian CRC32
+// trailer; a file failing the check (torn by a crash racing the rename, or
+// rotted) is skipped in favor of an older generation.
+
+// writeSnapshotFile writes payload+CRC to path via fsynced temp file and
+// atomic rename, fsyncing the directory so the rename itself is durable.
+func writeSnapshotFile(path string, payload []byte) error {
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	_, werr := f.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if werr == nil {
+		_, werr = f.Write(crc[:])
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readSnapshotFile reads and CRC-validates a snapshot file, returning the
+// payload.
+func readSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot: %w", err)
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("persist: snapshot %s: truncated", path)
+	}
+	payload, crc := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("persist: snapshot %s: CRC mismatch", path)
+	}
+	return payload, nil
+}
+
+// storesVersion heads the multi-register snapshot payload: a uvarint
+// register-instance count, then per instance a uvarint instance number and
+// a length-prefixed server.Store snapshot.
+const storesVersion = 0x01
+
+// EncodeStores captures every hosted register instance into one snapshot
+// payload. Callers must quiesce mutations across the call (the tcpnet
+// server holds its apply lock); the capture itself is cheap — the store
+// snapshot codec neither sorts nor reflects.
+func EncodeStores(stores map[int]*server.Store) ([]byte, error) {
+	regs := make([]int, 0, len(stores))
+	for reg := range stores {
+		regs = append(regs, reg)
+	}
+	sort.Ints(regs)
+	b := []byte{storesVersion}
+	b = binary.AppendUvarint(b, uint64(len(regs)))
+	for _, reg := range regs {
+		snap, err := stores[reg].Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("persist: instance %d: %w", reg, err)
+		}
+		b = binary.AppendUvarint(b, uint64(reg))
+		b = binary.AppendUvarint(b, uint64(len(snap)))
+		b = append(b, snap...)
+	}
+	return b, nil
+}
+
+// decodeStores rebuilds register instances from a snapshot payload into
+// dst.
+func decodeStores(payload []byte, dst map[int]*server.Store) error {
+	if len(payload) == 0 || payload[0] != storesVersion {
+		return fmt.Errorf("persist: snapshot payload: bad header")
+	}
+	rest := payload[1:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return fmt.Errorf("persist: snapshot payload: truncated count")
+	}
+	rest = rest[w:]
+	for i := uint64(0); i < n; i++ {
+		reg, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return fmt.Errorf("persist: snapshot payload: truncated instance %d", i)
+		}
+		rest = rest[w:]
+		size, w := binary.Uvarint(rest)
+		if w <= 0 || uint64(len(rest)-w) < size {
+			return fmt.Errorf("persist: snapshot payload: truncated instance %d body", i)
+		}
+		st := server.NewStore()
+		if err := st.Restore(rest[w : w+int(size)]); err != nil {
+			return fmt.Errorf("persist: instance %d: %w", reg, err)
+		}
+		dst[int(reg)] = st
+		rest = rest[w+int(size):]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("persist: snapshot payload: %d trailing bytes", len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// WAL record framing. Each record is one frame:
+//
+//	uvarint payload length | payload | 4-byte little-endian CRC32 (IEEE) of payload
+//
+// The payload bytes of consecutive frames in one WAL file form a single gob
+// stream of wire.Request envelopes (one Encode per frame), so the per-record
+// overhead is the frame header plus gob's incremental message cost — the
+// type descriptors are transmitted once per file, not once per record.
+//
+// Framing exists for crash tolerance, not for decoding: a torn tail (the
+// crash interrupted a write mid-frame) is detected by an unreadable length,
+// a length overrunning the file, or a CRC mismatch, and replay stops at the
+// last intact frame. Every frame is written with a single write(2), so a
+// torn frame can only be the final one of a file.
+
+// maxFrame bounds a single record's payload (a mutating request envelope).
+// Anything larger is a corrupt length field, not a real record: the bound
+// lets parseFrames reject forged lengths without touching the payload.
+const maxFrame = 64 << 20
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// parseFrames walks the framed records in data, returning the concatenated
+// payload stream (the file's gob stream), the file offset at which each
+// frame ends, and the offset at which parsing stopped — len(data) when
+// every byte framed cleanly, the start of the first damaged frame otherwise
+// (a torn tail, or corruption). The per-frame end offsets let replay
+// truncate a tolerated tear back to the last intact record boundary.
+func parseFrames(data []byte) (stream []byte, ends []int, valid int) {
+	stream = make([]byte, 0, len(data))
+	for valid < len(data) {
+		rest := data[valid:]
+		size, w := binary.Uvarint(rest)
+		if w <= 0 || size > maxFrame || uint64(len(rest)-w) < size+4 {
+			return stream, ends, valid
+		}
+		payload := rest[w : w+int(size)]
+		crc := binary.LittleEndian.Uint32(rest[w+int(size):])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return stream, ends, valid
+		}
+		stream = append(stream, payload...)
+		valid += w + int(size) + 4
+		ends = append(ends, valid)
+	}
+	return stream, ends, valid
+}

@@ -10,8 +10,7 @@
 package server
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -22,7 +21,8 @@ import (
 // message and returns the reply (objects reply to each message before
 // receiving any other message, per the round model). Snapshot and Restore
 // expose the full state — the lower-bound adversaries "forge the state to σ"
-// by restoring snapshots taken at earlier points of a run.
+// by restoring snapshots taken at earlier points of a run, and the
+// durability engine (internal/persist) persists and recovers it.
 type Automaton interface {
 	Handle(from types.ProcID, m types.Message) types.Message
 	Snapshot() ([]byte, error)
@@ -44,6 +44,10 @@ type RegState struct {
 // (the model's objects process one message at a time).
 type Store struct {
 	regs map[types.RegID]*RegState
+	// ids holds regs' keys in ascending regLess order, maintained
+	// incrementally on first touch so Snapshot never re-sorts — periodic
+	// snapshotting must not degrade with instance count.
+	ids []types.RegID
 }
 
 // NewStore returns an empty storage object.
@@ -53,12 +57,24 @@ func NewStore() *Store {
 
 var _ Automaton = (*Store)(nil)
 
+// regLess orders register IDs by (Class, Idx).
+func regLess(a, b types.RegID) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Idx < b.Idx
+}
+
 // reg returns the state of register id, creating it on first touch.
 func (s *Store) reg(id types.RegID) *RegState {
 	st, ok := s.regs[id]
 	if !ok {
 		st = &RegState{}
 		s.regs[id] = st
+		i := sort.Search(len(s.ids), func(i int) bool { return !regLess(s.ids[i], id) })
+		s.ids = append(s.ids, types.RegID{})
+		copy(s.ids[i+1:], s.ids[i:])
+		s.ids[i] = id
 	}
 	return st
 }
@@ -132,54 +148,143 @@ func (s *Store) handleReg(from types.ProcID, m types.Message, id types.RegID) ty
 	}
 }
 
-// storeSnapshot is the gob wire form of a Store.
-type storeSnapshot struct {
-	IDs    []types.RegID
-	States []RegState
+// Mutates reports whether handling m can advance a store's state. The
+// durability layer logs exactly these messages (PREWRITE, WRITE, WRITEBACK,
+// ABD_STORE, and any MUX bundle carrying one) before the reply leaves;
+// everything else only queries state and needs no logging.
+func Mutates(m types.Message) bool {
+	switch m.Kind {
+	case types.MsgPreWrite, types.MsgWrite, types.MsgWriteBack, types.MsgABDStore:
+		return true
+	case types.MsgMux:
+		for _, sub := range m.Sub {
+			if Mutates(sub.Msg) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
 }
 
-// Snapshot implements Automaton.
+// Snapshot format: one version byte, a uvarint register count, then per
+// register (in ascending regLess order) the RegID and RegState fields,
+// integers as uvarints and values length-prefixed. The hand-rolled codec
+// replaces the original per-call gob encoder: no type-descriptor preamble,
+// no re-sorting (ids is maintained incrementally), one allocation.
+const snapshotVersion = 0x02
+
+// Snapshot implements Automaton. The encoding is deterministic: equal states
+// yield equal bytes.
 func (s *Store) Snapshot() ([]byte, error) {
-	snap := storeSnapshot{}
-	ids := make([]types.RegID, 0, len(s.regs))
-	for id := range s.regs {
-		ids = append(ids, id)
+	size := 1 + binary.MaxVarintLen64
+	for _, id := range s.ids {
+		st := s.regs[id]
+		size += 6*binary.MaxVarintLen64 + len(st.PW.Val) + len(st.W.Val)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ids[i], ids[j]
-		if a.Class != b.Class {
-			return a.Class < b.Class
-		}
-		return a.Idx < b.Idx
-	})
-	for _, id := range ids {
-		snap.IDs = append(snap.IDs, id)
-		snap.States = append(snap.States, *s.regs[id])
+	b := make([]byte, 0, size)
+	b = append(b, snapshotVersion)
+	b = binary.AppendUvarint(b, uint64(len(s.ids)))
+	for _, id := range s.ids {
+		st := s.regs[id]
+		b = binary.AppendUvarint(b, uint64(id.Class))
+		b = binary.AppendUvarint(b, uint64(id.Idx))
+		b = appendPair(b, st.PW)
+		b = appendPair(b, st.W)
+		b = binary.AppendUvarint(b, uint64(st.TokenPW))
+		b = binary.AppendUvarint(b, uint64(st.TokenW))
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return nil, fmt.Errorf("server: snapshot: %w", err)
-	}
-	return buf.Bytes(), nil
+	return b, nil
+}
+
+// appendPair encodes a timestamp-value pair (timestamps are non-negative:
+// the writer issues them from 0 upward).
+func appendPair(b []byte, p types.Pair) []byte {
+	b = binary.AppendUvarint(b, uint64(p.TS))
+	b = binary.AppendUvarint(b, uint64(len(p.Val)))
+	return append(b, string(p.Val)...)
 }
 
 // Restore implements Automaton.
 func (s *Store) Restore(b []byte) error {
-	var snap storeSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
-		return fmt.Errorf("server: restore: %w", err)
+	if len(b) == 0 || b[0] != snapshotVersion {
+		return fmt.Errorf("server: restore: bad snapshot header")
 	}
-	s.regs = make(map[types.RegID]*RegState, len(snap.IDs))
-	for i, id := range snap.IDs {
-		st := snap.States[i]
-		s.regs[id] = &st
+	d := snapDecoder{b: b[1:]}
+	n := d.uvarint()
+	if n > uint64(len(d.b)) { // each register costs ≥ 6 bytes; cheap bound
+		return fmt.Errorf("server: restore: register count %d exceeds payload", n)
 	}
+	regs := make(map[types.RegID]*RegState, n)
+	ids := make([]types.RegID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id := types.RegID{Class: types.RegClass(d.uvarint()), Idx: int(d.uvarint())}
+		st := &RegState{}
+		st.PW = d.pair()
+		st.W = d.pair()
+		st.TokenPW = types.Token(d.uvarint())
+		st.TokenW = types.Token(d.uvarint())
+		if d.err != nil {
+			return fmt.Errorf("server: restore: truncated snapshot (register %d of %d)", i, n)
+		}
+		regs[id] = st
+		ids = append(ids, id)
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("server: restore: %d trailing bytes", len(d.b))
+	}
+	// Snapshots are written in ascending order, but tolerate any order from
+	// foreign producers: the incremental invariant must hold after Restore.
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return regLess(ids[i], ids[j]) }) {
+		sort.Slice(ids, func(i, j int) bool { return regLess(ids[i], ids[j]) })
+	}
+	s.regs = regs
+	s.ids = ids
 	return nil
+}
+
+// snapDecoder cuts snapshot fields off a byte slice, latching the first
+// error so call sites stay linear.
+type snapDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *snapDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, w := binary.Uvarint(d.b)
+	if w <= 0 {
+		d.err = fmt.Errorf("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[w:]
+	return x
+}
+
+func (d *snapDecoder) pair() types.Pair {
+	ts := d.uvarint()
+	n := d.uvarint()
+	if d.err != nil {
+		return types.Pair{}
+	}
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("truncated value")
+		return types.Pair{}
+	}
+	p := types.Pair{TS: int64(ts), Val: types.Value(d.b[:n])}
+	d.b = d.b[n:]
+	return p
 }
 
 // Clone returns a deep copy of the store.
 func (s *Store) Clone() *Store {
-	out := NewStore()
+	out := &Store{
+		regs: make(map[types.RegID]*RegState, len(s.regs)),
+		ids:  append([]types.RegID(nil), s.ids...),
+	}
 	for id, st := range s.regs {
 		cp := *st
 		out.regs[id] = &cp

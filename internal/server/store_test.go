@@ -127,8 +127,108 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 
 func TestRestoreRejectsJunk(t *testing.T) {
 	s := NewStore()
-	if err := s.Restore([]byte("junk")); err == nil {
-		t.Error("junk restore accepted")
+	for _, junk := range [][]byte{nil, []byte("junk"), {snapshotVersion, 0xff, 0xff}, {snapshotVersion, 2, 1, 0}} {
+		if err := s.Restore(junk); err == nil {
+			t.Errorf("junk restore %v accepted", junk)
+		}
+	}
+	// Trailing garbage after a well-formed snapshot must be rejected too.
+	good, _ := NewStore().Snapshot()
+	if err := s.Restore(append(good, 0)); err == nil {
+		t.Error("trailing-garbage restore accepted")
+	}
+}
+
+// TestSnapshotSortedWithoutResort pins the incremental sorted-ID invariant:
+// registers touched in arbitrary order must still snapshot in ascending
+// (Class, Idx) order, including after a Restore, without Snapshot sorting.
+func TestSnapshotSortedWithoutResort(t *testing.T) {
+	s := NewStore()
+	touch := []types.RegID{
+		types.ReaderReg(7), types.WriterReg, types.ReaderReg(2),
+		types.ReaderReg(9), types.ReaderReg(1),
+	}
+	for i, id := range touch {
+		s.Handle(types.Writer, types.Message{Kind: types.MsgMux, Sub: []types.SubMsg{
+			{Reg: id, Msg: types.Message{Kind: types.MsgWrite, Pair: pair(int64(i+1), "v")}},
+		}})
+	}
+	want := []types.RegID{
+		types.WriterReg, types.ReaderReg(1), types.ReaderReg(2),
+		types.ReaderReg(7), types.ReaderReg(9),
+	}
+	assertIDs := func(when string) {
+		t.Helper()
+		if len(s.ids) != len(want) {
+			t.Fatalf("%s: ids = %v", when, s.ids)
+		}
+		for i, id := range want {
+			if s.ids[i] != id {
+				t.Fatalf("%s: ids[%d] = %v, want %v (ids %v)", when, i, s.ids[i], id, s.ids)
+			}
+		}
+	}
+	assertIDs("after touches")
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: a restored store re-snapshots to identical bytes.
+	s2 := NewStore()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := s2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) != string(snap2) {
+		t.Error("snapshot not deterministic across restore")
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	assertIDs("after restore")
+	s.Handle(types.Writer, types.Message{Kind: types.MsgMux, Sub: []types.SubMsg{
+		{Reg: types.ReaderReg(5), Msg: types.Message{Kind: types.MsgRead1}},
+	}})
+	want = []types.RegID{
+		types.WriterReg, types.ReaderReg(1), types.ReaderReg(2),
+		types.ReaderReg(5), types.ReaderReg(7), types.ReaderReg(9),
+	}
+	assertIDs("after post-restore touch")
+}
+
+func TestMutates(t *testing.T) {
+	mut := []types.Message{
+		{Kind: types.MsgPreWrite},
+		{Kind: types.MsgWrite},
+		{Kind: types.MsgWriteBack},
+		{Kind: types.MsgABDStore},
+		{Kind: types.MsgMux, Sub: []types.SubMsg{
+			{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgRead1}},
+			{Reg: types.ReaderReg(1), Msg: types.Message{Kind: types.MsgWrite}},
+		}},
+	}
+	for _, m := range mut {
+		if !Mutates(m) {
+			t.Errorf("Mutates(%v) = false", m.Kind)
+		}
+	}
+	ro := []types.Message{
+		{Kind: types.MsgRead1},
+		{Kind: types.MsgABDQuery},
+		{Kind: types.MsgConfirm},
+		{Kind: types.MsgAck},
+		{Kind: types.MsgMux, Sub: []types.SubMsg{
+			{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgRead1}},
+		}},
+		{Kind: types.MsgMux},
+	}
+	for _, m := range ro {
+		if Mutates(m) {
+			t.Errorf("Mutates(%v) = true", m.Kind)
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
+)
+
+// Direct is a request/reply channel to a single object, for operator
+// tooling (storctl repair and probe). It deliberately bypasses the quorum
+// protocol: a probe inspects one object's raw state, and a seed installs
+// recovered state into one object — the RADON-style repair write-back that
+// reconstitutes a replaced machine from its live peers. One Direct serves
+// any number of register instances over one connection; it is not safe for
+// concurrent use.
+type Direct struct {
+	conn    net.Conn
+	enc     *wire.Encoder
+	dec     *wire.Decoder
+	timeout time.Duration
+	seq     int
+}
+
+// DialDirect connects to one object. timeout bounds the dial and each
+// subsequent exchange (≤ 0 means 5s).
+func DialDirect(addr string, timeout time.Duration) (*Direct, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+	}
+	return &Direct{conn: conn, enc: wire.NewEncoder(conn), dec: wire.NewDecoder(conn), timeout: timeout}, nil
+}
+
+// Close releases the connection.
+func (d *Direct) Close() { d.conn.Close() }
+
+// exchange sends one message to register instance reg and awaits the reply.
+func (d *Direct) exchange(from types.ProcID, reg int, m types.Message) (types.Message, error) {
+	d.conn.SetDeadline(time.Now().Add(d.timeout))
+	d.seq++
+	m.Seq = d.seq
+	if err := d.enc.Encode(wire.Request{From: from, Reg: reg, Msg: m}); err != nil {
+		return types.Message{}, err
+	}
+	for {
+		rsp, err := d.dec.DecodeResponse()
+		if err != nil {
+			return types.Message{}, err
+		}
+		if rsp.Msg.Seq == d.seq {
+			return rsp.Msg, nil
+		}
+	}
+}
+
+// Probe reads the object's raw (pw, w) state for register instance reg —
+// an operator diagnostic, not a protocol read: the object may lie, and no
+// quorum certifies the answer.
+func (d *Direct) Probe(reg int) (pw, w types.Pair, err error) {
+	rsp, err := d.exchange(types.Reader(1), reg, types.Message{Kind: types.MsgRead1})
+	if err != nil {
+		return types.Pair{}, types.Pair{}, fmt.Errorf("tcpnet: probe: %w", err)
+	}
+	if rsp.Kind != types.MsgState {
+		return types.Pair{}, types.Pair{}, fmt.Errorf("tcpnet: probe: unexpected reply %v", rsp.Kind)
+	}
+	return rsp.PW, rsp.W, nil
+}
+
+// Seed installs a quorum-certified pair into the object's register instance
+// reg (writer's register): PREWRITE then WRITEBACK of the pair, verified by
+// reading the object's state back. The object's monotone state merge keeps
+// Seed safe to repeat and unable to regress newer state.
+func (d *Direct) Seed(reg int, p types.Pair) error {
+	for _, kind := range []types.MsgKind{types.MsgPreWrite, types.MsgWriteBack} {
+		rsp, err := d.exchange(types.Reader(1), reg, types.Message{Kind: kind, Pair: p})
+		if err != nil {
+			return fmt.Errorf("tcpnet: seed: %s: %w", kind, err)
+		}
+		if rsp.Kind != types.MsgAck {
+			return fmt.Errorf("tcpnet: seed: %s not acknowledged: %v", kind, rsp.Kind)
+		}
+	}
+	rsp, err := d.exchange(types.Reader(1), reg, types.Message{Kind: types.MsgRead1})
+	if err != nil {
+		return fmt.Errorf("tcpnet: seed: verify: %w", err)
+	}
+	if rsp.Kind != types.MsgState || rsp.W.TS < p.TS || rsp.PW.TS < p.TS {
+		return fmt.Errorf("tcpnet: seed: state not installed (pw %v, w %v, want ≥ %v)", rsp.PW, rsp.W, p)
+	}
+	return nil
+}
+
+// Probe is the one-shot form of Direct.Probe.
+func Probe(addr string, reg int, timeout time.Duration) (pw, w types.Pair, err error) {
+	d, err := DialDirect(addr, timeout)
+	if err != nil {
+		return types.Pair{}, types.Pair{}, err
+	}
+	defer d.Close()
+	return d.Probe(reg)
+}
+
+// Seed is the one-shot form of Direct.Seed.
+func Seed(addr string, reg int, p types.Pair, timeout time.Duration) error {
+	d, err := DialDirect(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Seed(reg, p)
+}

@@ -10,26 +10,89 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
+	"robustatomic/internal/persist"
 	"robustatomic/internal/proto"
 	"robustatomic/internal/server"
 	"robustatomic/internal/types"
 	"robustatomic/internal/wire"
 )
 
+// Persister is the durability hook around the storage-object automaton: it
+// recovers the hosted register instances at startup, logs every
+// state-mutating request before the reply leaves, and supports the
+// rotate/commit compaction cycle. *persist.Engine is the production
+// implementation; tests may substitute fakes.
+type Persister interface {
+	// Recover reconstitutes the register instances from disk. Called once,
+	// before the server accepts connections.
+	Recover() (map[int]*server.Store, error)
+	// Append durably logs one mutating request per the engine's fsync mode.
+	Append(req wire.Request) error
+	// WALSize reports the bytes in the live WAL generation (compaction
+	// trigger input).
+	WALSize() int64
+	// Rotate seals the live WAL generation and returns the new one; the
+	// caller quiesces mutations across Rotate and the subsequent state
+	// capture, and passes the returned generation to Commit with it.
+	Rotate() (uint64, error)
+	// Commit durably installs the captured snapshot under its matching
+	// generation and prunes the generations it supersedes.
+	Commit(gen uint64, snap []byte) error
+	// Close seals the log.
+	Close() error
+}
+
+var _ Persister = (*persist.Engine)(nil)
+
+// ServerOptions configures the optional durability layer of a Server.
+type ServerOptions struct {
+	// DataDir is the durability directory. Empty means in-memory only —
+	// exactly the pre-durability behavior.
+	DataDir string
+	// Fsync selects the WAL fsync policy (persist.FsyncBatch by default).
+	Fsync persist.FsyncMode
+	// Persist overrides the engine (tests, alternate engines). When set,
+	// DataDir and Fsync are ignored.
+	Persist Persister
+	// CompactAt is the WAL size in bytes that triggers a snapshot+truncate
+	// cycle. Default 1 MiB; negative disables automatic compaction.
+	CompactAt int64
+	// CompactEvery is the compaction poll period. Default 250ms.
+	CompactEvery time.Duration
+}
+
 // Server serves one storage object over TCP. One object hosts any number of
 // independent register instances (lazily instantiated, keyed by the Reg
 // field of incoming requests), so a single daemon set backs a whole sharded
-// multi-key Store.
+// multi-key Store. With a data directory configured, every state-mutating
+// request is logged to a write-ahead log before the reply leaves and the
+// instances are recovered on restart, so a crashed daemon resumes as a
+// correct-but-slow object instead of an amnesiac one.
 type Server struct {
 	ID int
 
-	lis    net.Listener
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	lis     net.Listener
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	persist Persister
+	opts    ServerOptions
+
+	// applyMu orders WAL appends against compaction: every append+apply
+	// pair runs under RLock, so under Lock the WAL holds no record whose
+	// state change is still pending — a snapshot taken there covers every
+	// sealed record (see Compact). compactMu serializes whole compaction
+	// cycles (the background loop and explicit Compact calls).
+	applyMu   sync.RWMutex
+	compactMu sync.Mutex
+	// Per-category warning latches: a compaction warning must not swallow
+	// the later (and fatal) append-latch warning, or vice versa.
+	warnAppend  sync.Once
+	warnCompact sync.Once
 
 	mu       sync.Mutex
 	stores   map[int]*server.Store
@@ -37,16 +100,54 @@ type Server struct {
 }
 
 // NewServer starts serving object id on addr ("host:port"; ":0" picks a free
-// port — use Addr to discover it).
+// port — use Addr to discover it) with no durability, exactly as before.
 func NewServer(id int, addr string) (*Server, error) {
+	return NewServerWith(id, addr, ServerOptions{})
+}
+
+// NewServerWith starts serving object id on addr with the given durability
+// options. Recovery (snapshot load + WAL replay) completes before the
+// listener accepts its first connection.
+func NewServerWith(id int, addr string, opts ServerOptions) (*Server, error) {
+	if opts.CompactAt == 0 {
+		opts.CompactAt = 1 << 20
+	}
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 250 * time.Millisecond
+	}
+	s := &Server{ID: id, opts: opts, stores: make(map[int]*server.Store)}
+	if opts.Persist != nil {
+		s.persist = opts.Persist
+	} else if opts.DataDir != "" {
+		eng, err := persist.Open(opts.DataDir, persist.Options{Mode: opts.Fsync})
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: %w", err)
+		}
+		s.persist = eng
+	}
+	if s.persist != nil {
+		stores, err := s.persist.Recover()
+		if err != nil {
+			s.persist.Close()
+			return nil, fmt.Errorf("tcpnet: recover: %w", err)
+		}
+		s.stores = stores
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
+		if s.persist != nil {
+			s.persist.Close()
+		}
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{ID: id, lis: lis, ctx: ctx, cancel: cancel, stores: make(map[int]*server.Store)}
+	s.lis = lis
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.persist != nil && opts.CompactAt > 0 {
+		s.wg.Add(1)
+		go s.compactLoop()
+	}
 	return s, nil
 }
 
@@ -75,11 +176,68 @@ func (s *Server) SetBehavior(b server.Behavior) {
 	s.behavior = b
 }
 
-// Close stops the server and waits for its connections to drain.
+// Close stops the server, waits for its connections to drain, and seals the
+// write-ahead log.
 func (s *Server) Close() {
 	s.cancel()
 	s.lis.Close()
 	s.wg.Wait()
+	if s.persist != nil {
+		s.persist.Close()
+	}
+}
+
+// Compact forces one snapshot+truncate cycle: mutations are quiesced while
+// the WAL rotates and the state is captured, then the snapshot is committed
+// under the rotated generation and superseded generations pruned. No-op
+// without persistence.
+func (s *Server) Compact() error {
+	if s.persist == nil {
+		return nil
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.applyMu.Lock()
+	gen, err := s.persist.Rotate()
+	var snap []byte
+	if err == nil {
+		s.mu.Lock()
+		snap, err = persist.EncodeStores(s.stores)
+		s.mu.Unlock()
+	}
+	s.applyMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.persist.Commit(gen, snap)
+}
+
+// compactLoop triggers compaction whenever the WAL outgrows the threshold.
+func (s *Server) compactLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.CompactEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			if s.persist.WALSize() < s.opts.CompactAt {
+				continue
+			}
+			if err := s.Compact(); err != nil {
+				s.warnf(&s.warnCompact, "s%d: compaction: %v", s.ID, err)
+			}
+		}
+	}
+}
+
+// warnf reports the first problem of a category once (persistent failures
+// would otherwise spam stderr at request rate).
+func (s *Server) warnf(once *sync.Once, format string, args ...any) {
+	once.Do(func() {
+		fmt.Fprintf(os.Stderr, "tcpnet: "+format+"\n", args...)
+	})
 }
 
 func (s *Server) acceptLoop() {
@@ -111,6 +269,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		if req.Reg < 0 || req.Reg >= MaxRegisters {
 			continue // invalid instance: the client sees silence
 		}
+		// Log state-mutating requests before the reply leaves: once a client
+		// counts this object's ack toward a quorum, the state change must
+		// survive a restart, or an honest crash becomes an amnesia fault and
+		// silently burns the t-budget. The append+apply pair runs under the
+		// apply read-lock so compaction (which holds the write lock) never
+		// snapshots between a sealed record and its state change.
+		mutating := s.persist != nil && server.Mutates(req.Msg)
+		if mutating {
+			s.applyMu.RLock()
+			if err := s.persist.Append(req); err != nil {
+				s.applyMu.RUnlock()
+				// An unloggable mutation must not be acked or applied: the
+				// client sees silence, indistinguishable from slowness.
+				s.warnf(&s.warnAppend, "s%d: wal append: %v", s.ID, err)
+				continue
+			}
+		}
 		s.mu.Lock()
 		st, found := s.stores[req.Reg]
 		if !found {
@@ -123,6 +298,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		reply, ok := b.Reply(st, req.From, req.Msg)
 		s.mu.Unlock()
+		if mutating {
+			s.applyMu.RUnlock()
+		}
 		if !ok {
 			continue // withheld reply: the client sees silence
 		}
@@ -146,11 +324,12 @@ var errObjectDown = errors.New("tcpnet: object unreachable, in dial backoff")
 // dialTimeout bounds one connection attempt.
 const dialTimeout = 2 * time.Second
 
-// dialBackoff is how long after a failed dial the client waits before
+// DialBackoff is how long after a failed dial the client waits before
 // trying that object again. During the window, rounds skip the object
 // immediately instead of stalling on a fresh dial — one unreachable object
-// must not add dial latency to every round.
-const dialBackoff = 1 * time.Second
+// must not add dial latency to every round. (Exported so restart drills
+// can wait out exactly this window.)
+const DialBackoff = 1 * time.Second
 
 // Client executes protocol rounds against a set of object addresses
 // (addresses[i] serves object i+1). One Client serves one logical process
@@ -264,7 +443,7 @@ func (c *Client) conn(sid int) (*clientConn, error) {
 		}
 		return cc, nil
 	}
-	if time.Since(ds.failedAt) < dialBackoff {
+	if time.Since(ds.failedAt) < DialBackoff {
 		c.mu.Unlock()
 		return nil, errObjectDown
 	}

@@ -213,7 +213,7 @@ func TestDeadPeerDoesNotStallRounds(t *testing.T) {
 	}
 	defer s4.Close()
 	wc.mu.Lock()
-	wc.dials[3].failedAt = time.Now().Add(-2 * dialBackoff)
+	wc.dials[3].failedAt = time.Now().Add(-2 * DialBackoff)
 	wc.mu.Unlock()
 	if _, err := wc.conn(4); err != errDialPending {
 		t.Fatalf("conn(recovering) = %v, want errDialPending", err)

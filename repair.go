@@ -1,0 +1,87 @@
+package robustatomic
+
+import (
+	"fmt"
+	"time"
+
+	"robustatomic/internal/tcpnet"
+)
+
+// RepairedRegister reports the outcome of repairing one register instance.
+type RepairedRegister struct {
+	// Reg is the wire register instance (0 = the standalone register,
+	// 1..Shards = the keyed Store's shards).
+	Reg int
+	// TS is the timestamp of the pair installed on the replacement object.
+	TS int64
+	// Bytes is the size of the installed value.
+	Bytes int
+	// Skipped reports an instance that was never written (nothing to
+	// install; a blank register is its correct state).
+	Skipped bool
+}
+
+// Repair reconstitutes a blank replacement object from its live peers, in
+// the style of RADON's repairable atomic storage: for every register
+// instance up to shards (instance 0 plus one per Store shard) it performs a
+// full atomic read against the cluster — which tolerates the blank object
+// and up to t liars among the rest — and installs the certified result
+// directly into object id's register via the protocol's own write-back
+// messages. The installed state is exactly what a correct object that
+// missed every message would be brought to by an honest reader's
+// write-back, so safety is untouched; what repair restores is the fault
+// budget: the replacement again certifies the current value, so the
+// deployment survives a further t failures.
+//
+// Repair requires a remote (Connect) cluster. Run it while the repaired
+// registers are otherwise idle, after replacing a dead machine with a blank
+// daemon on the old address. Re-running it is harmless: objects merge state
+// monotonically, so a repeated or stale install is a no-op.
+func (c *Cluster) Repair(id int, shards int) ([]RepairedRegister, error) {
+	if c.addrs == nil {
+		return nil, fmt.Errorf("robustatomic: repair needs a remote cluster (Connect)")
+	}
+	if id < 1 || id > len(c.addrs) {
+		return nil, fmt.Errorf("robustatomic: object id %d out of 1..%d", id, len(c.addrs))
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("robustatomic: negative shard count %d", shards)
+	}
+	if c.opts.Model == SecretTokens {
+		// The quorum read yields the certified pair but not the secret
+		// tokens the peers hold alongside it; a replacement seeded with a
+		// zero token could never again contribute to the single-round
+		// fast path's (pair, token) matching, silently weakening the
+		// deployment. Refuse rather than half-repair.
+		return nil, fmt.Errorf("robustatomic: repair does not support the SecretTokens model (recovered state would lack the peers' tokens)")
+	}
+	d, err := tcpnet.DialDirect(c.addrs[id-1], 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("robustatomic: repair: %w", err)
+	}
+	defer d.Close()
+	out := make([]RepairedRegister, 0, shards+1)
+	for reg := 0; reg <= shards; reg++ {
+		// The quorum read: reader identity 1 against this instance. Its
+		// write-back already repairs the *reader's* register as a side
+		// effect; the explicit seed below repairs the writer's register,
+		// which carries the certified head of the instance.
+		r, err := c.readerReg(1, reg)
+		if err != nil {
+			return out, fmt.Errorf("robustatomic: repair instance %d: %w", reg, err)
+		}
+		p, err := r.readPair()
+		if err != nil {
+			return out, fmt.Errorf("robustatomic: repair instance %d: quorum read: %w", reg, err)
+		}
+		if p.IsBottom() {
+			out = append(out, RepairedRegister{Reg: reg, Skipped: true})
+			continue
+		}
+		if err := d.Seed(reg, p); err != nil {
+			return out, fmt.Errorf("robustatomic: repair instance %d: %w", reg, err)
+		}
+		out = append(out, RepairedRegister{Reg: reg, TS: p.TS, Bytes: len(p.Val)})
+	}
+	return out, nil
+}

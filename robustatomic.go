@@ -27,8 +27,14 @@
 //	_ = st.Put("order:42", "shipped")
 //	v, _ = st.Get("order:42") // "shipped"
 //
-// See DESIGN.md for the paper reproduction map and the Store layer design,
-// and EXPERIMENTS.md for the measured results.
+// Daemons started with -data-dir write-ahead-log every state mutation and
+// recover it on restart, so a crashed object resumes as correct-but-slow
+// instead of burning the fault budget with amnesia; Cluster.Repair
+// (storctl repair) reconstitutes a wiped replacement object from a quorum
+// of its live peers.
+//
+// See DESIGN.md for the paper reproduction map, the Store layer design and
+// the durability subsystem, and EXPERIMENTS.md for the measured results.
 package robustatomic
 
 import (
