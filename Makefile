@@ -2,7 +2,7 @@ GO ?= go
 # bash + pipefail so piping through tee cannot mask a benchmark failure.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build vet test race bench bench-codec bench-persist integration
+.PHONY: all build vet test race bench bench-codec bench-persist bench-mwmr fuzz integration
 
 all: build vet test
 
@@ -19,10 +19,22 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the hot-path experiment benchmarks (E7 live-runtime latency,
-# E9 sharded-Store throughput, E10 durability tax) the way CI records them;
-# output feeds the benchmark trajectory in EXPERIMENTS.md.
+# E9 sharded-Store throughput, E10 durability tax, E11 multi-writer
+# contention) the way CI records them; output feeds the benchmark
+# trajectory in EXPERIMENTS.md.
 bench:
-	$(GO) test -run xxx -bench 'E7|E9|E10' -benchmem -count=3 . | tee bench.txt
+	$(GO) test -run xxx -bench 'E7|E9|E10|E11' -benchmem -count=3 . | tee bench.txt
+
+# bench-mwmr isolates the multi-writer contention experiment (E11).
+bench-mwmr:
+	$(GO) test -run xxx -bench E11 -benchmem .
+
+# fuzz runs the CI fuzz smoke locally: the hand-rolled codecs must never
+# panic and accepted inputs must round-trip.
+fuzz:
+	$(GO) test -fuzz FuzzTableCodec -fuzztime 30s ./internal/shard/
+	$(GO) test -fuzz FuzzDecodePair -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzSnapshotRestore -fuzztime 30s ./internal/server/
 
 # bench-codec compares the legacy text shard-table codec against the binary
 # codec across table sizes.

@@ -6,6 +6,7 @@ package robustatomic
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -331,10 +332,10 @@ func BenchmarkE9StorePutCoalesced(b *testing.B) {
 		b.Fatal(err)
 	}
 	var flushes int64
-	flush := sh.flush
-	sh.flush = func(enc string) error {
+	orig := sh.modify
+	sh.modify = func(fn func(types.Pair) (types.Value, error)) (types.Pair, error) {
 		atomic.AddInt64(&flushes, 1)
-		return flush(enc)
+		return orig(fn)
 	}
 	var ctr int64
 	b.SetParallelism(8) // 8×GOMAXPROCS putters: contention even on small boxes
@@ -456,6 +457,90 @@ func BenchmarkE10PersistPut(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkE11MultiWriterContention measures the multi-writer register's
+// contention behavior over loopback TCP: W independent Connected processes
+// (distinct WriterIDs, disjoint reader identities) put concurrently, either
+// all hammering ONE key of one shard (every flush races every other) or
+// each writing its own key on a distinct shard (no cross-writer contention,
+// isolating the per-writer protocol cost). writers=1 is the post-refactor
+// single-writer baseline; compare its ns/op against the recorded E10
+// volatile numbers for the measured 2-round→3-round write latency tax.
+func BenchmarkE11MultiWriterContention(b *testing.B) {
+	for _, writers := range []int{1, 2, 4, 8} {
+		for _, mode := range []string{"one-shard", "spread"} {
+			b.Run(fmt.Sprintf("writers=%d/%s", writers, mode), func(b *testing.B) {
+				var addrs []string
+				for i := 1; i <= 4; i++ {
+					s, err := tcpnet.NewServer(i, "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer s.Close()
+					addrs = append(addrs, s.Addr())
+				}
+				const shards = 8
+				stores := make([]*Store, writers)
+				keys := make([]string, writers)
+				usedShard := map[int]bool{}
+				for w := 0; w < writers; w++ {
+					c, err := Connect(addrs, Options{
+						Faults:   1,
+						Readers:  writers,
+						WriterID: w + 1,
+						Seed:     int64(1100 + w),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer c.Close()
+					st, err := c.NewStore(StoreOptions{Shards: shards, Readers: []int{w + 1}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stores[w] = st
+					switch mode {
+					case "one-shard":
+						keys[w] = "contended"
+					default: // spread: per-writer key on a distinct shard
+						for i := 0; ; i++ {
+							name := fmt.Sprintf("spread-%d-%d", w, i)
+							if sh := st.ShardOf(name); !usedShard[sh] {
+								usedShard[sh] = true
+								keys[w] = name
+								break
+							}
+						}
+					}
+					if err := st.Put(keys[w], "warm"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var ctr int64
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < writers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := atomic.AddInt64(&ctr, 1)
+							if i > int64(b.N) {
+								return
+							}
+							if err := stores[w].Put(keys[w], fmt.Sprintf("w%d-v%d", w, i)); err != nil {
+								b.Error(err) // Fatal must not run off the benchmark goroutine
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
 	}
 }
 

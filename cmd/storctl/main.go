@@ -14,11 +14,16 @@
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 probe 3
 //
 // Every invocation recovers shard state from the cluster before writing, so
-// sequential puts from the key owner compose across invocations. Keys are
-// single-writer: concurrent puts to the same shard from different processes
-// are outside the model. All clients of one deployment must agree on
-// -shards — it determines which register a key routes to, and how many
-// register instances repair reconstitutes (instance 0 plus one per shard).
+// puts compose across invocations. The registers are multi-writer:
+// concurrent puts from different processes are safe PROVIDED each process
+// uses a distinct -writer id (embedded in every timestamp it issues) and a
+// distinct -reader index (reader identities own their write-back registers
+// exclusively). Concurrent puts to the same key resolve atomically to one
+// of the written values; concurrent puts to different keys of the same
+// shard are last-writer-wins at shard granularity. All clients of one
+// deployment must agree on -shards — it determines which register a key
+// routes to, and how many register instances repair reconstitutes
+// (instance 0 plus one per shard).
 package main
 
 import (
@@ -37,17 +42,18 @@ func main() {
 	servers := flag.String("servers", "", "comma-separated object addresses (3t+1 of them, in id order)")
 	t := flag.Int("t", 1, "fault budget")
 	readers := flag.Int("readers", 2, "total reader count R")
-	readerIdx := flag.Int("reader", 1, "this client's reader index (1..R)")
+	readerIdx := flag.Int("reader", 1, "this client's reader index (1..R; concurrent clients use distinct indices)")
+	writerID := flag.Int("writer", 0, "this client's writer id (concurrent writing clients use distinct ids)")
 	shards := flag.Int("shards", 8, "shard count of the keyed store (put/get/del, repair/probe)")
 	flag.Parse()
 
-	if err := run(*servers, *t, *readers, *readerIdx, *shards, flag.Args()); err != nil {
+	if err := run(*servers, *t, *readers, *readerIdx, *writerID, *shards, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "storctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers string, t, readers, readerIdx, shards int, args []string) error {
+func run(servers string, t, readers, readerIdx, writerID, shards int, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | repair <object-id> | probe <object-id>")
 	}
@@ -75,11 +81,15 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 		}
 		return nil
 	}
-	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers})
+	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers, WriterID: writerID})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
+	// The keyed store's read pool uses only this client's own reader
+	// identity, so concurrent storctl processes with distinct -reader
+	// indices never contend for a write-back register.
+	storeOpts := robustatomic.StoreOptions{Shards: shards, Readers: []int{readerIdx}}
 	switch args[0] {
 	case "write":
 		if len(args) != 2 {
@@ -88,7 +98,7 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 		if err := cluster.Writer().Write(args[1]); err != nil {
 			return err
 		}
-		fmt.Println("OK (2 rounds)")
+		fmt.Println("OK (3 rounds)")
 		return nil
 	case "read":
 		r, err := cluster.Reader(readerIdx)
@@ -105,7 +115,7 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 		if len(args) != 3 {
 			return fmt.Errorf("usage: storctl put <key> <value>")
 		}
-		st, err := cluster.NewStore(robustatomic.StoreOptions{Shards: shards})
+		st, err := cluster.NewStore(storeOpts)
 		if err != nil {
 			return err
 		}
@@ -118,7 +128,7 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 		if len(args) != 2 {
 			return fmt.Errorf("usage: storctl get <key>")
 		}
-		st, err := cluster.NewStore(robustatomic.StoreOptions{Shards: shards})
+		st, err := cluster.NewStore(storeOpts)
 		if err != nil {
 			return err
 		}
@@ -132,7 +142,7 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 		if len(args) != 2 {
 			return fmt.Errorf("usage: storctl del <key>")
 		}
-		st, err := cluster.NewStore(robustatomic.StoreOptions{Shards: shards})
+		st, err := cluster.NewStore(storeOpts)
 		if err != nil {
 			return err
 		}
@@ -155,7 +165,7 @@ func run(servers string, t, readers, readerIdx, shards int, args []string) error
 				fmt.Printf("s%d reg %d: blank (never written), skipped\n", id, r.Reg)
 				continue
 			}
-			fmt.Printf("s%d reg %d: installed ts=%d (%d bytes) from quorum\n", id, r.Reg, r.TS, r.Bytes)
+			fmt.Printf("s%d reg %d: installed ts=%s (%d bytes) from quorum\n", id, r.Reg, r.TS, r.Bytes)
 		}
 		if err != nil {
 			return err

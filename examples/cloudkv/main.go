@@ -4,10 +4,11 @@
 // node — up to t of the 3t+1 nodes may be arbitrarily corrupt.
 //
 // The demo uses the library's sharded Store layer: keys are hashed onto 8
-// independent single-writer atomic registers hosted on the same 4 objects,
+// independent multi-writer atomic registers hosted on the same 4 objects,
 // so an order-tracking workload over many keys runs with per-key atomicity
-// while one storage node serves garbage. (Multi-writer keys need the
-// further transformation of [4, 20]; see DESIGN.md.)
+// while one storage node serves garbage. (Separate processes can write the
+// same keys concurrently by Connecting with distinct WriterIDs; see
+// DESIGN.md "Multi-writer registers".)
 package main
 
 import (

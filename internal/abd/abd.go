@@ -38,19 +38,20 @@ func (c Config) Validate() error {
 // Majority returns the quorum size ⌊S/2⌋+1.
 func (c Config) Majority() int { return c.S/2 + 1 }
 
-// Writer is the single writer.
+// Writer is the single writer (the crash-only baseline keeps the paper's
+// SWMR setting; its timestamps stay WID 0).
 type Writer struct {
 	rounder proto.Rounder
 	cfg     Config
-	ts      int64
+	ts      types.TS
 }
 
 // NewWriter returns the writer handle.
-func NewWriter(r proto.Rounder, cfg Config) *Writer { return NewWriterAt(r, cfg, 0) }
+func NewWriter(r proto.Rounder, cfg Config) *Writer { return NewWriterAt(r, cfg, types.TS{}) }
 
 // NewWriterAt resumes from a known last timestamp.
-func NewWriterAt(r proto.Rounder, cfg Config, lastTS int64) *Writer {
-	return &Writer{rounder: r, cfg: cfg, ts: lastTS}
+func NewWriterAt(r proto.Rounder, cfg Config, last types.TS) *Writer {
+	return &Writer{rounder: r, cfg: cfg, ts: last}
 }
 
 // Write stores v in a single round: send the timestamped pair to all
@@ -62,7 +63,7 @@ func (w *Writer) Write(v types.Value) error {
 	if err := w.cfg.Validate(); err != nil {
 		return err
 	}
-	p := types.Pair{TS: w.ts + 1, Val: v}
+	p := types.Pair{TS: w.ts.Next(0), Val: v}
 	spec := proto.RoundSpec{
 		Label: "ABD_STORE",
 		Req:   func(int) types.Message { return types.Message{Kind: types.MsgABDStore, Pair: p} },
@@ -76,7 +77,7 @@ func (w *Writer) Write(v types.Value) error {
 }
 
 // LastTS returns the timestamp of the last completed write.
-func (w *Writer) LastTS() int64 { return w.ts }
+func (w *Writer) LastTS() types.TS { return w.ts }
 
 // Reader reads the register.
 type Reader struct {

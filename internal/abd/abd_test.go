@@ -24,7 +24,7 @@ func mustRun(t *testing.T, s *sim.Sim, op *sim.Op) types.Value {
 
 type harness struct {
 	cfg Config
-	ts  int64
+	ts  types.TS
 }
 
 func (h *harness) writeOp(v types.Value) sim.OpFunc {

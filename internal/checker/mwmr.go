@@ -1,0 +1,313 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"robustatomic/internal/types"
+)
+
+// CheckAtomicMW verifies atomicity of a MULTI-WRITER register history:
+// linearizability under read/write register semantics with initial value ⊥,
+// assuming no total write order — writes are tagged with their (writer)
+// client and only per-client ordering plus real time constrain them. This is
+// the correctness condition of the repository's MWMR registers, where the
+// single-writer checker's write-sequence preprocessing does not apply.
+//
+// The history must be well-formed: each client's operations are sequential,
+// written values are pairwise distinct and never ⊥ (distinct values make
+// "read returns the value of write w" unambiguous — the protocols' tests
+// write writer-tagged values). Pending writes may or may not take effect;
+// pending reads are ignored.
+//
+// The search exploits that a linearization respects each client's own order,
+// so any prefix of linearized operations is a vector of per-client queue
+// prefixes: the state space is (per-client positions × current value), which
+// memoization keeps polynomial in practice for bounded client counts —
+// unlike the flat Wing–Gong bitmask search of CheckLinearizable, this scales
+// to the property tests' histories. Fast paths first report the common
+// violations (fabricated values, future reads, stale reads, new/old
+// inversions) with precise witnesses; the exhaustive search then decides the
+// remainder.
+func CheckAtomicMW(h *History) error {
+	ops := h.Ops()
+	writeOf := make(map[types.Value]Op, len(ops))
+	var reads []Op
+	for _, op := range ops {
+		switch op.Kind {
+		case OpWrite:
+			if op.Arg.IsBottom() {
+				return &Violation{Prop: "well-formed", Detail: "⊥ written", Ops: []Op{op}}
+			}
+			if prev, dup := writeOf[op.Arg]; dup {
+				return &Violation{
+					Prop:   "well-formed",
+					Detail: fmt.Sprintf("duplicate written value %q; use distinct (writer-tagged) values", op.Arg),
+					Ops:    []Op{prev, op},
+				}
+			}
+			writeOf[op.Arg] = op
+		case OpRead:
+			if op.Complete() {
+				reads = append(reads, op)
+			}
+		}
+	}
+
+	// Fast property checks with precise witnesses.
+	if v := checkMWValidity(reads, writeOf); v != nil {
+		return v
+	}
+	if v := checkMWNoFuture(reads, writeOf); v != nil {
+		return v
+	}
+	if v := checkMWStaleReads(ops, reads, writeOf); v != nil {
+		return v
+	}
+	if v := checkMWInversions(reads, writeOf); v != nil {
+		return v
+	}
+
+	// Exhaustive decision: search for a linearization.
+	queues, v := mwQueues(ops)
+	if v != nil {
+		return v
+	}
+	s := &mwSearch{queues: queues, memo: make(map[string]bool)}
+	if !s.search(make([]int, len(queues)), types.Bottom) {
+		return &Violation{
+			Prop:   "mw-atomicity",
+			Detail: fmt.Sprintf("no linearization of the %d-operation multi-writer history exists", len(ops)),
+		}
+	}
+	return nil
+}
+
+// checkMWValidity: returned values were written (or ⊥) — property (1).
+func checkMWValidity(reads []Op, writeOf map[types.Value]Op) *Violation {
+	for _, rd := range reads {
+		if rd.Ret.IsBottom() {
+			continue
+		}
+		if _, ok := writeOf[rd.Ret]; !ok {
+			return &Violation{
+				Prop:   "mw-atomicity(1)",
+				Detail: fmt.Sprintf("read returned %q which was never written", rd.Ret),
+				Ops:    []Op{rd},
+			}
+		}
+	}
+	return nil
+}
+
+// checkMWNoFuture: a read does not return a value whose write it precedes —
+// property (3).
+func checkMWNoFuture(reads []Op, writeOf map[types.Value]Op) *Violation {
+	for _, rd := range reads {
+		if rd.Ret.IsBottom() {
+			continue
+		}
+		if wr := writeOf[rd.Ret]; rd.Precedes(wr) {
+			return &Violation{
+				Prop:   "mw-atomicity(3)",
+				Detail: fmt.Sprintf("read returned %q but completed before its write was invoked", rd.Ret),
+				Ops:    []Op{rd, wr},
+			}
+		}
+	}
+	return nil
+}
+
+// checkMWStaleReads: if write(v) completed before write(v') was invoked, and
+// write(v') completed before the read was invoked, the read cannot return v
+// — the multi-writer form of property (2): some write seals v away before
+// the read begins, regardless of how concurrent writes interleave.
+func checkMWStaleReads(ops, reads []Op, writeOf map[types.Value]Op) *Violation {
+	for _, rd := range reads {
+		wr, sealed := writeOf[rd.Ret]
+		if !rd.Ret.IsBottom() && !sealed {
+			continue // fabricated; reported by validity
+		}
+		for _, sealer := range ops {
+			if sealer.Kind != OpWrite || !sealer.Precedes(rd) {
+				continue
+			}
+			if rd.Ret.IsBottom() {
+				// ⊥ after any complete write is stale.
+				return &Violation{
+					Prop:   "mw-atomicity(2)",
+					Detail: "read returned ⊥ but succeeds a complete write",
+					Ops:    []Op{rd, sealer},
+				}
+			}
+			if wr.Precedes(sealer) {
+				return &Violation{
+					Prop:   "mw-atomicity(2)",
+					Detail: fmt.Sprintf("read returned %q, but a later write completed before the read began", rd.Ret),
+					Ops:    []Op{rd, wr, sealer},
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkMWInversions: rd2 succeeding rd1 cannot return a value whose write
+// precedes rd1's value's write — property (4) without a total write order.
+func checkMWInversions(reads []Op, writeOf map[types.Value]Op) *Violation {
+	for _, rd1 := range reads {
+		if rd1.Ret.IsBottom() {
+			continue
+		}
+		w1, ok := writeOf[rd1.Ret]
+		if !ok {
+			continue
+		}
+		for _, rd2 := range reads {
+			if rd1.ID == rd2.ID || !rd1.Precedes(rd2) {
+				continue
+			}
+			if rd2.Ret.IsBottom() {
+				return &Violation{
+					Prop:   "mw-atomicity(4)",
+					Detail: fmt.Sprintf("rd2 succeeds rd1 but returned ⊥ after rd1 returned %q (new/old inversion)", rd1.Ret),
+					Ops:    []Op{rd1, rd2},
+				}
+			}
+			w2, ok := writeOf[rd2.Ret]
+			if !ok {
+				continue
+			}
+			if w2.Precedes(w1) {
+				return &Violation{
+					Prop:   "mw-atomicity(4)",
+					Detail: fmt.Sprintf("rd2 succeeds rd1 but returned %q, written strictly before rd1's %q (new/old inversion)", rd2.Ret, rd1.Ret),
+					Ops:    []Op{rd1, rd2},
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mwQueues splits the history into per-client queues ordered by invocation,
+// dropping pending reads, and validates that each client's operations are
+// sequential (a pending operation, if any, is the client's last).
+func mwQueues(ops []Op) ([][]Op, *Violation) {
+	byClient := make(map[types.ProcID][]Op)
+	var clients []types.ProcID
+	for _, op := range ops {
+		if op.Kind == OpRead && !op.Complete() {
+			continue // no obligations
+		}
+		if _, seen := byClient[op.Client]; !seen {
+			clients = append(clients, op.Client)
+		}
+		byClient[op.Client] = append(byClient[op.Client], op)
+	}
+	sort.Slice(clients, func(i, j int) bool {
+		a, b := clients[i], clients[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Idx < b.Idx
+	})
+	queues := make([][]Op, 0, len(clients))
+	for _, cl := range clients {
+		q := byClient[cl]
+		sort.Slice(q, func(i, j int) bool { return q[i].Invoke < q[j].Invoke })
+		for i := 1; i < len(q); i++ {
+			if !q[i-1].Complete() || q[i-1].Respond > q[i].Invoke {
+				return nil, &Violation{
+					Prop:   "well-formed",
+					Detail: fmt.Sprintf("client %s operations overlap", cl),
+					Ops:    []Op{q[i-1], q[i]},
+				}
+			}
+		}
+		queues = append(queues, q)
+	}
+	return queues, nil
+}
+
+// mwSearch finds a linearization over per-client queues.
+type mwSearch struct {
+	queues [][]Op
+	memo   map[string]bool
+}
+
+// key encodes the search state: per-queue positions plus the register value
+// (written values are distinct, so the value identifies the last linearized
+// effective write).
+func (s *mwSearch) key(idx []int, current types.Value) string {
+	b := make([]byte, 0, 4*len(idx)+len(current))
+	for _, i := range idx {
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, ',')
+	}
+	return string(append(b, current...))
+}
+
+func (s *mwSearch) search(idx []int, current types.Value) bool {
+	done := true
+	for qi, q := range s.queues {
+		if idx[qi] < len(q) {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true
+	}
+	k := s.key(idx, current)
+	if v, hit := s.memo[k]; hit {
+		return v
+	}
+	ok := false
+	for qi, q := range s.queues {
+		if idx[qi] >= len(q) {
+			continue
+		}
+		op := q[idx[qi]]
+		// op may linearize next only if no other client's pending head
+		// completed before op was invoked (heads suffice: a queue's later
+		// ops complete no earlier than its head).
+		blocked := false
+		for qj, qo := range s.queues {
+			if qi == qj || idx[qj] >= len(qo) {
+				continue
+			}
+			if qo[idx[qj]].Precedes(op) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		idx[qi]++
+		switch op.Kind {
+		case OpWrite:
+			if s.search(idx, op.Arg) {
+				ok = true
+			}
+			if !ok && !op.Complete() {
+				// A pending write may also never take effect.
+				if s.search(idx, current) {
+					ok = true
+				}
+			}
+		case OpRead:
+			if op.Ret == current && s.search(idx, current) {
+				ok = true
+			}
+		}
+		idx[qi]--
+		if ok {
+			break
+		}
+	}
+	s.memo[k] = ok
+	return ok
+}

@@ -1,29 +1,39 @@
-// Package core implements the paper's matching upper bound (Section 5): a
-// robust single-writer multi-reader ATOMIC register with 2-round writes and
-// 4-round reads, built from R+1 robust regular registers (one owned by the
-// writer, one write-back register per reader) hosted on the same S = 3t+1
-// Byzantine-prone storage objects — the classical SWMR-regular → SWMR-atomic
-// transformation of [4, 20] referenced in the paper's footnote 6.
+// Package core implements the paper's upper bound (Section 5) promoted to
+// multi-writer: a robust multi-writer multi-reader ATOMIC register with
+// 3-round writes and 4-round reads, built from one MWMR regular register
+// shared by all writers plus one write-back register per reader, hosted on
+// the same S = 3t+1 Byzantine-prone storage objects — the classical
+// regular → atomic transformation of [4, 20] referenced in the paper's
+// footnote 6, with multi-writer ABD-style (Seq, WriterID) timestamps.
 //
-// Reads execute the regular reads of all R+1 registers in parallel by
+// Writes are read-max-TS → write-back: one timestamp-discovery round
+// queries a quorum for the highest timestamp in circulation, then the
+// regular write's two rounds (PREWRITE, WRITE) install the value at the
+// successor timestamp tagged with this writer's id — 3 rounds, one more
+// than the paper's SWMR optimum of 2. That extra round is exactly the price
+// the single-writer model avoided: a lone writer knows the highest timestamp
+// (its own), concurrent writers must discover it. The lexicographic
+// (Seq, WriterID) order totally orders even timestamps picked concurrently.
+//
+// Reads execute the regular reads of all registers in parallel by
 // multiplexing their two query rounds onto two physical rounds (a physical
 // round carries one sub-request per register instance to every object), then
 // write the maximum pair back into the reader's own register (two more
 // rounds: PREWRITE, WRITE) before returning — 4 rounds total, matching the
-// optimum established by the paper's two lower bounds: no scalable robust
-// atomic storage can read in fewer than 4 rounds while keeping constant
-// write latency. Writes touch only the writer's register: 2 rounds, the
-// optimum of [1].
+// optimum established by the paper's two lower bounds.
 //
-// Atomicity argument (Section 2.2 properties): (1) values travel only from
-// the writer through correct objects or genuinely-certified write-backs, so
-// reads return written values; (2) a read succeeding write k reads the
-// writer's register regularly and obtains a pair ≥ k; (3) pairs cannot be
-// observed before the writer issues them; (4) a read rd2 succeeding rd1
-// reads rd1's write-back register regularly, and rd1 completed its
-// write-back before returning, so rd2's maximum is at least rd1's result —
-// no new/old inversion. Concurrent reads may still disagree transiently,
-// which atomicity permits.
+// Atomicity argument (Section 2.2 properties, multi-writer form): (1) values
+// travel only from writers through correct objects or genuinely-certified
+// write-backs, so reads return written values; (2) a read succeeding a
+// complete write at timestamp ts reads the shared register regularly and
+// obtains a pair ≥ ts (the regular read's decision dominates every complete
+// write); (3) pairs cannot be observed before some writer issues them;
+// (4) a read rd2 succeeding rd1 reads rd1's write-back register regularly,
+// and rd1 completed its write-back before returning, so rd2's maximum is at
+// least rd1's result — no new/old inversion. Writes are ordered by their
+// timestamps, which respect real time: a write's discovery round intersects
+// every earlier complete write's WRITE quorum in a correct object, so its
+// timestamp strictly dominates.
 package core
 
 import (
@@ -37,35 +47,168 @@ import (
 	"robustatomic/internal/types"
 )
 
-// Writer is the atomic register's single writer.
+// Writer is one of the atomic register's writers, identified by its
+// WriterID. Concurrent writers must use distinct ids; one writer handle is
+// single-goroutine like every client of the model.
 type Writer struct {
 	rounder proto.Rounder
 	th      quorum.Thresholds
-	ts      int64
+	wid     int64
+	ts      types.TS
 }
 
-// NewWriter returns the writer handle.
+// NewWriter returns writer 0's handle (the deployment's default writer).
 func NewWriter(r proto.Rounder, th quorum.Thresholds) *Writer {
-	return NewWriterAt(r, th, 0)
+	return NewWriterAt(r, th, 0, types.TS{})
 }
 
-// NewWriterAt returns a writer resuming from a known last timestamp.
-func NewWriterAt(r proto.Rounder, th quorum.Thresholds, lastTS int64) *Writer {
-	return &Writer{rounder: r, th: th, ts: lastTS}
+// NewWriterAt returns the handle of writer wid resuming from a known last
+// timestamp (its own, or the highest foreign timestamp it observed).
+func NewWriterAt(r proto.Rounder, th quorum.Thresholds, wid int64, last types.TS) *Writer {
+	return &Writer{rounder: r, th: th, wid: wid, ts: last}
 }
 
-// Write stores v: two rounds on the writer's register.
+// maxDiscoveryLead bounds how far past the writer's own knowledge an
+// UNCERTIFIED discovery result may jump before the writer insists on
+// certifying it. Honest sequence numbers advance by one per write, so any
+// genuine lead above this bound (~4 billion intervening writes) is
+// astronomically unlikely between two operations of one process — while a
+// Byzantine object forging near-MaxInt64 reports exceeds it on the first
+// try and gets routed to the certified read, which it cannot inflate. The
+// bound also rate-limits slow-burn inflation: installed sequence numbers
+// can grow by at most this much per (genuine) write, pushing ceiling
+// exhaustion beyond 2^31 writes even under a sustained attack.
+const maxDiscoveryLead = 1 << 32
+
+// DiscoverNext runs one timestamp-discovery round and returns the successor
+// timestamp writer wid should write at: one past the highest timestamp a
+// quorum exhibits (or past own, whichever is larger). Any complete write's
+// WRITE phase reached 2t+1 objects, of which at least one correct one is in
+// this quorum of 2t+1 (out of 3t+1), so the successor strictly dominates
+// every write that completed before the discovery began — which is what
+// atomicity property (2) needs from write ordering.
+//
+// The replies are uncertified, so a Byzantine object can inflate the
+// discovered sequence number. Unchecked, one forged near-MaxInt64 reply
+// would make the writer install a pair at the ceiling and wedge every
+// writer forever; so whenever the raw result leads the writer's own
+// timestamp implausibly (maxDiscoveryLead) or its successor would
+// overflow, DiscoverNext falls back to CertifiedNext — the certified read
+// decision only yields genuine timestamps, so the forgery costs two extra
+// rounds instead of liveness. (A fresh writer attaching to a legitimately
+// far-ahead register pays the certified path once; its own timestamp then
+// catches up.) The label names the round for traces (e.g. "WDISC").
+func DiscoverNext(r proto.Rounder, th quorum.Thresholds, wid int64, own types.TS, label string) (types.TS, error) {
+	acc := regular.NewStateAcc(th)
+	spec := proto.RoundSpec{
+		Label: label,
+		Req:   func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
+		Acc:   acc,
+	}
+	if err := r.Round(spec); err != nil {
+		return types.TS{}, fmt.Errorf("core: discovery: %w", err)
+	}
+	raw := types.MaxTS(acc.MaxTS(), own)
+	next := raw.Next(wid)
+	if next.Seq <= 0 || raw.Seq-own.Seq > maxDiscoveryLead {
+		_, next, err := CertifiedNext(r, th, wid, own)
+		if err != nil {
+			return types.TS{}, err
+		}
+		if next.Seq <= 0 {
+			return types.TS{}, fmt.Errorf("core: register sequence space exhausted")
+		}
+		return next, nil
+	}
+	return next, nil
+}
+
+// CertifiedNext runs a certified regular read of the shared register
+// (2 rounds, the full decision procedure) and returns the current pair plus
+// the successor timestamp for writer wid. Unlike DiscoverNext's raw quorum
+// maximum, the decision only returns genuine pairs, so not even the
+// timestamp can be Byzantine-inflated.
+func CertifiedNext(r proto.Rounder, th quorum.Thresholds, wid int64, own types.TS) (types.Pair, types.TS, error) {
+	rd := regular.NewReader(r, th, types.WriterReg)
+	rd.MultiWriter = true
+	cur, err := rd.ReadPair()
+	if err != nil {
+		return types.Pair{}, types.TS{}, fmt.Errorf("core: certified discovery: %w", err)
+	}
+	return cur, types.MaxTS(cur.TS, own).Next(wid), nil
+}
+
+// WriteDiscovered runs the full multi-writer write flow — bottom check,
+// timestamp discovery (with the certified anti-inflation fallback), write
+// at the successor — over any pair-writer: the plain regular writer here,
+// the secret model's token-carrying one in internal/secret. One copy of
+// the flow keeps the two models from diverging.
+func WriteDiscovered(r proto.Rounder, th quorum.Thresholds, wid int64, own types.TS, label string, v types.Value, writePair func(types.Pair) error) error {
+	if v.IsBottom() {
+		return fmt.Errorf("core: cannot write the reserved initial value ⊥")
+	}
+	next, err := DiscoverNext(r, th, wid, own, label)
+	if err != nil {
+		return err
+	}
+	return writePair(types.Pair{TS: next, Val: v})
+}
+
+// ModifyCertified runs the certified read-modify-write flow over any
+// pair-writer: certified discovery, fn mapping the current pair to the
+// value to install, write at the successor.
+func ModifyCertified(r proto.Rounder, th quorum.Thresholds, wid int64, own types.TS, fn func(cur types.Pair) (types.Value, error), writePair func(types.Pair) error) (types.Pair, error) {
+	cur, next, err := CertifiedNext(r, th, wid, own)
+	if err != nil {
+		return types.Pair{}, err
+	}
+	v, err := fn(cur)
+	if err != nil {
+		return types.Pair{}, err
+	}
+	p := types.Pair{TS: next, Val: v}
+	if err := writePair(p); err != nil {
+		return types.Pair{}, err
+	}
+	return p, nil
+}
+
+// Write stores v: one timestamp-discovery round on the shared register,
+// then the regular write's two rounds at the discovered successor
+// timestamp. 3 rounds total.
 func (w *Writer) Write(v types.Value) error {
-	rw := regular.NewWriterAt(w.rounder, w.th, types.WriterReg, w.ts)
-	if err := rw.Write(v); err != nil {
+	return WriteDiscovered(w.rounder, w.th, w.wid, w.ts, "WDISC", v, w.writePair)
+}
+
+// writePair installs p via the regular write's two rounds.
+func (w *Writer) writePair(p types.Pair) error {
+	rw := regular.NewWriterAt(w.rounder, w.th, types.WriterReg, w.wid, w.ts)
+	if err := rw.WritePair(p); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	w.ts = rw.LastTS()
 	return nil
 }
 
+// Modify performs a certified read-modify-write: a regular read of the
+// shared register (2 rounds, certified by the decision procedure, so unlike
+// Write's discovery round not even the timestamp can be Byzantine-inflated),
+// then fn maps the current pair to the value to install, which the regular
+// write's two rounds store at the successor timestamp. 4 rounds total; the
+// keyed Store layer batches many key mutations into one Modify.
+//
+// Modify is NOT an atomic read-modify-write across writers — registers
+// cannot solve consensus, so two concurrent Modifys may read the same pair
+// and the lexicographically larger writer's result prevails. It guarantees
+// that the installed value derives from a genuine pair at least as fresh as
+// the last complete write, which gives last-writer-wins semantics with no
+// lost update unless the writes genuinely race.
+func (w *Writer) Modify(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error) {
+	return ModifyCertified(w.rounder, w.th, w.wid, w.ts, fn, w.writePair)
+}
+
 // LastTS returns the timestamp of the last completed write.
-func (w *Writer) LastTS() int64 { return w.ts }
+func (w *Writer) LastTS() types.TS { return w.ts }
 
 // Reader is one of the R readers of the atomic register.
 type Reader struct {
@@ -120,11 +263,13 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 	}
 
 	// Physical round 2: round 2 of every register's regular read, over the
-	// frozen round-1 views.
+	// frozen round-1 views. The shared register (index 0) is multi-writer;
+	// each write-back register keeps its single reader-owner's discipline.
 	accs2 := make([]*regular.DecideAcc, len(regs))
 	parts2 := make([]MuxPart, len(regs))
 	for i, reg := range regs {
 		accs2[i] = regular.NewDecideAcc(r.th, accs1[i].Replies)
+		accs2[i].MultiWriter = i == 0
 		parts2[i] = MuxPart{
 			Reg: reg,
 			Req: func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
@@ -147,9 +292,10 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 	}
 
 	// Physical rounds 3 and 4: write the result back into this reader's own
-	// register before returning.
-	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), r.seq)
-	if err := wb.WritePair(types.Pair{TS: r.seq + 1, Val: EncodePair(best)}); err != nil {
+	// register before returning. Write-back registers are single-writer
+	// (the reader owns its own), so their timestamps keep WID 0.
+	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), 0, types.At(r.seq))
+	if err := wb.WritePair(types.Pair{TS: types.At(r.seq + 1), Val: EncodePair(best)}); err != nil {
 		return types.Pair{}, fmt.Errorf("core: write-back: %w", err)
 	}
 	r.seq++
@@ -167,16 +313,20 @@ func (r *Reader) allRegs() []types.RegID {
 	return regs
 }
 
-// EncodePair encodes a pair as a register value for write-back registers.
+// EncodePair encodes a pair as a register value for write-back registers:
+// "seq|value" for single-writer timestamps (the exact pre-multi-writer
+// encoding, so PR 3-era persisted write-back values keep round-tripping) and
+// "seq.wid|value" for timestamps carrying a writer id.
 func EncodePair(p types.Pair) types.Value {
 	if p.IsBottom() {
 		return types.Bottom
 	}
-	return types.Value(strconv.FormatInt(p.TS, 10) + "|" + string(p.Val))
+	return types.Value(p.TS.String() + "|" + string(p.Val))
 }
 
-// DecodePair decodes a write-back register value. The empty value decodes to
-// the initial pair.
+// DecodePair decodes a write-back register value, accepting both the legacy
+// scalar "seq|value" form and the multi-writer "seq.wid|value" form. The
+// empty value decodes to the initial pair.
 func DecodePair(v types.Value) (types.Pair, error) {
 	if v.IsBottom() {
 		return types.BottomPair, nil
@@ -185,11 +335,19 @@ func DecodePair(v types.Value) (types.Pair, error) {
 	if i < 0 {
 		return types.Pair{}, fmt.Errorf("core: malformed write-back payload %q", v)
 	}
-	ts, err := strconv.ParseInt(string(v)[:i], 10, 64)
-	if err != nil || ts <= 0 {
+	head, rest := string(v)[:i], string(v)[i+1:]
+	seqStr, widStr, hasWID := strings.Cut(head, ".")
+	seq, err := strconv.ParseInt(seqStr, 10, 64)
+	if err != nil || seq <= 0 {
 		return types.Pair{}, fmt.Errorf("core: malformed write-back timestamp in %q", v)
 	}
-	return types.Pair{TS: ts, Val: types.Value(string(v)[i+1:])}, nil
+	var wid int64
+	if hasWID {
+		if wid, err = strconv.ParseInt(widStr, 10, 64); err != nil || wid == 0 {
+			return types.Pair{}, fmt.Errorf("core: malformed write-back writer id in %q", v)
+		}
+	}
+	return types.Pair{TS: types.TS{Seq: seq, WID: wid}, Val: types.Value(rest)}, nil
 }
 
 // MuxPart is one register's contribution to a multiplexed physical round.

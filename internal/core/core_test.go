@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func th(t *testing.T, s, tt int) quorum.Thresholds {
 type cluster struct {
 	thr     quorum.Thresholds
 	readers int
-	writeTS int64
+	writeTS types.TS
 	seqs    map[int]int64 // reader idx → write-back seq
 }
 
@@ -35,7 +36,7 @@ func newCluster(thr quorum.Thresholds, readers int) *cluster {
 
 func (cl *cluster) writeOp(v types.Value) sim.OpFunc {
 	return func(c *sim.Client) (types.Value, error) {
-		w := NewWriterAt(c, cl.thr, cl.writeTS)
+		w := NewWriterAt(c, cl.thr, 0, cl.writeTS)
 		if err := w.Write(v); err != nil {
 			return types.Bottom, err
 		}
@@ -69,15 +70,17 @@ func mustRun(t *testing.T, s *sim.Sim, op *sim.Op) types.Value {
 }
 
 func TestRoundComplexity(t *testing.T) {
-	// The headline numbers of Section 5: 2-round writes, 4-round reads.
+	// The headline numbers of the multi-writer promotion of Section 5:
+	// 3-round writes (timestamp discovery + the SWMR-optimal 2), 4-round
+	// reads (unchanged — still the paper's optimum).
 	thr := th(t, 4, 1)
 	cl := newCluster(thr, 2)
 	s := sim.New(sim.Config{Servers: 4})
 	defer s.Close()
 	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", cl.writeOp("a"))
 	mustRun(t, s, w)
-	if w.Rounds() != 2 {
-		t.Errorf("write rounds = %d, want 2", w.Rounds())
+	if w.Rounds() != 3 {
+		t.Errorf("write rounds = %d, want 3", w.Rounds())
 	}
 	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
 	if v := mustRun(t, s, rd); v != "a" {
@@ -124,11 +127,11 @@ func TestReadersSeeOtherReadersWriteBacks(t *testing.T) {
 	cl := newCluster(thr, 2)
 	s := sim.New(sim.Config{Servers: 4})
 	defer s.Close()
-	// Write reaches PREWRITE everywhere but WRITE only on {1,2,3}… actually
-	// complete the PREWRITE quorum and leave WRITE entirely undelivered,
-	// then crash: only pw carries (1,a).
+	// Complete the discovery and PREWRITE quorums and leave WRITE entirely
+	// undelivered, then crash: only pw carries (1,a).
 	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", cl.writeOp("a"))
-	s.Step(w, 1, 2, 3)
+	s.Step(w, 1, 2, 3) // discovery
+	s.Step(w, 1, 2, 3) // PREWRITE
 	s.Crash(w)
 	r1 := s.Spawn("r1", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
 	v1 := mustRun(t, s, r1)
@@ -268,21 +271,48 @@ func runAtomicSchedule(t *testing.T, seed int64) {
 	}
 }
 
+func TestDiscoveryOverflowFallsBackToCertified(t *testing.T) {
+	// A Byzantine object forging Seq=MaxInt64 in the discovery round must
+	// not wedge the register's writers: the successor would overflow, so
+	// the write falls back to the certified read, whose decision only
+	// yields genuine timestamps. Writes keep succeeding at sane sequence
+	// numbers for the whole run.
+	thr := th(t, 4, 1)
+	cl := newCluster(thr, 2)
+	s := sim.New(sim.Config{Servers: 4})
+	defer s.Close()
+	mustRun(t, s, s.Spawn("w0", types.Writer, checker.OpWrite, "a", cl.writeOp("a")))
+	s.SetByzantine(1, server.Garbage{Level: math.MaxInt64, Val: "evil"})
+	for i := 2; i <= 4; i++ {
+		v := types.Value(fmt.Sprintf("v%d", i))
+		mustRun(t, s, s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, v, cl.writeOp(v)))
+	}
+	if cl.writeTS.Seq != 4 || cl.writeTS.Seq <= 0 {
+		t.Fatalf("writer timestamp after inflation attack = %v, want seq 4", cl.writeTS)
+	}
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+	if v := mustRun(t, s, rd); v != "v4" {
+		t.Fatalf("read after inflation attack = %q, want v4", v)
+	}
+}
+
 func TestEncodeDecodePair(t *testing.T) {
 	cases := []types.Pair{
 		types.BottomPair,
-		{TS: 1, Val: "a"},
-		{TS: 42, Val: "hello|world"}, // payload containing the separator
-		{TS: 7, Val: ""},
+		{TS: types.At(1), Val: "a"},
+		{TS: types.At(42), Val: "hello|world"}, // payload containing the separator
+		{TS: types.TS{Seq: 3, WID: 5}, Val: "multi-writer"},
+		{TS: types.TS{Seq: 9, WID: 2}, Val: "a|b|c"},
+		{TS: types.At(7), Val: ""},
 	}
 	for _, p := range cases {
 		got, err := DecodePair(EncodePair(p))
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
-		if p.TS == 7 && p.Val == "" {
+		if p.TS == types.At(7) && p.Val == "" {
 			// (7, "") encodes as "7|" and round-trips exactly.
-			if got.TS != 7 || got.Val != "" {
+			if got.TS != types.At(7) || got.Val != "" {
 				t.Errorf("round trip %v → %v", p, got)
 			}
 			continue
@@ -291,7 +321,7 @@ func TestEncodeDecodePair(t *testing.T) {
 			t.Errorf("round trip %v → %v", p, got)
 		}
 	}
-	for _, bad := range []types.Value{"junk", "x|y", "-3|v", "0|v"} {
+	for _, bad := range []types.Value{"junk", "x|y", "-3|v", "0|v", "3.|v", "3.0|v", "3.x|v"} {
 		if _, err := DecodePair(bad); err == nil {
 			t.Errorf("DecodePair(%q) accepted", bad)
 		}

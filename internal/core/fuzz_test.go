@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"robustatomic/internal/types"
+)
+
+// FuzzDecodePair exercises the write-back pair codec with arbitrary input:
+// decoding must never panic, and anything that decodes must re-encode to a
+// value that decodes to the same pair — across both the legacy scalar
+// "seq|value" form and the multi-writer "seq.wid|value" form.
+func FuzzDecodePair(f *testing.F) {
+	f.Add("")
+	f.Add("1|a")
+	f.Add("42|hello|world")
+	f.Add("3.5|multi-writer")
+	f.Add("9.-2|negative-wid")
+	f.Add("junk")
+	f.Add("0|v")
+	f.Add("3.|v")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := DecodePair(types.Value(s))
+		if err != nil {
+			return
+		}
+		back, err := DecodePair(EncodePair(p))
+		if err != nil {
+			t.Fatalf("re-encoded pair %v does not decode: %v", p, err)
+		}
+		if back != p {
+			t.Fatalf("round trip drift: %v → %v", p, back)
+		}
+	})
+}

@@ -66,7 +66,7 @@ func harnesses(rng *rand.Rand) []protocolHarness {
 			write: func(th quorum.Thresholds, i int) sim.OpFunc {
 				return func(c *sim.Client) (types.Value, error) {
 					cfg := abd.Config{S: th.S, F: th.T}
-					w := abd.NewWriterAt(c, cfg, int64(i-1))
+					w := abd.NewWriterAt(c, cfg, types.At(int64(i-1)))
 					return types.Bottom, w.Write(types.Value(fmt.Sprintf("v%d", i)))
 				}
 			},
@@ -81,7 +81,7 @@ func harnesses(rng *rand.Rand) []protocolHarness {
 			notes: "the Section 5 building block; regular, not atomic",
 			write: func(th quorum.Thresholds, i int) sim.OpFunc {
 				return func(c *sim.Client) (types.Value, error) {
-					w := regular.NewWriterAt(c, th, types.WriterReg, int64(i-1))
+					w := regular.NewWriterAt(c, th, types.WriterReg, 0, types.At(int64(i-1)))
 					return types.Bottom, w.Write(types.Value(fmt.Sprintf("v%d", i)))
 				}
 			},
@@ -96,7 +96,7 @@ func harnesses(rng *rand.Rand) []protocolHarness {
 			notes: "time-optimal per Propositions 1 and 2",
 			write: func(th quorum.Thresholds, i int) sim.OpFunc {
 				return func(c *sim.Client) (types.Value, error) {
-					w := core.NewWriterAt(c, th, int64(i-1))
+					w := core.NewWriterAt(c, th, 0, types.At(int64(i-1)))
 					return types.Bottom, w.Write(types.Value(fmt.Sprintf("v%d", i)))
 				}
 			},
@@ -114,7 +114,7 @@ func harnesses(rng *rand.Rand) []protocolHarness {
 			notes: "3-round reads contention-free; 4 under contention (approximation of [8])",
 			write: func(th quorum.Thresholds, i int) sim.OpFunc {
 				return func(c *sim.Client) (types.Value, error) {
-					w := secret.NewAtomicWriterAt(c, th, rng, int64(i-1))
+					w := secret.NewAtomicWriterAt(c, th, rng, 0, types.At(int64(i-1)))
 					return types.Bottom, w.Write(types.Value(fmt.Sprintf("v%d", i)))
 				}
 			},
@@ -132,7 +132,7 @@ func harnesses(rng *rand.Rand) []protocolHarness {
 			notes: "reads unbounded under contention/staleness (E6)",
 			write: func(th quorum.Thresholds, i int) sim.OpFunc {
 				return func(c *sim.Client) (types.Value, error) {
-					w := retry.NewWriterAt(c, th, int64(i-1))
+					w := retry.NewWriterAt(c, th, types.At(int64(i-1)))
 					return types.Bottom, w.Write(types.Value(fmt.Sprintf("v%d", i)))
 				}
 			},
@@ -234,8 +234,9 @@ func ComplexityTable(t int) (string, error) {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-52s %-38s %6d %6d\n", r.Name, r.Model, r.WriteRounds, r.ReadRounds)
 	}
-	b.WriteString("\npaper: ABD 1W/2R (crash) · regular 2W/2R · atomic 2W/4R (optimal) ·\n")
+	b.WriteString("\npaper (SWMR): ABD 1W/2R (crash) · regular 2W/2R · atomic 2W/4R (optimal) ·\n")
 	b.WriteString("       secret-token atomic 2W/3R (contention-free) · prior art unbounded/Ω(t)\n")
+	b.WriteString("this repo (MWMR): atomic writes pay +1 timestamp-discovery round → 3W/4R\n")
 	return b.String(), nil
 }
 
@@ -282,7 +283,7 @@ func retryUnderStaleness(th quorum.Thresholds) (rounds int, converged bool, err 
 		}
 	}
 	w2 := sm.Spawn("w2", types.Writer, checker.OpWrite, "b", func(c *sim.Client) (types.Value, error) {
-		w := retry.NewWriterAt(c, th, 1)
+		w := retry.NewWriterAt(c, th, types.At(1))
 		return types.Bottom, w.Write("b")
 	})
 	sm.Step(w2, quorumObjs...)
@@ -327,10 +328,11 @@ func optimalUnderStaleness(th quorum.Thresholds) (int, error) {
 		}
 	}
 	w2 := sm.Spawn("w2", types.Writer, checker.OpWrite, "b", func(c *sim.Client) (types.Value, error) {
-		return types.Bottom, core.NewWriterAt(c, th, 1).Write("b")
+		return types.Bottom, core.NewWriterAt(c, th, 0, types.At(1)).Write("b")
 	})
-	sm.Step(w2, quorumObjs...)
-	sm.Step(w2, quorumObjs...)
+	sm.Step(w2, quorumObjs...) // timestamp discovery
+	sm.Step(w2, quorumObjs...) // PREWRITE
+	sm.Step(w2, quorumObjs...) // WRITE
 	if !w2.Done() {
 		return 0, fmt.Errorf("experiments: write b incomplete")
 	}

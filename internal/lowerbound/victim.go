@@ -84,7 +84,7 @@ func (v FixedVictim) ReadRounds() int { return v.R }
 // WriteOp implements Victim.
 func (v FixedVictim) WriteOp(th quorum.Thresholds, val types.Value) sim.OpFunc {
 	return func(c *sim.Client) (types.Value, error) {
-		p := types.Pair{TS: 1, Val: val}
+		p := types.Pair{TS: types.At(1), Val: val}
 		for m := 1; m <= v.K; m++ {
 			reg := phaseReg(m)
 			req := types.Message{Kind: types.MsgMux, Sub: []types.SubMsg{
@@ -126,7 +126,7 @@ func (v FixedVictim) ReadOp(th quorum.Thresholds) sim.OpFunc {
 						continue
 					}
 					for _, p := range []types.Pair{s.Msg.PW, s.Msg.W} {
-						if p.TS == 0 {
+						if p.TS.IsZero() {
 							continue
 						}
 						if reporters[p] == nil {

@@ -15,7 +15,7 @@ import (
 func BenchmarkWALAppend(b *testing.B) {
 	req := wire.Request{
 		From: types.Writer,
-		Msg:  types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: 1, Val: "benchmark-payload-benchmark-payload"}},
+		Msg:  types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: types.At(1), Val: "benchmark-payload-benchmark-payload"}},
 	}
 	for _, mode := range []FsyncMode{FsyncOff, FsyncBatch, FsyncAlways} {
 		b.Run(fmt.Sprintf("fsync=%s/seq", mode), func(b *testing.B) {
@@ -30,7 +30,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r := req
-				r.Msg.Pair.TS = int64(i + 1)
+				r.Msg.Pair.TS = types.At(int64(i + 1))
 				if err := e.Append(r); err != nil {
 					b.Fatal(err)
 				}
@@ -50,7 +50,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					r := req
-					r.Msg.Pair.TS = atomic.AddInt64(&ctr, 1)
+					r.Msg.Pair.TS = types.At(atomic.AddInt64(&ctr, 1))
 					if err := e.Append(r); err != nil {
 						b.Error(err)
 						return

@@ -1,0 +1,103 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
+)
+
+// Legacy WAL decoding. PR 3-era WAL generations gob-encoded wire.Request
+// envelopes whose types.Pair carried a scalar int64 timestamp; the
+// multi-writer refactor changed Pair.TS to the (Seq, WriterID) struct, which
+// gob refuses to decode a scalar into. The mirror types below reproduce the
+// old shape field-for-field — gob matches struct fields by name, not by type
+// name, so a legacy stream decodes into them unchanged — and convert to the
+// current vocabulary with WriterID 0, the identity every pre-multi-writer
+// timestamp implicitly had. This mirrors the legacy shard-table codec path
+// of internal/shard: new software keeps replaying old data directories.
+type legacyPair struct {
+	TS  int64
+	Val types.Value
+}
+
+func (p legacyPair) pair() types.Pair {
+	return types.Pair{TS: types.At(p.TS), Val: p.Val}
+}
+
+type legacySubMsg struct {
+	Reg types.RegID
+	Msg legacyMessage
+}
+
+type legacyMessage struct {
+	Kind    types.MsgKind
+	Pair    legacyPair
+	PW      legacyPair
+	W       legacyPair
+	Token   types.Token
+	TokenPW types.Token
+	Seq     int
+	Sub     []legacySubMsg
+}
+
+func (m legacyMessage) message() types.Message {
+	out := types.Message{
+		Kind:    m.Kind,
+		Pair:    m.Pair.pair(),
+		PW:      m.PW.pair(),
+		W:       m.W.pair(),
+		Token:   m.Token,
+		TokenPW: m.TokenPW,
+		Seq:     m.Seq,
+	}
+	if m.Sub != nil {
+		out.Sub = make([]types.SubMsg, len(m.Sub))
+		for i, sub := range m.Sub {
+			out.Sub[i] = types.SubMsg{Reg: sub.Reg, Msg: sub.Msg.message()}
+		}
+	}
+	return out
+}
+
+type legacyRequest struct {
+	From types.ProcID
+	Reg  int
+	Msg  legacyMessage
+}
+
+func (r legacyRequest) request() wire.Request {
+	return wire.Request{From: r.From, Reg: r.Reg, Msg: r.Msg.message()}
+}
+
+// isLegacyStream probes whether a WAL payload stream is a PR 3-era gob
+// stream: the current decoder rejects its very first record (every logged
+// record is a mutating request carrying a non-zero scalar timestamp, so the
+// type mismatch always surfaces immediately), while the legacy mirror
+// decodes it. A stream that fails both probes is corruption, handled by the
+// caller's usual tear semantics.
+func isLegacyStream(stream []byte) bool {
+	if _, err := wire.NewDecoder(bytes.NewReader(stream)).DecodeRequest(); err == nil {
+		return false
+	}
+	var lr legacyRequest
+	return gob.NewDecoder(bytes.NewReader(stream)).Decode(&lr) == nil
+}
+
+// legacyDecoder walks a legacy stream, yielding converted requests.
+type legacyDecoder struct {
+	dec *gob.Decoder
+}
+
+func newLegacyDecoder(stream []byte) *legacyDecoder {
+	return &legacyDecoder{dec: gob.NewDecoder(bytes.NewReader(stream))}
+}
+
+func (d *legacyDecoder) DecodeRequest() (wire.Request, error) {
+	var lr legacyRequest
+	if err := d.dec.Decode(&lr); err != nil {
+		return wire.Request{}, err
+	}
+	return lr.request(), nil
+}

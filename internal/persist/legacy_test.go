@@ -1,0 +1,235 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"reflect"
+	"testing"
+
+	"robustatomic/internal/server"
+	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
+)
+
+// writeLegacyWAL fabricates a PR 3-era WAL generation file: one gob stream
+// of legacyRequest envelopes (scalar timestamps), framed exactly as wal.go
+// frames records.
+func writeLegacyWAL(t *testing.T, path string, reqs []legacyRequest) {
+	t.Helper()
+	var stream bytes.Buffer
+	enc := gob.NewEncoder(&stream)
+	var file []byte
+	off := 0
+	for _, req := range reqs {
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		payload := stream.Bytes()[off:]
+		off = stream.Len()
+		file = appendFrame(file, payload)
+	}
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// legacyServerSnapshot hand-rolls a version-0x02 (scalar-timestamp)
+// server.Store snapshot: the exact byte layout PR 3 daemons persisted.
+func legacyServerSnapshot(regs []struct {
+	id     types.RegID
+	pw, w  legacyPair
+	tokens [2]types.Token
+}) []byte {
+	b := []byte{0x02}
+	b = binary.AppendUvarint(b, uint64(len(regs)))
+	appendLegacyPair := func(b []byte, p legacyPair) []byte {
+		b = binary.AppendUvarint(b, uint64(p.TS))
+		b = binary.AppendUvarint(b, uint64(len(p.Val)))
+		return append(b, string(p.Val)...)
+	}
+	for _, r := range regs {
+		b = binary.AppendUvarint(b, uint64(r.id.Class))
+		b = binary.AppendUvarint(b, uint64(r.id.Idx))
+		b = appendLegacyPair(b, r.pw)
+		b = appendLegacyPair(b, r.w)
+		b = binary.AppendUvarint(b, uint64(r.tokens[0]))
+		b = binary.AppendUvarint(b, uint64(r.tokens[1]))
+	}
+	return b
+}
+
+func legacyWrite(reg int, ts int64, v string) legacyRequest {
+	return legacyRequest{
+		From: types.Writer,
+		Reg:  reg,
+		Msg:  legacyMessage{Kind: types.MsgWrite, Pair: legacyPair{TS: ts, Val: types.Value(v)}},
+	}
+}
+
+// TestLegacyWALReplay boots an engine over a data dir whose only WAL
+// generation was written by pre-multi-writer software and verifies every
+// record replays, decoding scalar timestamps as (Seq, WID 0).
+func TestLegacyWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyWAL(t, walPath(dir, 1), []legacyRequest{
+		{From: types.Writer, Reg: 0, Msg: legacyMessage{Kind: types.MsgPreWrite, Pair: legacyPair{TS: 1, Val: "a"}}},
+		legacyWrite(0, 1, "a"),
+		legacyWrite(0, 2, "b"),
+		legacyWrite(3, 7, "shard-three"),
+		// A multiplexed bundle, the shape write-backs arrive in.
+		{From: types.Reader(1), Reg: 0, Msg: legacyMessage{
+			Kind: types.MsgMux,
+			Sub: []legacySubMsg{{
+				Reg: types.ReaderReg(1),
+				Msg: legacyMessage{Kind: types.MsgWriteBack, Pair: legacyPair{TS: 1, Val: "2|b"}, Token: 9},
+			}},
+		}},
+	})
+	e, stores := open(t, dir, Options{Mode: FsyncOff})
+	defer e.Close()
+	if got := stores[0].Reg(types.WriterReg).W; got != pair(2, "b") {
+		t.Errorf("reg 0 w = %v, want %v", got, pair(2, "b"))
+	}
+	if got := stores[3].Reg(types.WriterReg).W; got != pair(7, "shard-three") {
+		t.Errorf("reg 3 w = %v, want %v", got, pair(7, "shard-three"))
+	}
+	wb := stores[0].Reg(types.ReaderReg(1))
+	if wb.W != pair(1, "2|b") || wb.TokenW != 9 {
+		t.Errorf("write-back register = %+v", wb)
+	}
+	if e.Records() != 5 {
+		t.Errorf("replayed %d records, want 5", e.Records())
+	}
+}
+
+// TestLegacyDataDirThenNewWrites is the full PR 3 upgrade drill: a legacy
+// snapshot plus a legacy WAL generation replay cleanly, new multi-writer
+// records append on top in the current format, and a further recovery
+// replays the mixed-format directory — each generation probed and decoded
+// independently.
+func TestLegacyDataDirThenNewWrites(t *testing.T) {
+	dir := t.TempDir()
+	snap := legacyServerSnapshot([]struct {
+		id     types.RegID
+		pw, w  legacyPair
+		tokens [2]types.Token
+	}{
+		{id: types.WriterReg, pw: legacyPair{TS: 3, Val: "snap"}, w: legacyPair{TS: 3, Val: "snap"}},
+		{id: types.ReaderReg(2), pw: legacyPair{TS: 1, Val: "3|snap"}, w: legacyPair{TS: 1, Val: "3|snap"}},
+	})
+	container := []byte{storesVersion}
+	container = binary.AppendUvarint(container, 1)
+	container = binary.AppendUvarint(container, 0) // instance 0
+	container = binary.AppendUvarint(container, uint64(len(snap)))
+	container = append(container, snap...)
+	if err := writeSnapshotFile(snapPath(dir, 1), container); err != nil {
+		t.Fatal(err)
+	}
+	writeLegacyWAL(t, walPath(dir, 1), []legacyRequest{legacyWrite(0, 4, "post-snap")})
+
+	// First boot: legacy snapshot + legacy WAL replay.
+	e1, stores := open(t, dir, Options{Mode: FsyncOff})
+	if got := stores[0].Reg(types.WriterReg).W; got != pair(4, "post-snap") {
+		t.Fatalf("recovered w = %v, want %v", got, pair(4, "post-snap"))
+	}
+	if got := stores[0].Reg(types.ReaderReg(2)).W; got != pair(1, "3|snap") {
+		t.Fatalf("recovered write-back = %v", got)
+	}
+	// New software appends multi-writer records in the current format.
+	mwPair := types.Pair{TS: types.TS{Seq: 5, WID: 3}, Val: "from-w3"}
+	if err := e1.Append(wire.Request{
+		From: types.WriterID(3),
+		Reg:  0,
+		Msg:  types.Message{Kind: types.MsgWrite, Pair: mwPair},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: legacy snapshot + legacy generation + new generation.
+	e2, stores := open(t, dir, Options{Mode: FsyncOff})
+	defer e2.Close()
+	if got := stores[0].Reg(types.WriterReg).W; got != mwPair {
+		t.Errorf("mixed-generation recovery w = %v, want %v", got, mwPair)
+	}
+}
+
+// TestLegacyRequestRoundTrip pins the mirror conversion: a legacy envelope
+// decodes to exactly the request current software would build for the same
+// operation, with every scalar timestamp mapped to (Seq, WID 0).
+func TestLegacyRequestRoundTrip(t *testing.T) {
+	lr := legacyRequest{
+		From: types.Reader(2),
+		Reg:  5,
+		Msg: legacyMessage{
+			Kind:    types.MsgMux,
+			Seq:     11,
+			Token:   7,
+			TokenPW: 8,
+			Pair:    legacyPair{TS: 9, Val: "v"},
+			PW:      legacyPair{TS: 8, Val: "p"},
+			W:       legacyPair{TS: 9, Val: "v"},
+			Sub: []legacySubMsg{
+				{Reg: types.WriterReg, Msg: legacyMessage{Kind: types.MsgWrite, Pair: legacyPair{TS: 2, Val: "x"}}},
+			},
+		},
+	}
+	got := lr.request()
+	want := wire.Request{
+		From: types.Reader(2),
+		Reg:  5,
+		Msg: types.Message{
+			Kind:    types.MsgMux,
+			Seq:     11,
+			Token:   7,
+			TokenPW: 8,
+			Pair:    pair(9, "v"),
+			PW:      pair(8, "p"),
+			W:       pair(9, "v"),
+			Sub: []types.SubMsg{
+				{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgWrite, Pair: pair(2, "x")}},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("conversion mismatch:\n%+v\n%+v", got, want)
+	}
+}
+
+// TestServerSnapshotVersionCompat pins both directions of the store codec:
+// current snapshots round-trip multi-writer timestamps, and version-0x02
+// bytes restore with WID 0.
+func TestServerSnapshotVersionCompat(t *testing.T) {
+	st := server.NewStore()
+	st.Handle(types.WriterID(4), types.Message{Kind: types.MsgPreWrite, Pair: types.Pair{TS: types.TS{Seq: 6, WID: 4}, Val: "mw"}})
+	st.Handle(types.WriterID(4), types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: types.TS{Seq: 6, WID: 4}, Val: "mw"}})
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := server.NewStore()
+	if err := rt.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Reg(types.WriterReg).W; got != (types.Pair{TS: types.TS{Seq: 6, WID: 4}, Val: "mw"}) {
+		t.Errorf("multi-writer round trip = %v", got)
+	}
+
+	legacy := legacyServerSnapshot([]struct {
+		id     types.RegID
+		pw, w  legacyPair
+		tokens [2]types.Token
+	}{{id: types.WriterReg, pw: legacyPair{TS: 2, Val: "old"}, w: legacyPair{TS: 2, Val: "old"}, tokens: [2]types.Token{1, 2}}})
+	lt := server.NewStore()
+	if err := lt.Restore(legacy); err != nil {
+		t.Fatal(err)
+	}
+	got := lt.Reg(types.WriterReg)
+	if got.W != pair(2, "old") || got.PW != pair(2, "old") || got.TokenPW != 1 || got.TokenW != 2 {
+		t.Errorf("legacy restore = %+v", got)
+	}
+}

@@ -313,6 +313,10 @@ func (e *Engine) Recover() (map[int]*server.Store, error) {
 // truncated back to its last intact record, so that on the next recovery,
 // when this generation is no longer the newest, it replays cleanly instead
 // of reading as corruption. In older generations damage is an error.
+// Generations written by pre-multi-writer software (scalar gob timestamps)
+// are detected by probing the first record and replayed through the legacy
+// mirror types — crucially BEFORE tear handling, so an intact legacy
+// generation is never mistaken for a torn tail and truncated away.
 func replayWAL(path string, tolerateTear bool, apply func(wire.Request) error) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -322,7 +326,12 @@ func replayWAL(path string, tolerateTear bool, apply func(wire.Request) error) (
 	if valid != len(data) && !tolerateTear {
 		return 0, fmt.Errorf("persist: %s: corrupt record at offset %d (not the newest generation; reconstitute from a live quorum)", path, valid)
 	}
-	dec := wire.NewDecoder(bytes.NewReader(stream))
+	var dec interface {
+		DecodeRequest() (wire.Request, error)
+	} = wire.NewDecoder(bytes.NewReader(stream))
+	if len(ends) > 0 && isLegacyStream(stream) {
+		dec = newLegacyDecoder(stream)
+	}
 	applied := 0
 	for i := 0; i < len(ends); i++ {
 		req, err := dec.DecodeRequest()

@@ -14,7 +14,7 @@ import (
 	"robustatomic/internal/wire"
 )
 
-func pair(ts int64, v string) types.Pair { return types.Pair{TS: ts, Val: types.Value(v)} }
+func pair(ts int64, v string) types.Pair { return types.Pair{TS: types.At(ts), Val: types.Value(v)} }
 
 func writeReq(reg int, ts int64, v string) wire.Request {
 	return wire.Request{

@@ -37,15 +37,37 @@ func (a *StateAcc) Add(sid int, m types.Message) {
 // Done implements proto.Accumulator.
 func (a *StateAcc) Done() bool { return len(a.Replies) >= a.th.Quorum() }
 
+// MaxTS returns the largest timestamp among the collected pw/w states — the
+// timestamp-discovery result of a multi-writer write's first round. Byzantine
+// objects can inflate it (burning sequence-number space, never safety); the
+// keyed Store's read-modify-write path avoids even that by discovering
+// through the certified read decision instead.
+func (a *StateAcc) MaxTS() types.TS {
+	var best types.TS
+	for _, m := range a.Replies {
+		best = types.MaxTS(best, types.MaxTS(m.PW.TS, m.W.TS))
+	}
+	return best
+}
+
 // DecideAcc is the round-2 accumulator: given the frozen round-1 view, it
 // collects fresh state replies until the fault-set-enumeration decision
 // procedure (see package documentation) yields a pair. The choice latches.
 type DecideAcc struct {
-	th     quorum.Thresholds
-	r1     map[int]types.Message
-	r2     map[int]types.Message
-	done   bool
-	choice types.Pair
+	th quorum.Thresholds
+	// MultiWriter relaxes the decision's consistency checks to the
+	// multi-writer discipline: writers of an MWMR register discover their
+	// sequence number from a quorum and may issue timestamp ℓ while write
+	// ℓ−1 never completed, so the SWMR causality filter ("a correct object
+	// reporting level ℓ implies write ℓ−1 completed") would wrongly reject
+	// the true fault set. Set it before the round runs on registers written
+	// by more than one writer; leave it false on single-writer registers,
+	// where the stricter filter prunes more Byzantine fault assignments.
+	MultiWriter bool
+	r1          map[int]types.Message
+	r2          map[int]types.Message
+	done        bool
+	choice      types.Pair
 }
 
 var _ proto.Accumulator = (*DecideAcc)(nil)
@@ -67,7 +89,7 @@ func (a *DecideAcc) Add(sid int, m types.Message) {
 	if len(a.r2) < a.th.Refute() {
 		return
 	}
-	if c, ok := decide(a.th, a.r1, a.r2); ok {
+	if c, ok := decide(a.th, a.r1, a.r2, a.MultiWriter); ok {
 		a.done = true
 		a.choice = c
 	}
@@ -87,13 +109,13 @@ type srvView struct {
 }
 
 // decide implements the decision procedure. For every fault assignment F
-// (|F| ≤ t) consistent with the two views it computes the highest level
+// (|F| ≤ t) consistent with the two views it computes the highest timestamp
 // λ(F) that could be the last write completed before the read began, and it
 // returns the maximum reported pair that is genuine under — and dominates
 // λ(F) of — every consistent F. Soundness rests on the true fault set never
 // being rejected by the consistency checks, so the returned pair is genuine
 // and at least as fresh as the last complete write in the actual run.
-func decide(th quorum.Thresholds, r1, r2 map[int]types.Message) (types.Pair, bool) {
+func decide(th quorum.Thresholds, r1, r2 map[int]types.Message, mw bool) (types.Pair, bool) {
 	s, t := th.S, th.T
 	views := make([]srvView, s+1)
 	for sid, m := range r1 {
@@ -108,7 +130,7 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message) (types.Pair, boo
 	// Reported pairs and their reporter bitmasks.
 	reporters := make(map[types.Pair]uint64)
 	report := func(sid int, p types.Pair) {
-		if p.TS > 0 {
+		if !p.TS.IsZero() {
 			reporters[p] |= 1 << uint(sid)
 		}
 	}
@@ -123,42 +145,42 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message) (types.Pair, boo
 			report(sid, v.w2)
 		}
 	}
-	// Distinct reported levels, descending.
-	levelSet := make(map[int64]bool, len(reporters))
+	// Distinct reported timestamps, descending lexicographic order.
+	levelSet := make(map[types.TS]bool, len(reporters))
 	for p := range reporters {
 		levelSet[p.TS] = true
 	}
-	levels := make([]int64, 0, len(levelSet))
+	levels := make([]types.TS, 0, len(levelSet))
 	for l := range levelSet {
 		levels = append(levels, l)
 	}
-	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+	sort.Slice(levels, func(i, j int) bool { return levels[j].Less(levels[i]) })
 
 	// allReportsAtLeast(sid, ℓ): every reply sid gave shows w.ts ≥ ℓ
 	// (vacuously true for fully silent objects) — the signature of an
-	// object that acknowledged the WRITE phase of level ℓ before the read
-	// began.
-	allReportsAtLeast := func(sid int, l int64) bool {
+	// object that acknowledged the WRITE phase of timestamp ℓ before the
+	// read began.
+	allReportsAtLeast := func(sid int, l types.TS) bool {
 		v := &views[sid]
-		if v.has1 && v.w1.TS < l {
+		if v.has1 && v.w1.TS.Less(l) {
 			return false
 		}
-		if v.has2 && v.w2.TS < l {
+		if v.has2 && v.w2.TS.Less(l) {
 			return false
 		}
 		return true
 	}
 
 	// Enumerate fault assignments F as bitmasks, |F| ≤ t.
-	var lambdas []int64
+	var lambdas []types.TS
 	var fmasks []uint64
 	forEachSubset(s, t, func(f uint64) {
-		if !consistentF(th, views[:], f) {
+		if !consistentF(th, views[:], f, mw) {
 			return
 		}
-		// λ(F): the highest reported level whose WRITE phase could have
+		// λ(F): the highest reported timestamp whose WRITE phase could have
 		// gathered 2t+1 acknowledgements before the read began.
-		var lam int64
+		var lam types.TS
 		for _, l := range levels {
 			cnt := bits.OnesCount64(f)
 			for sid := 1; sid <= s; sid++ {
@@ -190,11 +212,11 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message) (types.Pair, boo
 	for _, c := range cands {
 		ok := true
 		for i, f := range fmasks {
-			if c.TS < lambdas[i] {
+			if c.TS.Less(lambdas[i]) {
 				ok = false
 				break
 			}
-			if c.TS > 0 && reporters[c]&^f == 0 {
+			if !c.TS.IsZero() && reporters[c]&^f == 0 {
 				// Every reporter of c could be Byzantine under F.
 				ok = false
 				break
@@ -215,16 +237,30 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message) (types.Pair, boo
 //   - monotonicity: correct objects' pw/w timestamps never decrease between
 //     rounds;
 //   - value agreement: two correct objects reporting the same timestamp
-//     report the same pair (a sequential writer issues one pair per level);
-//   - causality: if a correct object reported level ℓ in round 1, write ℓ−1
-//     completed before its reply, hence before round 2 was sent, so its
-//     2t+1 WRITE acknowledgers — minus those Byzantine under F or not heard
-//     from in round 2 — must show w ≥ ℓ−1 in round 2.
-func consistentF(th quorum.Thresholds, views []srvView, f uint64) bool {
+//     report the same pair (a timestamp embeds its writer's identity, and
+//     each writer issues one pair per sequence number);
+//   - causality (single-writer registers): if a correct object reported
+//     sequence number ℓ in round 1, write ℓ−1 completed before its reply,
+//     hence before round 2 was sent, so its 2t+1 WRITE acknowledgers — minus
+//     those Byzantine under F or not heard from in round 2 — must show
+//     w ≥ ℓ−1 in round 2. A multi-writer register's writers discover their
+//     sequence number from a quorum that may only have PRE-written ℓ−1, so
+//     that inference is unsound there;
+//   - prewrite support (multi-writer registers, replacing causality): every
+//     pair a correct object reports in w completed its PREWRITE phase
+//     (2t+1 acknowledgements) before the object could receive its WRITE —
+//     the writer protocol orders the phases — and pw slots are monotone, so
+//     for a round-1 w-report of an object correct under F, 2t+1 objects —
+//     minus those Byzantine under F or not heard from in round 2 — must
+//     show pw (or w) at or above it in round 2. This is what localizes a
+//     fabricated high timestamp to its fabricator: no fault set exonerating
+//     the liar survives, so λ(F) cannot be inflated beyond what genuine
+//     certified pairs can dominate, which the read's termination relies on.
+func consistentF(th quorum.Thresholds, views []srvView, f uint64, mw bool) bool {
 	s := th.S
-	vals := make(map[int64]types.Value, 8)
+	vals := make(map[types.TS]types.Value, 8)
 	checkPair := func(p types.Pair) bool {
-		if p.TS == 0 {
+		if p.TS.IsZero() {
 			return true
 		}
 		if v, seen := vals[p.TS]; seen {
@@ -233,14 +269,15 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64) bool {
 		vals[p.TS] = p.Val
 		return true
 	}
-	maxR1 := int64(0)
+	maxR1 := int64(0)  // highest round-1 sequence number (SWMR causality)
+	var maxW1 types.TS // highest round-1 w-report (MWMR prewrite support)
 	for sid := 1; sid <= s; sid++ {
 		if f&(1<<uint(sid)) != 0 {
 			continue
 		}
 		v := &views[sid]
 		if v.has1 && v.has2 {
-			if v.w2.TS < v.w1.TS || v.pw2.TS < v.pw1.TS {
+			if v.w2.TS.Less(v.w1.TS) || v.pw2.TS.Less(v.pw1.TS) {
 				return false
 			}
 		}
@@ -248,9 +285,10 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64) bool {
 			if !checkPair(v.pw1) || !checkPair(v.w1) {
 				return false
 			}
-			if l := max64(v.pw1.TS, v.w1.TS); l > maxR1 {
+			if l := max64(v.pw1.TS.Seq, v.w1.TS.Seq); l > maxR1 {
 				maxR1 = l
 			}
+			maxW1 = types.MaxTS(maxW1, v.w1.TS)
 		}
 		if v.has2 {
 			if !checkPair(v.pw2) || !checkPair(v.w2) {
@@ -258,9 +296,32 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64) bool {
 			}
 		}
 	}
+	if mw {
+		// Prewrite support (see above): the highest round-1 w-report among
+		// objects correct under F must show 2t+1 objects at pw ≥ it in
+		// round 2 (checking the maximum covers every smaller report, since
+		// pw slots are monotone in the lexicographic order).
+		if !maxW1.IsZero() {
+			need := th.Refute()
+			cnt := bits.OnesCount64(f)
+			for sid := 1; sid <= s; sid++ {
+				if f&(1<<uint(sid)) != 0 {
+					continue
+				}
+				v := &views[sid]
+				if !v.has2 || !v.pw2.TS.Less(maxW1) || !v.w2.TS.Less(maxW1) {
+					cnt++
+				}
+			}
+			if cnt < need {
+				return false
+			}
+		}
+		return true
+	}
 	// Causality: the strongest constraint comes from the highest round-1
-	// level ℓ among correct objects; its predecessor ℓ−1 must look
-	// complete in round 2.
+	// sequence number ℓ among correct objects; its predecessor ℓ−1 must look
+	// complete in round 2. Single-writer registers only (see above).
 	if maxR1 >= 2 {
 		need := th.Refute()
 		cnt := bits.OnesCount64(f)
@@ -269,7 +330,7 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64) bool {
 				continue
 			}
 			v := &views[sid]
-			if !v.has2 || v.w2.TS >= maxR1-1 {
+			if !v.has2 || v.w2.TS.Seq >= maxR1-1 {
 				cnt++
 			}
 		}

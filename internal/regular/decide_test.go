@@ -16,7 +16,7 @@ func view(entries ...[3]interface{}) map[int]types.Message {
 	return out
 }
 
-func p(ts int64, v string) types.Pair { return types.Pair{TS: ts, Val: types.Value(v)} }
+func p(ts int64, v string) types.Pair { return types.Pair{TS: types.At(ts), Val: types.Value(v)} }
 
 var bot = types.BottomPair
 
@@ -32,7 +32,7 @@ func thr4(t *testing.T) quorum.Thresholds {
 func TestDecideAllBottom(t *testing.T) {
 	th := thr4(t)
 	r := view([3]interface{}{1, bot, bot}, [3]interface{}{2, bot, bot}, [3]interface{}{3, bot, bot})
-	c, ok := decide(th, r, r)
+	c, ok := decide(th, r, r, false)
 	if !ok || !c.IsBottom() {
 		t.Fatalf("decide = %v, %v", c, ok)
 	}
@@ -47,7 +47,7 @@ func TestDecideCompleteWriteVisible(t *testing.T) {
 		[3]interface{}{3, p(1, "a"), p(1, "a")},
 		[3]interface{}{4, bot, bot},
 	)
-	c, ok := decide(th, r, r)
+	c, ok := decide(th, r, r, false)
 	if !ok || c != p(1, "a") {
 		t.Fatalf("decide = %v, %v", c, ok)
 	}
@@ -63,7 +63,7 @@ func TestDecideGarbageNeverReturned(t *testing.T) {
 		[3]interface{}{3, p(1, "a"), p(1, "a")},
 		[3]interface{}{4, p(1, "a"), p(1, "a")},
 	)
-	c, ok := decide(th, r, r)
+	c, ok := decide(th, r, r, false)
 	if !ok || c != p(1, "a") {
 		t.Fatalf("decide = %v, %v (garbage must lose)", c, ok)
 	}
@@ -83,7 +83,7 @@ func TestDecideUndecidableSplitView(t *testing.T) {
 		[3]interface{}{3, bot, bot},
 		[3]interface{}{4, p(1, "v1"), p(1, "v1")},
 	)
-	c, ok := decide(th, r1, r1)
+	c, ok := decide(th, r1, r1, false)
 	if !ok {
 		t.Fatal("full split view undecided")
 	}
@@ -117,7 +117,7 @@ func TestDecideCausalityExcludesLateFabrication(t *testing.T) {
 		[3]interface{}{3, bot, bot},
 		[3]interface{}{4, p(1, "v1"), p(1, "v1")},
 	)
-	c, ok := decide(th, r1, r2)
+	c, ok := decide(th, r1, r2, false)
 	if !ok {
 		t.Fatal("undecided")
 	}
@@ -157,7 +157,7 @@ func TestDecideMonotoneNonReporterRejected(t *testing.T) {
 		[3]interface{}{3, p(1, "a"), p(1, "a")},
 		[3]interface{}{4, p(1, "a"), p(1, "a")},
 	)
-	c, ok := decide(th, r1, r2)
+	c, ok := decide(th, r1, r2, false)
 	if !ok || c != p(1, "a") {
 		t.Fatalf("decide = %v, %v", c, ok)
 	}
@@ -180,7 +180,7 @@ func TestDecideValueConflictIncriminates(t *testing.T) {
 		[3]interface{}{6, p(1, "real"), p(1, "real")},
 		[3]interface{}{7, p(1, "fake"), p(1, "fake")},
 	)
-	c, ok := decide(th, r, r)
+	c, ok := decide(th, r, r, false)
 	if !ok || c != p(1, "real") {
 		t.Fatalf("decide = %v, %v", c, ok)
 	}

@@ -1,20 +1,28 @@
 // Package regular implements a robust (wait-free, optimally resilient)
-// single-writer multi-reader REGULAR register over S = 3t+1 Byzantine-prone
-// storage objects without data authentication, with 2-round writes and
-// 2-round reads — the complexity profile of the regular register of
-// Guerraoui & Vukolić [15] that Section 5 of the paper composes into the
-// time-optimal 2-round-write / 4-round-read atomic storage. The protocol
-// here is our own reconstruction with the same interface, model and round
-// complexity (see DESIGN.md for the faithfulness note); it is validated by
-// scripted adversarial schedules and large-scale seeded randomized model
-// checking against the regularity checker.
+// REGULAR register over S = 3t+1 Byzantine-prone storage objects without
+// data authentication, with 2-round write phases and 2-round reads — the
+// complexity profile of the regular register of Guerraoui & Vukolić [15]
+// that Section 5 of the paper composes into time-optimal atomic storage.
+// The protocol here is our own reconstruction with the same interface,
+// model and round complexity (see DESIGN.md for the faithfulness note); it
+// is validated by scripted adversarial schedules and large-scale seeded
+// randomized model checking against the regularity checker.
+//
+// The register serves both disciplines of the multi-writer stack: a
+// SINGLE-WRITER register (one owner issuing consecutive sequence numbers —
+// the per-reader write-back registers), and the writers' shared
+// MULTI-WRITER register, whose writers jump to discovered sequence numbers
+// and whose read decision runs in the relaxed MultiWriter mode (see
+// DecideAcc.MultiWriter and decide.go's prewrite-support analysis).
 //
 // # Protocol
 //
 // Objects keep, per register instance, a pre-written pair pw and a written
-// pair w, both timestamp-monotone. Register timestamps are consecutive
-// (1, 2, 3, …) per register writer — the read decision's causality analysis
-// depends on it.
+// pair w, both monotone in the lexicographic (Seq, WriterID) timestamp
+// order. A single-writer register's timestamps are consecutive (1, 2, 3, …)
+// — its read decision's causality analysis depends on it; a multi-writer
+// register's writers discover their sequence numbers, and the decision
+// relies on prewrite support instead.
 //
 // Write(v): the writer picks the next timestamp ts and runs two rounds,
 // each awaiting S−t ≥ 2t+1 acknowledgements:

@@ -99,45 +99,60 @@ func muxAckAcc(reg types.RegID, need int) proto.Accumulator {
 	return &muxUnwrapAcc{reg: reg, inner: proto.AckAcc(need)}
 }
 
-// Writer is the single writer of one regular register instance.
+// Writer is one writer of a regular register instance. A register owned by a
+// single writer issues consecutive sequence numbers (the SWMR discipline the
+// read decision's causality analysis exploits); a multi-writer register's
+// writers jump to whatever sequence number their timestamp-discovery round
+// dictates, which the relaxed monotonicity check below permits.
 type Writer struct {
 	rounder proto.Rounder
 	th      quorum.Thresholds
 	reg     types.RegID
+	wid     int64
 	// NextToken, when set, attaches a fresh secret token to each phase
 	// ([DMSS09] model); nil leaves tokens zero (unauthenticated model).
 	NextToken func() types.Token
-	ts        int64
+	ts        types.TS
 }
 
-// NewWriter returns a writer for the register instance reg (use
-// types.WriterReg for the writer's own register).
+// NewWriter returns writer 0's handle for the register instance reg (use
+// types.WriterReg for the writers' shared register).
 func NewWriter(r proto.Rounder, th quorum.Thresholds, reg types.RegID) *Writer {
 	return &Writer{rounder: r, th: th, reg: reg}
 }
 
-// NewWriterAt returns a writer resuming from a known last timestamp; callers
-// that construct a fresh Writer per operation (one simulated client
-// operation at a time) thread the timestamp through here.
-func NewWriterAt(r proto.Rounder, th quorum.Thresholds, reg types.RegID, lastTS int64) *Writer {
-	return &Writer{rounder: r, th: th, reg: reg, ts: lastTS}
+// NewWriterAt returns the handle of writer wid resuming from a known last
+// timestamp (the last timestamp this process completed — or observed, for a
+// multi-writer register); callers that construct a fresh Writer per
+// operation thread the timestamp through here.
+func NewWriterAt(r proto.Rounder, th quorum.Thresholds, reg types.RegID, wid int64, last types.TS) *Writer {
+	return &Writer{rounder: r, th: th, reg: reg, wid: wid, ts: last}
 }
 
-// Write stores v under the next timestamp. Two rounds: PREWRITE, WRITE.
+// Write stores v under this writer's next timestamp. Two rounds: PREWRITE,
+// WRITE. On a multi-writer register the caller must have discovered the
+// sequence number to exceed first (core.Writer does); Write alone only
+// dominates this writer's own history.
 func (w *Writer) Write(v types.Value) error {
 	if v.IsBottom() {
 		return fmt.Errorf("regular: cannot write the reserved initial value ⊥")
 	}
-	return w.WritePair(types.Pair{TS: w.ts + 1, Val: v})
+	return w.WritePair(types.Pair{TS: w.ts.Next(w.wid), Val: v})
 }
 
-// WritePair stores an explicit pair. Timestamps must be consecutive (the
-// next timestamp) or equal to the current one (an idempotent re-write, which
-// still runs both rounds): the read decision's causality analysis relies on
-// a register's writer issuing consecutive timestamps.
+// WritePair stores an explicit pair. The timestamp must carry this writer's
+// id — in the idempotent re-write branch too, so a writer resuming from an
+// OBSERVED foreign timestamp can never re-issue that timestamp with its own
+// value (two correct objects holding different values for one timestamp
+// would break the value-agreement invariant the read decision relies on) —
+// and must equal or exceed the writer's last timestamp (equality is an
+// idempotent re-write of the writer's own pair; it still runs both rounds).
+// Single-writer callers keep issuing consecutive sequence numbers (their
+// read decision's causality filter assumes it); multi-writer callers jump
+// ahead to dominate foreign timestamps their discovery round observed.
 func (w *Writer) WritePair(p types.Pair) error {
-	if p.TS != w.ts && p.TS != w.ts+1 {
-		return fmt.Errorf("regular: non-consecutive write timestamp %d after %d", p.TS, w.ts)
+	if p.TS.WID != w.wid || (p.TS != w.ts && !w.ts.Less(p.TS)) {
+		return fmt.Errorf("regular: writer %d cannot write at timestamp %s after %s", w.wid, p.TS, w.ts)
 	}
 	var tok types.Token
 	if w.NextToken != nil {
@@ -154,13 +169,16 @@ func (w *Writer) WritePair(p types.Pair) error {
 }
 
 // LastTS returns the timestamp of the last completed write.
-func (w *Writer) LastTS() int64 { return w.ts }
+func (w *Writer) LastTS() types.TS { return w.ts }
 
 // Reader reads one regular register instance.
 type Reader struct {
 	rounder proto.Rounder
 	th      quorum.Thresholds
 	reg     types.RegID
+	// MultiWriter marks the register as written by more than one writer,
+	// relaxing the decision procedure accordingly (see DecideAcc).
+	MultiWriter bool
 }
 
 // NewReader returns a reader for the register instance reg.
@@ -182,6 +200,7 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 		return types.Pair{}, fmt.Errorf("regular: read round 1: %w", err)
 	}
 	spec2, acc2 := Read2Spec(r.th, r.reg, acc1.Replies)
+	acc2.MultiWriter = r.MultiWriter
 	if err := r.rounder.Round(spec2); err != nil {
 		return types.Pair{}, fmt.Errorf("regular: read round 2: %w", err)
 	}

@@ -12,7 +12,7 @@ import (
 	"robustatomic/internal/types"
 )
 
-func pair(ts int64, v string) types.Pair { return types.Pair{TS: ts, Val: types.Value(v)} }
+func pair(ts int64, v string) types.Pair { return types.Pair{TS: types.At(ts), Val: types.Value(v)} }
 
 func th(t *testing.T, s, tt int) quorum.Thresholds {
 	t.Helper()
@@ -26,7 +26,7 @@ func th(t *testing.T, s, tt int) quorum.Thresholds {
 // writeOp returns an OpFunc performing WritePair on the writer register.
 func writeOp(thr quorum.Thresholds, p types.Pair) sim.OpFunc {
 	return func(c *sim.Client) (types.Value, error) {
-		w := NewWriterAt(c, thr, types.WriterReg, p.TS-1)
+		w := NewWriterAt(c, thr, types.WriterReg, 0, types.At(p.TS.Seq-1))
 		if err := w.WritePair(p); err != nil {
 			return types.Bottom, err
 		}
@@ -272,15 +272,15 @@ func TestWritePairValidation(t *testing.T) {
 	s := sim.New(sim.Config{Servers: 4})
 	defer s.Close()
 	op := s.Spawn("w", types.Writer, checker.OpWrite, "a", func(c *sim.Client) (types.Value, error) {
-		w := NewWriterAt(c, thr, types.WriterReg, 5)
+		w := NewWriterAt(c, thr, types.WriterReg, 0, types.At(5))
 		if err := w.WritePair(pair(3, "old")); err == nil {
 			return types.Bottom, fmt.Errorf("non-monotone WritePair accepted")
 		}
 		if err := w.Write("x"); err != nil {
 			return types.Bottom, err
 		}
-		if w.LastTS() != 6 {
-			return types.Bottom, fmt.Errorf("LastTS = %d, want 6", w.LastTS())
+		if w.LastTS() != types.At(6) {
+			return types.Bottom, fmt.Errorf("LastTS = %v, want 6", w.LastTS())
 		}
 		if err := NewWriter(c, thr, types.WriterReg).Write(types.Bottom); err == nil {
 			return types.Bottom, fmt.Errorf("⊥ write accepted")
@@ -303,7 +303,7 @@ func TestNonDefaultRegisterIsolation(t *testing.T) {
 	defer s.Close()
 	reg := types.ReaderReg(2)
 	op := s.Spawn("wb", types.Reader(2), checker.OpWrite, "x", func(c *sim.Client) (types.Value, error) {
-		return types.Bottom, NewWriterAt(c, thr, reg, 6).WritePair(pair(7, "x"))
+		return types.Bottom, NewWriterAt(c, thr, reg, 0, types.At(6)).WritePair(pair(7, "x"))
 	})
 	mustRun(t, s, op)
 	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, func(c *sim.Client) (types.Value, error) {
@@ -359,7 +359,7 @@ func TestRandomizedSequentialWritesConcurrentReads(t *testing.T) {
 			p := pair(int64(i), fmt.Sprintf("v%d", i))
 			w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, p.Val,
 				func(c *sim.Client) (types.Value, error) {
-					return types.Bottom, NewWriterAt(c, thr, types.WriterReg, p.TS-1).WritePair(p)
+					return types.Bottom, NewWriterAt(c, thr, types.WriterReg, 0, types.At(p.TS.Seq-1)).WritePair(p)
 				})
 			if err := s.RunConcurrent(seed+int64(i), w, readers[0], readers[1]); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)

@@ -83,7 +83,7 @@ func runStressSchedule(t *testing.T, seed int64) {
 		p := pair(int64(i), fmt.Sprintf("v%d", i))
 		w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, p.Val,
 			func(c *sim.Client) (types.Value, error) {
-				return types.Bottom, NewWriterAt(c, thr, types.WriterReg, p.TS-1).WritePair(p)
+				return types.Bottom, NewWriterAt(c, thr, types.WriterReg, 0, types.At(p.TS.Seq-1)).WritePair(p)
 			})
 		ops := append([]*sim.Op{w}, readers...)
 		if err := s.RunConcurrent(seed+int64(i)*13, ops...); err != nil {

@@ -39,12 +39,12 @@ type Writer struct {
 
 // NewWriter returns the writer handle.
 func NewWriter(r proto.Rounder, th quorum.Thresholds) *Writer {
-	return NewWriterAt(r, th, 0)
+	return NewWriterAt(r, th, types.TS{})
 }
 
 // NewWriterAt resumes from a known last timestamp.
-func NewWriterAt(r proto.Rounder, th quorum.Thresholds, lastTS int64) *Writer {
-	return &Writer{inner: regular.NewWriterAt(r, th, types.WriterReg, lastTS)}
+func NewWriterAt(r proto.Rounder, th quorum.Thresholds, last types.TS) *Writer {
+	return &Writer{inner: regular.NewWriterAt(r, th, types.WriterReg, 0, last)}
 }
 
 // Write stores v (two rounds).
@@ -56,7 +56,7 @@ func (w *Writer) Write(v types.Value) error {
 }
 
 // LastTS returns the timestamp of the last completed write.
-func (w *Writer) LastTS() int64 { return w.inner.LastTS() }
+func (w *Writer) LastTS() types.TS { return w.inner.LastTS() }
 
 // Reader reads by retrying query rounds until a unanimous-quorum
 // configuration appears.

@@ -35,7 +35,7 @@ func mustRun(t *testing.T, s *sim.Sim, op *sim.Op) types.Value {
 
 type harness struct {
 	thr quorum.Thresholds
-	ts  int64
+	ts  types.TS
 	// lastRounds records the query-round count of the last read.
 	lastRounds int
 }

@@ -18,7 +18,7 @@ func TestAblationColludingForgersCannotHitFastPath(t *testing.T) {
 		acc := NewFastAcc(thr)
 		forged := types.Message{
 			Kind:  types.MsgState,
-			W:     types.Pair{TS: 1 << 30, Val: "colluded"},
+			W:     types.Pair{TS: types.At(1 << 30), Val: "colluded"},
 			Token: 0xdead,
 		}
 		for sid := 1; sid <= tt; sid++ {
@@ -29,7 +29,7 @@ func TestAblationColludingForgersCannotHitFastPath(t *testing.T) {
 		}
 		// Correct objects answering genuinely terminate the round without a
 		// fast hit (slow path), never adopting the forgery.
-		genuine := types.Message{Kind: types.MsgState, W: types.Pair{TS: 1, Val: "a"}, Token: 7}
+		genuine := types.Message{Kind: types.MsgState, W: types.Pair{TS: types.At(1), Val: "a"}, Token: 7}
 		for sid := tt + 1; sid <= thr.Quorum()+tt; sid++ {
 			acc.Add(sid, genuine)
 		}
@@ -47,7 +47,7 @@ func TestAblationColludingForgersCannotHitFastPath(t *testing.T) {
 func TestAblationFastPathNeedsUnanimity(t *testing.T) {
 	thr := th(t, 7, 2)
 	acc := NewFastAcc(thr)
-	genuine := types.Message{Kind: types.MsgState, W: types.Pair{TS: 3, Val: "v"}, Token: 5}
+	genuine := types.Message{Kind: types.MsgState, W: types.Pair{TS: types.At(3), Val: "v"}, Token: 5}
 	for sid := 1; sid <= 4; sid++ {
 		acc.Add(sid, genuine)
 	}
@@ -56,7 +56,7 @@ func TestAblationFastPathNeedsUnanimity(t *testing.T) {
 	}
 	acc.Add(5, genuine)
 	p, ok := acc.Fast()
-	if !ok || p != (types.Pair{TS: 3, Val: "v"}) {
+	if !ok || p != (types.Pair{TS: types.At(3), Val: "v"}) {
 		t.Fatalf("fast path = %v, %v", p, ok)
 	}
 	// A mismatching token on the same pair must not count toward unanimity.

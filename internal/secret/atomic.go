@@ -13,26 +13,44 @@ import (
 
 // AtomicWriter is the secret-model atomic register's writer: identical to
 // the unauthenticated one except every write phase carries a fresh token.
-// 2 rounds per write.
+// 3 rounds per write (timestamp discovery + the two token-carrying write
+// phases), like the unauthenticated multi-writer register.
 type AtomicWriter struct {
-	inner *Writer
+	rounder proto.Rounder
+	th      quorum.Thresholds
+	wid     int64
+	inner   *Writer
 }
 
-// NewAtomicWriter returns the writer handle.
+// NewAtomicWriter returns writer 0's handle.
 func NewAtomicWriter(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand) *AtomicWriter {
-	return NewAtomicWriterAt(r, th, rng, 0)
+	return NewAtomicWriterAt(r, th, rng, 0, types.TS{})
 }
 
-// NewAtomicWriterAt resumes from a known last timestamp.
-func NewAtomicWriterAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, lastTS int64) *AtomicWriter {
-	return &AtomicWriter{inner: NewWriterAt(r, th, rng, lastTS)}
+// NewAtomicWriterAt returns the handle of writer wid resuming from a known
+// last timestamp.
+func NewAtomicWriterAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, wid int64, last types.TS) *AtomicWriter {
+	return &AtomicWriter{rounder: r, th: th, wid: wid, inner: NewWriterAt(r, th, rng, wid, last)}
 }
 
-// Write stores v (2 rounds).
-func (w *AtomicWriter) Write(v types.Value) error { return w.inner.Write(v) }
+// Write stores v: the shared multi-writer write flow (core.WriteDiscovered
+// — discovery round with the certified anti-inflation fallback) over the
+// token-carrying pair-writer. Distinct writers' timestamps never collide
+// (the writer id breaks ties), so concurrent multi-writer traffic cannot
+// forge a fast-path (pair, token) match.
+func (w *AtomicWriter) Write(v types.Value) error {
+	return core.WriteDiscovered(w.rounder, w.th, w.wid, w.inner.LastTS(), "SWDISC", v, w.inner.WritePair)
+}
+
+// Modify performs the certified read-modify-write of core.Writer.Modify in
+// the secret-token model: the same shared flow (certification does not
+// need tokens), writing through the token-carrying pair-writer.
+func (w *AtomicWriter) Modify(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error) {
+	return core.ModifyCertified(w.rounder, w.th, w.wid, w.inner.LastTS(), fn, w.inner.WritePair)
+}
 
 // LastTS returns the timestamp of the last completed write.
-func (w *AtomicWriter) LastTS() int64 { return w.inner.LastTS() }
+func (w *AtomicWriter) LastTS() types.TS { return w.inner.LastTS() }
 
 // AtomicReader performs 3-round atomic reads in contention-free executions
 // (the [DMSS09]-model optimum the paper cites in Section 5), degrading to 4
@@ -107,6 +125,7 @@ func (r *AtomicReader) ReadPair() (types.Pair, error) {
 			continue
 		}
 		acc := regular.NewDecideAcc(r.th, fasts[i].Replies)
+		acc.MultiWriter = i == 0 // the shared register is multi-writer
 		slowAccs = append(slowAccs, acc)
 		slowIdx = append(slowIdx, i)
 		slowParts = append(slowParts, core.MuxPart{
@@ -137,8 +156,8 @@ func (r *AtomicReader) ReadPair() (types.Pair, error) {
 	}
 
 	// Final two physical rounds: token-carrying write-back into the
-	// reader's own register.
-	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), r.seq)
+	// reader's own register (single-writer: WID stays 0).
+	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), 0, types.At(r.seq))
 	wb.NextToken = func() types.Token {
 		for {
 			if tok := types.Token(r.rng.Uint64()); tok != 0 {
@@ -146,7 +165,7 @@ func (r *AtomicReader) ReadPair() (types.Pair, error) {
 			}
 		}
 	}
-	if err := wb.WritePair(types.Pair{TS: r.seq + 1, Val: core.EncodePair(best)}); err != nil {
+	if err := wb.WritePair(types.Pair{TS: types.At(r.seq + 1), Val: core.EncodePair(best)}); err != nil {
 		return types.Pair{}, fmt.Errorf("secret: write-back: %w", err)
 	}
 	r.seq++

@@ -34,12 +34,13 @@ type Writer struct {
 // NewWriter returns the writer handle; rng generates the secret tokens
 // (pass a crypto-strength source in production; tests use seeded PRNGs).
 func NewWriter(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand) *Writer {
-	return NewWriterAt(r, th, rng, 0)
+	return NewWriterAt(r, th, rng, 0, types.TS{})
 }
 
-// NewWriterAt resumes from a known last timestamp.
-func NewWriterAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, lastTS int64) *Writer {
-	inner := regular.NewWriterAt(r, th, types.WriterReg, lastTS)
+// NewWriterAt returns the handle of writer wid resuming from a known last
+// timestamp.
+func NewWriterAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, wid int64, last types.TS) *Writer {
+	inner := regular.NewWriterAt(r, th, types.WriterReg, wid, last)
 	inner.NextToken = func() types.Token {
 		for {
 			if tok := types.Token(rng.Uint64()); tok != 0 {
@@ -58,8 +59,18 @@ func (w *Writer) Write(v types.Value) error {
 	return nil
 }
 
+// WritePair stores an explicit pair (the atomic composition's discovery
+// round supplies multi-writer timestamps through here), attaching a fresh
+// token.
+func (w *Writer) WritePair(p types.Pair) error {
+	if err := w.inner.WritePair(p); err != nil {
+		return fmt.Errorf("secret: %w", err)
+	}
+	return nil
+}
+
 // LastTS returns the timestamp of the last completed write.
-func (w *Writer) LastTS() int64 { return w.inner.LastTS() }
+func (w *Writer) LastTS() types.TS { return w.inner.LastTS() }
 
 // FastAcc is the single-round fast-path accumulator: it terminates with a
 // decision when 2t+1 distinct objects report the identical written

@@ -36,7 +36,7 @@ func mustRun(t *testing.T, s *sim.Sim, op *sim.Op) types.Value {
 type harness struct {
 	thr  quorum.Thresholds
 	rng  *rand.Rand
-	ts   int64
+	ts   types.TS
 	seqs map[int]int64
 	fast bool
 }
@@ -47,7 +47,7 @@ func newHarness(thr quorum.Thresholds, seed int64) *harness {
 
 func (h *harness) writeOp(v types.Value) sim.OpFunc {
 	return func(c *sim.Client) (types.Value, error) {
-		w := NewAtomicWriterAt(c, h.thr, h.rng, h.ts)
+		w := NewAtomicWriterAt(c, h.thr, h.rng, 0, h.ts)
 		if err := w.Write(v); err != nil {
 			return types.Bottom, err
 		}
@@ -104,12 +104,10 @@ func TestBaseRegisterSlowPathUnderStaleness(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	s := sim.New(sim.Config{Servers: 4})
 	defer s.Close()
-	wTS := int64(0)
+	var wTS types.TS
 	write := func(v types.Value, sids ...int) {
 		w := s.Spawn("w"+string(v), types.Writer, checker.OpWrite, v, func(c *sim.Client) (types.Value, error) {
-			wr := NewAtomicWriterAt(c, thr, rng, wTS) // base writes only
-			_ = wr
-			rw := NewWriterAt(c, thr, rng, wTS)
+			rw := NewWriterAt(c, thr, rng, 0, wTS) // base (non-atomic) writes only
 			if err := rw.Write(v); err != nil {
 				return types.Bottom, err
 			}
@@ -144,7 +142,8 @@ func TestBaseRegisterSlowPathUnderStaleness(t *testing.T) {
 }
 
 func TestAtomicThreeRoundReads(t *testing.T) {
-	// The Section 5 secret-model claim: 2-round writes, 3-round reads
+	// The Section 5 secret-model claim, multi-writer form: 3-round writes
+	// (discovery + the 2 token-carrying phases), 3-round reads
 	// (contention-free).
 	thr := th(t, 4, 1)
 	h := newHarness(thr, 3)
@@ -152,8 +151,8 @@ func TestAtomicThreeRoundReads(t *testing.T) {
 	defer s.Close()
 	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", h.writeOp("a"))
 	mustRun(t, s, w)
-	if w.Rounds() != 2 {
-		t.Errorf("atomic write rounds = %d, want 2", w.Rounds())
+	if w.Rounds() != 3 {
+		t.Errorf("atomic write rounds = %d, want 3", w.Rounds())
 	}
 	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, h.readOp(1, 2))
 	if v := mustRun(t, s, rd); v != "a" {

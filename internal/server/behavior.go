@@ -137,7 +137,7 @@ func (g Garbage) Reply(inner *Store, from types.ProcID, m types.Message) (types.
 	if val == types.Bottom {
 		val = "forged"
 	}
-	fake := types.Pair{TS: level, Val: val}
+	fake := types.Pair{TS: types.At(level), Val: val}
 	switch m.Kind {
 	case types.MsgRead1:
 		return types.Message{Kind: types.MsgState, PW: fake, W: fake, Seq: m.Seq}, true

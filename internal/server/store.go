@@ -173,7 +173,15 @@ func Mutates(m types.Message) bool {
 // integers as uvarints and values length-prefixed. The hand-rolled codec
 // replaces the original per-call gob encoder: no type-descriptor preamble,
 // no re-sorting (ids is maintained incrementally), one allocation.
-const snapshotVersion = 0x02
+//
+// Version 0x03 carries multi-writer (Seq, WID) timestamps: each pair is
+// Seq uvarint, WID uvarint, value. Version 0x02 (the PR 3 on-disk format)
+// carried scalar timestamps — Restore still accepts it, decoding every
+// timestamp as (Seq, WID 0), so pre-multi-writer snapshots replay cleanly.
+const (
+	snapshotVersion       = 0x03
+	snapshotVersionScalar = 0x02
+)
 
 // Snapshot implements Automaton. The encoding is deterministic: equal states
 // yield equal bytes.
@@ -181,7 +189,7 @@ func (s *Store) Snapshot() ([]byte, error) {
 	size := 1 + binary.MaxVarintLen64
 	for _, id := range s.ids {
 		st := s.regs[id]
-		size += 6*binary.MaxVarintLen64 + len(st.PW.Val) + len(st.W.Val)
+		size += 8*binary.MaxVarintLen64 + len(st.PW.Val) + len(st.W.Val)
 	}
 	b := make([]byte, 0, size)
 	b = append(b, snapshotVersion)
@@ -198,20 +206,23 @@ func (s *Store) Snapshot() ([]byte, error) {
 	return b, nil
 }
 
-// appendPair encodes a timestamp-value pair (timestamps are non-negative:
-// the writer issues them from 0 upward).
+// appendPair encodes a timestamp-value pair (sequence numbers are
+// non-negative: writers issue them from 0 upward; the int64→uint64 uvarint
+// round-trip is lossless regardless).
 func appendPair(b []byte, p types.Pair) []byte {
-	b = binary.AppendUvarint(b, uint64(p.TS))
+	b = binary.AppendUvarint(b, uint64(p.TS.Seq))
+	b = binary.AppendUvarint(b, uint64(p.TS.WID))
 	b = binary.AppendUvarint(b, uint64(len(p.Val)))
 	return append(b, string(p.Val)...)
 }
 
-// Restore implements Automaton.
+// Restore implements Automaton. It accepts the current multi-writer format
+// and the PR 3-era scalar-timestamp format (version 0x02).
 func (s *Store) Restore(b []byte) error {
-	if len(b) == 0 || b[0] != snapshotVersion {
+	if len(b) == 0 || (b[0] != snapshotVersion && b[0] != snapshotVersionScalar) {
 		return fmt.Errorf("server: restore: bad snapshot header")
 	}
-	d := snapDecoder{b: b[1:]}
+	d := snapDecoder{b: b[1:], scalarTS: b[0] == snapshotVersionScalar}
 	n := d.uvarint()
 	if n > uint64(len(d.b)) { // each register costs ≥ 6 bytes; cheap bound
 		return fmt.Errorf("server: restore: register count %d exceeds payload", n)
@@ -245,10 +256,12 @@ func (s *Store) Restore(b []byte) error {
 }
 
 // snapDecoder cuts snapshot fields off a byte slice, latching the first
-// error so call sites stay linear.
+// error so call sites stay linear. scalarTS selects the legacy pair layout
+// (no WID field; every timestamp decodes as WID 0).
 type snapDecoder struct {
-	b   []byte
-	err error
+	b        []byte
+	scalarTS bool
+	err      error
 }
 
 func (d *snapDecoder) uvarint() uint64 {
@@ -265,7 +278,11 @@ func (d *snapDecoder) uvarint() uint64 {
 }
 
 func (d *snapDecoder) pair() types.Pair {
-	ts := d.uvarint()
+	seq := d.uvarint()
+	var wid uint64
+	if !d.scalarTS {
+		wid = d.uvarint()
+	}
 	n := d.uvarint()
 	if d.err != nil {
 		return types.Pair{}
@@ -274,7 +291,7 @@ func (d *snapDecoder) pair() types.Pair {
 		d.err = fmt.Errorf("truncated value")
 		return types.Pair{}
 	}
-	p := types.Pair{TS: int64(ts), Val: types.Value(d.b[:n])}
+	p := types.Pair{TS: types.TS{Seq: int64(seq), WID: int64(wid)}, Val: types.Value(d.b[:n])}
 	d.b = d.b[n:]
 	return p
 }

@@ -7,7 +7,7 @@ import (
 	"robustatomic/internal/types"
 )
 
-func pair(ts int64, v string) types.Pair { return types.Pair{TS: ts, Val: types.Value(v)} }
+func pair(ts int64, v string) types.Pair { return types.Pair{TS: types.At(ts), Val: types.Value(v)} }
 
 func TestStorePreWriteWriteMonotone(t *testing.T) {
 	s := NewStore()
@@ -292,7 +292,7 @@ func TestGarbageBehaviorNeverCertifiable(t *testing.T) {
 	s := NewStore()
 	g := Garbage{}
 	r, ok := g.Reply(s, types.Reader(1), types.Message{Kind: types.MsgRead1, Seq: 3})
-	if !ok || r.Kind != types.MsgState || r.W.TS == 0 || r.Seq != 3 {
+	if !ok || r.Kind != types.MsgState || r.W.TS.IsZero() || r.Seq != 3 {
 		t.Fatalf("garbage read %v", r)
 	}
 	if r.W.Val == types.Bottom {
@@ -348,10 +348,10 @@ func TestReplayOnlyReplaysHistoricalStates(t *testing.T) {
 	}
 	// Every replayed pair is one the object actually held (or bottom).
 	for p := range seen {
-		if p.TS < 0 || p.TS > 20 {
+		if p.TS.Seq < 0 || p.TS.Seq > 20 {
 			t.Errorf("fabricated pair %v", p)
 		}
-		if p.TS > 0 && p.Val != "v" {
+		if !p.TS.IsZero() && p.Val != "v" {
 			t.Errorf("fabricated value %v", p)
 		}
 	}

@@ -12,7 +12,7 @@ import (
 	"robustatomic/internal/types"
 )
 
-func pair(ts int64, v string) types.Pair { return types.Pair{TS: ts, Val: types.Value(v)} }
+func pair(ts int64, v string) types.Pair { return types.Pair{TS: types.At(ts), Val: types.Value(v)} }
 
 // queryOp is a toy one-round operation: query all objects, wait for `need`
 // MsgState replies, return the max W value seen.

@@ -91,7 +91,7 @@ func (d *Direct) Seed(reg int, p types.Pair) error {
 	if err != nil {
 		return fmt.Errorf("tcpnet: seed: verify: %w", err)
 	}
-	if rsp.Kind != types.MsgState || rsp.W.TS < p.TS || rsp.PW.TS < p.TS {
+	if rsp.Kind != types.MsgState || rsp.W.TS.Less(p.TS) || rsp.PW.TS.Less(p.TS) {
 		return fmt.Errorf("tcpnet: seed: state not installed (pw %v, w %v, want ≥ %v)", rsp.PW, rsp.W, p)
 	}
 	return nil

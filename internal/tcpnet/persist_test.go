@@ -186,7 +186,7 @@ func TestServerPersistedAcrossManyInstances(t *testing.T) {
 	}
 	addr := s.Addr()
 	for reg := 0; reg < 6; reg++ {
-		if err := Seed(addr, reg, types.Pair{TS: int64(reg + 1), Val: types.Value(fmt.Sprintf("reg%d", reg))}, time.Second); err != nil {
+		if err := Seed(addr, reg, types.Pair{TS: types.At(int64(reg + 1)), Val: types.Value(fmt.Sprintf("reg%d", reg))}, time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -194,7 +194,7 @@ func TestServerPersistedAcrossManyInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Post-compaction mutations land in the fresh WAL generation.
-	if err := Seed(addr, 2, types.Pair{TS: 9, Val: "after-compact"}, time.Second); err != nil {
+	if err := Seed(addr, 2, types.Pair{TS: types.At(9), Val: "after-compact"}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Registers(); got != 6 {
@@ -212,9 +212,9 @@ func TestServerPersistedAcrossManyInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := types.Pair{TS: int64(reg + 1), Val: types.Value(fmt.Sprintf("reg%d", reg))}
+		want := types.Pair{TS: types.At(int64(reg + 1)), Val: types.Value(fmt.Sprintf("reg%d", reg))}
 		if reg == 2 {
-			want = types.Pair{TS: 9, Val: "after-compact"}
+			want = types.Pair{TS: types.At(9), Val: "after-compact"}
 		}
 		if w != want {
 			t.Errorf("instance %d: W = %v, want %v", reg, w, want)

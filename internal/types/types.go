@@ -2,11 +2,21 @@
 // implementation: register values, timestamp-value pairs, process identities
 // and the wire message exchanged between clients and storage objects.
 //
-// The model follows Section 2 of "The Complexity of Robust Atomic Storage"
-// (Dobre, Guerraoui, Majuntke, Suri, Vukolić; PODC 2011): a single writer w,
-// readers r_1..r_R and storage objects s_1..s_S communicate over reliable
-// point-to-point channels. Objects only reply to client messages; clients
-// fail by crashing; up to t objects are Byzantine.
+// The model extends Section 2 of "The Complexity of Robust Atomic Storage"
+// (Dobre, Guerraoui, Majuntke, Suri, Vukolić; PODC 2011) from single-writer
+// to multi-writer registers: writers w_1..w_W, readers r_1..r_R and storage
+// objects s_1..s_S communicate over reliable point-to-point channels. Objects
+// only reply to client messages; clients fail by crashing; up to t objects
+// are Byzantine.
+//
+// The multi-writer extension replaces the paper's scalar timestamp with the
+// classical lexicographically ordered (Seq, WriterID) pair (as in multi-writer
+// ABD and the multi-writer data stores of Chockler et al. and RADON): two
+// writers that concurrently pick the same sequence number still issue
+// distinct, totally ordered timestamps, and a writer learns the sequence
+// number to exceed in one extra timestamp-discovery round — writes cost
+// 3 rounds instead of the SWMR-optimal 2, which is exactly the price the
+// PODC 2011 lower bounds predict for giving up the single-writer assumption.
 package types
 
 import (
@@ -33,33 +43,83 @@ func (v Value) String() string {
 	return string(v)
 }
 
-// Pair is a timestamp-value pair. Timestamps are assigned by the single
-// writer and are totally ordered; the pair with TS 0 is the initial pair
-// holding ⊥. Pair is comparable (usable as a map key), which the protocols
-// rely on for exact-match certification of genuinely written pairs.
+// TS is a multi-writer register timestamp: a lexicographically ordered
+// (Seq, WriterID) pair. Seq is the sequence number a writer picked in its
+// timestamp-discovery round; WID is the writer's identity, breaking ties
+// between writers that concurrently picked the same sequence number. The
+// zero TS is the timestamp of the initial pair holding ⊥. TS is comparable
+// (usable as a map key).
+type TS struct {
+	Seq int64
+	WID int64
+}
+
+// At is shorthand for a single-writer timestamp (WID 0) — the form every
+// pre-multi-writer timestamp of this repository takes.
+func At(seq int64) TS { return TS{Seq: seq} }
+
+// Less orders timestamps lexicographically by (Seq, WID).
+func (t TS) Less(u TS) bool {
+	if t.Seq != u.Seq {
+		return t.Seq < u.Seq
+	}
+	return t.WID < u.WID
+}
+
+// IsZero reports whether t is the initial timestamp.
+func (t TS) IsZero() bool { return t == TS{} }
+
+// Next returns the successor timestamp owned by writer wid: sequence number
+// one past t's, tagged with wid.
+func (t TS) Next(wid int64) TS { return TS{Seq: t.Seq + 1, WID: wid} }
+
+// MaxTS returns the lexicographically larger timestamp.
+func MaxTS(a, b TS) TS {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// String implements fmt.Stringer. Single-writer timestamps (WID 0) render as
+// the bare sequence number, matching the repository's pre-multi-writer
+// rendering; multi-writer timestamps render as seq.wid.
+func (t TS) String() string {
+	if t.WID == 0 {
+		return strconv.FormatInt(t.Seq, 10)
+	}
+	return strconv.FormatInt(t.Seq, 10) + "." + strconv.FormatInt(t.WID, 10)
+}
+
+// Pair is a timestamp-value pair. Timestamps are totally ordered by the
+// lexicographic (Seq, WriterID) order; the pair with the zero TS is the
+// initial pair holding ⊥. Pair is comparable (usable as a map key), which
+// the protocols rely on for exact-match certification of genuinely written
+// pairs.
 type Pair struct {
-	TS  int64
+	TS  TS
 	Val Value
 }
 
-// BottomPair is the initial register state (timestamp 0, value ⊥).
-var BottomPair = Pair{TS: 0, Val: Bottom}
+// BottomPair is the initial register state (zero timestamp, value ⊥).
+var BottomPair = Pair{TS: TS{}, Val: Bottom}
 
 // Less orders pairs by timestamp. Values never disagree for equal timestamps
-// of genuine pairs because only the writer issues timestamps.
-func (p Pair) Less(q Pair) bool { return p.TS < q.TS }
+// of genuine pairs because a timestamp embeds its writer's identity and each
+// writer issues any given sequence number at most once.
+func (p Pair) Less(q Pair) bool { return p.TS.Less(q.TS) }
 
 // IsBottom reports whether p is the initial pair.
-func (p Pair) IsBottom() bool { return p.TS == 0 }
+func (p Pair) IsBottom() bool { return p.TS.IsZero() }
 
 // String implements fmt.Stringer.
 func (p Pair) String() string {
-	return "(" + strconv.FormatInt(p.TS, 10) + "," + p.Val.String() + ")"
+	return "(" + p.TS.String() + "," + p.Val.String() + ")"
 }
 
 // MaxPair returns the pair with the larger timestamp.
 func MaxPair(a, b Pair) Pair {
-	if a.TS >= b.TS {
+	if b.TS.Less(a.TS) || a.TS == b.TS {
 		return a
 	}
 	return b
@@ -95,7 +155,8 @@ func (k ProcKind) String() string {
 	}
 }
 
-// ProcID identifies a process. Writers are {KindWriter, 0}; readers are
+// ProcID identifies a process. Writers are {KindWriter, i} with i ≥ 0 (i is
+// the WriterID embedded in the timestamps the writer issues); readers are
 // {KindReader, i} with i ≥ 1; servers (storage objects) are {KindServer, i}
 // with i ≥ 1 matching the paper's s_1..s_S.
 type ProcID struct {
@@ -103,8 +164,13 @@ type ProcID struct {
 	Idx  int
 }
 
-// Writer is the identity of the single writer process.
+// Writer is the identity of writer 0 — the default writer, and the only one
+// of the original single-writer deployments.
 var Writer = ProcID{Kind: KindWriter}
+
+// WriterID returns the identity of writer w_i (0-based; 0 is the default
+// writer). Distinct concurrent writer processes must use distinct ids.
+func WriterID(i int) ProcID { return ProcID{Kind: KindWriter, Idx: i} }
 
 // Reader returns the identity of reader r_i (1-based).
 func Reader(i int) ProcID { return ProcID{Kind: KindReader, Idx: i} }
@@ -115,9 +181,10 @@ func Server(i int) ProcID { return ProcID{Kind: KindServer, Idx: i} }
 // IsClient reports whether the process is a writer or reader.
 func (p ProcID) IsClient() bool { return p.Kind == KindWriter || p.Kind == KindReader }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The default writer renders as the paper's
+// bare "w"; further writers carry their id.
 func (p ProcID) String() string {
-	if p.Kind == KindWriter {
+	if p.Kind == KindWriter && p.Idx == 0 {
 		return "w"
 	}
 	return fmt.Sprintf("%s%d", p.Kind, p.Idx)
@@ -125,13 +192,17 @@ func (p ProcID) String() string {
 
 // RegClass distinguishes the register instances multiplexed onto one physical
 // object by the regular→atomic transformation (Section 5, footnote 6): one
-// register owned by the writer plus one write-back register per reader.
+// register shared by all writers plus one write-back register per reader.
 type RegClass int
 
 // Register classes.
 const (
-	RegWriter RegClass = iota + 1 // the writer's SWMR regular register
-	RegReader                     // reader i's write-back register
+	// RegWriter is the writers' MWMR regular register: every writer writes
+	// here, at timestamps totally ordered by (Seq, WriterID).
+	RegWriter RegClass = iota + 1
+	// RegReader is reader i's write-back register, single-writer-owned by
+	// that reader (its timestamps keep WID 0).
+	RegReader
 )
 
 // RegID identifies one register instance hosted on the storage objects.
@@ -163,7 +234,7 @@ const (
 	// Regular register protocol (internal/regular) and derivatives.
 	MsgPreWrite  MsgKind = iota + 1 // writer round 1: store pair in pw
 	MsgWrite                        // writer round 2: store pair in w
-	MsgRead1                        // reader round 1: query (pw, w)
+	MsgRead1                        // reader round 1 / writer discovery: query (pw, w)
 	MsgWriteBack                    // reader round 2: install certified pair
 	MsgAck                          // generic acknowledgement
 	MsgState                        // reply carrying (pw, w) state

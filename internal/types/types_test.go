@@ -17,11 +17,31 @@ func TestValueBottom(t *testing.T) {
 	}
 }
 
+func TestTSOrdering(t *testing.T) {
+	// Lexicographic (Seq, WID): sequence number first, writer id breaks ties.
+	a, b, c := TS{Seq: 1, WID: 9}, TS{Seq: 2, WID: 0}, TS{Seq: 2, WID: 3}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) || c.Less(a) || a.Less(a) {
+		t.Error("lexicographic order broken")
+	}
+	if MaxTS(a, c) != c || MaxTS(c, a) != c || MaxTS(b, b) != b {
+		t.Error("MaxTS")
+	}
+	if n := c.Next(7); n.Seq != 3 || n.WID != 7 {
+		t.Errorf("Next = %v", n)
+	}
+	if !(TS{}).IsZero() || (TS{WID: 1}).IsZero() || !At(0).IsZero() {
+		t.Error("IsZero")
+	}
+	if At(5).String() != "5" || (TS{Seq: 5, WID: 2}).String() != "5.2" {
+		t.Errorf("String: %q %q", At(5), TS{Seq: 5, WID: 2})
+	}
+}
+
 func TestPairOrdering(t *testing.T) {
-	if !BottomPair.IsBottom() || BottomPair.TS != 0 {
+	if !BottomPair.IsBottom() || !BottomPair.TS.IsZero() {
 		t.Error("bottom pair")
 	}
-	a, b := Pair{TS: 1, Val: "a"}, Pair{TS: 2, Val: "b"}
+	a, b := Pair{TS: At(1), Val: "a"}, Pair{TS: At(2), Val: "b"}
 	if !a.Less(b) || b.Less(a) || a.Less(a) {
 		t.Error("Less")
 	}
@@ -36,14 +56,14 @@ func TestPairOrdering(t *testing.T) {
 func TestMaxPairProperties(t *testing.T) {
 	// MaxPair is commutative up to timestamp ties and always returns one of
 	// its arguments with the maximal timestamp.
-	f := func(ts1, ts2 int64, v1, v2 string) bool {
-		a := Pair{TS: ts1, Val: Value(v1)}
-		b := Pair{TS: ts2, Val: Value(v2)}
+	f := func(s1, s2, w1, w2 int64, v1, v2 string) bool {
+		a := Pair{TS: TS{Seq: s1, WID: w1}, Val: Value(v1)}
+		b := Pair{TS: TS{Seq: s2, WID: w2}, Val: Value(v2)}
 		m := MaxPair(a, b)
 		if m != a && m != b {
 			return false
 		}
-		return m.TS >= a.TS && m.TS >= b.TS
+		return !m.TS.Less(a.TS) && !m.TS.Less(b.TS)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -102,7 +122,7 @@ func TestMessageClone(t *testing.T) {
 	m := Message{
 		Kind: MsgMux,
 		Sub: []SubMsg{
-			{Reg: WriterReg, Msg: Message{Kind: MsgWrite, Pair: Pair{TS: 1, Val: "a"}}},
+			{Reg: WriterReg, Msg: Message{Kind: MsgWrite, Pair: Pair{TS: At(1), Val: "a"}}},
 		},
 	}
 	c := m.Clone()
@@ -113,13 +133,13 @@ func TestMessageClone(t *testing.T) {
 }
 
 func TestMessageString(t *testing.T) {
-	if s := (Message{Kind: MsgState, PW: Pair{TS: 1, Val: "a"}, W: BottomPair}).String(); s != "STATE{pw:(1,a) w:(0,⊥)}" {
+	if s := (Message{Kind: MsgState, PW: Pair{TS: At(1), Val: "a"}, W: BottomPair}).String(); s != "STATE{pw:(1,a) w:(0,⊥)}" {
 		t.Errorf("state string = %q", s)
 	}
 	if s := (Message{Kind: MsgMux, Sub: make([]SubMsg, 3)}).String(); s != "MUX{3 subs}" {
 		t.Errorf("mux string = %q", s)
 	}
-	if s := (Message{Kind: MsgWrite, Pair: Pair{TS: 2, Val: "b"}}).String(); s != "WRITE(2,b)" {
+	if s := (Message{Kind: MsgWrite, Pair: Pair{TS: At(2), Val: "b"}}).String(); s != "WRITE(2,b)" {
 		t.Errorf("write string = %q", s)
 	}
 }

@@ -4,6 +4,17 @@
 // reply. One request yields at most one response (objects reply to a message
 // before receiving any other, per the model); responses are matched to
 // rounds by Message.Seq.
+//
+// Versioning: the LIVE wire format is not negotiated — clients and daemons
+// of one deployment must run the same protocol generation, upgraded in
+// lockstep (daemons first is fine: requests fail with a gob type-mismatch
+// error until both sides match, without corrupting state). The multi-writer
+// refactor changed Pair's timestamp from a scalar to the (Seq, WID) struct,
+// so pre-multi-writer clients cannot talk to current daemons or vice versa.
+// PERSISTED formats, in contrast, all have explicit legacy paths (WAL gob
+// mirror types, snapshot version bytes, shard-table and write-back codecs):
+// old data directories and old register contents replay and decode
+// unchanged, so the lockstep constraint applies only to the sockets.
 package wire
 
 import (

@@ -21,7 +21,7 @@ func TestRequestRoundTrip(t *testing.T) {
 			Seq:  7,
 			Sub: []types.SubMsg{
 				{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgRead1}},
-				{Reg: types.ReaderReg(1), Msg: types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: 4, Val: "x"}, Token: 99}},
+				{Reg: types.ReaderReg(1), Msg: types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: types.TS{Seq: 4, WID: 2}, Val: "x"}, Token: 99}},
 			},
 		},
 	}
@@ -41,7 +41,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	rsp := Response{
 		Server: 2,
-		Msg:    types.Message{Kind: types.MsgState, PW: types.Pair{TS: 1, Val: "a"}, W: types.BottomPair, Seq: 3},
+		Msg:    types.Message{Kind: types.MsgState, PW: types.Pair{TS: types.At(1), Val: "a"}, W: types.BottomPair, Seq: 3},
 	}
 	if err := NewEncoder(&buf).Encode(rsp); err != nil {
 		t.Fatal(err)
@@ -106,10 +106,10 @@ func TestDecodeGarbage(t *testing.T) {
 }
 
 func TestPairWireProperty(t *testing.T) {
-	f := func(ts int64, val string, tok uint64, seq int) bool {
+	f := func(seqNo, wid int64, val string, tok uint64, seq int) bool {
 		var buf bytes.Buffer
 		in := Response{Server: 1, Msg: types.Message{
-			Kind: types.MsgState, W: types.Pair{TS: ts, Val: types.Value(val)},
+			Kind: types.MsgState, W: types.Pair{TS: types.TS{Seq: seqNo, WID: wid}, Val: types.Value(val)},
 			Token: types.Token(tok), Seq: seq,
 		}}
 		if err := NewEncoder(&buf).Encode(in); err != nil {

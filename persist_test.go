@@ -264,7 +264,7 @@ func TestRepairReconstitutesWipedObject(t *testing.T) {
 		t.Fatalf("repaired %d instances, want %d", len(repaired), shards+1)
 	}
 	for _, r := range repaired {
-		if r.Skipped || r.TS == 0 {
+		if r.Skipped || r.TS.IsZero() {
 			t.Errorf("instance %d not repaired: %+v", r.Reg, r)
 		}
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"robustatomic/internal/regular"
 	"robustatomic/internal/tcpnet"
+	"robustatomic/internal/types"
 )
 
 // RepairedRegister reports the outcome of repairing one register instance.
@@ -13,7 +15,7 @@ type RepairedRegister struct {
 	// 1..Shards = the keyed Store's shards).
 	Reg int
 	// TS is the timestamp of the pair installed on the replacement object.
-	TS int64
+	TS types.TS
 	// Bytes is the size of the installed value.
 	Bytes int
 	// Skipped reports an instance that was never written (nothing to
@@ -77,6 +79,19 @@ func (c *Cluster) Repair(id int, shards int) ([]RepairedRegister, error) {
 		if p.IsBottom() {
 			out = append(out, RepairedRegister{Reg: reg, Skipped: true})
 			continue
+		}
+		// Re-establish the prewrite-support invariant before installing the
+		// pair in the replacement's w: the multi-writer decision procedure
+		// assumes every pair a correct object holds in w completed its
+		// PREWRITE at 2t+1 objects, but a certified pair's original
+		// PREWRITE quorum may have been thinner (certification only needs
+		// one reporter outside each candidate fault set). One cluster-wide
+		// PREWRITE round of the certified pair — monotone, so it can never
+		// regress newer state — makes the seeded w-report consistent with
+		// the true fault set on every later read.
+		rc := c.rounder(types.Reader(1), reg)
+		if err := rc.Round(regular.PreWriteSpec(c.th, types.WriterReg, p, 0)); err != nil {
+			return out, fmt.Errorf("robustatomic: repair instance %d: prewrite support: %w", reg, err)
 		}
 		if err := d.Seed(reg, p); err != nil {
 			return out, fmt.Errorf("robustatomic: repair instance %d: %w", reg, err)

@@ -1,27 +1,35 @@
 // Package robustatomic is a robust atomic read/write storage library: a
-// wait-free, optimally resilient single-writer multi-reader atomic register
-// over S = 3t+1 Byzantine-prone storage objects without data authentication,
-// with time-optimal operation latency — 2-round writes and 4-round reads —
-// per "The Complexity of Robust Atomic Storage" (Dobre, Guerraoui, Majuntke,
-// Suri, Vukolić; PODC 2011), whose lower bounds prove no scalable
-// implementation can do better.
+// wait-free, optimally resilient MULTI-WRITER multi-reader atomic register
+// over S = 3t+1 Byzantine-prone storage objects without data authentication.
+// Reads take the 4 rounds that "The Complexity of Robust Atomic Storage"
+// (Dobre, Guerraoui, Majuntke, Suri, Vukolić; PODC 2011) proves optimal;
+// writes take 3 — the paper's single-writer optimum of 2 plus one
+// timestamp-discovery round, which is exactly the price of giving up the
+// single-writer assumption: a lone writer knows the highest timestamp (its
+// own), concurrent writers must discover it. Timestamps are
+// lexicographically ordered (Seq, WriterID) pairs, so writers that race to
+// the same sequence number still issue totally ordered timestamps.
 //
 // The library runs over an in-process cluster (goroutines and channels, with
 // optional fault injection and random delays) or over TCP against storage
 // daemons (cmd/storaged); the protocol stack is identical in both cases.
+// Processes that may write concurrently to one deployment configure
+// distinct Options.WriterID values:
 //
 //	cluster, _ := robustatomic.NewCluster(robustatomic.Options{Faults: 1, Readers: 2})
 //	defer cluster.Close()
 //	w := cluster.Writer()
-//	_ = w.Write("hello")
+//	_ = w.Write("hello") // 3 rounds: discovery + the two write phases
 //	r, _ := cluster.Reader(1)
-//	v, _ := r.Read() // "hello"
+//	v, _ := r.Read() // "hello" (4 rounds — the paper's optimum)
 //
 // Beyond the paper's single register, Store shards a keyed Put/Get API over
-// N independent registers hosted on the same objects; concurrent writes to
-// one shard coalesce into a single 2-round register write (group commit),
-// so aggregate throughput scales with both shard count and write
-// concurrency while every operation keeps the paper's optimal round counts:
+// N independent MWMR registers hosted on the same objects. Within a
+// process, concurrent writes to one shard coalesce into a single certified
+// read-modify-write (group commit); across processes, separately Connected
+// clients with distinct WriterIDs (and disjoint StoreOptions.Readers) may
+// Put concurrently — contention on the same key resolves atomically to one
+// of the written values:
 //
 //	st, _ := cluster.NewStore(robustatomic.StoreOptions{Shards: 8})
 //	_ = st.Put("order:42", "shipped")
@@ -29,12 +37,14 @@
 //
 // Daemons started with -data-dir write-ahead-log every state mutation and
 // recover it on restart, so a crashed object resumes as correct-but-slow
-// instead of burning the fault budget with amnesia; Cluster.Repair
-// (storctl repair) reconstitutes a wiped replacement object from a quorum
-// of its live peers.
+// instead of burning the fault budget with amnesia (pre-multi-writer data
+// directories replay unchanged); Cluster.Repair (storctl repair)
+// reconstitutes a wiped replacement object from a quorum of its live peers.
 //
-// See DESIGN.md for the paper reproduction map, the Store layer design and
-// the durability subsystem, and EXPERIMENTS.md for the measured results.
+// See DESIGN.md for the paper reproduction map, the multi-writer promotion,
+// the Store layer design and the durability subsystem, and EXPERIMENTS.md
+// for the measured results (E11: the multi-writer round tax and contention
+// behavior).
 package robustatomic
 
 import (
@@ -74,6 +84,14 @@ type Options struct {
 	// Readers is R, the number of reader handles (each gets a dedicated
 	// write-back register). Default 2.
 	Readers int
+	// WriterID identifies this process's writer among the register's
+	// concurrent writers: it is embedded in every timestamp the process
+	// issues, breaking ties between writers that concurrently picked the
+	// same sequence number. Processes that may write concurrently to the
+	// same cluster MUST use distinct ids; 0 (the default) is writer w_0,
+	// which preserves the exact timestamps of the original single-writer
+	// deployments.
+	WriterID int
 	// Model selects the failure model. Default Unauthenticated.
 	Model Model
 	// Seed drives randomized delays and token generation.
@@ -229,37 +247,53 @@ func (c *Cluster) rounder(proc types.ProcID, reg int) proto.Rounder {
 	return tc
 }
 
-// Writer is the register's single writer handle.
+// Writer is one of the register's writer handles. Its identity is the
+// cluster's Options.WriterID; distinct concurrently-writing processes must
+// configure distinct ids. A single handle is single-goroutine, like every
+// client of the model.
 type Writer struct {
 	c      *Cluster
 	plain  *core.Writer
 	secret *secret.AtomicWriter
 }
 
-// Writer returns the writer handle (create it once; the register is
-// single-writer).
-func (c *Cluster) Writer() *Writer { return c.writerReg(0, 0) }
+// Writer returns this process's writer handle for the standalone register
+// (create it once per process; concurrent processes use distinct WriterIDs).
+func (c *Cluster) Writer() *Writer { return c.writerReg(0, types.TS{}) }
 
 // writerReg builds the writer handle for register instance reg, resuming
-// from a known last timestamp (0 for a fresh register).
-func (c *Cluster) writerReg(reg int, lastTS int64) *Writer {
-	rc := c.rounder(types.Writer, reg)
+// from a known last timestamp (zero for a fresh register).
+func (c *Cluster) writerReg(reg int, last types.TS) *Writer {
+	proc := types.WriterID(c.opts.WriterID)
+	wid := int64(c.opts.WriterID)
+	rc := c.rounder(proc, reg)
 	w := &Writer{c: c}
 	switch c.opts.Model {
 	case SecretTokens:
-		w.secret = secret.NewAtomicWriterAt(rc, c.th, c.handleRNG(types.Writer, reg), lastTS)
+		w.secret = secret.NewAtomicWriterAt(rc, c.th, c.handleRNG(proc, reg), wid, last)
 	default:
-		w.plain = core.NewWriterAt(rc, c.th, lastTS)
+		w.plain = core.NewWriterAt(rc, c.th, wid, last)
 	}
 	return w
 }
 
-// Write stores v (2 communication rounds).
+// Write stores v (3 communication rounds: timestamp discovery, then the
+// two write phases).
 func (w *Writer) Write(v string) error {
 	if w.plain != nil {
 		return w.plain.Write(types.Value(v))
 	}
 	return w.secret.Write(types.Value(v))
+}
+
+// modifyPair performs the certified read-modify-write the keyed Store layer
+// batches key mutations through (4 rounds: certified 2-round regular read +
+// 2-round write at the successor timestamp).
+func (w *Writer) modifyPair(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error) {
+	if w.plain != nil {
+		return w.plain.Modify(fn)
+	}
+	return w.secret.Modify(fn)
 }
 
 // Reader is one of the register's R reader handles.

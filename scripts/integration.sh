@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Integration drill for the durability + repair subsystem, against real
-# binaries and real processes (the in-process tests cannot kill -9):
+# Integration drill for the durability + repair + multi-writer subsystems,
+# against real binaries and real processes (the in-process tests cannot
+# kill -9):
 #
 #   1. build storaged/storctl, launch a 4-daemon cluster with data dirs
 #   2. storctl put/get + single-register write
@@ -8,7 +9,11 @@
 #      verify every key still reads back
 #   4. wipe a second daemon (machine replacement), restart it blank,
 #      storctl repair it from the live quorum, verify its state by probe
-#   5. kill a third daemon and verify reads still certify
+#   5. multi-writer drill: restart one daemon Byzantine (-chaos flaky with
+#      -chaos-drop), hammer ONE key from two concurrent storctl put
+#      processes with distinct -writer/-reader identities, then certify by
+#      quorum read that exactly one of the written values survived
+#   6. kill a third daemon and verify reads still certify
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,13 +31,14 @@ go build -o "$workdir/bin/" ./cmd/storaged ./cmd/storctl
 ports=(7101 7102 7103 7104)
 servers="127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103,127.0.0.1:7104"
 
-start_daemon() { # $1 = object id
+start_daemon() { # $1 = object id; remaining args pass through (e.g. -chaos)
   local id=$1
+  shift
   # Rotate the log: wait_serving greps for "serving", which must come from
   # THIS launch, not a previous lifetime's line.
   [ -f "$workdir/s$id.log" ] && mv "$workdir/s$id.log" "$workdir/s$id.log.prev"
   "$workdir/bin/storaged" -id "$id" -addr "127.0.0.1:${ports[$((id - 1))]}" \
-    -data-dir "$workdir/data/s$id" -fsync batch >"$workdir/s$id.log" 2>&1 &
+    -data-dir "$workdir/data/s$id" -fsync batch "$@" >"$workdir/s$id.log" 2>&1 &
   pids[$id]=$!
   disown "${pids[$id]}" # silence bash's job-control obituaries for kill -9
 }
@@ -85,6 +91,40 @@ probe=$(ctl probe 3)
 if grep -q "reg 0: pw=(0" <<<"$probe"; then
   echo "FAIL: repair left daemon 3 blank:"; echo "$probe"; exit 1
 fi
+
+echo "== multi-writer drill: concurrent puts to ONE key under -chaos-drop"
+# Daemon 1 turns Byzantine-flaky: it drops about half its replies. The
+# multi-writer protocol must still let two independent processes write
+# concurrently and certify the outcome (t=1 budget covers the flaky object).
+kill -9 "${pids[1]}"
+start_daemon 1 -chaos flaky -chaos-drop 0.5 -chaos-seed 42
+wait_serving 1
+mwkey="mw:contended"
+(for i in $(seq 1 6); do
+  ctl -writer 1 -reader 1 put "$mwkey" "A-$i" >/dev/null
+done) &
+wa=$!
+(for i in $(seq 1 6); do
+  ctl -writer 2 -reader 2 put "$mwkey" "B-$i" >/dev/null
+done) &
+wb=$!
+wait "$wa" "$wb"
+# The quorum read must certify one of the two final writes: every earlier
+# value of a writer is dominated by that writer's own later timestamps.
+out=$(ctl -reader 1 get "$mwkey")
+[[ "$out" == '"A-6"'* || "$out" == '"B-6"'* ]] || {
+  echo "FAIL: contended key => $out (want A-6 or B-6)"; exit 1
+}
+# Both identities observe the same certified value.
+out2=$(ctl -reader 2 get "$mwkey")
+[[ "${out2%% *}" == "${out%% *}" ]] || {
+  echo "FAIL: readers disagree after quiescence: $out vs $out2"; exit 1
+}
+
+echo "== restore daemon 1 to honest (budget back to t=1 for the next drill)"
+kill -9 "${pids[1]}"
+start_daemon 1
+wait_serving 1
 
 echo "== kill daemon 4: reads must still certify (budget restored by repair)"
 kill -9 "${pids[4]}"

@@ -5,25 +5,38 @@ import (
 	"sync"
 
 	"robustatomic/internal/shard"
+	"robustatomic/internal/types"
 )
 
 // StoreOptions configures the sharded multi-key Store layer.
 type StoreOptions struct {
 	// Shards is the number of independent atomic registers keys are hashed
-	// onto. More shards mean more write parallelism (each shard has its own
-	// single writer) and smaller per-shard tables. Default 8.
+	// onto. More shards mean more write parallelism and smaller per-shard
+	// tables. Default 8.
 	Shards int
+	// Readers lists the reader identities (1..Options.Readers) this Store's
+	// per-shard read pools may use. Default: all of them. Reader identities
+	// own their write-back registers exclusively, so separately Connected
+	// processes sharing shards must use DISJOINT sets here (writers need no
+	// such partitioning — the shard registers are multi-writer; only the
+	// per-reader write-back registers remain single-writer).
+	Readers []int
 }
 
-func (o *StoreOptions) defaults() {
+func (o *StoreOptions) defaults(total int) {
 	if o.Shards == 0 {
 		o.Shards = 8
+	}
+	if len(o.Readers) == 0 {
+		for i := 1; i <= total; i++ {
+			o.Readers = append(o.Readers, i)
+		}
 	}
 }
 
 // Store is a keyed Put/Get layer over N independent robust atomic registers
 // (the paper's cloud key-value scenario, Section 1.1): keys are hashed onto
-// shards, each shard is one SWMR atomic register hosted on the cluster's
+// shards, each shard is one MWMR atomic register hosted on the cluster's
 // S = 3t+1 Byzantine-prone objects, and a shard's register value holds the
 // shard's whole key→value table. Per-key atomicity is the projection of
 // per-register atomicity, so every guarantee of the underlying protocol
@@ -33,46 +46,74 @@ func (o *StoreOptions) defaults() {
 // creates its writer handle and reader pool and recovers the shard's
 // current contents and write timestamp from the cluster, so a Store attached
 // to a non-empty cluster (e.g. a fresh Connect to running daemons) resumes
-// where the previous owner stopped.
+// where previous writers stopped.
 //
-// Store is safe for concurrent use. Writes to the same shard coalesce on
-// the shard's single writer (the model is single-writer per register):
-// mutations that arrive while a register write is in flight merge into one
-// pending batch and commit together in the next 2-round write, so N
-// concurrent Puts to a shard cost far fewer than N protocol executions.
-// Concurrent reads of a shard are limited by its pool of Options.Readers
-// reader identities.
+// Store is safe for concurrent use, and — since the registers are
+// multi-writer — so is the cluster: separately Connected processes may Put
+// concurrently, provided each configured a distinct Options.WriterID.
+// Within one process, writes to the same shard coalesce (group commit):
+// mutations that arrive while a flush is in flight merge into one pending
+// batch and commit together in the next flush, so N concurrent Puts to a
+// shard cost far fewer than N protocol executions. A flush is a certified
+// read-modify-write of the shard register (4 rounds, amortized over the
+// batch): read the current table, detect and rebase onto any foreign
+// writer's newer table, apply the batch, write the merged table at the
+// successor timestamp.
+//
+// Cross-process concurrency is last-writer-wins at SHARD granularity:
+// registers cannot solve consensus, so two flushes that race on the same
+// shard resolve to the lexicographically larger timestamp, and the loser's
+// concurrent mutations of OTHER keys in that shard may be overwritten (its
+// callers see success only after a covering flush, so a lost race surfaces
+// as the next flush rebasing and re-asserting). Contending writes to the
+// SAME key are ordinary concurrent register writes: one of the written
+// values survives, atomically ordered — the guarantee the MWMR checker
+// verifies. Partition writers across shards (or keys across shards) when
+// cross-process write isolation matters.
 type Store struct {
 	c      *Cluster
+	opts   StoreOptions
 	router shard.Router
 	shards *shard.Lazy[*storeShard]
 }
 
-// storeShard is one shard's client-side state: the writer's authoritative
-// copy of the shard table (plus its incrementally-maintained sorted key
-// slice), the group-commit state, and the reader pool.
+// storeShard is one shard's client-side state. table/keys/lastTS mirror the
+// register state as of this process's last flush; they are committer-private
+// (exactly one committer runs at a time, and the lead-handoff channel
+// establishes happens-before between consecutive committers), so only next,
+// flushing and batch op collection need the mutex.
 type storeShard struct {
-	mu    sync.Mutex // guards table, keys, next, flushing
-	table map[string]string
-	keys  []string // table's keys, ascending; maintained incrementally
-	pool  *shard.Pool[*Reader]
+	mu       sync.Mutex   // guards next, flushing, and batch op appends
+	flushing bool         // a committer is running (its flush may be in flight)
+	next     *commitBatch // batch collecting mutations for the next flush; nil if none pending
 
-	// flush performs one register write of the encoded table. Only the
-	// current committer calls it, so the underlying single-writer handle is
-	// never used concurrently. Swappable in tests.
-	flush    func(encoded string) error
-	flushing bool         // a committer is running (its write may be in flight)
-	next     *commitBatch // batch collecting mutations for the next write; nil if none pending
+	pool *shard.Pool[*Reader]
+
+	// Committer-private state below.
+	table  map[string]string
+	keys   []string // table's keys, ascending; maintained incrementally
+	lastTS types.TS // register timestamp table mirrors (zero before any flush)
+	// uncommitted holds the ops of failed flushes: a timed-out flush may
+	// have reached some objects, so the ops re-apply in every later flush
+	// until one succeeds and re-asserts them at a higher timestamp — the
+	// value a reader may already have certified never silently vanishes.
+	uncommitted []func(*storeShard)
+
+	// modify performs one certified read-modify-write of the shard register.
+	// Only the current committer calls it, so the underlying writer handle
+	// is never used concurrently. Swappable in tests and benchmarks.
+	modify func(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error)
 }
 
-// commitBatch represents one group commit: the set of mutations applied to
-// the shard table since the previous write was snapshotted. Every mutator
-// whose change rides in the batch blocks on done; exactly one of them (or
-// the previous committer, via lead) performs the write.
+// commitBatch represents one group commit: the key mutations (in call order)
+// accumulated since the previous flush took over. Every mutator whose op
+// rides in the batch blocks on done; exactly one of them (or the previous
+// committer, via lead) performs the flush.
 type commitBatch struct {
-	done chan struct{} // closed when the covering register write completes
+	ops  []func(*storeShard)
+	done chan struct{} // closed when the covering flush completes
 	lead chan struct{} // capacity 1: the handoff token making its receiver the committer
-	err  error         // the covering write's result; valid after done is closed
+	err  error         // the covering flush's result; valid after done is closed
 }
 
 func newCommitBatch() *commitBatch {
@@ -81,12 +122,25 @@ func newCommitBatch() *commitBatch {
 
 // NewStore returns a keyed store over the cluster.
 func (c *Cluster) NewStore(opts StoreOptions) (*Store, error) {
-	opts.defaults()
+	opts.defaults(c.opts.Readers)
+	// Reader identities own their write-back registers exclusively, so a
+	// duplicated index would put two pool handles — two writers — on one
+	// single-writer register and corrupt its timestamp discipline.
+	seen := make(map[int]bool, len(opts.Readers))
+	for _, idx := range opts.Readers {
+		if idx < 1 || idx > c.opts.Readers {
+			return nil, fmt.Errorf("robustatomic: store reader index %d out of 1..%d", idx, c.opts.Readers)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("robustatomic: duplicate store reader index %d", idx)
+		}
+		seen[idx] = true
+	}
 	router, err := shard.NewRouter(opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("robustatomic: %w", err)
 	}
-	s := &Store{c: c, router: router}
+	s := &Store{c: c, opts: opts, router: router}
 	s.shards = shard.NewLazy(opts.Shards, s.buildShard)
 	return s, nil
 }
@@ -95,17 +149,17 @@ func (c *Cluster) NewStore(opts StoreOptions) (*Store, error) {
 // 0 is the legacy standalone register, so shard i lives on instance i+1.
 func (s *Store) buildShard(i int) (*storeShard, error) {
 	reg := i + 1
-	readers := make([]*Reader, s.c.opts.Readers)
-	for idx := 1; idx <= s.c.opts.Readers; idx++ {
+	readers := make([]*Reader, len(s.opts.Readers))
+	for j, idx := range s.opts.Readers {
 		r, err := s.c.readerReg(idx, reg)
 		if err != nil {
 			return nil, fmt.Errorf("robustatomic: shard %d: %w", i, err)
 		}
-		readers[idx-1] = r
+		readers[j] = r
 	}
 	// Recovery read: learn the shard's current table and the timestamp the
-	// writer must resume from, so a new Store over an existing cluster
-	// neither clobbers other keys in the shard nor reuses timestamps.
+	// writer must exceed, so a new Store over an existing cluster neither
+	// clobbers other keys in the shard nor reuses timestamps.
 	cur, err := readers[0].readPair()
 	if err != nil {
 		return nil, fmt.Errorf("robustatomic: shard %d recovery: %w", i, err)
@@ -116,10 +170,11 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 	}
 	w := s.c.writerReg(reg, cur.TS)
 	return &storeShard{
-		table: table,
-		keys:  shard.SortedKeys(table),
-		pool:  shard.NewPool(readers),
-		flush: w.Write,
+		table:  table,
+		keys:   shard.SortedKeys(table),
+		lastTS: cur.TS,
+		pool:   shard.NewPool(readers),
+		modify: w.modifyPair,
 	}, nil
 }
 
@@ -130,16 +185,16 @@ func (s *Store) Shards() int { return s.router.N() }
 func (s *Store) ShardOf(key string) int { return s.router.Locate(key) }
 
 // Put stores value under key. The mutation commits in the shard's next
-// 2-round register write, shared with any other mutations that coalesced
-// into the same batch; Put returns when that write completes. Keys are
-// single-writer: at most one process may put a given shard's keys at a
-// time, matching the model's single-writer registers.
+// flush, shared with any other of this process's mutations that coalesced
+// into the same batch; Put returns when that flush completes. Concurrent
+// Puts of the same key — from this or any other process with a distinct
+// WriterID — are concurrent register writes: one value survives, atomically.
 func (s *Store) Put(key, value string) error {
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return err
 	}
-	return sh.mutate(func() {
+	return sh.mutate(func(sh *storeShard) {
 		if _, ok := sh.table[key]; !ok {
 			sh.keys = shard.InsertSorted(sh.keys, key)
 		}
@@ -154,7 +209,7 @@ func (s *Store) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	return sh.mutate(func() {
+	return sh.mutate(func(sh *storeShard) {
 		if _, ok := sh.table[key]; ok {
 			sh.keys = shard.RemoveSorted(sh.keys, key)
 			delete(sh.table, key)
@@ -162,28 +217,22 @@ func (s *Store) Delete(key string) error {
 	})
 }
 
-// mutate applies one key mutation to the shard table and blocks until a
-// register write covering it completes (group commit). Mutations apply to
-// the table in call order under the shard lock, so a batch holding a Put
-// and a Delete of the same key resolves to whichever came last. The batch
-// linearizes its mutations at its single write, which is a write of the
-// merged table — per-key atomicity is preserved because each key's value
-// still changes only at register writes, in the order the calls applied.
-//
-// The table entry stays updated even if the write errors: a timed-out
-// write may have reached some objects, and the next successful write to
-// the shard re-asserts it at a higher timestamp (the failed mutation
-// linearizes there), rather than making it appear and then vanish.
-func (sh *storeShard) mutate(apply func()) error {
+// mutate queues one key mutation and blocks until a flush covering it
+// completes (group commit). Ops apply to the committer's table in call
+// order, so a batch holding a Put and a Delete of the same key resolves to
+// whichever came last. The batch linearizes its mutations at its single
+// register write — per-key atomicity is preserved because each key's value
+// still changes only at register writes, in the order the ops applied.
+func (sh *storeShard) mutate(op func(*storeShard)) error {
 	sh.mu.Lock()
-	apply()
 	b := sh.next
 	if b == nil {
 		b = newCommitBatch()
 		sh.next = b
 	}
+	b.ops = append(b.ops, op)
 	if sh.flushing {
-		// A committer is running. Wait for our batch's write — unless the
+		// A committer is running. Wait for our batch's flush — unless the
 		// committer hands this batch off, making us the next committer.
 		sh.mu.Unlock()
 		select {
@@ -193,17 +242,15 @@ func (sh *storeShard) mutate(apply func()) error {
 			sh.mu.Lock()
 		}
 	}
-	// Committer: write the current table snapshot; it covers batch b.
+	// Committer: flush batch b.
 	sh.flushing = true
 	sh.next = nil
-	encoded := shard.EncodeSorted(sh.keys, sh.table)
-	flush := sh.flush
 	sh.mu.Unlock()
-	b.err = flush(encoded)
+	b.err = sh.flush(b)
 	close(b.done)
-	// Hand off to a waiter of the batch that accumulated during our write,
-	// if any; it performs the next write (each caller flushes at most once,
-	// always for a batch containing its own mutation).
+	// Hand off to a waiter of the batch that accumulated during our flush,
+	// if any; it performs the next flush (each caller flushes at most once,
+	// always for a batch containing its own op).
 	sh.mu.Lock()
 	if sh.next != nil {
 		sh.next.lead <- struct{}{}
@@ -214,9 +261,44 @@ func (sh *storeShard) mutate(apply func()) error {
 	return b.err
 }
 
+// flush commits batch b with one certified read-modify-write of the shard
+// register. If the read shows a timestamp other than the one this process
+// last flushed, a foreign writer advanced the register: rebase on its table
+// (the certified read's decision is genuine and at least as fresh as the
+// last complete write, so unlike the raw discovery round nothing here trusts
+// an uncertified reply). Then apply any ops from earlier failed flushes,
+// then the batch, and write the result at the successor timestamp.
+func (sh *storeShard) flush(b *commitBatch) error {
+	p, err := sh.modify(func(cur types.Pair) (types.Value, error) {
+		if cur.TS != sh.lastTS {
+			t, err := shard.DecodeTable(string(cur.Val))
+			if err != nil {
+				// Unreachable against ≤ t Byzantine objects: the read only
+				// returns values certified as genuinely written.
+				return "", fmt.Errorf("robustatomic: shard register holds corrupt table: %w", err)
+			}
+			sh.table, sh.keys = t, shard.SortedKeys(t)
+		}
+		for _, op := range sh.uncommitted {
+			op(sh)
+		}
+		for _, op := range b.ops {
+			op(sh)
+		}
+		return types.Value(shard.EncodeSorted(sh.keys, sh.table)), nil
+	})
+	if err != nil {
+		sh.uncommitted = append(sh.uncommitted, b.ops...)
+		return err
+	}
+	sh.uncommitted = nil
+	sh.lastTS = p.TS
+	return nil
+}
+
 // Get returns the value under key (4 communication rounds on the key's
-// shard; 3 in the SecretTokens model without contention). Absent keys read
-// as the empty string, matching the register initial value ⊥.
+// shard). Absent keys read as the empty string, matching the register
+// initial value ⊥.
 func (s *Store) Get(key string) (string, error) {
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {

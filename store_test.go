@@ -208,6 +208,26 @@ func TestStorePerKeyAtomicity(t *testing.T) {
 	}
 }
 
+// TestStoreRejectsBadReaderSets pins reader-identity partitioning: a pool
+// may not duplicate an identity (two handles would write-race one
+// single-writer write-back register) nor claim one outside 1..R.
+func TestStoreRejectsBadReaderSets(t *testing.T) {
+	c, err := NewCluster(Options{Faults: 1, Readers: 2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NewStore(StoreOptions{Readers: []int{1, 1}}); err == nil {
+		t.Error("duplicate reader index accepted")
+	}
+	if _, err := c.NewStore(StoreOptions{Readers: []int{3}}); err == nil {
+		t.Error("out-of-range reader index accepted")
+	}
+	if _, err := c.NewStore(StoreOptions{Readers: []int{2}}); err != nil {
+		t.Errorf("valid reader subset rejected: %v", err)
+	}
+}
+
 // waitUntil polls cond until it holds or the deadline passes.
 func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Helper()
@@ -225,26 +245,23 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 // them in call order, and the whole batch commits as one register write.
 func TestStoreBatchAppliesPutDeleteInCallOrder(t *testing.T) {
 	for _, tc := range []struct {
-		name       string
-		first      func(st *Store) error
-		afterFirst func(v string, ok bool) bool
-		second     func(st *Store) error
-		want       string
-		present    bool
+		name    string
+		first   func(st *Store) error
+		second  func(st *Store) error
+		want    string
+		present bool
 	}{
 		{
-			name:       "put-then-delete",
-			first:      func(st *Store) error { return st.Put("k", "v1") },
-			afterFirst: func(v string, ok bool) bool { return ok && v == "v1" },
-			second:     func(st *Store) error { return st.Delete("k") },
-			want:       "", present: false,
+			name:   "put-then-delete",
+			first:  func(st *Store) error { return st.Put("k", "v1") },
+			second: func(st *Store) error { return st.Delete("k") },
+			want:   "", present: false,
 		},
 		{
-			name:       "delete-then-put",
-			first:      func(st *Store) error { return st.Delete("k") },
-			afterFirst: func(v string, ok bool) bool { return !ok },
-			second:     func(st *Store) error { return st.Put("k", "v2") },
-			want:       "v2", present: true,
+			name:   "delete-then-put",
+			first:  func(st *Store) error { return st.Delete("k") },
+			second: func(st *Store) error { return st.Put("k", "v2") },
+			want:   "v2", present: true,
 		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -265,28 +282,35 @@ func TestStoreBatchAppliesPutDeleteInCallOrder(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Instrument the shard's flush: record every committed table and
-			// hold the next write in flight while the test batch forms.
+			// hold the next register write in flight (between the flush's
+			// certified read and its write) while the test batch forms.
 			gate := make(chan struct{})
 			entered := make(chan struct{}, 1)
 			var mu sync.Mutex
 			var committed []map[string]string
 			hold := true
-			orig := sh.flush
-			sh.flush = func(enc string) error {
-				dec, err := shard.DecodeTable(enc)
-				if err != nil {
-					t.Errorf("committed table does not decode: %v", err)
-				}
-				mu.Lock()
-				committed = append(committed, dec)
-				block := hold
-				hold = false
-				mu.Unlock()
-				if block {
-					entered <- struct{}{}
-					<-gate
-				}
-				return orig(enc)
+			orig := sh.modify
+			sh.modify = func(fn func(types.Pair) (types.Value, error)) (types.Pair, error) {
+				return orig(func(cur types.Pair) (types.Value, error) {
+					v, err := fn(cur)
+					if err != nil {
+						return v, err
+					}
+					dec, derr := shard.DecodeTable(string(v))
+					if derr != nil {
+						t.Errorf("committed table does not decode: %v", derr)
+					}
+					mu.Lock()
+					committed = append(committed, dec)
+					block := hold
+					hold = false
+					mu.Unlock()
+					if block {
+						entered <- struct{}{}
+						<-gate
+					}
+					return v, nil
+				})
 			}
 
 			var wg sync.WaitGroup
@@ -302,18 +326,16 @@ func TestStoreBatchAppliesPutDeleteInCallOrder(t *testing.T) {
 			run(func(st *Store) error { return st.Put("blocker", "x") })
 			<-entered // the blocker's write is now in flight
 			run(tc.first)
-			waitUntil(t, "first mutation applied", func() bool {
+			waitUntil(t, "first mutation queued", func() bool {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
-				v, ok := sh.table["k"]
-				return tc.afterFirst(v, ok)
+				return sh.next != nil && len(sh.next.ops) == 1
 			})
 			run(tc.second)
-			waitUntil(t, "second mutation applied", func() bool {
+			waitUntil(t, "second mutation queued", func() bool {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
-				v, ok := sh.table["k"]
-				return ok == tc.present && v == tc.want
+				return sh.next != nil && len(sh.next.ops) == 2
 			})
 			close(gate)
 			wg.Wait()
