@@ -2,7 +2,7 @@ GO ?= go
 # bash + pipefail so piping through tee cannot mask a benchmark failure.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build vet test race bench bench-codec bench-persist bench-mwmr fuzz integration
+.PHONY: all build vet test race bench bench-diff bench-codec bench-persist bench-mwmr fuzz integration
 
 all: build vet test
 
@@ -20,10 +20,22 @@ race:
 
 # bench runs the hot-path experiment benchmarks (E7 live-runtime latency,
 # E9 sharded-Store throughput, E10 durability tax, E11 multi-writer
-# contention) the way CI records them; output feeds the benchmark
-# trajectory in EXPERIMENTS.md.
+# contention, E12 adaptive-round split) the way CI records them; output
+# feeds the benchmark trajectory in EXPERIMENTS.md.
 bench:
-	$(GO) test -run xxx -bench 'E7|E9|E10|E11' -benchmem -count=3 . | tee bench.txt
+	$(GO) test -run xxx -bench 'E7|E9|E10|E11|E12' -benchmem -count=3 . | tee bench.txt
+
+# bench-diff re-runs the guarded hot-path benchmarks and compares them
+# against the committed baseline (bench_baseline.txt): E7/E9/E12 ns/op
+# regressions beyond 20% fail, so the reclaimed multi-writer tax cannot
+# silently creep back. Refresh the baseline intentionally with
+# `make bench-baseline` after a deliberate trajectory change.
+bench-diff:
+	$(GO) test -run xxx -bench 'E7|E9|E12' -benchmem -count=3 -benchtime 3000x . | tee bench.txt
+	./scripts/benchdiff.sh bench_baseline.txt bench.txt
+
+bench-baseline:
+	$(GO) test -run xxx -bench 'E7|E9|E12' -benchmem -count=3 -benchtime 3000x . | tee bench_baseline.txt
 
 # bench-mwmr isolates the multi-writer contention experiment (E11).
 bench-mwmr:
@@ -35,6 +47,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTableCodec -fuzztime 30s ./internal/shard/
 	$(GO) test -fuzz FuzzDecodePair -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzSnapshotRestore -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzWireRequest -fuzztime 30s ./internal/wire/
 
 # bench-codec compares the legacy text shard-table codec against the binary
 # codec across table sizes.

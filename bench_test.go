@@ -14,8 +14,10 @@ import (
 	"robustatomic/internal/experiments"
 	"robustatomic/internal/lowerbound"
 	"robustatomic/internal/persist"
+	"robustatomic/internal/proto"
 	"robustatomic/internal/quorum"
 	"robustatomic/internal/recurrence"
+	"robustatomic/internal/regular"
 	"robustatomic/internal/tcpnet"
 	"robustatomic/internal/types"
 
@@ -148,8 +150,8 @@ func BenchmarkE6RetryVsOptimal(b *testing.B) {
 	}
 }
 
-// BenchmarkE7LiveWrite measures in-process write latency (2 rounds over
-// goroutine channels) across fault budgets.
+// BenchmarkE7LiveWrite measures in-process write latency (2 rounds on the
+// adaptive fast path — the uncontended case) across fault budgets.
 func BenchmarkE7LiveWrite(b *testing.B) {
 	for _, t := range []int{1, 2} {
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
@@ -336,6 +338,11 @@ func BenchmarkE9StorePutCoalesced(b *testing.B) {
 	sh.modify = func(fn func(types.Pair) (types.Value, error)) (types.Pair, error) {
 		atomic.AddInt64(&flushes, 1)
 		return orig(fn)
+	}
+	origClean := sh.writeClean
+	sh.writeClean = func(v types.Value) (types.Pair, bool, error) {
+		atomic.AddInt64(&flushes, 1)
+		return origClean(v)
 	}
 	var ctr int64
 	b.SetParallelism(8) // 8×GOMAXPROCS putters: contention even on small boxes
@@ -542,6 +549,156 @@ func BenchmarkE11MultiWriterContention(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkE12AdaptiveWrite quantifies the reclaimed multi-writer tax (the
+// E12 experiment): the same register written through the adaptive fast path
+// (2 rounds uncontended), through the unconditional PR 4 discovery flow
+// (3 rounds — DiscoverNext then the write phases, measured live as the
+// pre-adaptive baseline), and under forced contention (two writers, one
+// always lagging two foreign writes, so every second write pays the
+// 3-round fallback). The rounds/op metric makes the adaptivity visible
+// directly rather than through ns/op.
+func BenchmarkE12AdaptiveWrite(b *testing.B) {
+	newWriterCluster := func(b *testing.B, hook func(string)) (*Cluster, *Writer) {
+		c, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 12, RoundHook: hook})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		return c, c.Writer()
+	}
+	b.Run("fast-uncontended", func(b *testing.B) {
+		var rounds int64
+		_, w := newWriterCluster(b, func(string) { atomic.AddInt64(&rounds, 1) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Write(fmt.Sprintf("v%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(atomic.LoadInt64(&rounds))/float64(b.N), "rounds/op")
+	})
+	b.Run("discover-baseline", func(b *testing.B) {
+		// The PR 4 flow, run live: an explicit discovery round before every
+		// write — what every MWMR write cost before the fast path.
+		c, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		th, err := quorum.NewThresholds(4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := c.inproc.NewClientReg(types.Writer, 0)
+		rw := regular.NewWriterAt(rc, th, types.WriterReg, 0, types.TS{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next, err := corereg.DiscoverNext(rc, th, 0, rw.LastTS(), "WDISC")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rw.WritePair(types.Pair{TS: next, Val: types.Value(fmt.Sprintf("v%d", i))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(3, "rounds/op")
+	})
+	b.Run("contended-fallback", func(b *testing.B) {
+		// Writer 2 stays two writes ahead of writer 1's cache, so every
+		// writer-1 write conflicts and pays the 3-round fallback while
+		// writer 2 rides the fast path — the adaptive mix under sustained
+		// interference.
+		var rounds int64
+		hook := func(string) { atomic.AddInt64(&rounds, 1) }
+		c1, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 14, WriterID: 1, RoundHook: hook})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c1.Close()
+		w1 := c1.Writer()
+		th, err := quorum.NewThresholds(4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Writer 2 runs on the SAME in-process cluster via a direct client.
+		w2 := corereg.NewWriterAt(proto.Observe(c1.inproc.NewClientReg(types.WriterID(2), 0), hook), th, 2, types.TS{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w2.Write(types.Value(fmt.Sprintf("x%d", i))); err != nil {
+				b.Fatal(err)
+			}
+			if err := w2.Write(types.Value(fmt.Sprintf("y%d", i))); err != nil {
+				b.Fatal(err)
+			}
+			if err := w1.Write(fmt.Sprintf("v%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// rounds/op over the three writes of each iteration (2+2+3 when the
+		// adaptive mix behaves as designed).
+		b.ReportMetric(float64(atomic.LoadInt64(&rounds))/float64(3*b.N), "rounds/op")
+	})
+}
+
+// BenchmarkE12StoreFlush contrasts the Store's adaptive flush (3-round
+// validated write; 1-round no-op elision) against the certified 4-round
+// read-modify-write it replaced (PR 4's unconditional flush, still the
+// fallback path — measured by disabling the fast path).
+func BenchmarkE12StoreFlush(b *testing.B) {
+	newStore := func(b *testing.B, disableFast bool) *Store {
+		c, err := NewCluster(Options{Faults: 1, Readers: 1, Seed: 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		st, err := c.NewStore(StoreOptions{Shards: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Put("k", "warm"); err != nil {
+			b.Fatal(err)
+		}
+		if disableFast {
+			sh, err := st.shards.Get(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh.writeClean = nil
+		}
+		return st
+	}
+	b.Run("validated-fast", func(b *testing.B) {
+		st := newStore(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Put("k", fmt.Sprintf("v%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("certified-slow", func(b *testing.B) {
+		st := newStore(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Put("k", fmt.Sprintf("v%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("noop-elided", func(b *testing.B) {
+		st := newStore(b, false)
+		if err := st.Put("k", "same"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Put("k", "same"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimRegularRead profiles the decision procedure's fault-set

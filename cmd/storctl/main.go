@@ -98,7 +98,7 @@ func run(servers string, t, readers, readerIdx, writerID, shards int, args []str
 		if err := cluster.Writer().Write(args[1]); err != nil {
 			return err
 		}
-		fmt.Println("OK (3 rounds)")
+		fmt.Println("OK (2 rounds uncontended; fallback on interference)")
 		return nil
 	case "read":
 		r, err := cluster.Reader(readerIdx)

@@ -26,7 +26,7 @@ func main() {
 	if err := w.Write("hello, PODC 2011"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("write(\"hello, PODC 2011\") — 3 rounds (timestamp discovery + the 2 write phases)")
+	fmt.Println("write(\"hello, PODC 2011\") — 2 rounds (the adaptive fast path: uncontended writes pay no discovery)")
 
 	r1, err := cluster.Reader(1)
 	if err != nil {

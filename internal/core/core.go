@@ -6,14 +6,17 @@
 // regular → atomic transformation of [4, 20] referenced in the paper's
 // footnote 6, with multi-writer ABD-style (Seq, WriterID) timestamps.
 //
-// Writes are read-max-TS → write-back: one timestamp-discovery round
-// queries a quorum for the highest timestamp in circulation, then the
-// regular write's two rounds (PREWRITE, WRITE) install the value at the
-// successor timestamp tagged with this writer's id — 3 rounds, one more
-// than the paper's SWMR optimum of 2. That extra round is exactly the price
-// the single-writer model avoided: a lone writer knows the highest timestamp
-// (its own), concurrent writers must discover it. The lexicographic
-// (Seq, WriterID) order totally orders even timestamps picked concurrently.
+// Writes are ADAPTIVE (see fastpath.go): the writer optimistically proposes
+// the successor of its own cached timestamp directly in the PREWRITE round,
+// whose acknowledgements piggyback each object's prior timestamps; a quorum
+// reporting nothing at or above the proposal certifies it, and the WRITE
+// round completes the operation — 2 rounds, the paper's SWMR optimum,
+// whenever no foreign writer interfered. Interference falls back to
+// discovery (the failed prewrite's reports double as the discovery result:
+// 3 rounds, the unconditional cost before the fast path) or, against
+// Byzantine-inflated reports, to the certified read (5 rounds worst case).
+// The lexicographic (Seq, WriterID) order totally orders even timestamps
+// picked concurrently.
 //
 // Reads execute the regular reads of all registers in parallel by
 // multiplexing their two query rounds onto two physical rounds (a physical
@@ -37,6 +40,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -54,7 +58,13 @@ type Writer struct {
 	rounder proto.Rounder
 	th      quorum.Thresholds
 	wid     int64
-	ts      types.TS
+	pw      PairWriter
+
+	// FastWrites and FallbackWrites count Write calls that certified on the
+	// optimistic 2-round path vs. fell back (instrumentation; the round
+	// hook gives finer grain).
+	FastWrites     int
+	FallbackWrites int
 }
 
 // NewWriter returns writer 0's handle (the deployment's default writer).
@@ -65,7 +75,7 @@ func NewWriter(r proto.Rounder, th quorum.Thresholds) *Writer {
 // NewWriterAt returns the handle of writer wid resuming from a known last
 // timestamp (its own, or the highest foreign timestamp it observed).
 func NewWriterAt(r proto.Rounder, th quorum.Thresholds, wid int64, last types.TS) *Writer {
-	return &Writer{rounder: r, th: th, wid: wid, ts: last}
+	return &Writer{rounder: r, th: th, wid: wid, pw: regular.NewWriterAt(r, th, types.WriterReg, wid, last)}
 }
 
 // maxDiscoveryLead bounds how far past the writer's own knowledge an
@@ -87,6 +97,12 @@ const maxDiscoveryLead = 1 << 32
 // this quorum of 2t+1 (out of 3t+1), so the successor strictly dominates
 // every write that completed before the discovery began — which is what
 // atomicity property (2) needs from write ordering.
+//
+// Since the adaptive fast path (fastpath.go) the hot write flow no longer
+// runs a separate discovery round — a failed optimistic prewrite's
+// validation reports carry the same information. DiscoverNext remains the
+// reference implementation of the unconditional PR 4 flow (and the E12
+// benchmark's always-discover baseline).
 //
 // The replies are uncertified, so a Byzantine object can inflate the
 // discovered sequence number. Unchecked, one forged near-MaxInt64 reply
@@ -138,64 +154,70 @@ func CertifiedNext(r proto.Rounder, th quorum.Thresholds, wid int64, own types.T
 	return cur, types.MaxTS(cur.TS, own).Next(wid), nil
 }
 
-// WriteDiscovered runs the full multi-writer write flow — bottom check,
-// timestamp discovery (with the certified anti-inflation fallback), write
-// at the successor — over any pair-writer: the plain regular writer here,
-// the secret model's token-carrying one in internal/secret. One copy of
-// the flow keeps the two models from diverging.
-func WriteDiscovered(r proto.Rounder, th quorum.Thresholds, wid int64, own types.TS, label string, v types.Value, writePair func(types.Pair) error) error {
-	if v.IsBottom() {
-		return fmt.Errorf("core: cannot write the reserved initial value ⊥")
-	}
-	next, err := DiscoverNext(r, th, wid, own, label)
-	if err != nil {
-		return err
-	}
-	return writePair(types.Pair{TS: next, Val: v})
-}
-
 // ModifyCertified runs the certified read-modify-write flow over any
 // pair-writer: certified discovery, fn mapping the current pair to the
-// value to install, write at the successor.
-func ModifyCertified(r proto.Rounder, th quorum.Thresholds, wid int64, own types.TS, fn func(cur types.Pair) (types.Value, error), writePair func(types.Pair) error) (types.Pair, error) {
-	cur, next, err := CertifiedNext(r, th, wid, own)
+// value to install, write at the successor. A fn returning SkipWrite elides
+// the write phases and yields the (certified) current pair unchanged. The
+// successor is based on the writer's IssuedTS, so a pair abandoned by an
+// earlier failed attempt is never re-issued with a different value.
+func ModifyCertified(r proto.Rounder, th quorum.Thresholds, wid int64, fn func(cur types.Pair) (types.Value, error), pw PairWriter) (types.Pair, error) {
+	cur, next, err := CertifiedNext(r, th, wid, pw.IssuedTS())
 	if err != nil {
 		return types.Pair{}, err
 	}
 	v, err := fn(cur)
+	if errors.Is(err, SkipWrite) {
+		return cur, nil
+	}
 	if err != nil {
 		return types.Pair{}, err
 	}
+	if next.Seq <= 0 {
+		return types.Pair{}, fmt.Errorf("core: register sequence space exhausted")
+	}
 	p := types.Pair{TS: next, Val: v}
-	if err := writePair(p); err != nil {
+	if err := pw.WritePair(p); err != nil {
 		return types.Pair{}, err
 	}
 	return p, nil
 }
 
-// Write stores v: one timestamp-discovery round on the shared register,
-// then the regular write's two rounds at the discovered successor
-// timestamp. 3 rounds total.
+// Write stores v adaptively (see fastpath.go): 2 rounds when the optimistic
+// proposal certifies — the uncontended case, and the paper's SWMR optimum —
+// falling back to discovery or the certified read under interference.
 func (w *Writer) Write(v types.Value) error {
-	return WriteDiscovered(w.rounder, w.th, w.wid, w.ts, "WDISC", v, w.writePair)
+	fast, err := WriteAdaptive(w.rounder, w.th, w.wid, v, w.pw)
+	if err == nil {
+		if fast {
+			w.FastWrites++
+		} else {
+			w.FallbackWrites++
+		}
+	}
+	return err
 }
 
-// writePair installs p via the regular write's two rounds.
-func (w *Writer) writePair(p types.Pair) error {
-	rw := regular.NewWriterAt(w.rounder, w.th, types.WriterReg, w.wid, w.ts)
-	if err := rw.WritePair(p); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	w.ts = rw.LastTS()
-	return nil
+// WriteClean attempts the validate-then-write flush fast path of
+// WriteIfClean: one freshness round, then install v at the cached successor
+// — 3 rounds, no decision procedure. The keyed Store's flush runs on it.
+func (w *Writer) WriteClean(v types.Value) (types.Pair, bool, error) {
+	return WriteIfClean(w.rounder, w.th, w.wid, v, w.pw)
+}
+
+// Validate runs the one-round freshness check of ValidateClean: true means
+// a quorum confirmed the writer's LastTS is still the register's current
+// timestamp (the no-write flush).
+func (w *Writer) Validate() (bool, error) {
+	return ValidateClean(w.rounder, w.th, w.pw)
 }
 
 // Modify performs a certified read-modify-write: a regular read of the
 // shared register (2 rounds, certified by the decision procedure, so unlike
-// Write's discovery round not even the timestamp can be Byzantine-inflated),
-// then fn maps the current pair to the value to install, which the regular
-// write's two rounds store at the successor timestamp. 4 rounds total; the
-// keyed Store layer batches many key mutations into one Modify.
+// the optimistic validation not even the timestamp can be
+// Byzantine-inflated), then fn maps the current pair to the value to
+// install, which the regular write's two rounds store at the successor
+// timestamp. 4 rounds total; the keyed Store layer rebases onto foreign
+// tables through Modify when the flush fast path detects interference.
 //
 // Modify is NOT an atomic read-modify-write across writers — registers
 // cannot solve consensus, so two concurrent Modifys may read the same pair
@@ -204,11 +226,11 @@ func (w *Writer) writePair(p types.Pair) error {
 // the last complete write, which gives last-writer-wins semantics with no
 // lost update unless the writes genuinely race.
 func (w *Writer) Modify(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error) {
-	return ModifyCertified(w.rounder, w.th, w.wid, w.ts, fn, w.writePair)
+	return ModifyCertified(w.rounder, w.th, w.wid, fn, w.pw)
 }
 
 // LastTS returns the timestamp of the last completed write.
-func (w *Writer) LastTS() types.TS { return w.ts }
+func (w *Writer) LastTS() types.TS { return w.pw.LastTS() }
 
 // Reader is one of the R readers of the atomic register.
 type Reader struct {

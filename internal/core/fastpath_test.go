@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/server"
+	"robustatomic/internal/sim"
+	"robustatomic/internal/types"
+)
+
+// TestUncontendedWritesAreTwoRounds pins the adaptive fast path's headline:
+// EVERY write of an uncontended writer — not just the first — runs in
+// exactly 2 rounds, the paper's SWMR optimum.
+func TestUncontendedWritesAreTwoRounds(t *testing.T) {
+	for _, tt := range []int{1, 2} {
+		t.Run(fmt.Sprintf("t=%d", tt), func(t *testing.T) {
+			S := 3*tt + 1
+			thr := th(t, S, tt)
+			cl := newCluster(thr, 2)
+			s := sim.New(sim.Config{Servers: S})
+			defer s.Close()
+			for i := 1; i <= 5; i++ {
+				v := types.Value(fmt.Sprintf("v%d", i))
+				w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, v, cl.writeOp(v))
+				mustRun(t, s, w)
+				if w.Rounds() != 2 {
+					t.Fatalf("uncontended write %d took %d rounds, want 2", i, w.Rounds())
+				}
+			}
+		})
+	}
+}
+
+// TestForeignWriterForcesBoundedFallback exercises the fast-path/fallback
+// boundary under genuine write contention. Two properties are pinned:
+//
+//  1. Sequential ALTERNATION stays on the 2-round fast path: each writer's
+//     proposal (one past its own last sequence number) lexicographically
+//     dominates the single foreign write it observes in the validation
+//     reports, so the optimistic write certifies even though a foreign
+//     head moved — interference costs extra rounds only when the proposal
+//     cannot dominate it.
+//  2. A writer that fell ≥ 2 foreign writes behind genuinely conflicts
+//     (its proposal's sequence number no longer dominates the head); the
+//     fallback costs exactly 3 rounds — the failed-validation prewrite
+//     doubles as the discovery round, the pre-adaptive constant — and one
+//     fallback heals the cache: the next write is 2 rounds again.
+//
+// The multi-writer checker verifies the full history.
+func TestForeignWriterForcesBoundedFallback(t *testing.T) {
+	thr := th(t, 4, 1)
+	h := &checker.History{}
+	s := sim.New(sim.Config{Servers: 4, History: h})
+	defer s.Close()
+	tss := map[int64]types.TS{}
+	writeAs := func(wid int64, v types.Value) *sim.Op {
+		return s.Spawn(fmt.Sprintf("w%d-%s", wid, v), types.WriterID(int(wid)), checker.OpWrite, v,
+			func(c *sim.Client) (types.Value, error) {
+				w := NewWriterAt(c, thr, wid, tss[wid])
+				if err := w.Write(v); err != nil {
+					return types.Bottom, err
+				}
+				tss[wid] = w.LastTS()
+				return types.Bottom, nil
+			})
+	}
+	mustRounds := func(op *sim.Op, want int, what string) {
+		t.Helper()
+		mustRun(t, s, op)
+		if op.Rounds() != want {
+			t.Fatalf("%s took %d rounds, want %d", what, op.Rounds(), want)
+		}
+	}
+	// Property 1: strict alternation, every write 2 rounds.
+	mustRounds(writeAs(1, "a"), 2, "opening write")
+	mustRounds(writeAs(2, "b"), 2, "alternating write b (foreign head, dominated)")
+	mustRounds(writeAs(1, "c"), 2, "alternating write c")
+	mustRounds(writeAs(2, "d"), 2, "alternating write d")
+	// Property 2: writer 2 runs ahead by two writes; writer 1's proposal
+	// can no longer dominate the head → 3-round fallback, then healed.
+	mustRounds(writeAs(2, "e"), 2, "run-ahead write e")
+	mustRounds(writeAs(1, "f"), 3, "lagging write f (validation conflict → discovery fallback)")
+	mustRounds(writeAs(1, "g"), 2, "post-fallback write g (cache healed)")
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, func(c *sim.Client) (types.Value, error) {
+		return NewReader(c, thr, 1, 1).Read()
+	})
+	if v := mustRun(t, s, rd); v != "g" {
+		t.Fatalf("read = %q, want g", v)
+	}
+	if err := checker.CheckAtomicMW(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosObjectForcesCertifiedFallbackBounded reuses the behavior.go
+// fault injectors: a Garbage object poisons every validation piggyback with
+// a near-MaxInt64 timestamp, forcing the certified fallback on every write.
+// The cost is bounded — 5 rounds: failed prewrite, the 2-round certified
+// read, then the 2 write phases — and atomicity is untouched.
+func TestChaosObjectForcesCertifiedFallbackBounded(t *testing.T) {
+	thr := th(t, 4, 1)
+	h := &checker.History{}
+	s := sim.New(sim.Config{Servers: 4, History: h})
+	defer s.Close()
+	cl := newCluster(thr, 2)
+	mustRun(t, s, s.Spawn("w0", types.Writer, checker.OpWrite, "a", cl.writeOp("a")))
+	s.SetByzantine(1, server.Garbage{Level: math.MaxInt64 - 7, Val: "forged"})
+	for i := 1; i <= 3; i++ {
+		v := types.Value(fmt.Sprintf("v%d", i))
+		w := s.Spawn(fmt.Sprintf("w%d", i), types.Writer, checker.OpWrite, v, cl.writeOp(v))
+		mustRun(t, s, w)
+		if w.Rounds() > 5 {
+			t.Fatalf("write %d under seq-inflation chaos took %d rounds, want ≤ 5", i, w.Rounds())
+		}
+	}
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+	if v := mustRun(t, s, rd); v != "v3" {
+		t.Fatalf("read = %q, want v3", v)
+	}
+	if err := checker.CheckAtomic(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEquivocatorCannotBreakFastPath: an equivocating object (honest to the
+// writer, stale to readers) leaves the fast path intact — the writer's own
+// quorum certifies — while reads stay atomic through the decision
+// procedure.
+func TestEquivocatorCannotBreakFastPath(t *testing.T) {
+	thr := th(t, 4, 1)
+	h := &checker.History{}
+	s := sim.New(sim.Config{Servers: 4, History: h})
+	defer s.Close()
+	cl := newCluster(thr, 2)
+	mustRun(t, s, s.Spawn("w0", types.Writer, checker.OpWrite, "a", cl.writeOp("a")))
+	s.SetByzantine(1, server.Equivocate{Readers: &server.Stale{Snap: s.Snapshot(1)}})
+	w := s.Spawn("w1", types.Writer, checker.OpWrite, "b", cl.writeOp("b"))
+	mustRun(t, s, w)
+	if w.Rounds() != 2 {
+		t.Fatalf("write under reader-side equivocation took %d rounds, want 2", w.Rounds())
+	}
+	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, cl.readOp(1))
+	if v := mustRun(t, s, rd); v != "b" {
+		t.Fatalf("read = %q, want b", v)
+	}
+	if err := checker.CheckAtomic(h); err != nil {
+		t.Fatal(err)
+	}
+}

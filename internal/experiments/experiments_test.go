@@ -17,10 +17,12 @@ func TestRecurrenceTable(t *testing.T) {
 }
 
 func TestMeasureComplexityMatchesPaper(t *testing.T) {
-	// The E4 table must reproduce the paper's claimed round counts, with
-	// the repository's one deliberate divergence: the atomic registers are
-	// multi-writer, so their writes pay the timestamp-discovery round on top
-	// of the paper's SWMR-optimal 2 (reads are unchanged).
+	// The E4 table must reproduce the paper's claimed round counts. The
+	// repository's atomic registers are multi-writer, but the adaptive
+	// write path recovers the SWMR-optimal 2 rounds whenever the optimistic
+	// proposal certifies — which it does in every scenario measured here,
+	// since E4's writes run before the Byzantine injection (the fallback
+	// costs are pinned by the round-count tests in internal/core).
 	for _, tt := range []int{1, 2} {
 		rows, err := MeasureComplexity(tt)
 		if err != nil {
@@ -29,8 +31,8 @@ func TestMeasureComplexityMatchesPaper(t *testing.T) {
 		want := map[string][2]int{
 			"ABD [3]":                   {1, 2},
 			"regular (GV06-style [15])": {2, 2},
-			"atomic = regular + transformation (this paper §5)": {3, 4},
-			"atomic, secret tokens ([8] model)":                 {3, 3},
+			"atomic = regular + transformation (this paper §5)": {2, 4},
+			"atomic, secret tokens ([8] model)":                 {2, 3},
 		}
 		for _, r := range rows {
 			w, ok := want[r.Name]

@@ -91,6 +91,20 @@ func (sp *serverProc) storeFor(reg int) *server.Store {
 	return st
 }
 
+// process runs one request against the object under its mutex — the
+// object's "receive one message, reply before receiving any other" step,
+// shared by the event loop (delay-injection path) and the inline fast path.
+func (sp *serverProc) process(from types.ProcID, reg int, msg types.Message) (types.Message, bool) {
+	sp.mu.Lock()
+	behavior := server.Behavior(server.Honest{})
+	if sp.byz && sp.behavior != nil {
+		behavior = sp.behavior
+	}
+	rep, ok := behavior.Reply(sp.storeFor(reg), from, msg)
+	sp.mu.Unlock()
+	return rep, ok
+}
+
 // New starts a cluster of correct, empty storage objects.
 func New(cfg Config) *Cluster {
 	if cfg.Servers <= 0 {
@@ -177,12 +191,12 @@ func (c *Cluster) sleep(d time.Duration) bool {
 	}
 }
 
-// serve is one object's event loop: process each request (objects reply to a
-// message before receiving any other) and send the reply after a random
-// delay. With no asynchrony injection (MaxDelay == 0, the production and
-// benchmark configuration) the reply is sent inline — no goroutine per
-// message; the delayed path keeps the goroutine so injected asynchrony can
-// reorder replies.
+// serve is one object's event loop — the DELAY-INJECTION path only: with
+// MaxDelay == 0 rounds run inline on the client's goroutine (see
+// Client.roundInline) and nothing ever enqueues here. Each request is
+// processed in receipt order (objects reply to a message before receiving
+// any other) and its reply sent after a random delay from a goroutine, so
+// injected asynchrony can reorder replies.
 func (c *Cluster) serve(sp *serverProc) {
 	defer c.wg.Done()
 	for {
@@ -190,31 +204,12 @@ func (c *Cluster) serve(sp *serverProc) {
 		case <-c.ctx.Done():
 			return
 		case req := <-sp.reqCh:
-			sp.mu.Lock()
-			behavior := server.Behavior(server.Honest{})
-			if sp.byz && sp.behavior != nil {
-				behavior = sp.behavior
-			}
-			rep, ok := behavior.Reply(sp.storeFor(req.reg), req.from, req.msg)
-			sp.mu.Unlock()
+			rep, ok := sp.process(req.from, req.reg, req.msg)
 			if !ok {
 				continue
 			}
 			rep.Seq = req.msg.Seq
-			r := reply{sid: sp.id, msg: rep}
-			if c.cfg.MaxDelay <= 0 {
-				select {
-				case req.replyTo <- r:
-				default:
-					// The client's buffer is momentarily full (it stopped
-					// draining after its round terminated). Fall back to a
-					// goroutine rather than stall this object's event loop
-					// or drop the reply.
-					c.deliver(r, req.replyTo, 0)
-				}
-				continue
-			}
-			c.deliver(r, req.replyTo, c.delay())
+			c.deliver(reply{sid: sp.id, msg: rep}, req.replyTo, c.delay())
 		}
 	}
 }
@@ -247,8 +242,12 @@ type Client struct {
 	// the current round by Seq and stale deposits are drained at round
 	// start.
 	replyCh chan reply
-	// timer is the round deadline timer, reset per round (stopped and
-	// drained between uses).
+	// timer is the round deadline timer. It free-runs: armed once, never
+	// stopped between rounds, re-armed only when it fires — a fire checks
+	// the CURRENT round's elapsed time and either reports the stuck round
+	// or re-arms for the remainder. Steady-state rounds therefore never
+	// touch the timer heap (per-round Reset/Stop showed up in the E9
+	// profile on par with real protocol work).
 	timer *time.Timer
 	// Rounds counts completed communication rounds (instrumentation).
 	Rounds int
@@ -274,13 +273,19 @@ func (cl *Client) NumServers() int { return cl.c.NumServers() }
 
 // Round implements proto.Rounder: send to all objects, integrate replies
 // until the accumulator is satisfied. With no asynchrony injection
-// (MaxDelay == 0) requests are sent inline on the caller's goroutine and no
-// per-round channel is allocated — the whole round runs without spawning a
-// single goroutine; with MaxDelay > 0 each send goes through a goroutine
-// that sleeps the injected delay first.
+// (MaxDelay == 0, the production and benchmark configuration) the whole
+// round runs INLINE on the caller's goroutine: each object's automaton is
+// invoked directly under its mutex and the reply feeds the accumulator on
+// the spot — no goroutines, no channel hops, no timer (the per-message
+// channel machinery dominated the E9 hot-path profile). With MaxDelay > 0
+// each send goes through a goroutine that sleeps the injected delay first
+// and replies flow back through the client's reply channel.
 func (cl *Client) Round(spec proto.RoundSpec) error {
 	cl.seq++
 	seq := cl.seq
+	if cl.c.cfg.MaxDelay <= 0 {
+		return cl.roundInline(spec, seq)
+	}
 	// Anything buffered now is a stale reply to an earlier round: drain it
 	// so the channel has room for this round's replies.
 	for {
@@ -291,18 +296,9 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 		}
 		break
 	}
-	fast := cl.c.cfg.MaxDelay <= 0
 	for sid := 1; sid <= cl.c.NumServers(); sid++ {
 		msg := spec.Req(sid)
 		msg.Seq = seq
-		if fast {
-			select {
-			case cl.c.server(sid).reqCh <- request{from: cl.proc, reg: cl.reg, msg: msg, replyTo: cl.replyCh}:
-			case <-cl.c.ctx.Done():
-				return ErrClosed
-			}
-			continue
-		}
 		d := cl.c.delay()
 		cl.c.wg.Add(1)
 		go func(sid int, msg types.Message) {
@@ -316,23 +312,73 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 			}
 		}(sid, msg)
 	}
-	if cl.timer == nil {
-		cl.timer = time.NewTimer(cl.c.cfg.RoundTimeout)
-	} else {
-		cl.timer.Reset(cl.c.cfg.RoundTimeout)
+	return cl.roundAsync(spec, seq)
+}
+
+// roundInline is the MaxDelay == 0 round: deliver the request to every
+// object inline (objects still process one message at a time — the mutex —
+// and EVERY object receives the request, so state evolves exactly as with
+// asynchronous full delivery), integrating each reply immediately. If the
+// accumulator is unsatisfied once every reply is in, no later delivery can
+// ever satisfy it — the wait-freedom violation surfaces at once instead of
+// burning the round timeout.
+func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
+	if cl.c.ctx.Err() != nil {
+		return ErrClosed
 	}
-	fired := false
-	defer func() {
-		// The timer must be quiescent before the next round's Reset. If Stop
-		// fails and this round did not consume the expiry, the send into
-		// timer.C is concurrent (pre-go1.23 semantics): wait for it — a
-		// non-blocking drain could miss it and poison the next round.
-		if !cl.timer.Stop() && !fired {
-			<-cl.timer.C
+	for sid := 1; sid <= cl.c.NumServers(); sid++ {
+		msg := spec.Req(sid)
+		msg.Seq = seq
+		rep, ok := cl.c.server(sid).process(cl.proc, cl.reg, msg)
+		if !ok {
+			continue // withheld reply: the client sees silence
 		}
-	}()
+		rep.Seq = seq
+		spec.Acc.Add(sid, rep)
+	}
+	if !spec.Acc.Done() {
+		return fmt.Errorf("%w: %s (all correct replies delivered inline)", ErrRoundStuck, spec.Label)
+	}
+	cl.Rounds++
+	return nil
+}
+
+// roundAsync integrates replies arriving through the reply channel (the
+// delay-injection path).
+func (cl *Client) roundAsync(spec proto.RoundSpec, seq int) error {
 	received := 0
+	var start time.Time // zero until the round first blocks
 	for {
+		// Greedy drain: replies already buffered (inline fast-path servers
+		// answer ahead of the client's select) are integrated without the
+		// 3-way select.
+		for {
+			var rep reply
+			select {
+			case rep = <-cl.replyCh:
+			default:
+				goto blocked
+			}
+			if rep.msg.Seq != seq {
+				continue // late reply from an earlier round: received, ignored
+			}
+			received++
+			spec.Acc.Add(rep.sid, rep.msg)
+			if spec.Acc.Done() {
+				cl.Rounds++
+				return nil
+			}
+		}
+	blocked:
+		if start.IsZero() {
+			start = time.Now()
+			if cl.timer == nil {
+				cl.timer = time.NewTimer(cl.c.cfg.RoundTimeout)
+			}
+			// Otherwise the free-running timer from an earlier round keeps
+			// ticking; a spurious fire below re-arms it against this
+			// round's own deadline.
+		}
 		select {
 		case rep := <-cl.replyCh:
 			if rep.msg.Seq != seq {
@@ -347,7 +393,14 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 		case <-cl.c.ctx.Done():
 			return ErrClosed
 		case <-cl.timer.C:
-			fired = true
+			// The timer free-runs across rounds, so a fire may belong to a
+			// deadline armed long ago: judge the CURRENT round by its own
+			// elapsed time, and re-arm for the remainder if it has some.
+			if left := cl.c.cfg.RoundTimeout - time.Since(start); left > 0 {
+				cl.timer.Reset(left)
+				continue
+			}
+			cl.timer.Reset(cl.c.cfg.RoundTimeout)
 			return fmt.Errorf("%w: %s after %v (%d replies)", ErrRoundStuck, spec.Label, cl.c.cfg.RoundTimeout, received)
 		}
 	}

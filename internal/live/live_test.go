@@ -175,8 +175,8 @@ func TestLiveRoundCounting(t *testing.T) {
 	if err := w.Write("a"); err != nil {
 		t.Fatal(err)
 	}
-	if wcl.Rounds != 3 {
-		t.Errorf("atomic write rounds = %d, want 3 (discovery + 2 write phases)", wcl.Rounds)
+	if wcl.Rounds != 2 {
+		t.Errorf("atomic write rounds = %d, want 2 (uncontended adaptive fast path)", wcl.Rounds)
 	}
 	rcl := c.NewClient(types.Reader(1))
 	rd := core.NewReader(rcl, thr, 1, 2)

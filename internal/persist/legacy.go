@@ -72,13 +72,15 @@ func (r legacyRequest) request() wire.Request {
 }
 
 // isLegacyStream probes whether a WAL payload stream is a PR 3-era gob
-// stream: the current decoder rejects its very first record (every logged
-// record is a mutating request carrying a non-zero scalar timestamp, so the
-// type mismatch always surfaces immediately), while the legacy mirror
-// decodes it. A stream that fails both probes is corruption, handled by the
-// caller's usual tear semantics.
+// stream: the current gob WAL decoder rejects its very first record (every
+// logged record is a mutating request carrying a non-zero scalar timestamp,
+// so the type mismatch always surfaces immediately), while the legacy
+// mirror decodes it. A stream that fails both probes is corruption, handled
+// by the caller's usual tear semantics. (The LIVE wire format moved on to a
+// binary codec; the WAL deliberately stays on gob so every existing data
+// directory remains current — see wire.GobEncoder.)
 func isLegacyStream(stream []byte) bool {
-	if _, err := wire.NewDecoder(bytes.NewReader(stream)).DecodeRequest(); err == nil {
+	if _, err := wire.NewGobDecoder(bytes.NewReader(stream)).DecodeRequest(); err == nil {
 		return false
 	}
 	var lr legacyRequest

@@ -145,13 +145,13 @@ type Engine struct {
 	gen       uint64
 	f         *os.File
 	buf       bytes.Buffer
-	enc       *wire.Encoder
+	enc       *wire.GobEncoder
 	frame     []byte // reusable frame build buffer
 	walSize   int64
 	records   int64
 	recovered bool
 	closed    bool
-	failed    error // latched after a WAL write/fsync failure: all appends refuse
+	failed    error      // latched after a WAL write/fsync failure: all appends refuse
 	pending   *syncBatch // FsyncAlways: batch collecting appends for the next fsync
 	syncing   bool       // FsyncAlways: a group-commit leader is running
 	dirty     bool       // FsyncBatch: bytes written since the last background sync
@@ -258,7 +258,7 @@ func Open(dir string, o Options) (*Engine, error) {
 		return nil, fmt.Errorf("persist: create wal: %w", err)
 	}
 	e.f = f
-	e.enc = wire.NewEncoder(&e.buf)
+	e.enc = wire.NewGobEncoder(&e.buf)
 	if e.mode == FsyncBatch {
 		go e.syncLoop()
 	} else {
@@ -328,7 +328,7 @@ func replayWAL(path string, tolerateTear bool, apply func(wire.Request) error) (
 	}
 	var dec interface {
 		DecodeRequest() (wire.Request, error)
-	} = wire.NewDecoder(bytes.NewReader(stream))
+	} = wire.NewGobDecoder(bytes.NewReader(stream))
 	if len(ends) > 0 && isLegacyStream(stream) {
 		dec = newLegacyDecoder(stream)
 	}
@@ -530,7 +530,7 @@ func (e *Engine) Rotate() (uint64, error) {
 	e.walSize = 0
 	e.dirty = false
 	e.buf.Reset()
-	e.enc = wire.NewEncoder(&e.buf) // each generation is its own gob stream
+	e.enc = wire.NewGobEncoder(&e.buf) // each generation is its own gob stream
 	return e.gen, nil
 }
 

@@ -14,6 +14,30 @@ func PreWriteSpec(th quorum.Thresholds, reg types.RegID, p types.Pair, tok types
 	return writeSpec(th, "PREWRITE", types.MsgPreWrite, reg, p, tok)
 }
 
+// PreWriteValidatedSpec builds the PREWRITE round with the validation
+// accumulator (a proto.BitAcc over the acks): same request as PreWriteSpec,
+// but the replies' prior-state piggybacks — each object's pre-prewrite
+// (pw, w) timestamps, values stripped — are folded into the accumulator's
+// MaxTS, the optimistic write's certification input. The reports are
+// uncertified: a Byzantine acknowledger can inflate the maximum (forcing
+// the caller's fallback, bounded like discovery inflation) or underreport
+// it (harmless — any write that COMPLETED before this round began reached
+// a correct member of this quorum, whose honest report carries it).
+func PreWriteValidatedSpec(th quorum.Thresholds, reg types.RegID, p types.Pair, tok types.Token) (proto.RoundSpec, *proto.BitAcc) {
+	acc := proto.NewAckBits(th.Quorum())
+	msg := types.Message{Kind: types.MsgPreWrite, Pair: p, Token: tok}
+	spec := proto.RoundSpec{
+		Label: "PREWRITE",
+		Req:   func(int) types.Message { return msg },
+		Acc:   proto.Accumulator(acc),
+	}
+	if reg != types.WriterReg {
+		spec.Req = muxWrap(reg, msg)
+		spec.Acc = &muxUnwrapAcc{reg: reg, inner: acc}
+	}
+	return spec, acc
+}
+
 // WriteSpec builds the writer's second round: store the pair in w.
 func WriteSpec(th quorum.Thresholds, reg types.RegID, p types.Pair, tok types.Token) proto.RoundSpec {
 	return writeSpec(th, "WRITE", types.MsgWrite, reg, p, tok)
@@ -24,7 +48,7 @@ func writeSpec(th quorum.Thresholds, label string, kind types.MsgKind, reg types
 	spec := proto.RoundSpec{
 		Label: label,
 		Req:   func(int) types.Message { return msg },
-		Acc:   proto.AckAcc(th.Quorum()),
+		Acc:   proto.NewAckBits(th.Quorum()),
 	}
 	if reg != types.WriterReg {
 		spec.Req = muxWrap(reg, msg)
@@ -96,7 +120,7 @@ func (a *muxUnwrapAcc) Done() bool { return a.inner.Done() }
 
 // muxAckAcc counts acks inside single-register mux replies.
 func muxAckAcc(reg types.RegID, need int) proto.Accumulator {
-	return &muxUnwrapAcc{reg: reg, inner: proto.AckAcc(need)}
+	return &muxUnwrapAcc{reg: reg, inner: proto.NewAckBits(need)}
 }
 
 // Writer is one writer of a regular register instance. A register owned by a
@@ -113,6 +137,16 @@ type Writer struct {
 	// ([DMSS09] model); nil leaves tokens zero (unauthenticated model).
 	NextToken func() types.Token
 	ts        types.TS
+	// issued is the highest timestamp this writer ever proposed in a
+	// PREWRITE round, completed or not. A failed write may have installed
+	// its pair at some objects, so later proposals must exceed issued —
+	// re-proposing an issued timestamp with a DIFFERENT value would let two
+	// correct objects hold different values for one timestamp, breaking the
+	// value-agreement invariant the read decision relies on.
+	issued types.TS
+	// pending is the token attached to the in-flight prewrite, reused by
+	// the matching WRITE phase (both phases of one write carry one token).
+	pending types.Token
 }
 
 // NewWriter returns writer 0's handle for the register instance reg (use
@@ -151,17 +185,41 @@ func (w *Writer) Write(v types.Value) error {
 // read decision's causality filter assumes it); multi-writer callers jump
 // ahead to dominate foreign timestamps their discovery round observed.
 func (w *Writer) WritePair(p types.Pair) error {
+	if _, err := w.PreWritePair(p); err != nil {
+		return err
+	}
+	return w.CommitPair(p)
+}
+
+// PreWritePair runs only the PREWRITE round for p (same timestamp
+// discipline as WritePair) and returns the highest pre-prewrite timestamp
+// the acknowledging quorum reported — the optimistic fast path's validation
+// input. The caller finishes the write with CommitPair(p), or abandons it
+// (an abandoned prewrite is indistinguishable from a writer that crashed
+// between phases, which the protocol already tolerates; the timestamp is
+// recorded as issued and never reused with another value).
+func (w *Writer) PreWritePair(p types.Pair) (types.TS, error) {
 	if p.TS.WID != w.wid || (p.TS != w.ts && !w.ts.Less(p.TS)) {
-		return fmt.Errorf("regular: writer %d cannot write at timestamp %s after %s", w.wid, p.TS, w.ts)
+		return types.TS{}, fmt.Errorf("regular: writer %d cannot write at timestamp %s after %s", w.wid, p.TS, w.ts)
 	}
-	var tok types.Token
+	w.pending = 0
 	if w.NextToken != nil {
-		tok = w.NextToken()
+		w.pending = w.NextToken()
 	}
-	if err := w.rounder.Round(PreWriteSpec(w.th, w.reg, p, tok)); err != nil {
-		return fmt.Errorf("regular: prewrite: %w", err)
+	w.issued = types.MaxTS(w.issued, p.TS)
+	spec, acc := PreWriteValidatedSpec(w.th, w.reg, p, w.pending)
+	if err := w.rounder.Round(spec); err != nil {
+		return types.TS{}, fmt.Errorf("regular: prewrite: %w", err)
 	}
-	if err := w.rounder.Round(WriteSpec(w.th, w.reg, p, tok)); err != nil {
+	return acc.MaxTS(), nil
+}
+
+// CommitPair runs the WRITE round for the pair passed to the immediately
+// preceding PreWritePair, completing the write (it reuses that prewrite's
+// token, so the phases of one write stay tied together in the secret-token
+// model).
+func (w *Writer) CommitPair(p types.Pair) error {
+	if err := w.rounder.Round(WriteSpec(w.th, w.reg, p, w.pending)); err != nil {
 		return fmt.Errorf("regular: write: %w", err)
 	}
 	w.ts = p.TS
@@ -170,6 +228,12 @@ func (w *Writer) WritePair(p types.Pair) error {
 
 // LastTS returns the timestamp of the last completed write.
 func (w *Writer) LastTS() types.TS { return w.ts }
+
+// IssuedTS returns the highest timestamp this writer ever proposed in a
+// PREWRITE round (≥ LastTS once anything was written). Multi-writer flows
+// base successor timestamps on it so a pair abandoned by a failed or
+// superseded write attempt is never re-issued carrying a different value.
+func (w *Writer) IssuedTS() types.TS { return types.MaxTS(w.issued, w.ts) }
 
 // Reader reads one regular register instance.
 type Reader struct {

@@ -13,8 +13,9 @@ import (
 
 // AtomicWriter is the secret-model atomic register's writer: identical to
 // the unauthenticated one except every write phase carries a fresh token.
-// 3 rounds per write (timestamp discovery + the two token-carrying write
-// phases), like the unauthenticated multi-writer register.
+// Writes are adaptive like the unauthenticated multi-writer register's
+// (core/fastpath.go): 2 token-carrying rounds when the optimistic proposal
+// certifies, discovery or certified fallback under interference.
 type AtomicWriter struct {
 	rounder proto.Rounder
 	th      quorum.Thresholds
@@ -33,20 +34,32 @@ func NewAtomicWriterAt(r proto.Rounder, th quorum.Thresholds, rng *rand.Rand, wi
 	return &AtomicWriter{rounder: r, th: th, wid: wid, inner: NewWriterAt(r, th, rng, wid, last)}
 }
 
-// Write stores v: the shared multi-writer write flow (core.WriteDiscovered
-// — discovery round with the certified anti-inflation fallback) over the
-// token-carrying pair-writer. Distinct writers' timestamps never collide
-// (the writer id breaks ties), so concurrent multi-writer traffic cannot
-// forge a fast-path (pair, token) match.
+// Write stores v: the shared adaptive multi-writer write flow
+// (core.WriteAdaptive — optimistic 2-round fast path, discovery/certified
+// fallback) over the token-carrying pair-writer. Distinct writers'
+// timestamps never collide (the writer id breaks ties), so concurrent
+// multi-writer traffic cannot forge a fast-path (pair, token) match.
 func (w *AtomicWriter) Write(v types.Value) error {
-	return core.WriteDiscovered(w.rounder, w.th, w.wid, w.inner.LastTS(), "SWDISC", v, w.inner.WritePair)
+	_, err := core.WriteAdaptive(w.rounder, w.th, w.wid, v, w.inner)
+	return err
+}
+
+// WriteClean attempts the validate-then-write flush fast path of
+// core.WriteIfClean through the token-carrying writer.
+func (w *AtomicWriter) WriteClean(v types.Value) (types.Pair, bool, error) {
+	return core.WriteIfClean(w.rounder, w.th, w.wid, v, w.inner)
+}
+
+// Validate runs the one-round freshness check of core.ValidateClean.
+func (w *AtomicWriter) Validate() (bool, error) {
+	return core.ValidateClean(w.rounder, w.th, w.inner)
 }
 
 // Modify performs the certified read-modify-write of core.Writer.Modify in
 // the secret-token model: the same shared flow (certification does not
 // need tokens), writing through the token-carrying pair-writer.
 func (w *AtomicWriter) Modify(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error) {
-	return core.ModifyCertified(w.rounder, w.th, w.wid, w.inner.LastTS(), fn, w.inner.WritePair)
+	return core.ModifyCertified(w.rounder, w.th, w.wid, fn, w.inner)
 }
 
 // LastTS returns the timestamp of the last completed write.

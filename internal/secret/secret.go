@@ -59,9 +59,8 @@ func (w *Writer) Write(v types.Value) error {
 	return nil
 }
 
-// WritePair stores an explicit pair (the atomic composition's discovery
-// round supplies multi-writer timestamps through here), attaching a fresh
-// token.
+// WritePair stores an explicit pair (the atomic composition supplies
+// multi-writer timestamps through here), attaching a fresh token.
 func (w *Writer) WritePair(p types.Pair) error {
 	if err := w.inner.WritePair(p); err != nil {
 		return fmt.Errorf("secret: %w", err)
@@ -69,8 +68,32 @@ func (w *Writer) WritePair(p types.Pair) error {
 	return nil
 }
 
+// PreWritePair runs only the (token-carrying) PREWRITE round, returning the
+// quorum's prior-timestamp report — the optimistic fast path's validation
+// input (see core.PairWriter).
+func (w *Writer) PreWritePair(p types.Pair) (types.TS, error) {
+	prior, err := w.inner.PreWritePair(p)
+	if err != nil {
+		return types.TS{}, fmt.Errorf("secret: %w", err)
+	}
+	return prior, nil
+}
+
+// CommitPair completes the write pre-written by the immediately preceding
+// PreWritePair, reusing its token.
+func (w *Writer) CommitPair(p types.Pair) error {
+	if err := w.inner.CommitPair(p); err != nil {
+		return fmt.Errorf("secret: %w", err)
+	}
+	return nil
+}
+
 // LastTS returns the timestamp of the last completed write.
 func (w *Writer) LastTS() types.TS { return w.inner.LastTS() }
+
+// IssuedTS returns the highest timestamp ever proposed (see
+// regular.Writer.IssuedTS).
+func (w *Writer) IssuedTS() types.TS { return w.inner.IssuedTS() }
 
 // FastAcc is the single-round fast-path accumulator: it terminates with a
 // decision when 2t+1 distinct objects report the identical written

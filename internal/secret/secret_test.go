@@ -142,17 +142,17 @@ func TestBaseRegisterSlowPathUnderStaleness(t *testing.T) {
 }
 
 func TestAtomicThreeRoundReads(t *testing.T) {
-	// The Section 5 secret-model claim, multi-writer form: 3-round writes
-	// (discovery + the 2 token-carrying phases), 3-round reads
-	// (contention-free).
+	// The Section 5 secret-model claim, adaptive multi-writer form: 2-round
+	// writes (the two token-carrying phases — the optimistic proposal
+	// certifies uncontended), 3-round reads (contention-free).
 	thr := th(t, 4, 1)
 	h := newHarness(thr, 3)
 	s := sim.New(sim.Config{Servers: 4})
 	defer s.Close()
 	w := s.Spawn("w", types.Writer, checker.OpWrite, "a", h.writeOp("a"))
 	mustRun(t, s, w)
-	if w.Rounds() != 3 {
-		t.Errorf("atomic write rounds = %d, want 3", w.Rounds())
+	if w.Rounds() != 2 {
+		t.Errorf("atomic write rounds = %d, want 2", w.Rounds())
 	}
 	rd := s.Spawn("rd", types.Reader(1), checker.OpRead, types.Bottom, h.readOp(1, 2))
 	if v := mustRun(t, s, rd); v != "a" {

@@ -150,6 +150,12 @@ func (g Garbage) Reply(inner *Store, from types.ProcID, m types.Message) (types.
 			out.Sub[i] = types.SubMsg{Reg: sub.Reg, Msg: r}
 		}
 		return out, true
+	case types.MsgPreWrite:
+		// Poison the validation piggyback too: the ack's prior-state report
+		// carries the fabricated timestamp, forcing the optimistic write's
+		// fallback on every attempt (a liveness nuisance the adaptive flow
+		// bounds, never a safety breach — the report is uncertified).
+		return types.Message{Kind: types.MsgAck, PW: fake, W: fake, Seq: m.Seq}, true
 	default:
 		return types.Message{Kind: types.MsgAck, Seq: m.Seq}, true
 	}

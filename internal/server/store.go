@@ -110,11 +110,21 @@ func (s *Store) handleReg(from types.ProcID, m types.Message, id types.RegID) ty
 	st := s.reg(id)
 	switch m.Kind {
 	case types.MsgPreWrite:
+		// The acknowledgement piggybacks the timestamps the object held
+		// BEFORE applying this prewrite (values stripped — validation only
+		// compares timestamps): the writer's optimistic fast path reads a
+		// quorum of these to certify that nothing newer than its cached
+		// timestamp is in circulation, without a separate discovery round.
+		prior := types.Message{
+			Kind: types.MsgAck,
+			PW:   types.Pair{TS: st.PW.TS},
+			W:    types.Pair{TS: st.W.TS},
+		}
 		if st.PW.Less(m.Pair) {
 			st.PW = m.Pair
 			st.TokenPW = m.Token
 		}
-		return types.Message{Kind: types.MsgAck}
+		return prior
 	case types.MsgWrite, types.MsgWriteBack:
 		if st.W.Less(m.Pair) {
 			st.W = m.Pair

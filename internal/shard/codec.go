@@ -45,24 +45,38 @@ func EncodeTable(m map[string]string) string {
 // maintains, skipping the per-encode sort and key-slice allocation — the
 // write hot path. keys must hold exactly m's keys in ascending order.
 func EncodeSorted(keys []string, m map[string]string) string {
+	return string(AppendSorted(nil, keys, m))
+}
+
+// AppendSorted appends the binary v1 encoding of the table to dst and
+// returns the extended slice, growing dst at most once (the exact encoded
+// size is computed up front). Callers that flush repeatedly keep one
+// long-lived buffer and pass dst[:0], so the encode itself allocates
+// nothing at steady state — the only remaining per-flush allocation is the
+// immutable register value the bytes are copied into (messages retain their
+// values, so they must not alias a reused buffer). keys must hold exactly
+// m's keys in ascending order.
+func AppendSorted(dst []byte, keys []string, m map[string]string) []byte {
 	size := 1 + varintLen(uint64(len(keys)))
 	for _, k := range keys {
 		v := m[k]
 		size += varintLen(uint64(len(k))) + len(k) + varintLen(uint64(len(v))) + len(v)
 	}
-	var b strings.Builder
-	b.Grow(size)
-	var tmp [binary.MaxVarintLen64]byte
-	b.WriteByte(binaryMagic)
-	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(keys)))])
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, binaryMagic)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
 	for _, k := range keys {
 		v := m[k]
-		b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(k)))])
-		b.WriteString(k)
-		b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(v)))])
-		b.WriteString(v)
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
 	}
-	return b.String()
+	return dst
 }
 
 // varintLen returns the encoded size of x as a uvarint.

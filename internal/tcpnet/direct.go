@@ -45,7 +45,7 @@ func (d *Direct) exchange(from types.ProcID, reg int, m types.Message) (types.Me
 	d.conn.SetDeadline(time.Now().Add(d.timeout))
 	d.seq++
 	m.Seq = d.seq
-	if err := d.enc.Encode(wire.Request{From: from, Reg: reg, Msg: m}); err != nil {
+	if err := d.enc.EncodeRequest(wire.Request{From: from, Reg: reg, Msg: m}); err != nil {
 		return types.Message{}, err
 	}
 	for {

@@ -305,7 +305,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue // withheld reply: the client sees silence
 		}
 		reply.Seq = req.Msg.Seq
-		if err := enc.Encode(wire.Response{Server: s.ID, Msg: reply}); err != nil {
+		if err := enc.EncodeResponse(wire.Response{Server: s.ID, Msg: reply}); err != nil {
 			return
 		}
 	}
@@ -486,6 +486,10 @@ func (c *Client) installLocked(sid int, conn net.Conn, err error) (*clientConn, 
 			if err != nil {
 				return
 			}
+			// The object's identity is the connection it answered on, not
+			// the Server field it claims: a Byzantine daemon must not be
+			// able to cast votes as some other (correct) object.
+			rsp.Server = sid
 			select {
 			case c.replyCh <- rsp:
 			case <-c.done:
@@ -518,7 +522,7 @@ func (c *Client) Round(spec proto.RoundSpec) error {
 			continue // unreachable object: counted as faulty
 		}
 		cc.mu.Lock()
-		err = cc.enc.Encode(wire.Request{From: c.Proc, Reg: c.reg, Msg: msg})
+		err = cc.enc.EncodeRequest(wire.Request{From: c.Proc, Reg: c.reg, Msg: msg})
 		cc.mu.Unlock()
 		if err != nil {
 			c.dropConn(sid)

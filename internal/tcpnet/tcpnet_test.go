@@ -151,7 +151,7 @@ func TestClientReaderNeverDropsReplies(t *testing.T) {
 	const n = 8
 	for i := 1; i <= n; i++ {
 		req := wire.Request{From: c.Proc, Msg: types.Message{Kind: types.MsgRead1, Seq: i}}
-		if err := cc.enc.Encode(req); err != nil {
+		if err := cc.enc.EncodeRequest(req); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -13,10 +13,11 @@
 // classical lexicographically ordered (Seq, WriterID) pair (as in multi-writer
 // ABD and the multi-writer data stores of Chockler et al. and RADON): two
 // writers that concurrently pick the same sequence number still issue
-// distinct, totally ordered timestamps, and a writer learns the sequence
-// number to exceed in one extra timestamp-discovery round — writes cost
-// 3 rounds instead of the SWMR-optimal 2, which is exactly the price the
-// PODC 2011 lower bounds predict for giving up the single-writer assumption.
+// distinct, totally ordered timestamps. A writer learns the sequence number
+// to exceed adaptively (internal/core): the optimistic fast path certifies
+// its cached successor inside the 2-round write itself — the SWMR optimum —
+// and only actual interference costs the extra discovery round the PODC
+// 2011 lower bounds price into giving up the single-writer assumption.
 package types
 
 import (

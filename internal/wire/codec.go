@@ -1,0 +1,380 @@
+// The live binary codec (wire generation 2).
+//
+// Every envelope is one frame:
+//
+//	[0x02 version byte] [uvarint payload length] [payload]
+//
+// Request payload:  [varint From.Kind] [varint From.Idx] [varint Reg] [message]
+// Response payload: [varint Server] [message]
+//
+// Message: [varint Kind] [varint Seq] [mask byte], then — in mask-bit
+// order — the fields the mask declares present:
+//
+//	bit 0: Pair    (pair)
+//	bit 1: PW      (pair)
+//	bit 2: W       (pair)
+//	bit 3: tokens  ([uvarint Token] [uvarint TokenPW])
+//	bit 4: Sub     ([uvarint count] then per entry
+//	                [varint Reg.Class] [varint Reg.Idx] [message])
+//
+// pair: [varint TS.Seq] [varint TS.WID] [uvarint len(Val)] [Val bytes]
+//
+// Most protocol messages (acks, read queries) carry none of the optional
+// fields, so they cost ~5 bytes of payload; the mask keeps them from paying
+// for the pairs they don't carry. Signed fields use zigzag varints
+// (binary.AppendVarint), lengths and tokens plain uvarints. The encoder
+// builds each frame in a buffer owned by the Encoder and writes it with a
+// single Write call; the decoder reads each payload into a buffer owned by
+// the Decoder — both are reused across messages, so a long-lived connection
+// allocates only the strings that must outlive the buffer. Neither is safe
+// for concurrent use (transports already serialize per connection).
+//
+// The decoder is paranoid: it bounds the frame size, the nesting depth and
+// every count against the remaining payload, and rejects trailing bytes —
+// a malformed or hostile peer yields an error, never a panic or an
+// unbounded allocation.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"robustatomic/internal/types"
+)
+
+// wireVersion is the live wire generation's frame header byte.
+const wireVersion = 0x02
+
+// maxFrame bounds a frame's declared payload size (a forged length must not
+// make the decoder allocate unboundedly).
+const maxFrame = 64 << 20
+
+// maxSubDepth bounds message nesting. The protocols nest exactly once (a
+// MUX bundle of plain messages); one spare level is allowed for slack.
+const maxSubDepth = 2
+
+// ErrVersion reports a frame from a different wire generation — the peer
+// must be upgraded in lockstep (see the package comment).
+var ErrVersion = errors.New("wire: protocol generation mismatch (upgrade clients and daemons in lockstep)")
+
+// Encoder writes binary frames to a stream. Not safe for concurrent use.
+type Encoder struct {
+	w       io.Writer
+	payload []byte // reused payload build buffer
+	frame   []byte // reused frame build buffer (header + payload)
+}
+
+// NewEncoder returns an Encoder on w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// EncodeRequest writes one request envelope as a single frame.
+func (e *Encoder) EncodeRequest(req Request) error {
+	b := binary.AppendVarint(e.payload[:0], int64(req.From.Kind))
+	b = binary.AppendVarint(b, int64(req.From.Idx))
+	b = binary.AppendVarint(b, int64(req.Reg))
+	e.payload = appendMessage(b, &req.Msg, 0)
+	return e.writeFrame()
+}
+
+// EncodeResponse writes one response envelope as a single frame.
+func (e *Encoder) EncodeResponse(rsp Response) error {
+	e.payload = appendMessage(binary.AppendVarint(e.payload[:0], int64(rsp.Server)), &rsp.Msg, 0)
+	return e.writeFrame()
+}
+
+// writeFrame assembles [version][uvarint length][payload] in the reused
+// frame buffer and writes it with a single Write call (both buffers are
+// kept across messages, so a long-lived connection stops allocating once
+// they reach the connection's peak message size).
+func (e *Encoder) writeFrame() error {
+	n := len(e.payload)
+	if n > maxFrame {
+		return fmt.Errorf("wire: encode: %d-byte payload exceeds frame bound", n)
+	}
+	f := append(e.frame[:0], wireVersion)
+	f = binary.AppendUvarint(f, uint64(n))
+	f = append(f, e.payload...)
+	e.frame = f
+	if _, err := e.w.Write(f); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads binary frames from a stream. Not safe for concurrent use.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte // reused payload buffer
+}
+
+// NewDecoder returns a Decoder on r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: bufio.NewReader(r)} }
+
+// DecodeRequest reads one request.
+func (d *Decoder) DecodeRequest() (Request, error) {
+	payload, err := d.readFrame()
+	if err != nil {
+		return Request{}, err
+	}
+	var req Request
+	var kind, idx, reg int64
+	if kind, payload, err = cutVarint(payload); err == nil {
+		if idx, payload, err = cutVarint(payload); err == nil {
+			reg, payload, err = cutVarint(payload)
+		}
+	}
+	if err != nil {
+		return Request{}, fmt.Errorf("wire: decode request: %w", err)
+	}
+	req.From = types.ProcID{Kind: types.ProcKind(kind), Idx: int(idx)}
+	req.Reg = int(reg)
+	req.Msg, payload, err = decodeMessage(payload, 0)
+	if err != nil {
+		return Request{}, fmt.Errorf("wire: decode request: %w", err)
+	}
+	if len(payload) != 0 {
+		return Request{}, fmt.Errorf("wire: decode request: %d trailing bytes", len(payload))
+	}
+	return req, nil
+}
+
+// DecodeResponse reads one response.
+func (d *Decoder) DecodeResponse() (Response, error) {
+	payload, err := d.readFrame()
+	if err != nil {
+		return Response{}, err
+	}
+	var rsp Response
+	server, payload, err := cutVarint(payload)
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+	}
+	rsp.Server = int(server)
+	rsp.Msg, payload, err = decodeMessage(payload, 0)
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+	}
+	if len(payload) != 0 {
+		return Response{}, fmt.Errorf("wire: decode response: %d trailing bytes", len(payload))
+	}
+	return rsp, nil
+}
+
+// readFrame reads one frame header and its payload into the reused buffer.
+// io.EOF is returned verbatim on a clean frame boundary (connection
+// closed), as the transports' read loops expect.
+func (d *Decoder) readFrame() ([]byte, error) {
+	ver, err := d.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: got frame header 0x%02x, want 0x%02x", ErrVersion, ver, wireVersion)
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode: frame length: %w", err)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: decode: %d-byte frame exceeds bound", n)
+	}
+	if uint64(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	buf := d.buf[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return nil, fmt.Errorf("wire: decode: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// Message field-presence mask bits.
+const (
+	maskPair = 1 << iota
+	maskPW
+	maskW
+	maskTokens
+	maskSub
+)
+
+// appendMessage appends m's encoding to b.
+func appendMessage(b []byte, m *types.Message, depth int) []byte {
+	b = binary.AppendVarint(b, int64(m.Kind))
+	b = binary.AppendVarint(b, int64(m.Seq))
+	var mask byte
+	if m.Pair != (types.Pair{}) {
+		mask |= maskPair
+	}
+	if m.PW != (types.Pair{}) {
+		mask |= maskPW
+	}
+	if m.W != (types.Pair{}) {
+		mask |= maskW
+	}
+	if m.Token != 0 || m.TokenPW != 0 {
+		mask |= maskTokens
+	}
+	if len(m.Sub) > 0 {
+		mask |= maskSub
+	}
+	b = append(b, mask)
+	if mask&maskPair != 0 {
+		b = appendWirePair(b, m.Pair)
+	}
+	if mask&maskPW != 0 {
+		b = appendWirePair(b, m.PW)
+	}
+	if mask&maskW != 0 {
+		b = appendWirePair(b, m.W)
+	}
+	if mask&maskTokens != 0 {
+		b = binary.AppendUvarint(b, uint64(m.Token))
+		b = binary.AppendUvarint(b, uint64(m.TokenPW))
+	}
+	if mask&maskSub != 0 {
+		b = binary.AppendUvarint(b, uint64(len(m.Sub)))
+		for i := range m.Sub {
+			b = binary.AppendVarint(b, int64(m.Sub[i].Reg.Class))
+			b = binary.AppendVarint(b, int64(m.Sub[i].Reg.Idx))
+			b = appendMessage(b, &m.Sub[i].Msg, depth+1)
+		}
+	}
+	return b
+}
+
+func appendWirePair(b []byte, p types.Pair) []byte {
+	b = binary.AppendVarint(b, p.TS.Seq)
+	b = binary.AppendVarint(b, p.TS.WID)
+	b = binary.AppendUvarint(b, uint64(len(p.Val)))
+	return append(b, p.Val...)
+}
+
+// decodeMessage decodes one message off the front of b, returning the rest.
+func decodeMessage(b []byte, depth int) (types.Message, []byte, error) {
+	if depth > maxSubDepth {
+		return types.Message{}, nil, fmt.Errorf("message nesting exceeds depth %d", maxSubDepth)
+	}
+	var m types.Message
+	kind, b, err := cutVarint(b)
+	if err != nil {
+		return m, nil, err
+	}
+	seq, b, err := cutVarint(b)
+	if err != nil {
+		return m, nil, err
+	}
+	m.Kind = types.MsgKind(kind)
+	m.Seq = int(seq)
+	if len(b) == 0 {
+		return m, nil, fmt.Errorf("truncated message mask")
+	}
+	mask := b[0]
+	b = b[1:]
+	if mask&maskPair != 0 {
+		if m.Pair, b, err = cutWirePair(b); err != nil {
+			return m, nil, err
+		}
+	}
+	if mask&maskPW != 0 {
+		if m.PW, b, err = cutWirePair(b); err != nil {
+			return m, nil, err
+		}
+	}
+	if mask&maskW != 0 {
+		if m.W, b, err = cutWirePair(b); err != nil {
+			return m, nil, err
+		}
+	}
+	if mask&maskTokens != 0 {
+		var tok, tokPW uint64
+		if tok, b, err = cutUvarint(b); err != nil {
+			return m, nil, err
+		}
+		if tokPW, b, err = cutUvarint(b); err != nil {
+			return m, nil, err
+		}
+		m.Token, m.TokenPW = types.Token(tok), types.Token(tokPW)
+	}
+	if mask&maskSub != 0 {
+		var n uint64
+		if n, b, err = cutUvarint(b); err != nil {
+			return m, nil, err
+		}
+		// Each sub-entry costs ≥ 5 bytes (two reg varints + kind + seq +
+		// mask); a cheap bound against forged counts.
+		if n > uint64(len(b)/5)+1 {
+			return m, nil, fmt.Errorf("sub-message count %d exceeds payload", n)
+		}
+		if n == 0 {
+			// Canonical form: an absent bundle is a nil slice (the encoder
+			// never sets the mask bit for an empty one).
+			return m, b, nil
+		}
+		// Grow the bundle as entries actually parse (capped initial
+		// capacity): a sub-entry is ~21x larger decoded than its minimal
+		// wire form, so pre-allocating from the declared count would let a
+		// single maximal frame demand ~21x its own size in one allocation
+		// before the first entry fails to parse.
+		m.Sub = make([]types.SubMsg, 0, min(n, 64))
+		for i := uint64(0); i < n; i++ {
+			var sub types.SubMsg
+			var class, idx int64
+			if class, b, err = cutVarint(b); err != nil {
+				return m, nil, err
+			}
+			if idx, b, err = cutVarint(b); err != nil {
+				return m, nil, err
+			}
+			sub.Reg = types.RegID{Class: types.RegClass(class), Idx: int(idx)}
+			if sub.Msg, b, err = decodeMessage(b, depth+1); err != nil {
+				return m, nil, err
+			}
+			m.Sub = append(m.Sub, sub)
+		}
+	}
+	return m, b, nil
+}
+
+// cutWirePair cuts one pair off the front of b. The value is copied out of
+// the decoder's reused buffer — pairs outlive the frame (objects retain
+// them in register state).
+func cutWirePair(b []byte) (types.Pair, []byte, error) {
+	seq, b, err := cutVarint(b)
+	if err != nil {
+		return types.Pair{}, nil, err
+	}
+	wid, b, err := cutVarint(b)
+	if err != nil {
+		return types.Pair{}, nil, err
+	}
+	n, b, err := cutUvarint(b)
+	if err != nil {
+		return types.Pair{}, nil, err
+	}
+	if n > uint64(len(b)) {
+		return types.Pair{}, nil, fmt.Errorf("truncated pair value (%d declared, %d left)", n, len(b))
+	}
+	return types.Pair{TS: types.TS{Seq: seq, WID: wid}, Val: types.Value(b[:n])}, b[n:], nil
+}
+
+func cutVarint(b []byte) (int64, []byte, error) {
+	v, w := binary.Varint(b)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("truncated varint")
+	}
+	return v, b[w:], nil
+}
+
+func cutUvarint(b []byte) (uint64, []byte, error) {
+	v, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("truncated uvarint")
+	}
+	return v, b[w:], nil
+}

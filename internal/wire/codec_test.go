@@ -1,0 +1,263 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"robustatomic/internal/types"
+)
+
+func sampleMessages() []types.Message {
+	return []types.Message{
+		{Kind: types.MsgRead1},
+		{Kind: types.MsgAck, Seq: 42},
+		{Kind: types.MsgPreWrite, Seq: 7, Pair: types.Pair{TS: types.TS{Seq: 3, WID: 2}, Val: "hello"}},
+		{Kind: types.MsgWrite, Pair: types.Pair{TS: types.At(1), Val: ""}, Token: 0xdeadbeef, TokenPW: 1},
+		{Kind: types.MsgState,
+			PW: types.Pair{TS: types.TS{Seq: 9, WID: 1}, Val: "pw-val"},
+			W:  types.Pair{TS: types.TS{Seq: 8, WID: 3}, Val: types.Value(strings.Repeat("x", 300))}},
+		{Kind: types.MsgAck, PW: types.Pair{TS: types.TS{Seq: 5, WID: 4}}, W: types.Pair{TS: types.At(5)}},
+		{Kind: types.MsgMux, Seq: 3, Sub: []types.SubMsg{
+			{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgRead1, Seq: 3}},
+			{Reg: types.ReaderReg(2), Msg: types.Message{
+				Kind: types.MsgWriteBack,
+				Pair: types.Pair{TS: types.At(11), Val: "wb"},
+			}},
+		}},
+		// Negative and extreme integers must survive the signed varints.
+		{Kind: types.MsgState, PW: types.Pair{TS: types.TS{Seq: 1<<62 + 3, WID: -5}, Val: "v"}},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	var want []Request
+	for i, m := range sampleMessages() {
+		req := Request{From: types.Reader(i + 1), Reg: i * 3, Msg: m}
+		if i%2 == 0 {
+			req.From = types.WriterID(i)
+		}
+		want = append(want, req)
+		if err := enc.EncodeRequest(req); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.DecodeRequest()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("request %d round trip:\n got %#v\nwant %#v", i, got, w)
+		}
+	}
+	if _, err := dec.DecodeRequest(); err != io.EOF {
+		t.Errorf("after stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	var want []Response
+	for i, m := range sampleMessages() {
+		rsp := Response{Server: i + 1, Msg: m}
+		want = append(want, rsp)
+		if err := enc.EncodeResponse(rsp); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.DecodeResponse()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("response %d round trip:\n got %#v\nwant %#v", i, got, w)
+		}
+	}
+}
+
+func TestDecodedValuesDoNotAliasDecoderBuffer(t *testing.T) {
+	// The decoder reuses its payload buffer across frames; decoded pair
+	// values must be copies, or the next frame would corrupt retained
+	// register state.
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	first := Request{From: types.Writer, Msg: types.Message{
+		Kind: types.MsgWrite, Pair: types.Pair{TS: types.At(1), Val: "first-value"}}}
+	second := Request{From: types.Writer, Msg: types.Message{
+		Kind: types.MsgWrite, Pair: types.Pair{TS: types.At(2), Val: "SECOND-VALUE-XXXX"}}}
+	if err := enc.EncodeRequest(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeRequest(second); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	got1, err := dec.DecodeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeRequest(); err != nil {
+		t.Fatal(err)
+	}
+	if got1.Msg.Pair.Val != "first-value" {
+		t.Errorf("first value corrupted by later frame: %q", got1.Msg.Pair.Val)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	// A gob stream (wire generation 1) begins with a gob length byte that
+	// is not the binary generation's header — the lockstep-upgrade error
+	// must surface on the first message.
+	var buf bytes.Buffer
+	if err := NewGobEncoder(&buf).Encode(Request{From: types.Writer, Msg: types.Message{Kind: types.MsgRead1}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewDecoder(&buf).DecodeRequest()
+	if err == nil {
+		t.Fatal("gob frame accepted by binary decoder")
+	}
+	if !strings.Contains(err.Error(), "generation") {
+		t.Errorf("version mismatch error unclear: %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformedFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":         {wireVersion, 0},
+		"truncated payload":     {wireVersion, 10, 1, 2},
+		"oversized frame":       {wireVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"bad version":           {0x7f, 1, 0},
+		"forged value length":   append([]byte{wireVersion, 8}, 2, 2, 0, 2, 0, 1 /*mask pair*/, 2, 2), // pair claims bytes it doesn't have
+		"forged sub count":      append([]byte{wireVersion, 7}, 2, 2, 0, 22, 16 /*mask sub*/, 0xff, 0x7f),
+		"trailing bytes":        append([]byte{wireVersion, 7}, 2, 2, 0, 2, 0, 9, 9),
+		"missing mask":          append([]byte{wireVersion, 4}, 2, 2, 0, 2),
+		"truncated frame start": {wireVersion},
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := NewDecoder(bytes.NewReader(raw)).DecodeRequest(); err == nil {
+				t.Errorf("malformed frame %q accepted", name)
+			}
+		})
+	}
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	// Hand-build a frame whose message nests Sub beyond maxSubDepth: the
+	// decoder must reject it rather than recurse unboundedly.
+	msg := []byte{2, 0, 0} // kind, seq, empty mask
+	for i := 0; i < maxSubDepth+2; i++ {
+		inner := msg
+		msg = append([]byte{22, 0, 16 /*mask sub*/, 1 /*count*/, 2, 0}, inner...)
+	}
+	payload := append([]byte{2, 0, 0}, msg...) // from kind, idx, reg
+	frame := append([]byte{wireVersion, byte(len(payload))}, payload...)
+	if _, err := NewDecoder(bytes.NewReader(frame)).DecodeRequest(); err == nil {
+		t.Fatal("over-deep nesting accepted")
+	}
+}
+
+// FuzzWireRequest: the binary decoder must never panic, and every frame it
+// accepts must re-encode and re-decode to the same request.
+func FuzzWireRequest(f *testing.F) {
+	var seedBuf bytes.Buffer
+	enc := NewEncoder(&seedBuf)
+	for i, m := range sampleMessages() {
+		seedBuf.Reset()
+		if err := enc.EncodeRequest(Request{From: types.Reader(i + 1), Reg: i, Msg: m}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), seedBuf.Bytes()...))
+	}
+	f.Add([]byte{wireVersion, 0x05, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := NewDecoder(bytes.NewReader(data)).DecodeRequest()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).EncodeRequest(req); err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		again, err := NewDecoder(&buf).DecodeRequest()
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip diverged:\n got %#v\nwant %#v", again, req)
+		}
+	})
+}
+
+// BenchmarkWireCodec contrasts the binary live codec against the gob
+// streams it replaced, on the two message shapes that dominate the hot
+// path: the small state reply of a read round and a table-carrying write.
+func BenchmarkWireCodec(b *testing.B) {
+	small := Response{Server: 3, Msg: types.Message{
+		Kind: types.MsgState, Seq: 12,
+		PW: types.Pair{TS: types.TS{Seq: 41, WID: 2}, Val: "pw"},
+		W:  types.Pair{TS: types.TS{Seq: 40, WID: 2}, Val: "w"},
+	}}
+	large := Request{From: types.WriterID(2), Reg: 5, Msg: types.Message{
+		Kind: types.MsgPreWrite, Seq: 9,
+		Pair: types.Pair{TS: types.TS{Seq: 100, WID: 2}, Val: types.Value(strings.Repeat("k", 4096))},
+	}}
+	b.Run("binary/state-reply", func(b *testing.B) {
+		benchBinary(b, func(e *Encoder) error { return e.EncodeResponse(small) },
+			func(d *Decoder) error { _, err := d.DecodeResponse(); return err })
+	})
+	b.Run("binary/table-write", func(b *testing.B) {
+		benchBinary(b, func(e *Encoder) error { return e.EncodeRequest(large) },
+			func(d *Decoder) error { _, err := d.DecodeRequest(); return err })
+	})
+	b.Run("gob/state-reply", func(b *testing.B) {
+		benchGob(b, small, func(d *GobDecoder) error { _, err := d.DecodeResponse(); return err })
+	})
+	b.Run("gob/table-write", func(b *testing.B) {
+		benchGob(b, large, func(d *GobDecoder) error { _, err := d.DecodeRequest(); return err })
+	})
+}
+
+// loopBuffer is an in-memory pipe: everything written is available to read.
+type loopBuffer struct{ bytes.Buffer }
+
+func benchBinary(b *testing.B, enc func(*Encoder) error, dec func(*Decoder) error) {
+	var lb loopBuffer
+	e := NewEncoder(&lb)
+	d := NewDecoder(&lb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc(e); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGob(b *testing.B, v any, dec func(*GobDecoder) error) {
+	var lb loopBuffer
+	e := NewGobEncoder(&lb)
+	d := NewGobDecoder(&lb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Encode(v); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,20 +1,33 @@
-// Package wire defines the gob-encoded TCP wire format of the storage
-// protocol: a request envelope carrying the client identity, the target
-// register and the message, and a response envelope carrying the object's
-// reply. One request yields at most one response (objects reply to a message
-// before receiving any other, per the model); responses are matched to
-// rounds by Message.Seq.
+// Package wire defines the TCP wire format of the storage protocol: a
+// request envelope carrying the client identity, the target register and
+// the message, and a response envelope carrying the object's reply. One
+// request yields at most one response (objects reply to a message before
+// receiving any other, per the model); responses are matched to rounds by
+// Message.Seq.
+//
+// The LIVE codec (Encoder/Decoder) is a hand-rolled length-prefixed binary
+// format — generation 2, header byte 0x02 — replacing the gob streams of
+// generations past: gob's reflection, per-message type bookkeeping and
+// allocations dominated the live hot path's profile, while this codec
+// encodes into a pooled per-connection buffer and writes each envelope as
+// one frame. See codec.go for the format.
 //
 // Versioning: the LIVE wire format is not negotiated — clients and daemons
 // of one deployment must run the same protocol generation, upgraded in
-// lockstep (daemons first is fine: requests fail with a gob type-mismatch
-// error until both sides match, without corrupting state). The multi-writer
-// refactor changed Pair's timestamp from a scalar to the (Seq, WID) struct,
-// so pre-multi-writer clients cannot talk to current daemons or vice versa.
-// PERSISTED formats, in contrast, all have explicit legacy paths (WAL gob
-// mirror types, snapshot version bytes, shard-table and write-back codecs):
-// old data directories and old register contents replay and decode
-// unchanged, so the lockstep constraint applies only to the sockets.
+// lockstep (daemons first is fine: requests fail with a version/decode
+// error until both sides match, without corrupting state). Generation
+// history: gen 1 was the gob stream of the original deployment, whose Pair
+// carried a scalar timestamp until the multi-writer refactor changed it to
+// the (Seq, WID) struct (a type change gob surfaces immediately); gen 2 is
+// the binary codec — a gen-1 client's gob preamble is rejected by the
+// version byte, and a gen-2 frame is rejected by gen-1's gob decoder, so
+// mixed deployments fail loudly on the first message. PERSISTED formats, in
+// contrast, all have explicit legacy paths (WAL gob mirror types, snapshot
+// version bytes, shard-table and write-back codecs): old data directories
+// and old register contents replay and decode unchanged, so the lockstep
+// constraint applies only to the sockets. To that end the WAL keeps writing
+// gob (GobEncoder/GobDecoder below — byte-identical to the gen-1 stream,
+// so every existing data directory remains the current on-disk format).
 package wire
 
 import (
@@ -29,8 +42,7 @@ import (
 // message addresses: one physical object hosts any number of independent
 // atomic registers (the shards of the keyed Store layer), each a fully
 // separate protocol state machine. Reg 0 is the default register of the
-// original single-register deployment, so old clients interoperate
-// unchanged.
+// original single-register deployment.
 type Request struct {
 	From types.ProcID
 	Reg  int
@@ -43,28 +55,31 @@ type Response struct {
 	Msg    types.Message
 }
 
-// Encoder writes envelopes to a stream.
-type Encoder struct{ enc *gob.Encoder }
+// GobEncoder writes envelopes to a gob stream — the PERSISTED codec: WAL
+// generations are gob streams (one per generation), and recovery's legacy
+// probing is built around gob's properties, so the on-disk format stays gob
+// even though the live sockets moved to the binary codec.
+type GobEncoder struct{ enc *gob.Encoder }
 
-// NewEncoder returns an Encoder on w.
-func NewEncoder(w io.Writer) *Encoder { return &Encoder{enc: gob.NewEncoder(w)} }
+// NewGobEncoder returns a GobEncoder on w.
+func NewGobEncoder(w io.Writer) *GobEncoder { return &GobEncoder{enc: gob.NewEncoder(w)} }
 
 // Encode writes one envelope.
-func (e *Encoder) Encode(v any) error {
+func (e *GobEncoder) Encode(v any) error {
 	if err := e.enc.Encode(v); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
 	return nil
 }
 
-// Decoder reads envelopes from a stream.
-type Decoder struct{ dec *gob.Decoder }
+// GobDecoder reads envelopes from a gob stream (see GobEncoder).
+type GobDecoder struct{ dec *gob.Decoder }
 
-// NewDecoder returns a Decoder on r.
-func NewDecoder(r io.Reader) *Decoder { return &Decoder{dec: gob.NewDecoder(r)} }
+// NewGobDecoder returns a GobDecoder on r.
+func NewGobDecoder(r io.Reader) *GobDecoder { return &GobDecoder{dec: gob.NewDecoder(r)} }
 
 // DecodeRequest reads one request.
-func (d *Decoder) DecodeRequest() (Request, error) {
+func (d *GobDecoder) DecodeRequest() (Request, error) {
 	var req Request
 	if err := d.dec.Decode(&req); err != nil {
 		if err == io.EOF {
@@ -76,7 +91,7 @@ func (d *Decoder) DecodeRequest() (Request, error) {
 }
 
 // DecodeResponse reads one response.
-func (d *Decoder) DecodeResponse() (Response, error) {
+func (d *GobDecoder) DecodeResponse() (Response, error) {
 	var rsp Response
 	if err := d.dec.Decode(&rsp); err != nil {
 		if err == io.EOF {

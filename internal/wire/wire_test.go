@@ -10,76 +10,11 @@ import (
 	"robustatomic/internal/types"
 )
 
-func TestRequestRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	enc := NewEncoder(&buf)
-	req := Request{
-		From: types.Reader(3),
-		Reg:  5,
-		Msg: types.Message{
-			Kind: types.MsgMux,
-			Seq:  7,
-			Sub: []types.SubMsg{
-				{Reg: types.WriterReg, Msg: types.Message{Kind: types.MsgRead1}},
-				{Reg: types.ReaderReg(1), Msg: types.Message{Kind: types.MsgWrite, Pair: types.Pair{TS: types.TS{Seq: 4, WID: 2}, Val: "x"}, Token: 99}},
-			},
-		},
-	}
-	if err := enc.Encode(req); err != nil {
-		t.Fatal(err)
-	}
-	got, err := NewDecoder(&buf).DecodeRequest()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(req, got) {
-		t.Fatalf("round trip:\n%+v\n%+v", req, got)
-	}
-}
-
-func TestResponseRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	rsp := Response{
-		Server: 2,
-		Msg:    types.Message{Kind: types.MsgState, PW: types.Pair{TS: types.At(1), Val: "a"}, W: types.BottomPair, Seq: 3},
-	}
-	if err := NewEncoder(&buf).Encode(rsp); err != nil {
-		t.Fatal(err)
-	}
-	got, err := NewDecoder(&buf).DecodeResponse()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(rsp, got) {
-		t.Fatalf("round trip:\n%+v\n%+v", rsp, got)
-	}
-}
-
-// TestRegisterRoutingDefault pins backward compatibility: a request encoded
-// without a register field (an old single-register client) decodes as
-// addressing register instance 0.
-func TestRegisterRoutingDefault(t *testing.T) {
-	var buf bytes.Buffer
-	if err := NewEncoder(&buf).Encode(struct {
-		From types.ProcID
-		Msg  types.Message
-	}{From: types.Writer, Msg: types.Message{Kind: types.MsgWrite}}); err != nil {
-		t.Fatal(err)
-	}
-	got, err := NewDecoder(&buf).DecodeRequest()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Reg != 0 {
-		t.Fatalf("legacy request routed to register %d, want 0", got.Reg)
-	}
-}
-
 func TestStreamOfMessages(t *testing.T) {
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf)
 	for i := 1; i <= 5; i++ {
-		if err := enc.Encode(Request{From: types.Writer, Msg: types.Message{Kind: types.MsgWrite, Seq: i}}); err != nil {
+		if err := enc.EncodeRequest(Request{From: types.Writer, Msg: types.Message{Kind: types.MsgWrite, Seq: i}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,7 +34,7 @@ func TestStreamOfMessages(t *testing.T) {
 }
 
 func TestDecodeGarbage(t *testing.T) {
-	dec := NewDecoder(bytes.NewReader([]byte("this is not gob")))
+	dec := NewDecoder(bytes.NewReader([]byte("this is not a wire frame")))
 	if _, err := dec.DecodeRequest(); err == nil || err == io.EOF {
 		t.Fatal("garbage accepted")
 	}
@@ -112,7 +47,7 @@ func TestPairWireProperty(t *testing.T) {
 			Kind: types.MsgState, W: types.Pair{TS: types.TS{Seq: seqNo, WID: wid}, Val: types.Value(val)},
 			Token: types.Token(tok), Seq: seq,
 		}}
-		if err := NewEncoder(&buf).Encode(in); err != nil {
+		if err := NewEncoder(&buf).EncodeResponse(in); err != nil {
 			return false
 		}
 		out, err := NewDecoder(&buf).DecodeResponse()
@@ -123,5 +58,37 @@ func TestPairWireProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestGobCodecRoundTrip covers the persisted WAL codec, which deliberately
+// stays on gob (see wire.go's versioning comment): the Engine's generations
+// must keep round-tripping byte-compatibly.
+func TestGobCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewGobEncoder(&buf)
+	reqs := []Request{
+		{From: types.Writer, Reg: 0, Msg: types.Message{Kind: types.MsgPreWrite, Pair: types.Pair{TS: types.TS{Seq: 1, WID: 2}, Val: "v"}}},
+		{From: types.Reader(2), Reg: 3, Msg: types.Message{Kind: types.MsgMux, Sub: []types.SubMsg{
+			{Reg: types.ReaderReg(1), Msg: types.Message{Kind: types.MsgWriteBack, Pair: types.Pair{TS: types.At(4), Val: "wb"}}},
+		}}},
+	}
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewGobDecoder(&buf)
+	for i, want := range reqs {
+		got, err := dec.DecodeRequest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("gob round trip %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := dec.DecodeRequest(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
 	}
 }

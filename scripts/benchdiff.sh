@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# benchdiff.sh — compare a fresh benchmark run against the committed
+# baseline and fail loudly on hot-path regressions.
+#
+#   scripts/benchdiff.sh [baseline] [new] [threshold-pct]
+#
+# Defaults: bench_baseline.txt bench.txt 20. Both files are `go test -bench`
+# output (any -count; runs of one benchmark are averaged). Benchmarks
+# present in only one file are reported but never fail the diff (new
+# benchmarks appear, machines differ in sub-benchmark sets).
+#
+# Guarded benchmarks: E7 and E9 (the write hot path whose trajectory the
+# adaptive-round work reclaimed) plus E12 (the fast-path/fallback split
+# itself) — a >threshold% ns/op regression on any of them exits non-zero,
+# so the cost silently creeping back fails CI instead of shifting the
+# recorded trajectory.
+#
+# benchstat is used for the human-readable report when installed; the
+# pass/fail decision is computed with awk so the gate needs nothing beyond
+# POSIX tools + bash.
+set -euo pipefail
+
+baseline=${1:-bench_baseline.txt}
+new=${2:-bench.txt}
+threshold=${3:-20}
+
+if [[ ! -f "$baseline" ]]; then
+    echo "benchdiff: baseline $baseline not found" >&2
+    exit 2
+fi
+if [[ ! -f "$new" ]]; then
+    echo "benchdiff: new results $new not found (run 'make bench' first)" >&2
+    exit 2
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$baseline" "$new" || true
+    echo
+fi
+
+# Average ns/op per benchmark name: "BenchmarkX/sub-N  <iters>  <ns> ns/op ..."
+avg() {
+    awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+        sum[name] += $3; cnt[name]++
+    }
+    END { for (n in sum) printf "%s %.1f\n", n, sum[n] / cnt[n] }' "$1"
+}
+
+fail=0
+while read -r name base_ns; do
+    case "$name" in
+        BenchmarkE7*|BenchmarkE9*|BenchmarkE12*) ;;
+        *) continue ;;
+    esac
+    new_ns=$(avg "$new" | awk -v n="$name" '$1 == n { print $2 }')
+    if [[ -z "$new_ns" ]]; then
+        echo "benchdiff: $name: only in baseline (skipped)"
+        continue
+    fi
+    verdict=$(awk -v b="$base_ns" -v n="$new_ns" -v t="$threshold" 'BEGIN {
+        pct = (n - b) / b * 100
+        printf "%+.1f%%", pct
+        exit (pct > t) ? 1 : 0
+    }') && ok=1 || ok=0
+    if [[ $ok == 0 ]]; then
+        echo "benchdiff: REGRESSION $name: $base_ns -> $new_ns ns/op ($verdict > ${threshold}%)"
+        fail=1
+    else
+        echo "benchdiff: ok $name: $base_ns -> $new_ns ns/op ($verdict)"
+    fi
+done < <(avg "$baseline" | sort)
+
+# Surface benchmarks that exist only in the new run (informational).
+comm -13 <(avg "$baseline" | cut -d' ' -f1 | sort) <(avg "$new" | cut -d' ' -f1 | sort) |
+    while read -r name; do echo "benchdiff: $name: new benchmark (no baseline)"; done
+
+if [[ $fail != 0 ]]; then
+    echo "benchdiff: FAILED — hot-path benchmarks regressed beyond ${threshold}%" >&2
+    exit 1
+fi
+echo "benchdiff: all guarded benchmarks within ${threshold}% of baseline"

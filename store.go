@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"robustatomic/internal/core"
 	"robustatomic/internal/shard"
 	"robustatomic/internal/types"
 )
@@ -54,11 +55,23 @@ func (o *StoreOptions) defaults(total int) {
 // Within one process, writes to the same shard coalesce (group commit):
 // mutations that arrive while a flush is in flight merge into one pending
 // batch and commit together in the next flush, so N concurrent Puts to a
-// shard cost far fewer than N protocol executions. A flush is a certified
-// read-modify-write of the shard register (4 rounds, amortized over the
-// batch): read the current table, detect and rebase onto any foreign
-// writer's newer table, apply the batch, write the merged table at the
-// successor timestamp.
+// shard cost far fewer than N protocol executions.
+//
+// A flush is ADAPTIVE: the committer first tries the validated fast path —
+// one freshness round confirming no foreign write landed since its cached
+// timestamp, then the two blind write phases installing the batch-applied
+// table at the cached successor (3 rounds, and none of the certified
+// read's fault-set-enumerating decision procedure). When the validation
+// exposes a foreign write, nothing is written and the flush falls back to
+// the certified read-modify-write of PR 4 (4 rounds): read the current
+// table, rebase onto the foreign state, re-apply the batch, write the
+// merged table at the successor timestamp — and the shard stays on that
+// certified path for the next several flushes (a contention penalty
+// window) before probing the fast path again, so sustained cross-process
+// contention costs at most one extra round every few flushes. A batch
+// whose mutations all turn out to be no-ops (Put of the already-current
+// value, Delete of an absent key) commits with a single validation round
+// and no register write at all.
 //
 // Cross-process concurrency is last-writer-wins at SHARD granularity:
 // registers cannot solve consensus, so two flushes that race on the same
@@ -93,24 +106,44 @@ type storeShard struct {
 	table  map[string]string
 	keys   []string // table's keys, ascending; maintained incrementally
 	lastTS types.TS // register timestamp table mirrors (zero before any flush)
+	// enc is the committer's long-lived table-encode buffer, reused across
+	// flushes (shard.AppendSorted into enc[:0]); only the immutable register
+	// value copied out of it is allocated per flush.
+	enc []byte
+	// penalty counts upcoming flushes routed straight to the certified
+	// read-modify-write: after a fast-path validation conflict the shard
+	// assumes cross-process contention and stops paying the optimistic
+	// round for a window, probing the fast path again once it drains.
+	penalty int
 	// uncommitted holds the ops of failed flushes: a timed-out flush may
 	// have reached some objects, so the ops re-apply in every later flush
 	// until one succeeds and re-asserts them at a higher timestamp — the
 	// value a reader may already have certified never silently vanishes.
-	uncommitted []func(*storeShard)
+	uncommitted []func(*storeShard) bool
 
+	// The three committer-only register operations below are never called
+	// concurrently (exactly one committer runs at a time, and the
+	// lead-handoff channel establishes happens-before between consecutive
+	// committers). Swappable in tests and benchmarks; a nil writeClean
+	// disables the flush fast path entirely (certified path only).
+	//
 	// modify performs one certified read-modify-write of the shard register.
-	// Only the current committer calls it, so the underlying writer handle
-	// is never used concurrently. Swappable in tests and benchmarks.
 	modify func(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error)
+	// writeClean performs the validated fast-path write: one freshness
+	// round, then v installed at the cached successor iff no foreign
+	// timestamp beyond lastTS was in circulation.
+	writeClean func(v types.Value) (types.Pair, bool, error)
+	// validate runs the 1-round freshness check backing no-op elision.
+	validate func() (bool, error)
 }
 
 // commitBatch represents one group commit: the key mutations (in call order)
 // accumulated since the previous flush took over. Every mutator whose op
 // rides in the batch blocks on done; exactly one of them (or the previous
-// committer, via lead) performs the flush.
+// committer, via lead) performs the flush. An op returns whether it changed
+// the table — an all-no-op batch elides the register write.
 type commitBatch struct {
-	ops  []func(*storeShard)
+	ops  []func(*storeShard) bool
 	done chan struct{} // closed when the covering flush completes
 	lead chan struct{} // capacity 1: the handoff token making its receiver the committer
 	err  error         // the covering flush's result; valid after done is closed
@@ -170,11 +203,13 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 	}
 	w := s.c.writerReg(reg, cur.TS)
 	return &storeShard{
-		table:  table,
-		keys:   shard.SortedKeys(table),
-		lastTS: cur.TS,
-		pool:   shard.NewPool(readers),
-		modify: w.modifyPair,
+		table:      table,
+		keys:       shard.SortedKeys(table),
+		lastTS:     cur.TS,
+		pool:       shard.NewPool(readers),
+		modify:     w.modifyPair,
+		writeClean: w.writeCleanPair,
+		validate:   w.validateClean,
 	}, nil
 }
 
@@ -189,31 +224,43 @@ func (s *Store) ShardOf(key string) int { return s.router.Locate(key) }
 // into the same batch; Put returns when that flush completes. Concurrent
 // Puts of the same key — from this or any other process with a distinct
 // WriterID — are concurrent register writes: one value survives, atomically.
+// A Put of the value the key already holds is a no-op mutation: alone in a
+// batch it commits with a single freshness-validation round and no register
+// write (the round certifies the cached value is still current, which is
+// where the no-op linearizes).
 func (s *Store) Put(key, value string) error {
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return err
 	}
-	return sh.mutate(func(sh *storeShard) {
-		if _, ok := sh.table[key]; !ok {
-			sh.keys = shard.InsertSorted(sh.keys, key)
+	return sh.mutate(func(sh *storeShard) bool {
+		if cur, ok := sh.table[key]; ok {
+			if cur == value {
+				return false
+			}
+			sh.table[key] = value
+			return true
 		}
+		sh.keys = shard.InsertSorted(sh.keys, key)
 		sh.table[key] = value
+		return true
 	})
 }
 
 // Delete removes key (a write of the shard table without it). Deleting an
-// absent key is a no-op write.
+// absent key is a no-op mutation (validated, not written — see Put).
 func (s *Store) Delete(key string) error {
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return err
 	}
-	return sh.mutate(func(sh *storeShard) {
-		if _, ok := sh.table[key]; ok {
-			sh.keys = shard.RemoveSorted(sh.keys, key)
-			delete(sh.table, key)
+	return sh.mutate(func(sh *storeShard) bool {
+		if _, ok := sh.table[key]; !ok {
+			return false
 		}
+		sh.keys = shard.RemoveSorted(sh.keys, key)
+		delete(sh.table, key)
+		return true
 	})
 }
 
@@ -223,7 +270,7 @@ func (s *Store) Delete(key string) error {
 // whichever came last. The batch linearizes its mutations at its single
 // register write — per-key atomicity is preserved because each key's value
 // still changes only at register writes, in the order the ops applied.
-func (sh *storeShard) mutate(op func(*storeShard)) error {
+func (sh *storeShard) mutate(op func(*storeShard) bool) error {
 	sh.mu.Lock()
 	b := sh.next
 	if b == nil {
@@ -261,14 +308,83 @@ func (sh *storeShard) mutate(op func(*storeShard)) error {
 	return b.err
 }
 
-// flush commits batch b with one certified read-modify-write of the shard
-// register. If the read shows a timestamp other than the one this process
-// last flushed, a foreign writer advanced the register: rebase on its table
-// (the certified read's decision is genuine and at least as fresh as the
-// last complete write, so unlike the raw discovery round nothing here trusts
-// an uncertified reply). Then apply any ops from earlier failed flushes,
-// then the batch, and write the result at the successor timestamp.
+// slowFlushPenalty is how many flushes stay on the certified path after a
+// fast-path validation conflict before the fast path is probed again.
+// Sustained cross-process contention thus pays the optimistic round on at
+// most one flush in slowFlushPenalty+1, keeping contended throughput at the
+// certified path's level, while a single transient conflict costs only a
+// short window of 4-round flushes.
+const slowFlushPenalty = 8
+
+// flush commits batch b. Fast path (no penalty outstanding, no failed-flush
+// ops pending): apply the batch to the committer's cached table and try the
+// validated write — 3 rounds, or 1 validation round and NO register write
+// if every op was a no-op. A validation conflict (foreign
+// write landed) falls through to the certified read-modify-write, which
+// rebases: decode the certified current table, re-apply the ops (they are
+// plain set/delete closures, so re-application is idempotent and respects
+// call order), and write the merged result at the certified successor —
+// unless the re-applied batch changed nothing, in which case the write is
+// elided and the certified read alone linearizes it. Failed flushes park
+// their ops in uncommitted, which forces the certified path (and a real
+// write) until one succeeds.
 func (sh *storeShard) flush(b *commitBatch) error {
+	// dirty tracks whether the cached table differs from what the register
+	// held at lastTS once the ops are applied. Ops from failed flushes
+	// always count as dirty: their values may have reached some objects at
+	// an abandoned timestamp, so they must re-assert at a fresh one even if
+	// the cached table already reflects them.
+	dirty := false
+	applied := false
+	apply := func() {
+		dirty = dirty || len(sh.uncommitted) > 0
+		for _, op := range sh.uncommitted {
+			if op(sh) {
+				dirty = true
+			}
+		}
+		for _, op := range b.ops {
+			if op(sh) {
+				dirty = true
+			}
+		}
+		applied = true
+	}
+
+	if sh.writeClean != nil && sh.penalty == 0 && len(sh.uncommitted) == 0 {
+		apply()
+		if !dirty {
+			ok, err := sh.validate()
+			if err == nil && ok {
+				return nil
+			}
+			if err == nil {
+				// Validation conflict: enter the contention window exactly
+				// as the dirty branch does, so no-op-heavy workloads under
+				// sustained cross-process contention do not re-pay the
+				// failed probe round on every flush.
+				sh.penalty = slowFlushPenalty
+			}
+			// The certified path below re-checks from genuinely-read state
+			// (and surfaces round errors).
+		} else {
+			sh.enc = shard.AppendSorted(sh.enc[:0], sh.keys, sh.table)
+			p, ok, err := sh.writeClean(types.Value(sh.enc))
+			if err != nil {
+				sh.uncommitted = append(sh.uncommitted, b.ops...)
+				return err
+			}
+			if ok {
+				sh.lastTS = p.TS
+				return nil
+			}
+			sh.penalty = slowFlushPenalty
+		}
+	} else if sh.penalty > 0 {
+		sh.penalty--
+	}
+
+	rebased := false
 	p, err := sh.modify(func(cur types.Pair) (types.Value, error) {
 		if cur.TS != sh.lastTS {
 			t, err := shard.DecodeTable(string(cur.Val))
@@ -277,15 +393,29 @@ func (sh *storeShard) flush(b *commitBatch) error {
 				// returns values certified as genuinely written.
 				return "", fmt.Errorf("robustatomic: shard register holds corrupt table: %w", err)
 			}
+			// Rebase: the foreign table replaces the cached one (discarding
+			// any fast-path application of the ops) and the ops re-apply
+			// against it from scratch.
 			sh.table, sh.keys = t, shard.SortedKeys(t)
+			sh.lastTS = cur.TS
+			dirty, applied, rebased = false, false, true
 		}
-		for _, op := range sh.uncommitted {
-			op(sh)
+		if !applied {
+			apply()
 		}
-		for _, op := range b.ops {
-			op(sh)
+		if !dirty && !rebased {
+			// Elide only against OUR OWN completed head (or the recovery
+			// read's, which an atomic read's write-back already asserted):
+			// the certified read here is a regular read with no write-back,
+			// so a rebased-onto foreign pair may be an incomplete write that
+			// later atomic reads are permitted never to return — a no-op
+			// anchored on it could vanish. Writing the rebased table at a
+			// fresh successor (below) re-asserts it instead, exactly as the
+			// pre-adaptive flush always did.
+			return "", core.SkipWrite
 		}
-		return types.Value(shard.EncodeSorted(sh.keys, sh.table)), nil
+		sh.enc = shard.AppendSorted(sh.enc[:0], sh.keys, sh.table)
+		return types.Value(sh.enc), nil
 	})
 	if err != nil {
 		sh.uncommitted = append(sh.uncommitted, b.ops...)
