@@ -6,6 +6,7 @@ package robustatomic
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -699,6 +700,91 @@ func BenchmarkE12StoreFlush(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE13PipelinedStorePut measures the wire-generation-3 win: 256
+// concurrent putters over a 64-shard Store against 4 loopback TCP daemons,
+// once over the pipelined multiplexed transport (one connection per daemon,
+// demuxed by request ID, concurrent shard flushes coalesced into batched
+// frames) and once over the lock-step baseline (Options.LockStep — the
+// one-in-flight wire behavior of generations ≤ 2). Alongside ns/op the
+// benchmark reports the per-Put latency distribution (p50-ns, p99-ns):
+// pipelining must buy aggregate throughput without letting tail latency
+// blow up. scripts/benchdiff.sh additionally gates pipelined throughput at
+// ≥ 3x lock-step.
+func BenchmarkE13PipelinedStorePut(b *testing.B) {
+	const (
+		shards  = 64
+		clients = 256
+	)
+	for _, mode := range []string{"pipelined", "lockstep"} {
+		b.Run(mode, func(b *testing.B) {
+			var addrs []string
+			for i := 1; i <= 4; i++ {
+				s, err := tcpnet.NewServer(i, "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				addrs = append(addrs, s.Addr())
+			}
+			c, err := Connect(addrs, Options{Faults: 1, Readers: 1, Seed: 13, LockStep: mode == "lockstep"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			st, err := c.NewStore(StoreOptions{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, clients)
+			for i := range keys { // instantiate every shard up front
+				keys[i] = fmt.Sprintf("e13-key-%03d", i)
+				if err := st.Put(keys[i], "warm"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			lats := make([][]int64, clients)
+			for g := range lats {
+				lats[g] = make([]int64, 0, b.N/clients+1)
+			}
+			var ctr int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for g := 0; g < clients; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := atomic.AddInt64(&ctr, 1)
+						if i > int64(b.N) {
+							return
+						}
+						start := time.Now()
+						if err := st.Put(keys[int(i)%clients], fmt.Sprintf("v%d", i)); err != nil {
+							b.Error(err) // Fatal must not run off the benchmark goroutine
+							return
+						}
+						lats[g] = append(lats[g], time.Since(start).Nanoseconds())
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			var all []int64
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			if len(all) == 0 {
+				return
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			pct := func(p int) float64 { return float64(all[p*(len(all)-1)/100]) }
+			b.ReportMetric(pct(50), "p50-ns")
+			b.ReportMetric(pct(99), "p99-ns")
+		})
+	}
 }
 
 // BenchmarkSimRegularRead profiles the decision procedure's fault-set

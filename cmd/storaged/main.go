@@ -38,6 +38,11 @@
 //	stale       acknowledge writes but serve reads from a state frozen at
 //	            injection time, per register instance
 //	equivocate  split-brain: honest to the writer, stale to readers
+//
+// Orthogonally, -chaos-batch-drop and -chaos-batch-shuffle attack the
+// generation-3 batched wire frames specifically: drop individual
+// sub-bundles out of batched replies, or scramble their order, without
+// touching single-register traffic. They compose with any -chaos mode.
 package main
 
 import (
@@ -61,6 +66,8 @@ func main() {
 	chaos := flag.String("chaos", "", "Byzantine behavior: garbage | silent | flaky | stale | equivocate (empty = honest)")
 	chaosDrop := flag.Float64("chaos-drop", 0.5, "flaky: probability of dropping a reply")
 	chaosSeed := flag.Int64("chaos-seed", 1, "flaky: RNG seed for the drop pattern")
+	chaosBatchDrop := flag.Float64("chaos-batch-drop", 0, "probability of dropping each sub-bundle from a batched reply")
+	chaosBatchShuffle := flag.Bool("chaos-batch-shuffle", false, "scramble sub-bundle order in batched replies")
 	flag.Parse()
 
 	mode, err := persist.ParseFsyncMode(*fsync)
@@ -92,6 +99,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "storaged: unknown chaos mode %q\n", *chaos)
 		os.Exit(2)
+	}
+	if *chaosBatchDrop > 0 || *chaosBatchShuffle {
+		s.SetBatchChaos(rand.New(rand.NewSource(*chaosSeed)), *chaosBatchDrop, *chaosBatchShuffle)
 	}
 	durability := "volatile"
 	if *dataDir != "" {

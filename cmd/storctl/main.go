@@ -32,6 +32,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"robustatomic"
@@ -55,7 +57,7 @@ func main() {
 
 func run(servers string, t, readers, readerIdx, writerID, shards int, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | repair <object-id> | probe <object-id>")
+		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | repair <object-id> | probe <object-id>")
 	}
 	addrs := strings.Split(servers, ",")
 	if args[0] == "probe" {
@@ -150,6 +152,61 @@ func run(servers string, t, readers, readerIdx, writerID, shards int, args []str
 			return err
 		}
 		fmt.Printf("OK (shard %d/%d)\n", st.ShardOf(args[1]), st.Shards())
+		return nil
+	case "burst":
+		// burst hammers the store with <count> concurrent puts over ONE
+		// pipelined connection set: keys <prefix>:1..count, value v<i>. This
+		// is the integration-drill workload for the multiplexed wire — many
+		// rounds in flight per daemon connection, cross-shard flushes
+		// coalesced into batched frames — and it must ride out a daemon
+		// being kill -9'd and restarted mid-burst (the mux fails that
+		// connection's in-flight rounds, the quorum masks the loss, and the
+		// 1s-backoff redial folds the daemon back in).
+		if len(args) != 3 {
+			return fmt.Errorf("usage: storctl burst <prefix> <count>")
+		}
+		count, err := strconv.Atoi(args[2])
+		if err != nil || count < 1 {
+			return fmt.Errorf("burst: bad count %q", args[2])
+		}
+		st, err := cluster.NewStore(storeOpts)
+		if err != nil {
+			return err
+		}
+		const workers = 16
+		var (
+			next    atomic.Int64
+			firstMu sync.Mutex
+			first   error
+			wg      sync.WaitGroup
+		)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i > count {
+						return
+					}
+					key := fmt.Sprintf("%s:%d", args[1], i)
+					if err := st.Put(key, fmt.Sprintf("v%d", i)); err != nil {
+						firstMu.Lock()
+						if first == nil {
+							first = fmt.Errorf("put %s: %w", key, err)
+						}
+						firstMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if first != nil {
+			return first
+		}
+		fmt.Printf("OK burst: %d puts, %d workers, %v\n", count, workers, time.Since(start).Round(time.Millisecond))
 		return nil
 	case "repair":
 		if len(args) != 2 {

@@ -57,12 +57,23 @@ type request struct {
 	from    types.ProcID
 	reg     int // register instance addressed (0 = default register)
 	msg     types.Message
+	subs    []subExchange // batched round: per-instance sub-requests (nil = single)
 	replyTo chan<- reply
 }
 
-// reply tags a message with the responding object's id.
+// reply tags a message with the responding object's id. A batched round's
+// reply carries subs (per-instance sub-replies) and msg holds only the Seq
+// used to match the reply to its round.
 type reply struct {
-	sid int
+	sid  int
+	msg  types.Message
+	subs []subExchange
+}
+
+// subExchange is one register instance's share of a batched exchange, in
+// either direction (the in-process twin of wire.SubReq).
+type subExchange struct {
+	reg int
 	msg types.Message
 }
 
@@ -103,6 +114,33 @@ func (sp *serverProc) process(from types.ProcID, reg int, msg types.Message) (ty
 	rep, ok := behavior.Reply(sp.storeFor(reg), from, msg)
 	sp.mu.Unlock()
 	return rep, ok
+}
+
+// processBatch runs every sub-request of a batched round against its own
+// register instance in one pass under the object's mutex — the whole batch
+// is one received message, answered before any other is received. Withheld
+// sub-replies are simply absent from the result (a flaky object drops
+// individual sub-bundles); a fully-withheld batch reports !ok (silence).
+func (sp *serverProc) processBatch(from types.ProcID, subs []subExchange) ([]subExchange, bool) {
+	sp.mu.Lock()
+	behavior := server.Behavior(server.Honest{})
+	if sp.byz && sp.behavior != nil {
+		behavior = sp.behavior
+	}
+	out := make([]subExchange, 0, len(subs))
+	for _, sub := range subs {
+		rep, ok := behavior.Reply(sp.storeFor(sub.reg), from, sub.msg)
+		if !ok {
+			continue
+		}
+		rep.Seq = sub.msg.Seq
+		out = append(out, subExchange{reg: sub.reg, msg: rep})
+	}
+	sp.mu.Unlock()
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
 }
 
 // New starts a cluster of correct, empty storage objects.
@@ -204,6 +242,15 @@ func (c *Cluster) serve(sp *serverProc) {
 		case <-c.ctx.Done():
 			return
 		case req := <-sp.reqCh:
+			if len(req.subs) > 0 {
+				subs, ok := sp.processBatch(req.from, req.subs)
+				if !ok {
+					continue
+				}
+				seq := req.subs[0].msg.Seq
+				c.deliver(reply{sid: sp.id, msg: types.Message{Seq: seq}, subs: subs}, req.replyTo, c.delay())
+				continue
+			}
 			rep, ok := sp.process(req.from, req.reg, req.msg)
 			if !ok {
 				continue
@@ -297,20 +344,30 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 		break
 	}
 	for sid := 1; sid <= cl.c.NumServers(); sid++ {
-		msg := spec.Req(sid)
-		msg.Seq = seq
+		req := request{from: cl.proc, reg: cl.reg, replyTo: cl.replyCh}
+		if len(spec.Subs) > 0 {
+			req.subs = make([]subExchange, len(spec.Subs))
+			for i := range spec.Subs {
+				msg := spec.Subs[i].Req(sid)
+				msg.Seq = seq
+				req.subs[i] = subExchange{reg: spec.Subs[i].Reg, msg: msg}
+			}
+		} else {
+			req.msg = spec.Req(sid)
+			req.msg.Seq = seq
+		}
 		d := cl.c.delay()
 		cl.c.wg.Add(1)
-		go func(sid int, msg types.Message) {
+		go func(sid int, req request) {
 			defer cl.c.wg.Done()
 			if !cl.c.sleep(d) {
 				return
 			}
 			select {
-			case cl.c.server(sid).reqCh <- request{from: cl.proc, reg: cl.reg, msg: msg, replyTo: cl.replyCh}:
+			case cl.c.server(sid).reqCh <- req:
 			case <-cl.c.ctx.Done():
 			}
-		}(sid, msg)
+		}(sid, req)
 	}
 	return cl.roundAsync(spec, seq)
 }
@@ -327,6 +384,22 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 		return ErrClosed
 	}
 	for sid := 1; sid <= cl.c.NumServers(); sid++ {
+		if len(spec.Subs) > 0 {
+			subs := make([]subExchange, len(spec.Subs))
+			for i := range spec.Subs {
+				msg := spec.Subs[i].Req(sid)
+				msg.Seq = seq
+				subs[i] = subExchange{reg: spec.Subs[i].Reg, msg: msg}
+			}
+			out, ok := cl.c.server(sid).processBatch(cl.proc, subs)
+			if !ok {
+				continue
+			}
+			for _, rep := range out {
+				spec.AddSub(sid, rep.reg, rep.msg)
+			}
+			continue
+		}
 		msg := spec.Req(sid)
 		msg.Seq = seq
 		rep, ok := cl.c.server(sid).process(cl.proc, cl.reg, msg)
@@ -336,11 +409,24 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 		rep.Seq = seq
 		spec.Acc.Add(sid, rep)
 	}
-	if !spec.Acc.Done() {
+	if !spec.Done() {
 		return fmt.Errorf("%w: %s (all correct replies delivered inline)", ErrRoundStuck, spec.Label)
 	}
 	cl.Rounds++
 	return nil
+}
+
+// integrate feeds one matched reply into the spec: a batched reply's
+// sub-bundles route to their sub-rounds by register instance, a single
+// reply feeds the accumulator directly.
+func integrate(spec *proto.RoundSpec, rep reply) {
+	if len(rep.subs) > 0 {
+		for _, sub := range rep.subs {
+			spec.AddSub(rep.sid, sub.reg, sub.msg)
+		}
+		return
+	}
+	spec.Acc.Add(rep.sid, rep.msg)
 }
 
 // roundAsync integrates replies arriving through the reply channel (the
@@ -363,8 +449,8 @@ func (cl *Client) roundAsync(spec proto.RoundSpec, seq int) error {
 				continue // late reply from an earlier round: received, ignored
 			}
 			received++
-			spec.Acc.Add(rep.sid, rep.msg)
-			if spec.Acc.Done() {
+			integrate(&spec, rep)
+			if spec.Done() {
 				cl.Rounds++
 				return nil
 			}
@@ -385,8 +471,8 @@ func (cl *Client) roundAsync(spec proto.RoundSpec, seq int) error {
 				continue // late reply from an earlier round: received, ignored
 			}
 			received++
-			spec.Acc.Add(rep.sid, rep.msg)
-			if spec.Acc.Done() {
+			integrate(&spec, rep)
+			if spec.Done() {
 				cl.Rounds++
 				return nil
 			}

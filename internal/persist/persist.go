@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"robustatomic/internal/server"
+	"robustatomic/internal/types"
 	"robustatomic/internal/wire"
 )
 
@@ -292,12 +293,24 @@ func (e *Engine) Recover() (map[int]*server.Store, error) {
 	for i, w := range e.replays {
 		last := i == len(e.replays)-1
 		n, err := replayWAL(w.path, last, func(req wire.Request) error {
-			st := stores[req.Reg]
-			if st == nil {
-				st = server.NewStore()
-				stores[req.Reg] = st
+			apply := func(reg int, msg types.Message) {
+				st := stores[reg]
+				if st == nil {
+					st = server.NewStore()
+					stores[reg] = st
+				}
+				st.Handle(req.From, msg)
 			}
-			st.Handle(req.From, req.Msg)
+			if len(req.Subs) > 0 {
+				// A batch envelope logs many register instances' mutations as
+				// one record; replay each sub against its own instance (the
+				// server sanitized instance numbers before appending).
+				for _, sub := range req.Subs {
+					apply(sub.Reg, sub.Msg)
+				}
+				return nil
+			}
+			apply(req.Reg, req.Msg)
 			return nil
 		})
 		if err != nil {

@@ -30,7 +30,12 @@ type Accumulator interface {
 	Done() bool
 }
 
-// RoundSpec describes one communication round.
+// RoundSpec describes one communication round. A spec drives either ONE
+// register instance (Req/Acc) or MANY (Subs — a batched round whose
+// per-register sub-rounds share one physical message exchange per object;
+// when Subs is non-empty, Req and Acc are ignored). Batched rounds exist so
+// concurrent flushes of different Store shards coalesce into one frame per
+// daemon; only the batch-capable runtimes (live, tcpnet) accept them.
 type RoundSpec struct {
 	// Label names the round for traces and diagrams (e.g. "PREWRITE").
 	Label string
@@ -38,6 +43,49 @@ type RoundSpec struct {
 	Req func(sid int) types.Message
 	// Acc receives replies and decides termination.
 	Acc Accumulator
+	// Subs holds the per-register sub-rounds of a batched round. Register
+	// instances must be distinct within one batch (a reply sub-bundle is
+	// routed to its sub-round by register instance).
+	Subs []SubRound
+}
+
+// SubRound is one register instance's share of a batched round.
+type SubRound struct {
+	// Reg is the register instance the sub-round addresses.
+	Reg int
+	// Label names the merged-in round (diagnostics; the per-register
+	// Observe hook above the Combiner reports the original spec's label).
+	Label string
+	// Req builds the sub-request for object sid.
+	Req func(sid int) types.Message
+	// Acc receives this sub-round's replies and decides its termination.
+	Acc Accumulator
+}
+
+// Done reports whether the spec's round may terminate: the accumulator is
+// satisfied, or — for a batched round — every sub-round's accumulator is.
+func (s *RoundSpec) Done() bool {
+	if len(s.Subs) == 0 {
+		return s.Acc.Done()
+	}
+	for i := range s.Subs {
+		if !s.Subs[i].Acc.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// AddSub feeds one sub-bundle of a batched reply — object sid's reply for
+// register instance reg — to the matching sub-round's accumulator. Bundles
+// for instances the batch never asked about are ignored (a Byzantine object
+// cannot widen the round).
+func (s *RoundSpec) AddSub(sid, reg int, m types.Message) {
+	for i := range s.Subs {
+		if s.Subs[i].Reg == reg {
+			s.Subs[i].Acc.Add(sid, m)
+		}
+	}
 }
 
 // Rounder executes rounds on behalf of a client. Implementations:

@@ -233,6 +233,11 @@ func (c *Client) Round(spec proto.RoundSpec) error {
 	if op.crashed {
 		return ErrCrashed
 	}
+	if len(spec.Subs) > 0 {
+		// Batched rounds belong to the Store's cross-shard coalescing; the
+		// simulator drives single-register protocols only.
+		return fmt.Errorf("sim: batched round %s not supported", spec.Label)
+	}
 	op.seq++
 	pr := &pendingRound{spec: spec, seq: op.seq, reqs: make(map[int]types.Message, op.sim.NumServers())}
 	for sid := 1; sid <= op.sim.NumServers(); sid++ {

@@ -21,7 +21,7 @@ type Direct struct {
 	enc     *wire.Encoder
 	dec     *wire.Decoder
 	timeout time.Duration
-	seq     int
+	id      uint64
 }
 
 // DialDirect connects to one object. timeout bounds the dial and each
@@ -40,12 +40,13 @@ func DialDirect(addr string, timeout time.Duration) (*Direct, error) {
 // Close releases the connection.
 func (d *Direct) Close() { d.conn.Close() }
 
-// exchange sends one message to register instance reg and awaits the reply.
+// exchange sends one tagged message to register instance reg and awaits
+// the reply echoing its request ID.
 func (d *Direct) exchange(from types.ProcID, reg int, m types.Message) (types.Message, error) {
 	d.conn.SetDeadline(time.Now().Add(d.timeout))
-	d.seq++
-	m.Seq = d.seq
-	if err := d.enc.EncodeRequest(wire.Request{From: from, Reg: reg, Msg: m}); err != nil {
+	d.id++
+	m.Seq = int(d.id)
+	if err := d.enc.EncodeRequest(wire.Request{ID: d.id, From: from, Reg: reg, Msg: m}); err != nil {
 		return types.Message{}, err
 	}
 	for {
@@ -53,7 +54,7 @@ func (d *Direct) exchange(from types.ProcID, reg int, m types.Message) (types.Me
 		if err != nil {
 			return types.Message{}, err
 		}
-		if rsp.Msg.Seq == d.seq {
+		if rsp.ID == d.id {
 			return rsp.Msg, nil
 		}
 	}

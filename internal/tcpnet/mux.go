@@ -1,0 +1,590 @@
+// The multiplexed client transport (wire generation 3).
+//
+// A Mux owns one TCP connection per storage object and pipelines any number
+// of concurrent protocol rounds over it. Per connection there are exactly
+// two goroutines: a writer that owns the encoder and drains a send queue
+// (greedily, flushing once the queue runs dry, so a burst of requests
+// coalesces into few syscalls), and a reader that decodes responses and
+// routes each to its waiter by the request ID the frame carries. Rounds
+// register one waiter per request before it is enqueued and deregister
+// whatever they still own when they return, so:
+//
+//   - replies complete out of order (the demux table, not FIFO, matches them);
+//   - a reply for an abandoned waiter (timed-out round) finds no table entry
+//     and is dropped without blocking the reader or leaking the slot;
+//   - connection loss fails all of that connection's in-flight waiters with
+//     ErrConnLost immediately instead of letting them burn their deadlines.
+//
+// Waiter delivery can never block: a round's reply channel has capacity for
+// every waiter the round registered, and each waiter delivers at most once
+// (it is removed from the table before the send). The dial state machine is
+// the lock-step client's, unchanged: first contact (and first contact after
+// an established connection drops) dials synchronously, a failed dial puts
+// the object in a 1s backoff window during which rounds skip it, and after
+// the window redials run in the background.
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustatomic/internal/proto"
+	"robustatomic/internal/types"
+	"robustatomic/internal/wire"
+)
+
+// ErrRoundTimeout is returned when a round cannot gather sufficient replies.
+var ErrRoundTimeout = errors.New("tcpnet: round timed out")
+
+// ErrConnLost is the distinct failure of in-flight requests whose
+// connection died (peer reset, encode error, dropConn): rounds observe it
+// immediately, well before their deadline, and can tell a lost connection
+// from a slow quorum.
+var ErrConnLost = errors.New("tcpnet: connection lost with requests in flight")
+
+// errClientClosed is returned by rounds after Close.
+var errClientClosed = errors.New("tcpnet: client closed")
+
+// errDialPending is returned by connFor while a (re)dial is in flight.
+var errDialPending = errors.New("tcpnet: dial in progress")
+
+// errObjectDown is returned by connFor while a recently-failed object is in
+// its redial backoff window.
+var errObjectDown = errors.New("tcpnet: object unreachable, in dial backoff")
+
+// dialTimeout bounds one connection attempt.
+const dialTimeout = 2 * time.Second
+
+// DialBackoff is how long after a failed dial the client waits before
+// trying that object again. During the window, rounds skip the object
+// immediately instead of stalling on a fresh dial — one unreachable object
+// must not add dial latency to every round. (Exported so restart drills
+// can wait out exactly this window.)
+const DialBackoff = 1 * time.Second
+
+// sendQueueDepth is the per-connection send queue; senders beyond it block
+// (backpressure) until the writer drains.
+const sendQueueDepth = 128
+
+// Mux is the multiplexed transport to a set of object addresses
+// (addresses[i] serves object i+1). Any number of Clients — and any number
+// of concurrent rounds — share it; thousands of register operations share
+// one connection per daemon.
+type Mux struct {
+	addrs       []string
+	maxInFlight int // ≤0 = unlimited; 1 reproduces lock-step
+	nextID      atomic.Uint64
+
+	mu     sync.Mutex
+	conns  []*muxConn
+	dials  []dialState
+	closed bool
+	done   chan struct{} // closed by Close
+}
+
+// dialState tracks one object's connection attempts. A zero failedAt means
+// the next attempt dials synchronously (first contact, or after an
+// established connection dropped — the common case of a healthy peer);
+// after a failed dial, retries run in the background at most once per
+// backoff window so rounds never block on a dead peer.
+type dialState struct {
+	failedAt time.Time
+	inflight bool
+	// syncDone is non-nil while a synchronous dial is in flight; concurrent
+	// rounds sharing the mux wait on it instead of skipping a peer that is a
+	// few microseconds from connected (the lock-step client never had this
+	// race — a private connection is only ever dialed by its own round).
+	syncDone chan struct{}
+}
+
+// muxConn is one live connection and its demux state.
+type muxConn struct {
+	sid    int
+	conn   net.Conn
+	sendCh chan wire.Request
+	slots  chan struct{} // in-flight semaphore; nil = unlimited
+	down   chan struct{} // closed on teardown
+	closer sync.Once
+
+	mu      sync.Mutex
+	dead    bool
+	waiters map[uint64]chan muxReply
+}
+
+// muxReply is what the demux delivers to a round: a decoded response (with
+// the server identity pinned to the connection it arrived on) or the
+// failure of the request's connection.
+type muxReply struct {
+	sid  int
+	msg  types.Message
+	subs []wire.SubReq
+	err  error
+}
+
+// NewMux returns a Mux with unlimited pipelining.
+func NewMux(addrs []string) *Mux { return NewMuxLimited(addrs, 0) }
+
+// NewMuxLimited returns a Mux allowing at most maxInFlight in-flight
+// requests per connection (≤0 for unlimited). maxInFlight 1 reproduces the
+// lock-step behavior of wire generations ≤2 — the E13 baseline and a
+// conservative escape hatch.
+func NewMuxLimited(addrs []string, maxInFlight int) *Mux {
+	return &Mux{
+		addrs:       addrs,
+		maxInFlight: maxInFlight,
+		conns:       make([]*muxConn, len(addrs)),
+		dials:       make([]dialState, len(addrs)),
+		done:        make(chan struct{}),
+	}
+}
+
+// NumServers returns S, the number of storage objects.
+func (m *Mux) NumServers() int { return len(m.addrs) }
+
+// Close tears down every connection, failing all in-flight waiters.
+func (m *Mux) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.done)
+	conns := append([]*muxConn(nil), m.conns...)
+	m.mu.Unlock()
+	for _, mc := range conns {
+		if mc != nil {
+			m.teardown(mc, errClientClosed)
+		}
+	}
+}
+
+// Client returns a round executor for proc against register instance reg,
+// sharing this Mux's connections with every other handle.
+func (m *Mux) Client(proc types.ProcID, reg int) *Client {
+	return &Client{Proc: proc, RoundTimeout: 5 * time.Second, mux: m, reg: reg}
+}
+
+// connFor returns the live connection to object sid, dialing if needed
+// (see dialState for the synchronous/backoff/background policy).
+func (m *Mux) connFor(sid int) (*muxConn, error) {
+	for {
+		mc, wait, err := m.connOrWait(sid)
+		if wait == nil {
+			return mc, err
+		}
+		<-wait // a synchronous dial is in flight; adopt its outcome
+	}
+}
+
+// connOrWait is connFor's locked step: it returns a connection, an error,
+// or a channel to wait on while another round's synchronous dial completes.
+func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
+	m.mu.Lock()
+	if mc := m.conns[sid-1]; mc != nil {
+		m.mu.Unlock()
+		return mc, nil, nil
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return nil, nil, errClientClosed
+	}
+	ds := &m.dials[sid-1]
+	if ds.inflight {
+		wait := ds.syncDone
+		m.mu.Unlock()
+		if wait != nil {
+			return nil, wait, nil
+		}
+		return nil, nil, errDialPending
+	}
+	if ds.failedAt.IsZero() {
+		ds.inflight = true
+		ds.syncDone = make(chan struct{})
+		m.mu.Unlock()
+		conn, err := net.DialTimeout("tcp", m.addrs[sid-1], dialTimeout)
+		m.mu.Lock()
+		ds.inflight = false
+		close(ds.syncDone)
+		ds.syncDone = nil
+		mc, installErr := m.installLocked(sid, conn, err)
+		m.mu.Unlock()
+		if installErr != nil {
+			return nil, nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, installErr)
+		}
+		return mc, nil, nil
+	}
+	if time.Since(ds.failedAt) < DialBackoff {
+		m.mu.Unlock()
+		return nil, nil, errObjectDown
+	}
+	// Backoff expired: retry in the background; this round still skips the
+	// object, the next one uses the connection if the dial succeeded.
+	ds.inflight = true
+	go func() {
+		conn, err := net.DialTimeout("tcp", m.addrs[sid-1], dialTimeout)
+		m.mu.Lock()
+		ds.inflight = false
+		m.installLocked(sid, conn, err)
+		m.mu.Unlock()
+	}()
+	m.mu.Unlock()
+	return nil, nil, errDialPending
+}
+
+// installLocked records the outcome of a dial attempt (under m.mu): on
+// success it installs the connection and starts its writer and reader
+// goroutines.
+func (m *Mux) installLocked(sid int, conn net.Conn, err error) (*muxConn, error) {
+	ds := &m.dials[sid-1]
+	if err != nil {
+		ds.failedAt = time.Now()
+		return nil, err
+	}
+	if m.closed {
+		conn.Close()
+		return nil, errClientClosed
+	}
+	ds.failedAt = time.Time{}
+	mc := &muxConn{
+		sid:     sid,
+		conn:    conn,
+		sendCh:  make(chan wire.Request, sendQueueDepth),
+		down:    make(chan struct{}),
+		waiters: make(map[uint64]chan muxReply),
+	}
+	if m.maxInFlight > 0 {
+		mc.slots = make(chan struct{}, m.maxInFlight)
+	}
+	m.conns[sid-1] = mc
+	go m.writeLoop(mc)
+	go m.readLoop(mc)
+	return mc, nil
+}
+
+// teardown kills one connection: the socket closes, the conn detaches from
+// the table with its dial state reset (an established connection died — the
+// peer is probably still up, so the next round dials synchronously; if it
+// is not, that dial's failure opens the backoff window), and every
+// in-flight waiter fails with err. Idempotent — the reader, the writer,
+// dropConn and Close may race into it.
+func (m *Mux) teardown(mc *muxConn, err error) {
+	mc.closer.Do(func() {
+		close(mc.down)
+		mc.conn.Close()
+	})
+	m.mu.Lock()
+	if m.conns[mc.sid-1] == mc {
+		m.conns[mc.sid-1] = nil
+		m.dials[mc.sid-1] = dialState{}
+	}
+	m.mu.Unlock()
+	mc.mu.Lock()
+	ws := mc.waiters
+	mc.waiters = nil
+	mc.dead = true
+	mc.mu.Unlock()
+	for _, ch := range ws {
+		ch <- muxReply{sid: mc.sid, err: err}
+	}
+}
+
+// writeLoop owns the connection's encoder: it drains the send queue
+// greedily into a buffered writer and flushes when the queue runs dry, so
+// pipelined bursts cost few syscalls.
+func (m *Mux) writeLoop(mc *muxConn) {
+	bw := bufio.NewWriterSize(mc.conn, 64<<10)
+	enc := wire.NewEncoder(bw)
+	for {
+		select {
+		case req := <-mc.sendCh:
+			for {
+				if err := enc.EncodeRequest(req); err != nil {
+					m.teardown(mc, fmt.Errorf("%w (send s%d: %v)", ErrConnLost, mc.sid, err))
+					return
+				}
+				select {
+				case req = <-mc.sendCh:
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				m.teardown(mc, fmt.Errorf("%w (send s%d: %v)", ErrConnLost, mc.sid, err))
+				return
+			}
+		case <-mc.down:
+			return
+		case <-m.done:
+			m.teardown(mc, errClientClosed)
+			return
+		}
+	}
+}
+
+// readLoop decodes responses and routes each to its waiter by request ID.
+// The object's identity is the connection it answered on, not the Server
+// field it claims: a Byzantine daemon must not be able to cast votes as
+// some other (correct) object. A response whose ID has no waiter — the
+// round timed out and deregistered, or the peer forged an ID — is dropped
+// on the spot; delivery to a live waiter cannot block (see the package
+// comment), so one slow round never stalls the demux.
+func (m *Mux) readLoop(mc *muxConn) {
+	dec := wire.NewDecoder(mc.conn)
+	for {
+		rsp, err := dec.DecodeResponse()
+		if err != nil {
+			m.teardown(mc, fmt.Errorf("%w (recv s%d: %v)", ErrConnLost, mc.sid, err))
+			return
+		}
+		mc.mu.Lock()
+		ch, ok := mc.waiters[rsp.ID]
+		if ok {
+			delete(mc.waiters, rsp.ID)
+		}
+		mc.mu.Unlock()
+		if !ok {
+			continue // abandoned or forged ID: discarded, slot already freed
+		}
+		ch <- muxReply{sid: mc.sid, msg: rsp.Msg, subs: rsp.Subs}
+		mc.release()
+	}
+}
+
+// release frees one in-flight slot. Called exactly once per registered
+// waiter, by whoever removes it from the table (reader on delivery, round
+// on deregistration); teardown skips it because the dead connection's
+// semaphore is irrelevant and blocked acquirers watch down.
+func (mc *muxConn) release() {
+	if mc.slots != nil {
+		<-mc.slots
+	}
+}
+
+// send registers the round's waiter for req.ID and enqueues the request on
+// object sid's connection, dialing it first if needed.
+func (m *Mux) send(sid int, req wire.Request, replyCh chan muxReply) (*muxConn, error) {
+	mc, err := m.connFor(sid)
+	if err != nil {
+		return nil, err
+	}
+	if mc.slots != nil {
+		select {
+		case mc.slots <- struct{}{}:
+		case <-mc.down:
+			return nil, ErrConnLost
+		case <-m.done:
+			return nil, errClientClosed
+		}
+	}
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return nil, ErrConnLost
+	}
+	mc.waiters[req.ID] = replyCh
+	mc.mu.Unlock()
+	select {
+	case mc.sendCh <- req:
+	case <-mc.down:
+		// The connection died between registration and enqueue. Teardown
+		// already failed this waiter (registration checked dead under the
+		// same mutex teardown collects under), so the round observes
+		// ErrConnLost through the reply channel like any in-flight request.
+	}
+	return mc, nil
+}
+
+// round runs one communication round over the mux: one tagged request per
+// object (single or batch form, per the spec), replies demultiplexed by ID
+// and integrated as they arrive, out of order across concurrent rounds.
+func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec proto.RoundSpec) error {
+	n := len(m.addrs)
+	// Capacity n: every registered waiter delivers at most once, so sends
+	// to this channel can never block even after the round abandons it.
+	replyCh := make(chan muxReply, n)
+	type sent struct {
+		mc *muxConn
+		id uint64
+	}
+	var pending []sent
+	// Deregister every waiter the round still owns on exit: a late reply
+	// must find no slot (the reader drops it), and the in-flight slot must
+	// not leak.
+	defer func() {
+		for _, p := range pending {
+			p.mc.mu.Lock()
+			_, owned := p.mc.waiters[p.id]
+			if owned {
+				delete(p.mc.waiters, p.id)
+			}
+			p.mc.mu.Unlock()
+			if owned {
+				p.mc.release()
+			}
+		}
+	}()
+	outstanding := 0
+	for sid := 1; sid <= n; sid++ {
+		req := wire.Request{ID: m.nextID.Add(1), From: proc}
+		// Seq is vestigial on this transport (matching is by ID) but the
+		// automata echo it, so stamp something round-unique for traces.
+		seq := int(req.ID & (1<<30 - 1))
+		if len(spec.Subs) > 0 {
+			req.Subs = make([]wire.SubReq, len(spec.Subs))
+			for i := range spec.Subs {
+				msg := spec.Subs[i].Req(sid)
+				msg.Seq = seq
+				req.Subs[i] = wire.SubReq{Reg: spec.Subs[i].Reg, Msg: msg}
+			}
+		} else {
+			req.Reg = reg
+			req.Msg = spec.Req(sid)
+			req.Msg.Seq = seq
+		}
+		mc, err := m.send(sid, req, replyCh)
+		if err != nil {
+			continue // unreachable object: counted as faulty
+		}
+		pending = append(pending, sent{mc, req.ID})
+		outstanding++
+	}
+	if outstanding == 0 {
+		return fmt.Errorf("%w: %s: no object reachable", ErrConnLost, spec.Label)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	lost := 0
+	for {
+		select {
+		case r := <-replyCh:
+			outstanding--
+			if r.err != nil {
+				lost++
+			} else if len(r.subs) > 0 {
+				for _, sub := range r.subs {
+					spec.AddSub(r.sid, sub.Reg, sub.Msg)
+				}
+			} else {
+				spec.Acc.Add(r.sid, r.msg)
+			}
+			if r.err == nil && spec.Done() {
+				return nil
+			}
+			if outstanding == 0 {
+				// Every in-flight request resolved (reply or connection
+				// loss) and the accumulators are still unsatisfied: no
+				// later delivery can complete this round. Withheld replies
+				// keep their waiters outstanding, so this fires only when
+				// nothing more can arrive.
+				if lost > 0 {
+					return fmt.Errorf("%w: %s: %d of %d requests failed", ErrConnLost, spec.Label, lost, n)
+				}
+				return fmt.Errorf("%w: %s: all replies in, accumulator unsatisfied", ErrRoundTimeout, spec.Label)
+			}
+		case <-deadline.C:
+			return fmt.Errorf("%w: %s", ErrRoundTimeout, spec.Label)
+		case <-m.done:
+			return errClientClosed
+		}
+	}
+}
+
+// dropConn tears down the connection to object sid, failing all of its
+// in-flight waiters with ErrConnLost immediately. The dial state resets so
+// the next round redials synchronously (the peer is probably still up).
+func (m *Mux) dropConn(sid int) {
+	m.mu.Lock()
+	mc := m.conns[sid-1]
+	m.mu.Unlock()
+	if mc != nil {
+		m.teardown(mc, fmt.Errorf("%w (s%d dropped)", ErrConnLost, sid))
+	}
+}
+
+// pendingWaiters counts in-flight waiters across all connections
+// (instrumentation; leak assertions in tests).
+func (m *Mux) pendingWaiters() int {
+	m.mu.Lock()
+	conns := append([]*muxConn(nil), m.conns...)
+	m.mu.Unlock()
+	total := 0
+	for _, mc := range conns {
+		if mc == nil {
+			continue
+		}
+		mc.mu.Lock()
+		total += len(mc.waiters)
+		mc.mu.Unlock()
+	}
+	return total
+}
+
+// Client executes protocol rounds for one process against one register
+// instance, over a Mux (its own, or one shared with other handles via
+// Mux.Client). Operations are issued one at a time per handle; any number
+// of handles run concurrently over a shared Mux.
+type Client struct {
+	Proc         types.ProcID
+	RoundTimeout time.Duration // default 5s
+
+	mux   *Mux
+	owned bool // Close tears the mux down (private mux constructors)
+	reg   int
+	// Rounds counts completed rounds (instrumentation).
+	Rounds int
+}
+
+var _ proto.Rounder = (*Client)(nil)
+
+// NewClient returns a round executor for proc against the given addresses,
+// addressing the default register (instance 0), on a private pipelined Mux.
+func NewClient(proc types.ProcID, addrs []string) *Client {
+	return NewClientReg(proc, addrs, 0)
+}
+
+// NewClientReg returns a round executor for proc against register instance
+// reg of the given objects, on a private pipelined Mux.
+func NewClientReg(proc types.ProcID, addrs []string, reg int) *Client {
+	c := NewMux(addrs).Client(proc, reg)
+	c.owned = true
+	return c
+}
+
+// NewLockStepClientReg returns a round executor whose private Mux allows a
+// single in-flight request per connection — the wire behavior of
+// generations ≤2, kept as the E13 baseline and an escape hatch.
+func NewLockStepClientReg(proc types.ProcID, addrs []string, reg int) *Client {
+	c := NewMuxLimited(addrs, 1).Client(proc, reg)
+	c.owned = true
+	return c
+}
+
+// NumServers implements proto.Rounder.
+func (c *Client) NumServers() int { return c.mux.NumServers() }
+
+// Close tears down the client's private Mux; a no-op for handles on a
+// shared Mux (close the Mux itself).
+func (c *Client) Close() {
+	if c.owned {
+		c.mux.Close()
+	}
+}
+
+// Round implements proto.Rounder.
+func (c *Client) Round(spec proto.RoundSpec) error {
+	err := c.mux.round(c.Proc, c.reg, c.RoundTimeout, spec)
+	if err == nil {
+		c.Rounds++
+	}
+	return err
+}

@@ -35,13 +35,14 @@ func restartServer(t *testing.T, id int, addr string, opts ServerOptions) *Serve
 // the background redial to adopt the recovered connection.
 func forceRedial(t *testing.T, c *Client, sid int) {
 	t.Helper()
-	c.mu.Lock()
-	c.dials[sid-1].failedAt = time.Now().Add(-2 * DialBackoff)
-	c.mu.Unlock()
+	m := c.mux
+	m.mu.Lock()
+	m.dials[sid-1].failedAt = time.Now().Add(-2 * DialBackoff)
+	m.mu.Unlock()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		cc, err := c.conn(sid)
-		if err == nil && cc != nil {
+		mc, err := m.connFor(sid)
+		if err == nil && mc != nil {
 			return
 		}
 		if time.Now().After(deadline) {

@@ -7,17 +7,15 @@ package tcpnet
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
 	"time"
 
 	"robustatomic/internal/persist"
-	"robustatomic/internal/proto"
 	"robustatomic/internal/server"
-	"robustatomic/internal/types"
 	"robustatomic/internal/wire"
 )
 
@@ -97,6 +95,12 @@ type Server struct {
 	mu       sync.Mutex
 	stores   map[int]*server.Store
 	behavior server.Behavior
+	// Batch-level fault injection (SetBatchChaos): independent drop
+	// probability per sub-reply, optional shuffle of the surviving
+	// sub-replies within the response frame.
+	batchRng     *rand.Rand
+	batchDrop    float64
+	batchShuffle bool
 }
 
 // NewServer starts serving object id on addr ("host:port"; ":0" picks a free
@@ -174,6 +178,20 @@ func (s *Server) SetBehavior(b server.Behavior) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.behavior = b
+}
+
+// SetBatchChaos injects batch-level faults: each sub-reply of a batched
+// response is independently dropped with probability drop, and the
+// surviving sub-replies are shuffled within the frame when shuffle is set
+// (clients must route sub-bundles by register instance, not position). A
+// nil rng disables batch chaos. Orthogonal to SetBehavior, which acts on
+// individual messages.
+func (s *Server) SetBatchChaos(rng *rand.Rand, drop float64, shuffle bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchRng = rng
+	s.batchDrop = drop
+	s.batchShuffle = shuffle
 }
 
 // Close stops the server, waits for its connections to drain, and seals the
@@ -266,302 +284,147 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if req.Reg < 0 || req.Reg >= MaxRegisters {
-			continue // invalid instance: the client sees silence
+		var rsp wire.Response
+		var send bool
+		if len(req.Subs) > 0 {
+			rsp, send = s.handleBatch(req)
+		} else {
+			rsp, send = s.handleSingle(req)
 		}
-		// Log state-mutating requests before the reply leaves: once a client
-		// counts this object's ack toward a quorum, the state change must
-		// survive a restart, or an honest crash becomes an amnesia fault and
-		// silently burns the t-budget. The append+apply pair runs under the
-		// apply read-lock so compaction (which holds the write lock) never
-		// snapshots between a sealed record and its state change.
-		mutating := s.persist != nil && server.Mutates(req.Msg)
-		if mutating {
-			s.applyMu.RLock()
-			if err := s.persist.Append(req); err != nil {
-				s.applyMu.RUnlock()
-				// An unloggable mutation must not be acked or applied: the
-				// client sees silence, indistinguishable from slowness.
-				s.warnf(&s.warnAppend, "s%d: wal append: %v", s.ID, err)
-				continue
-			}
-		}
-		s.mu.Lock()
-		st, found := s.stores[req.Reg]
-		if !found {
-			st = server.NewStore()
-			s.stores[req.Reg] = st
-		}
-		b := s.behavior
-		if b == nil {
-			b = server.Honest{}
-		}
-		reply, ok := b.Reply(st, req.From, req.Msg)
-		s.mu.Unlock()
-		if mutating {
-			s.applyMu.RUnlock()
-		}
-		if !ok {
+		if !send {
 			continue // withheld reply: the client sees silence
 		}
-		reply.Seq = req.Msg.Seq
-		if err := enc.EncodeResponse(wire.Response{Server: s.ID, Msg: reply}); err != nil {
+		rsp.ID = req.ID
+		rsp.Server = s.ID
+		if err := enc.EncodeResponse(rsp); err != nil {
 			return
 		}
 	}
 }
 
-// ErrRoundTimeout is returned when a round cannot gather sufficient replies.
-var ErrRoundTimeout = errors.New("tcpnet: round timed out")
-
-// errDialPending is returned by conn while a (re)dial is in flight.
-var errDialPending = errors.New("tcpnet: dial in progress")
-
-// errObjectDown is returned by conn while a recently-failed object is in its
-// redial backoff window.
-var errObjectDown = errors.New("tcpnet: object unreachable, in dial backoff")
-
-// dialTimeout bounds one connection attempt.
-const dialTimeout = 2 * time.Second
-
-// DialBackoff is how long after a failed dial the client waits before
-// trying that object again. During the window, rounds skip the object
-// immediately instead of stalling on a fresh dial — one unreachable object
-// must not add dial latency to every round. (Exported so restart drills
-// can wait out exactly this window.)
-const DialBackoff = 1 * time.Second
-
-// Client executes protocol rounds against a set of object addresses
-// (addresses[i] serves object i+1). One Client serves one logical process
-// against one register instance; operations are issued one at a time.
-type Client struct {
-	Proc         types.ProcID
-	RoundTimeout time.Duration // default 5s
-
-	addrs   []string
-	reg     int
-	mu      sync.Mutex
-	conns   []*clientConn
-	dials   []dialState
-	closed  bool
-	done    chan struct{} // closed by Close; releases blocked reader sends
-	replyCh chan wire.Response
-	seq     int
-	// Rounds counts completed rounds (instrumentation).
-	Rounds int
-}
-
-type clientConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *wire.Encoder
-}
-
-// dialState tracks one object's connection attempts. A zero failedAt means
-// the next attempt dials synchronously (first contact, or after an
-// established connection dropped — the common case of a healthy peer);
-// after a failed dial, retries run in the background at most once per
-// backoff window so rounds never block on a dead peer.
-type dialState struct {
-	failedAt time.Time
-	inflight bool
-}
-
-// NewClient returns a round executor for proc against the given addresses,
-// addressing the default register (instance 0).
-func NewClient(proc types.ProcID, addrs []string) *Client {
-	return NewClientReg(proc, addrs, 0)
-}
-
-// NewClientReg returns a round executor for proc against register instance
-// reg of the given objects.
-func NewClientReg(proc types.ProcID, addrs []string, reg int) *Client {
-	return &Client{
-		Proc:         proc,
-		RoundTimeout: 5 * time.Second,
-		addrs:        addrs,
-		reg:          reg,
-		conns:        make([]*clientConn, len(addrs)),
-		dials:        make([]dialState, len(addrs)),
-		done:         make(chan struct{}),
-		replyCh:      make(chan wire.Response, 4*len(addrs)+16),
+// handleSingle runs one single-register request to a response (send=false
+// means the client sees silence).
+func (s *Server) handleSingle(req wire.Request) (rsp wire.Response, send bool) {
+	if req.Reg < 0 || req.Reg >= MaxRegisters {
+		return rsp, false // invalid instance: the client sees silence
 	}
-}
-
-var _ proto.Rounder = (*Client)(nil)
-
-// NumServers implements proto.Rounder.
-func (c *Client) NumServers() int { return len(c.addrs) }
-
-// Close tears down the client's connections and releases its reader
-// goroutines.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return
-	}
-	c.closed = true
-	close(c.done)
-	for _, cc := range c.conns {
-		if cc != nil && cc.conn != nil {
-			cc.conn.Close()
+	// Log state-mutating requests before the reply leaves: once a client
+	// counts this object's ack toward a quorum, the state change must
+	// survive a restart, or an honest crash becomes an amnesia fault and
+	// silently burns the t-budget. The append+apply pair runs under the
+	// apply read-lock so compaction (which holds the write lock) never
+	// snapshots between a sealed record and its state change.
+	mutating := s.persist != nil && server.Mutates(req.Msg)
+	if mutating {
+		s.applyMu.RLock()
+		if err := s.persist.Append(req); err != nil {
+			s.applyMu.RUnlock()
+			// An unloggable mutation must not be acked or applied: the
+			// client sees silence, indistinguishable from slowness.
+			s.warnf(&s.warnAppend, "s%d: wal append: %v", s.ID, err)
+			return rsp, false
 		}
 	}
+	s.mu.Lock()
+	b := s.behavior
+	if b == nil {
+		b = server.Honest{}
+	}
+	reply, ok := b.Reply(s.storeLocked(req.Reg), req.From, req.Msg)
+	s.mu.Unlock()
+	if mutating {
+		s.applyMu.RUnlock()
+	}
+	if !ok {
+		return rsp, false
+	}
+	reply.Seq = req.Msg.Seq
+	rsp.Msg = reply
+	return rsp, true
 }
 
-// conn returns the pooled connection to object sid, dialing if needed. The
-// first attempt (and the first after an established connection drops) dials
-// synchronously; once an attempt has failed, further attempts are skipped
-// for the backoff window and then retried in the background, so sends to
-// live objects proceed immediately while a peer is down.
-func (c *Client) conn(sid int) (*clientConn, error) {
-	c.mu.Lock()
-	if cc := c.conns[sid-1]; cc != nil && cc.conn != nil {
-		c.mu.Unlock()
-		return cc, nil
-	}
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("tcpnet: client closed")
-	}
-	ds := &c.dials[sid-1]
-	if ds.inflight {
-		c.mu.Unlock()
-		return nil, errDialPending
-	}
-	if ds.failedAt.IsZero() {
-		ds.inflight = true
-		c.mu.Unlock()
-		conn, err := net.DialTimeout("tcp", c.addrs[sid-1], dialTimeout)
-		c.mu.Lock()
-		ds.inflight = false
-		cc, installErr := c.installLocked(sid, conn, err)
-		c.mu.Unlock()
-		if installErr != nil {
-			return nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, installErr)
+// handleBatch runs every sub-request of a batch against its own register
+// instance in one pass. The whole batch is one received message (logged
+// once, answered once); a sub-reply the behavior withholds is simply absent
+// from the response, and a response with no surviving sub-replies is not
+// sent at all (silence, like a withheld single reply).
+func (s *Server) handleBatch(req wire.Request) (rsp wire.Response, send bool) {
+	// Sanitize before logging: out-of-range instances must reach neither
+	// the WAL nor the automata (the client sees silence for them).
+	valid := req.Subs[:0:0]
+	for _, sub := range req.Subs {
+		if sub.Reg >= 0 && sub.Reg < MaxRegisters {
+			valid = append(valid, sub)
 		}
-		return cc, nil
 	}
-	if time.Since(ds.failedAt) < DialBackoff {
-		c.mu.Unlock()
-		return nil, errObjectDown
+	req.Subs = valid
+	if len(req.Subs) == 0 {
+		return rsp, false
 	}
-	// Backoff expired: retry in the background; this round still skips the
-	// object, the next one uses the connection if the dial succeeded.
-	ds.inflight = true
-	go func() {
-		conn, err := net.DialTimeout("tcp", c.addrs[sid-1], dialTimeout)
-		c.mu.Lock()
-		ds.inflight = false
-		c.installLocked(sid, conn, err)
-		c.mu.Unlock()
-	}()
-	c.mu.Unlock()
-	return nil, errDialPending
-}
-
-// installLocked records the outcome of a dial attempt (under c.mu): on
-// success it pools the connection and starts its reader goroutine, which
-// pumps responses into the client's reply channel — blocking when the
-// channel is momentarily full rather than dropping, so current-round
-// replies are never lost; Close releases any blocked reader.
-func (c *Client) installLocked(sid int, conn net.Conn, err error) (*clientConn, error) {
-	ds := &c.dials[sid-1]
-	if err != nil {
-		ds.failedAt = time.Now()
-		return nil, err
-	}
-	if c.closed {
-		conn.Close()
-		return nil, errors.New("tcpnet: client closed")
-	}
-	ds.failedAt = time.Time{}
-	cc := &clientConn{conn: conn, enc: wire.NewEncoder(conn)}
-	c.conns[sid-1] = cc
-	go func() {
-		dec := wire.NewDecoder(conn)
-		for {
-			rsp, err := dec.DecodeResponse()
-			if err != nil {
-				return
-			}
-			// The object's identity is the connection it answered on, not
-			// the Server field it claims: a Byzantine daemon must not be
-			// able to cast votes as some other (correct) object.
-			rsp.Server = sid
-			select {
-			case c.replyCh <- rsp:
-			case <-c.done:
-				return
+	mutating := false
+	if s.persist != nil {
+		for i := range req.Subs {
+			if server.Mutates(req.Subs[i].Msg) {
+				mutating = true
+				break
 			}
 		}
-	}()
-	return cc, nil
+	}
+	if mutating {
+		s.applyMu.RLock()
+		if err := s.persist.Append(req); err != nil {
+			s.applyMu.RUnlock()
+			s.warnf(&s.warnAppend, "s%d: wal append: %v", s.ID, err)
+			return rsp, false
+		}
+	}
+	s.mu.Lock()
+	b := s.behavior
+	if b == nil {
+		b = server.Honest{}
+	}
+	out := make([]wire.SubReq, 0, len(req.Subs))
+	for _, sub := range req.Subs {
+		reply, ok := b.Reply(s.storeLocked(sub.Reg), req.From, sub.Msg)
+		if !ok {
+			continue // withheld sub-reply: absent from the response
+		}
+		reply.Seq = sub.Msg.Seq
+		out = append(out, wire.SubReq{Reg: sub.Reg, Msg: reply})
+	}
+	if s.batchRng != nil {
+		if s.batchDrop > 0 {
+			kept := out[:0]
+			for _, sub := range out {
+				if s.batchRng.Float64() >= s.batchDrop {
+					kept = append(kept, sub)
+				}
+			}
+			out = kept
+		}
+		if s.batchShuffle && len(out) > 1 {
+			s.batchRng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		}
+	}
+	s.mu.Unlock()
+	if mutating {
+		s.applyMu.RUnlock()
+	}
+	if len(out) == 0 {
+		return rsp, false
+	}
+	rsp.Subs = out
+	return rsp, true
 }
 
-// Round implements proto.Rounder.
-func (c *Client) Round(spec proto.RoundSpec) error {
-	c.seq++
-	seq := c.seq
-	// Anything buffered now answers an earlier round: drain it so readers
-	// blocked on a momentarily-full channel can deliver current replies.
-	for {
-		select {
-		case <-c.replyCh:
-			continue
-		default:
-		}
-		break
+// storeLocked returns register instance reg's automaton, creating it on
+// first touch. Callers must hold s.mu and have bounds-checked reg.
+func (s *Server) storeLocked(reg int) *server.Store {
+	st, found := s.stores[reg]
+	if !found {
+		st = server.NewStore()
+		s.stores[reg] = st
 	}
-	for sid := 1; sid <= len(c.addrs); sid++ {
-		msg := spec.Req(sid)
-		msg.Seq = seq
-		cc, err := c.conn(sid)
-		if err != nil {
-			continue // unreachable object: counted as faulty
-		}
-		cc.mu.Lock()
-		err = cc.enc.EncodeRequest(wire.Request{From: c.Proc, Reg: c.reg, Msg: msg})
-		cc.mu.Unlock()
-		if err != nil {
-			c.dropConn(sid)
-		}
-	}
-	timeout := c.RoundTimeout
-	if timeout == 0 {
-		timeout = 5 * time.Second
-	}
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
-	for {
-		select {
-		case rsp := <-c.replyCh:
-			if rsp.Msg.Seq != seq {
-				continue // late reply from an earlier round
-			}
-			spec.Acc.Add(rsp.Server, rsp.Msg)
-			if spec.Acc.Done() {
-				c.Rounds++
-				return nil
-			}
-		case <-c.done:
-			return errors.New("tcpnet: client closed")
-		case <-deadline.C:
-			return fmt.Errorf("%w: %s", ErrRoundTimeout, spec.Label)
-		}
-	}
+	return st
 }
 
-func (c *Client) dropConn(sid int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cc := c.conns[sid-1]; cc != nil && cc.conn != nil {
-		cc.conn.Close()
-		c.conns[sid-1] = nil
-	}
-	// An established connection died mid-send; the peer is probably still
-	// up (daemon restart, transient reset), so the next attempt dials
-	// synchronously again.
-	c.dials[sid-1] = dialState{}
-}

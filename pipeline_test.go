@@ -1,0 +1,155 @@
+package robustatomic
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"robustatomic/internal/checker"
+	"robustatomic/internal/server"
+	"robustatomic/internal/types"
+)
+
+// TestPipelinedBatchedRoundsAtomicUnderChaos is the wire-generation-3
+// acceptance test: two separately Connected processes hammer a sharded
+// Store over real TCP daemons with pipelining and cross-shard coalescing
+// forced on, while the fault injection targets exactly the new machinery —
+// object 1 is protocol-flaky AND drops/reorders individual sub-bundles out
+// of batched replies, object 2 reorders every batch it answers. Every
+// per-key history must still pass the multi-writer atomicity checker. Run
+// with -race.
+func TestPipelinedBatchedRoundsAtomicUnderChaos(t *testing.T) {
+	const (
+		shards        = 8
+		keys          = 4
+		writesPerProc = 4
+		reads         = 4
+	)
+	addrs, servers := startServers(t, 4)
+	// Object 1: flaky at the protocol level (drops whole replies) and
+	// unreliable at the batch level (drops 30% of sub-bundles, shuffles the
+	// survivors), so a batched round may get a partial, reordered bundle.
+	servers[0].SetBehavior(server.Flaky{Rand: rand.New(rand.NewSource(41)), DropProb: 0.4})
+	servers[0].SetBatchChaos(rand.New(rand.NewSource(42)), 0.3, true)
+	// Object 2: answers everything, in scrambled sub-bundle order.
+	servers[1].SetBatchChaos(rand.New(rand.NewSource(43)), 0, true)
+
+	c1, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 1, Seed: 401, Coalesce: CoalesceOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 2, Seed: 402, Coalesce: CoalesceOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st1, err := c1.NewStore(StoreOptions{Shards: shards, Readers: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c2.NewStore(StoreOptions{Shards: shards, Readers: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hists := make([]*checker.History, keys)
+	for i := range hists {
+		hists[i] = &checker.History{}
+	}
+	// Contended keys on pairwise distinct shards: concurrent flushes of
+	// different shards are what the Combiner merges into batched rounds.
+	keyNames := make([]string, 0, keys)
+	usedShard := map[int]bool{}
+	for i := 0; len(keyNames) < keys; i++ {
+		name := fmt.Sprintf("piped-%d", i)
+		if sh := st1.ShardOf(name); !usedShard[sh] {
+			usedShard[sh] = true
+			keyNames = append(keyNames, name)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for p, st := range []*Store{st1, st2} {
+			k, p, st := k, p+1, st
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 1; i <= writesPerProc; i++ {
+					val := fmt.Sprintf("w%d-k%d-v%d", p, k, i)
+					id := hists[k].Invoke(types.WriterID(p), checker.OpWrite, types.Value(val))
+					if err := st.Put(keyNames[k], val); err != nil {
+						t.Errorf("process %d put %s: %v", p, keyNames[k], err)
+						return
+					}
+					hists[k].Respond(id, types.Value(val))
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < reads; i++ {
+					id := hists[k].Invoke(types.Reader(2*k+p), checker.OpRead, "")
+					v, err := st.Get(keyNames[k])
+					if err != nil {
+						t.Errorf("process %d get %s: %v", p, keyNames[k], err)
+						return
+					}
+					hists[k].Respond(id, types.Value(v))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k, h := range hists {
+		if err := checker.CheckAtomicMW(h); err != nil {
+			t.Errorf("key %d: %v", k, err)
+		}
+	}
+	// Quiescent agreement across processes, per key.
+	for k := 0; k < keys; k++ {
+		v1, err1 := st1.Get(keyNames[k])
+		v2, err2 := st2.Get(keyNames[k])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("key %d: final reads: %v / %v", k, err1, err2)
+		}
+		if v1 != v2 {
+			t.Errorf("key %d: processes disagree after quiescence: %q vs %q", k, v1, v2)
+		}
+	}
+}
+
+// TestLockStepStoreStillCorrect pins the escape hatch: Options.LockStep
+// reproduces the one-in-flight wire behavior of generations ≤ 2 (the E13
+// baseline) and the Store stays fully functional on it.
+func TestLockStepStoreStillCorrect(t *testing.T) {
+	addrs, _ := startServers(t, 4)
+	c, err := Connect(addrs, Options{Faults: 1, Readers: 2, Seed: 403, LockStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := st.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		v, err := st.Get(fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != fmt.Sprintf("v%d", i) {
+			t.Errorf("k%d = %q, want v%d", i, v, i)
+		}
+	}
+}

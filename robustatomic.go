@@ -100,6 +100,14 @@ type Options struct {
 	WriterID int
 	// Model selects the failure model. Default Unauthenticated.
 	Model Model
+	// LockStep disables request pipelining on remote clusters: every handle
+	// gets a private connection pool allowing one in-flight request per
+	// object, the wire behavior of generations ≤ 2. Kept as the E13 baseline
+	// and a conservative escape hatch; the default (false) multiplexes every
+	// handle's rounds over one pipelined connection per object.
+	LockStep bool
+	// Coalesce controls cross-shard flush coalescing (see CoalesceMode).
+	Coalesce CoalesceMode
 	// Seed drives randomized delays and token generation.
 	Seed int64
 	// MaxDelay bounds random in-process message delays (0 = none).
@@ -112,6 +120,26 @@ type Options struct {
 	// goroutines driving operations; keep it cheap and thread-safe.
 	RoundHook func(label string)
 }
+
+// CoalesceMode controls whether concurrent Store shard flushes merge into
+// cross-register batched rounds (one frame per object for the whole batch)
+// instead of one round per shard.
+type CoalesceMode int
+
+// Coalesce modes.
+const (
+	// CoalesceAuto (the default) coalesces exactly where it pays: remote
+	// clusters with pipelining enabled. In-process rounds have no frames to
+	// save, and a lock-step transport would serialize the merged rounds
+	// anyway.
+	CoalesceAuto CoalesceMode = iota
+	// CoalesceOn forces coalescing (any transport — the in-process runtime
+	// batches too, which the chaos tests exercise).
+	CoalesceOn
+	// CoalesceOff disables coalescing: every shard flush runs its own
+	// rounds.
+	CoalesceOff
+)
 
 func (o *Options) defaults() {
 	if o.Faults == 0 {
@@ -135,8 +163,15 @@ type Cluster struct {
 	inproc *live.Cluster // nil when remote
 	addrs  []string      // nil when in-process
 
-	mu         sync.Mutex // guards tcpClients
+	mu         sync.Mutex   // guards tcpClients, mux, combiner
 	tcpClients []*tcpnet.Client
+	// mux is the shared pipelined transport of a remote cluster: every
+	// handle's rounds multiplex over its one connection per object. Built
+	// lazily; nil in-process or under Options.LockStep.
+	mux *tcpnet.Mux
+	// combiner merges concurrent Store shard flushes into batched rounds
+	// (lazily built by the first coalescing shard writer).
+	combiner *proto.Combiner
 }
 
 // mixSeed derives a deterministic sub-seed from the cluster seed and a
@@ -205,6 +240,9 @@ func (c *Cluster) Close() {
 	for _, tc := range c.tcpClients {
 		tc.Close()
 	}
+	if c.mux != nil {
+		c.mux.Close()
+	}
 }
 
 // Faults returns t.
@@ -250,20 +288,92 @@ func (c *Cluster) InjectFault(sid int, mode string) error {
 // instance reg (0 is the default single register; the Store layer uses
 // 1..Shards).
 func (c *Cluster) rounder(proc types.ProcID, reg int) proto.Rounder {
-	var r proto.Rounder
-	if c.inproc != nil {
-		r = c.inproc.NewClientReg(proc, reg)
-	} else {
-		tc := tcpnet.NewClientReg(proc, c.addrs, reg)
-		c.mu.Lock()
-		c.tcpClients = append(c.tcpClients, tc)
-		c.mu.Unlock()
-		r = tc
-	}
+	r := c.transport(proc, reg)
 	if c.opts.RoundHook != nil {
 		r = proto.Observe(r, c.opts.RoundHook)
 	}
 	return r
+}
+
+// transport builds the raw (unobserved) round executor for (proc, reg).
+func (c *Cluster) transport(proc types.ProcID, reg int) proto.Rounder {
+	if c.inproc != nil {
+		return c.inproc.NewClientReg(proc, reg)
+	}
+	if c.opts.LockStep {
+		tc := tcpnet.NewLockStepClientReg(proc, c.addrs, reg)
+		c.mu.Lock()
+		c.tcpClients = append(c.tcpClients, tc)
+		c.mu.Unlock()
+		return tc
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.muxLocked().Client(proc, reg)
+}
+
+// muxLocked returns the shared pipelined Mux, building it on first use.
+// Callers must hold c.mu.
+func (c *Cluster) muxLocked() *tcpnet.Mux {
+	if c.mux == nil {
+		c.mux = tcpnet.NewMux(c.addrs)
+	}
+	return c.mux
+}
+
+// coalesceOn resolves Options.Coalesce for this cluster.
+func (c *Cluster) coalesceOn() bool {
+	switch c.opts.Coalesce {
+	case CoalesceOn:
+		return true
+	case CoalesceOff:
+		return false
+	default:
+		return c.addrs != nil && !c.opts.LockStep
+	}
+}
+
+// flushCombiner returns the cluster-wide Combiner merging concurrent Store
+// shard flushes (this process's writer identity) into batched rounds on one
+// batch-capable inner transport.
+func (c *Cluster) flushCombiner() *proto.Combiner {
+	proc := types.WriterID(c.opts.WriterID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.combiner != nil {
+		return c.combiner
+	}
+	var inner proto.Rounder
+	switch {
+	case c.inproc != nil:
+		inner = c.inproc.NewClientReg(proc, 0)
+	case c.opts.LockStep:
+		// CoalesceOn forced over a lock-step transport: merged rounds still
+		// batch into one frame, just one in flight at a time.
+		tc := tcpnet.NewLockStepClientReg(proc, c.addrs, 0)
+		c.tcpClients = append(c.tcpClients, tc)
+		inner = tc
+	default:
+		inner = c.muxLocked().Client(proc, 0)
+	}
+	c.combiner = proto.NewCombiner(inner)
+	return c.combiner
+}
+
+// shardWriter builds the committer's writer handle for shard register reg.
+// With coalescing on, the writer's rounds run through the cluster-wide
+// Combiner, so concurrent flushes of different shards merge into one
+// batched frame per object; the RoundHook still observes each shard's
+// logical rounds individually (the hook wraps above the Combiner).
+func (c *Cluster) shardWriter(reg int, last types.TS) *Writer {
+	if !c.coalesceOn() {
+		return c.writerReg(reg, last)
+	}
+	r := proto.Rounder(c.flushCombiner().Rounder(reg))
+	if c.opts.RoundHook != nil {
+		r = proto.Observe(r, c.opts.RoundHook)
+	}
+	return c.writerOn(r, reg, last)
 }
 
 // Writer is one of the register's writer handles. Its identity is the
@@ -283,9 +393,14 @@ func (c *Cluster) Writer() *Writer { return c.writerReg(0, types.TS{}) }
 // writerReg builds the writer handle for register instance reg, resuming
 // from a known last timestamp (zero for a fresh register).
 func (c *Cluster) writerReg(reg int, last types.TS) *Writer {
+	return c.writerOn(c.rounder(types.WriterID(c.opts.WriterID), reg), reg, last)
+}
+
+// writerOn builds the writer handle for register instance reg over an
+// already-constructed round executor.
+func (c *Cluster) writerOn(rc proto.Rounder, reg int, last types.TS) *Writer {
 	proc := types.WriterID(c.opts.WriterID)
 	wid := int64(c.opts.WriterID)
-	rc := c.rounder(proc, reg)
 	w := &Writer{c: c}
 	switch c.opts.Model {
 	case SecretTokens:

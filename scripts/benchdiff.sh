@@ -10,10 +10,12 @@
 # benchmarks appear, machines differ in sub-benchmark sets).
 #
 # Guarded benchmarks: E7 and E9 (the write hot path whose trajectory the
-# adaptive-round work reclaimed) plus E12 (the fast-path/fallback split
-# itself) — a >threshold% ns/op regression on any of them exits non-zero,
-# so the cost silently creeping back fails CI instead of shifting the
-# recorded trajectory.
+# adaptive-round work reclaimed), E12 (the fast-path/fallback split itself)
+# and E13 (the pipelined wire transport) — a >threshold% ns/op regression on
+# any of them exits non-zero, so the cost silently creeping back fails CI
+# instead of shifting the recorded trajectory. E13 additionally gates the
+# pipelining win itself: the pipelined sub-benchmark must stay at least 3x
+# the lock-step baseline's throughput.
 #
 # benchstat is used for the human-readable report when installed; the
 # pass/fail decision is computed with awk so the gate needs nothing beyond
@@ -51,7 +53,7 @@ avg() {
 fail=0
 while read -r name base_ns; do
     case "$name" in
-        BenchmarkE7*|BenchmarkE9*|BenchmarkE12*) ;;
+        BenchmarkE7*|BenchmarkE9*|BenchmarkE12*|BenchmarkE13*) ;;
         *) continue ;;
     esac
     new_ns=$(avg "$new" | awk -v n="$name" '$1 == n { print $2 }')
@@ -75,6 +77,19 @@ done < <(avg "$baseline" | sort)
 # Surface benchmarks that exist only in the new run (informational).
 comm -13 <(avg "$baseline" | cut -d' ' -f1 | sort) <(avg "$new" | cut -d' ' -f1 | sort) |
     while read -r name; do echo "benchdiff: $name: new benchmark (no baseline)"; done
+
+# E13 gate: pipelined throughput must stay >= 3x lock-step in the NEW run.
+pipe=$(avg "$new" | awk '$1 == "BenchmarkE13PipelinedStorePut/pipelined" { print $2 }')
+lock=$(avg "$new" | awk '$1 == "BenchmarkE13PipelinedStorePut/lockstep" { print $2 }')
+if [[ -n "$pipe" && -n "$lock" ]]; then
+    if awk -v p="$pipe" -v l="$lock" 'BEGIN { exit (l / p >= 3) ? 0 : 1 }'; then
+        speedup=$(awk -v p="$pipe" -v l="$lock" 'BEGIN { printf "%.1fx", l / p }')
+        echo "benchdiff: ok E13 pipelining speedup: lock-step $lock -> pipelined $pipe ns/op ($speedup >= 3x)"
+    else
+        echo "benchdiff: REGRESSION E13: pipelined ($pipe ns/op) is not >=3x faster than lock-step ($lock ns/op)"
+        fail=1
+    fi
+fi
 
 if [[ $fail != 0 ]]; then
     echo "benchdiff: FAILED — hot-path benchmarks regressed beyond ${threshold}%" >&2

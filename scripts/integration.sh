@@ -126,6 +126,43 @@ kill -9 "${pids[1]}"
 start_daemon 1
 wait_serving 1
 
+echo "== pipelined burst: kill -9 + restart a daemon mid-flight"
+# storctl burst drives many concurrent puts through ONE pipelined connection
+# set (batched cross-shard frames, request-id multiplexing). Daemon 2 dies
+# by kill -9 while the burst is in flight: the mux must fail that
+# connection's in-flight rounds without stalling the rest, the quorum of 3
+# live daemons absorbs the loss, and after restart the redial folds daemon 2
+# back in. Every key of the burst must read back afterwards.
+burstn=600
+ctl -writer 1 -reader 1 burst "burst" "$burstn" >"$workdir/burst.out" 2>&1 &
+burst_pid=$!
+sleep 0.15
+kill -9 "${pids[2]}"
+sleep 0.2
+start_daemon 2
+wait_serving 2
+wait "$burst_pid" || { echo "FAIL: burst errored:"; cat "$workdir/burst.out"; exit 1; }
+grep -q "OK burst" "$workdir/burst.out" || { echo "FAIL: burst output:"; cat "$workdir/burst.out"; exit 1; }
+for i in 1 $((burstn / 2)) $burstn; do
+  out=$(ctl get "burst:$i")
+  [[ "$out" == "\"v$i\""* ]] || { echo "FAIL: burst:$i => $out"; exit 1; }
+done
+
+echo "== batch-chaos daemon: burst must survive sub-bundle drops + shuffles"
+# Restart daemon 1 with the batched-frame attack flags: 30% of sub-bundles
+# silently vanish from its batched replies and the survivors come back
+# scrambled. The t=1 budget covers it; a second burst must still complete
+# and certify.
+kill -9 "${pids[1]}"
+start_daemon 1 -chaos-batch-drop 0.3 -chaos-batch-shuffle -chaos-seed 7
+wait_serving 1
+ctl -writer 1 -reader 1 burst "chaosburst" 120 >/dev/null
+out=$(ctl get "chaosburst:120")
+[[ "$out" == '"v120"'* ]] || { echo "FAIL: chaosburst:120 => $out"; exit 1; }
+kill -9 "${pids[1]}"
+start_daemon 1
+wait_serving 1
+
 echo "== kill daemon 4: reads must still certify (budget restored by repair)"
 kill -9 "${pids[4]}"
 out=$(ctl read)

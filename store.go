@@ -201,7 +201,7 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("robustatomic: shard %d recovery: %w", i, err)
 	}
-	w := s.c.writerReg(reg, cur.TS)
+	w := s.c.shardWriter(reg, cur.TS)
 	return &storeShard{
 		table:      table,
 		keys:       shard.SortedKeys(table),
