@@ -2,7 +2,7 @@ GO ?= go
 # bash + pipefail so piping through tee cannot mask a benchmark failure.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build vet test race bench bench-diff bench-codec bench-persist bench-mwmr fuzz integration
+.PHONY: all build vet test race bench bench-diff bench-codec bench-persist bench-mwmr fuzz integration torture torture-short
 
 all: build vet test
 
@@ -66,5 +66,21 @@ bench-persist:
 
 # integration drills the real binaries: 4-daemon durable cluster, kill -9,
 # restart from disk, quorum repair of a wiped daemon, degraded reads.
+# TORTURE=full make integration appends the full-scale torture suite
+# (the nightly configuration).
 integration:
 	./scripts/integration.sh
+
+# torture-short is the CI-bounded deterministic torture drill under -race:
+# three fixed-seed fault schedules (partition+heal live, Byzantine mix
+# live, kill-9+restart+repair over real TCP daemons) at reduced scale,
+# every per-key history decided by the atomicity checker. ~2 minutes.
+torture-short:
+	$(GO) test -race -run TestTortureShort -v -timeout 600s ./internal/torture/
+
+# torture is the full-scale drill: three seeded schedules over 224
+# simulated clients each (partition+heal live, kill-9+restart+repair tcp,
+# Byzantine mix tcp). A failure prints the seed and a one-line replay
+# command that reproduces the identical event schedule.
+torture:
+	$(GO) test -run TestTortureFull -v -timeout 1800s ./internal/torture/ -args -torture.full

@@ -1,0 +1,43 @@
+package robustatomic
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// chaosSeedFlag replays a chaos-enabled test under the exact fault streams
+// of a logged failure: every such test routes its base seed through
+// chaosSeedFor, so one flag pins the whole run.
+var chaosSeedFlag = flag.Int64("chaos.seed", 0, "override the base seed of chaos-enabled tests (replay a logged failure)")
+
+// chaosSeedFor returns the chaos-enabled test's base seed — def unless
+// -chaos.seed overrides it — and registers a cleanup that, if the test
+// fails, logs the seed, the mixed per-object fault streams it derives for
+// the given object ids, and the one-flag replay command. Chaos tests are
+// probabilistic in coverage but deterministic per seed; this makes any
+// failure reproducible from the log line alone.
+func chaosSeedFor(t *testing.T, def int64, sids ...int) int64 {
+	t.Helper()
+	seed := def
+	if *chaosSeedFlag != 0 {
+		seed = *chaosSeedFlag
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if len(sids) > 0 {
+			per := make([]string, len(sids))
+			for i, sid := range sids {
+				per[i] = fmt.Sprintf("s%d=%d", sid, mixSeed(seed, int64(sid)))
+			}
+			t.Logf("chaos seed %d (mixed per-object fault seeds: %s)", seed, strings.Join(per, " "))
+		} else {
+			t.Logf("chaos seed %d", seed)
+		}
+		t.Logf("replay: go test -run '^%s$' -v -args -chaos.seed=%d", t.Name(), seed)
+	})
+	return seed
+}

@@ -4,9 +4,39 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"robustatomic/internal/types"
 )
+
+// Budget bounds the exhaustive linearization search of CheckAtomicMWBudget.
+// The zero value means unlimited. A budget exists so that torture-scale
+// histories fail loudly with a partial witness instead of hanging the
+// harness: the search is polynomial in practice but adversarial histories
+// (many pending writes, heavy concurrency on one key) can still blow up.
+type Budget struct {
+	MaxNodes int           // cap on explored search states (0 = unlimited)
+	Deadline time.Duration // wall-clock cap for the search (0 = unlimited)
+}
+
+// BudgetError reports that the linearization search exhausted its budget
+// before reaching a verdict. The history is NOT proven non-atomic — the
+// error carries a partial witness (the deepest linearized prefix reached) so
+// the caller can decide whether to re-run with a larger budget or treat the
+// history as too contended to certify.
+type BudgetError struct {
+	Nodes      int           // states explored when the budget tripped
+	Elapsed    time.Duration // wall time spent searching
+	Linearized int           // deepest linearized prefix reached (partial witness)
+	Total      int           // operations the search must linearize
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf(
+		"mw-atomicity undecided: search budget exhausted after %d states (%v); partial witness linearizes %d/%d operations",
+		e.Nodes, e.Elapsed.Round(time.Millisecond), e.Linearized, e.Total)
+}
 
 // CheckAtomicMW verifies atomicity of a MULTI-WRITER register history:
 // linearizability under read/write register semantics with initial value ⊥,
@@ -15,11 +45,13 @@ import (
 // the correctness condition of the repository's MWMR registers, where the
 // single-writer checker's write-sequence preprocessing does not apply.
 //
-// The history must be well-formed: each client's operations are sequential,
-// written values are pairwise distinct and never ⊥ (distinct values make
-// "read returns the value of write w" unambiguous — the protocols' tests
-// write writer-tagged values). Pending writes may or may not take effect;
-// pending reads are ignored.
+// The history must be well-formed: each client's operations are sequential
+// and written non-⊥ values are pairwise distinct (distinct values make "read
+// returns the value of write w" unambiguous — the protocols' tests write
+// writer-tagged values). A write of ⊥ models a Delete (tombstone install):
+// any number of them may appear, and a read returning ⊥ then means "key
+// absent at the linearization point". Pending writes may or may not take
+// effect; pending reads are ignored.
 //
 // The search exploits that a linearization respects each client's own order,
 // so any prefix of linearized operations is a vector of per-client queue
@@ -29,16 +61,27 @@ import (
 // to the property tests' histories. Fast paths first report the common
 // violations (fabricated values, future reads, stale reads, new/old
 // inversions) with precise witnesses; the exhaustive search then decides the
-// remainder.
+// remainder. When the history contains deletes, the two fast checks that
+// equate "read returned ⊥" with "no write took effect yet" are unsound and
+// are skipped — the exhaustive search alone decides.
 func CheckAtomicMW(h *History) error {
+	return CheckAtomicMWBudget(h, Budget{})
+}
+
+// CheckAtomicMWBudget is CheckAtomicMW with a bound on the exhaustive
+// search. It returns nil (atomic), a *Violation (provably non-atomic), or a
+// *BudgetError (undecided: budget exhausted; includes a partial witness).
+func CheckAtomicMWBudget(h *History, budget Budget) error {
 	ops := h.Ops()
 	writeOf := make(map[types.Value]Op, len(ops))
 	var reads []Op
+	deletes := false
 	for _, op := range ops {
 		switch op.Kind {
 		case OpWrite:
 			if op.Arg.IsBottom() {
-				return &Violation{Prop: "well-formed", Detail: "⊥ written", Ops: []Op{op}}
+				deletes = true // tombstone write (Delete); decided by the search
+				continue
 			}
 			if prev, dup := writeOf[op.Arg]; dup {
 				return &Violation{
@@ -62,11 +105,15 @@ func CheckAtomicMW(h *History) error {
 	if v := checkMWNoFuture(reads, writeOf); v != nil {
 		return v
 	}
-	if v := checkMWStaleReads(ops, reads, writeOf); v != nil {
-		return v
-	}
-	if v := checkMWInversions(reads, writeOf); v != nil {
-		return v
+	if !deletes {
+		// Both checks treat a ⊥ read as "before every write", which a
+		// linearized Delete invalidates; with deletes only the search decides.
+		if v := checkMWStaleReads(ops, reads, writeOf); v != nil {
+			return v
+		}
+		if v := checkMWInversions(reads, writeOf); v != nil {
+			return v
+		}
 	}
 
 	// Exhaustive decision: search for a linearization.
@@ -74,8 +121,25 @@ func CheckAtomicMW(h *History) error {
 	if v != nil {
 		return v
 	}
-	s := &mwSearch{queues: queues, memo: make(map[string]bool)}
-	if !s.search(make([]int, len(queues)), types.Bottom) {
+	s := &mwSearch{queues: queues, memo: make(map[string]bool), budget: budget}
+	if budget.Deadline > 0 {
+		s.deadline = time.Now().Add(budget.Deadline)
+	}
+	start := time.Now()
+	ok := s.search(make([]int, len(queues)), types.Bottom)
+	if s.exceeded {
+		total := 0
+		for _, q := range queues {
+			total += len(q)
+		}
+		return &BudgetError{
+			Nodes:      s.nodes,
+			Elapsed:    time.Since(start),
+			Linearized: s.best,
+			Total:      total,
+		}
+	}
+	if !ok {
 		return &Violation{
 			Prop:   "mw-atomicity",
 			Detail: fmt.Sprintf("no linearization of the %d-operation multi-writer history exists", len(ops)),
@@ -235,6 +299,12 @@ func mwQueues(ops []Op) ([][]Op, *Violation) {
 type mwSearch struct {
 	queues [][]Op
 	memo   map[string]bool
+
+	budget   Budget
+	deadline time.Time // zero when no wall-clock cap
+	nodes    int       // states explored
+	best     int       // deepest linearized prefix seen (partial witness)
+	exceeded bool      // budget tripped; unwinding
 }
 
 // key encodes the search state: per-queue positions plus the register value
@@ -250,12 +320,29 @@ func (s *mwSearch) key(idx []int, current types.Value) string {
 }
 
 func (s *mwSearch) search(idx []int, current types.Value) bool {
+	if s.exceeded {
+		return false
+	}
+	s.nodes++
+	if s.budget.MaxNodes > 0 && s.nodes > s.budget.MaxNodes {
+		s.exceeded = true
+		return false
+	}
+	// Check the deadline sparingly: a time.Now() per state would dominate.
+	if !s.deadline.IsZero() && s.nodes&1023 == 0 && time.Now().After(s.deadline) {
+		s.exceeded = true
+		return false
+	}
 	done := true
+	depth := 0
 	for qi, q := range s.queues {
+		depth += idx[qi]
 		if idx[qi] < len(q) {
 			done = false
-			break
 		}
+	}
+	if depth > s.best {
+		s.best = depth
 	}
 	if done {
 		return true
@@ -308,6 +395,10 @@ func (s *mwSearch) search(idx []int, current types.Value) bool {
 			break
 		}
 	}
-	s.memo[k] = ok
+	if !s.exceeded {
+		// A budget-truncated subtree must not poison the memo: its false is
+		// "gave up", not "proven impossible".
+		s.memo[k] = ok
+	}
 	return ok
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"robustatomic/internal/types"
 )
@@ -254,4 +255,124 @@ func randomMWHistory(rng *rand.Rand) *History {
 		}
 	}
 	return h
+}
+
+func TestMWDeleteHistories(t *testing.T) {
+	// A write of ⊥ models Delete: a tombstone that later reads observe as
+	// "key absent". Sequential install → read → delete → read is atomic.
+	w1, r1 := types.WriterID(1), types.Reader(1)
+	h := runEvents(t, []mwEvent{
+		inv(w1, OpWrite, "a"), rsp(w1, ""),
+		inv(r1, OpRead, ""), rsp(r1, "a"),
+		inv(w1, OpWrite, types.Bottom), rsp(w1, ""), // delete
+		inv(r1, OpRead, ""), rsp(r1, types.Bottom),
+	})
+	if err := CheckAtomicMW(h); err != nil {
+		t.Fatalf("delete then ⊥ read: %v", err)
+	}
+
+	// Multiple tombstones are legal (⊥ is exempt from the distinct-values
+	// rule) and a concurrent delete lets a read return either state.
+	w2, r2 := types.WriterID(2), types.Reader(2)
+	for _, seen := range []types.Value{"b", types.Bottom} {
+		h := runEvents(t, []mwEvent{
+			inv(w1, OpWrite, types.Bottom), rsp(w1, ""), // delete of absent key
+			inv(w1, OpWrite, "b"), rsp(w1, ""),
+			inv(w2, OpWrite, types.Bottom), // concurrent delete
+			inv(r1, OpRead, ""), rsp(r1, seen),
+			rsp(w2, ""),
+		})
+		if err := CheckAtomicMW(h); err != nil {
+			t.Fatalf("concurrent delete, read %q: %v", seen, err)
+		}
+	}
+
+	// Reading the old value after a delete sealed it away is non-atomic:
+	// the fast stale check is skipped for delete histories, so this must
+	// come out of the exhaustive search.
+	h = runEvents(t, []mwEvent{
+		inv(w1, OpWrite, "c"), rsp(w1, ""),
+		inv(w2, OpWrite, types.Bottom), rsp(w2, ""), // delete completes
+		inv(r2, OpRead, ""), rsp(r2, "c"),
+	})
+	err := CheckAtomicMW(h)
+	if err == nil {
+		t.Fatal("read of deleted value not caught")
+	}
+	if v, ok := err.(*Violation); !ok || v.Prop != "mw-atomicity" {
+		t.Fatalf("violation = %v, want mw-atomicity from the search", err)
+	}
+
+	// Resurrection: once ⊥ surfaced after the delete, the old value cannot
+	// come back.
+	h = runEvents(t, []mwEvent{
+		inv(w1, OpWrite, "d"), rsp(w1, ""),
+		inv(w2, OpWrite, types.Bottom), rsp(w2, ""),
+		inv(r1, OpRead, ""), rsp(r1, types.Bottom),
+		inv(r1, OpRead, ""), rsp(r1, "d"),
+	})
+	if err := CheckAtomicMW(h); err == nil {
+		t.Fatal("resurrected deleted value not caught")
+	}
+}
+
+func TestMWBudgetNodeCap(t *testing.T) {
+	// A tiny node cap on a perfectly atomic history must come back as a
+	// BudgetError (undecided) carrying a partial witness, not a Violation.
+	w1, r1 := types.WriterID(1), types.Reader(1)
+	h := runEvents(t, []mwEvent{
+		inv(w1, OpWrite, "a"), rsp(w1, ""),
+		inv(r1, OpRead, ""), rsp(r1, "a"),
+		inv(w1, OpWrite, "b"), rsp(w1, ""),
+		inv(r1, OpRead, ""), rsp(r1, "b"),
+		inv(w1, OpWrite, "c"), rsp(w1, ""),
+	})
+	err := CheckAtomicMWBudget(h, Budget{MaxNodes: 3})
+	be, ok := err.(*BudgetError)
+	if !ok {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Nodes > 4 {
+		t.Fatalf("explored %d nodes past a cap of 3", be.Nodes)
+	}
+	if be.Linearized <= 0 || be.Linearized >= be.Total {
+		t.Fatalf("partial witness %d/%d, want a proper nonempty prefix", be.Linearized, be.Total)
+	}
+	// The same history with room to breathe is decided atomic.
+	if err := CheckAtomicMWBudget(h, Budget{MaxNodes: 1 << 20}); err != nil {
+		t.Fatalf("with ample budget: %v", err)
+	}
+}
+
+func TestMWBudgetDeadline(t *testing.T) {
+	// A non-linearizable history whose refutation needs a large exploration:
+	// 8 concurrent pending writes, reader 1 surfaces v1..v8 in order, then
+	// reader 2 (strictly after) reads v8 and v1 — v1's write already
+	// linearized, so the search must exhaust every interleaving to refute.
+	// The 1ns deadline trips at the first 1024-node check.
+	var events []mwEvent
+	for i := 1; i <= 8; i++ {
+		events = append(events, inv(types.WriterID(i), OpWrite, types.Value(fmt.Sprintf("v%d", i))))
+	}
+	r1, r2 := types.Reader(1), types.Reader(2)
+	for i := 1; i <= 8; i++ {
+		events = append(events, inv(r1, OpRead, ""), rsp(r1, types.Value(fmt.Sprintf("v%d", i))))
+	}
+	events = append(events,
+		inv(r2, OpRead, ""), rsp(r2, "v8"),
+		inv(r2, OpRead, ""), rsp(r2, "v1"),
+	)
+	h := runEvents(t, events)
+	err := CheckAtomicMWBudget(h, Budget{Deadline: time.Nanosecond})
+	be, ok := err.(*BudgetError)
+	if !ok {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Nodes < 1024 {
+		t.Fatalf("deadline tripped after %d nodes, before the first 1024-node check", be.Nodes)
+	}
+	// Unbudgeted, the search proves the violation.
+	if v, ok := CheckAtomicMW(h).(*Violation); !ok || v.Prop != "mw-atomicity" {
+		t.Fatalf("unbudgeted verdict = %v, want mw-atomicity violation", v)
+	}
 }

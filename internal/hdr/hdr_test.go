@@ -1,0 +1,100 @@
+package hdr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileBoundsError(t *testing.T) {
+	// Against an exact sorted copy, every reported quantile must be ≥ the
+	// true order statistic and within the layout's ~3.2% relative error.
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 50_000) // latency-shaped: long tail
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		rank := int(q*float64(len(vals)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q=%v: reported %d < exact %d (quantiles must not under-estimate)", q, got, exact)
+		}
+		if lim := exact + exact/16 + 1; got > lim {
+			t.Fatalf("q=%v: reported %d exceeds error bound %d (exact %d)", q, got, lim, exact)
+		}
+	}
+}
+
+func TestRecordExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5) // clamps to 0
+	h.Record(1)
+	h.Record(1 << 62)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Max() != 1<<62 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Fatalf("p25 = %d, want 0", got)
+	}
+	if got := h.Quantile(1.0); got != 1<<62 {
+		t.Fatalf("p100 = %d, want max (capped to recorded max)", got)
+	}
+}
+
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, whole Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1_000_000))
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merge: count/max/mean diverge: %v vs %v", a.String(), whole.String())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merge: q=%v: %d vs %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h.String())
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	// Every value lands in a cell whose top is ≥ it and within the error
+	// bound — the invariant Quantile's accuracy rests on.
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345} {
+		b, s := index(v)
+		top := cellTop(b, s)
+		if top < v {
+			t.Fatalf("v=%d: cellTop(%d,%d)=%d < v", v, b, s, top)
+		}
+		if v >= 64 && top > v+v/16 {
+			t.Fatalf("v=%d: cellTop=%d exceeds 1/16 relative error", v, top)
+		}
+	}
+}

@@ -81,10 +81,33 @@ type serverProc struct {
 	id    int
 	reqCh chan request
 
-	mu       sync.Mutex
-	stores   map[int]*server.Store // lazily instantiated register instances
-	byz      bool
-	behavior server.Behavior
+	mu          sync.Mutex
+	stores      map[int]*server.Store // lazily instantiated register instances
+	byz         bool
+	behavior    server.Behavior
+	partitioned bool
+	netemRng    *rand.Rand // nil = no link faults
+	netemDrop   float64
+	netemDup    float64
+}
+
+// faultVerdict samples the partition/netem state for one inbound request.
+// Callers must hold sp.mu. A dropped request is never processed — unlike
+// server.Silent, which processes the message and withholds the reply — so
+// the automaton truly never received it: these are network faults, not
+// Byzantine ones, and they compose with whatever behavior is installed.
+func (sp *serverProc) faultVerdict() (drop, dup bool) {
+	if sp.partitioned {
+		return true, false
+	}
+	if sp.netemRng == nil {
+		return false, false
+	}
+	if sp.netemDrop > 0 && sp.netemRng.Float64() < sp.netemDrop {
+		return true, false
+	}
+	dup = sp.netemDup > 0 && sp.netemRng.Float64() < sp.netemDup
+	return false, dup
 }
 
 // storeFor returns register instance reg's automaton, creating it on first
@@ -105,15 +128,23 @@ func (sp *serverProc) storeFor(reg int) *server.Store {
 // process runs one request against the object under its mutex — the
 // object's "receive one message, reply before receiving any other" step,
 // shared by the event loop (delay-injection path) and the inline fast path.
-func (sp *serverProc) process(from types.ProcID, reg int, msg types.Message) (types.Message, bool) {
+// The extra dup result asks the caller to deliver the reply twice (netem
+// duplication) — accumulators dedupe by object id, so a dup must be
+// harmless, and this path proves it under torture.
+func (sp *serverProc) process(from types.ProcID, reg int, msg types.Message) (types.Message, bool, bool) {
 	sp.mu.Lock()
+	drop, dup := sp.faultVerdict()
+	if drop {
+		sp.mu.Unlock()
+		return types.Message{}, false, false
+	}
 	behavior := server.Behavior(server.Honest{})
 	if sp.byz && sp.behavior != nil {
 		behavior = sp.behavior
 	}
 	rep, ok := behavior.Reply(sp.storeFor(reg), from, msg)
 	sp.mu.Unlock()
-	return rep, ok
+	return rep, ok, dup
 }
 
 // processBatch runs every sub-request of a batched round against its own
@@ -121,8 +152,13 @@ func (sp *serverProc) process(from types.ProcID, reg int, msg types.Message) (ty
 // is one received message, answered before any other is received. Withheld
 // sub-replies are simply absent from the result (a flaky object drops
 // individual sub-bundles); a fully-withheld batch reports !ok (silence).
-func (sp *serverProc) processBatch(from types.ProcID, subs []subExchange) ([]subExchange, bool) {
+func (sp *serverProc) processBatch(from types.ProcID, subs []subExchange) ([]subExchange, bool, bool) {
 	sp.mu.Lock()
+	drop, dup := sp.faultVerdict()
+	if drop {
+		sp.mu.Unlock()
+		return nil, false, false
+	}
 	behavior := server.Behavior(server.Honest{})
 	if sp.byz && sp.behavior != nil {
 		behavior = sp.behavior
@@ -138,9 +174,9 @@ func (sp *serverProc) processBatch(from types.ProcID, subs []subExchange) ([]sub
 	}
 	sp.mu.Unlock()
 	if len(out) == 0 {
-		return nil, false
+		return nil, false, false
 	}
-	return out, true
+	return out, true, dup
 }
 
 // New starts a cluster of correct, empty storage objects.
@@ -181,6 +217,42 @@ func (c *Cluster) SetByzantine(sid int, b server.Behavior) {
 	if b != nil {
 		sp.behavior = b
 	}
+}
+
+// ClearByzantine restores object sid to honest behavior, counting it back
+// out of the fault budget (the torture harness's chaos windows end this way).
+func (c *Cluster) ClearByzantine(sid int) {
+	sp := c.server(sid)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.byz = false
+	sp.behavior = nil
+}
+
+// SetPartitioned cuts object sid off the network (or heals it): inbound
+// requests are dropped before processing, so — unlike server.Silent — the
+// object's state does not advance while partitioned, exactly as if the
+// messages were lost in transit. At most t objects may be partitioned at a
+// time for rounds to stay live.
+func (c *Cluster) SetPartitioned(sid int, partitioned bool) {
+	sp := c.server(sid)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.partitioned = partitioned
+}
+
+// SetNetem injects seeded link faults on object sid's inbound edge: each
+// request is dropped with probability drop (never processed), and a
+// surviving request's reply is duplicated with probability dup (independent
+// delays, so the copies can reorder). A nil rng clears. Faults compose with
+// any installed Byzantine behavior — netem is the network, not the object.
+func (c *Cluster) SetNetem(sid int, rng *rand.Rand, drop, dup float64) {
+	sp := c.server(sid)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.netemRng = rng
+	sp.netemDrop = drop
+	sp.netemDup = dup
 }
 
 // Snapshot captures object sid's default-register state (for explicit
@@ -243,20 +315,28 @@ func (c *Cluster) serve(sp *serverProc) {
 			return
 		case req := <-sp.reqCh:
 			if len(req.subs) > 0 {
-				subs, ok := sp.processBatch(req.from, req.subs)
+				subs, ok, dup := sp.processBatch(req.from, req.subs)
 				if !ok {
 					continue
 				}
 				seq := req.subs[0].msg.Seq
 				c.deliver(reply{sid: sp.id, msg: types.Message{Seq: seq}, subs: subs}, req.replyTo, c.delay())
+				if dup {
+					c.deliver(reply{sid: sp.id, msg: types.Message{Seq: seq}, subs: subs}, req.replyTo, c.delay())
+				}
 				continue
 			}
-			rep, ok := sp.process(req.from, req.reg, req.msg)
+			rep, ok, dup := sp.process(req.from, req.reg, req.msg)
 			if !ok {
 				continue
 			}
 			rep.Seq = req.msg.Seq
 			c.deliver(reply{sid: sp.id, msg: rep}, req.replyTo, c.delay())
+			if dup {
+				// Duplicated reply with its own independent delay, so the
+				// copies can arrive out of order.
+				c.deliver(reply{sid: sp.id, msg: rep}, req.replyTo, c.delay())
+			}
 		}
 	}
 }
@@ -391,23 +471,32 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 				msg.Seq = seq
 				subs[i] = subExchange{reg: spec.Subs[i].Reg, msg: msg}
 			}
-			out, ok := cl.c.server(sid).processBatch(cl.proc, subs)
+			out, ok, dup := cl.c.server(sid).processBatch(cl.proc, subs)
 			if !ok {
 				continue
 			}
 			for _, rep := range out {
 				spec.AddSub(sid, rep.reg, rep.msg)
 			}
+			if dup {
+				for _, rep := range out {
+					spec.AddSub(sid, rep.reg, rep.msg)
+				}
+			}
 			continue
 		}
 		msg := spec.Req(sid)
 		msg.Seq = seq
-		rep, ok := cl.c.server(sid).process(cl.proc, cl.reg, msg)
+		rep, ok, dup := cl.c.server(sid).process(cl.proc, cl.reg, msg)
 		if !ok {
 			continue // withheld reply: the client sees silence
 		}
 		rep.Seq = seq
 		spec.Acc.Add(sid, rep)
+		if dup {
+			// Inline twin of a duplicated reply: accumulators must dedupe.
+			spec.Acc.Add(sid, rep)
+		}
 	}
 	if !spec.Done() {
 		return fmt.Errorf("%w: %s (all correct replies delivered inline)", ErrRoundStuck, spec.Label)

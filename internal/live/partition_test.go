@@ -1,0 +1,108 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"robustatomic/internal/core"
+	"robustatomic/internal/types"
+)
+
+// TestPartitionDropsWithoutProcessing: a partitioned object is cut off
+// before processing — its automaton state must not advance (unlike
+// server.Silent) — and the quorum of S-t live objects absorbs the loss.
+func TestPartitionDropsWithoutProcessing(t *testing.T) {
+	c := New(Config{Servers: 4})
+	defer c.Close()
+	thr := th(t, 4, 1)
+
+	c.SetPartitioned(1, true)
+	w := core.NewWriter(c.NewClient(types.Writer), thr)
+	if err := w.Write("v1"); err != nil {
+		t.Fatalf("write with one partitioned object: %v", err)
+	}
+	sp := c.server(1)
+	sp.mu.Lock()
+	instances := len(sp.stores)
+	sp.mu.Unlock()
+	if instances != 0 {
+		t.Fatalf("partitioned object instantiated %d registers — it processed dropped messages", instances)
+	}
+
+	// Healed, the object catches up on the very next round.
+	c.SetPartitioned(1, false)
+	if err := w.Write("v2"); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	sp.mu.Lock()
+	instances = len(sp.stores)
+	sp.mu.Unlock()
+	if instances == 0 {
+		t.Fatal("healed object still not receiving messages")
+	}
+
+	rd := core.NewReader(c.NewClient(types.Reader(1)), thr, 1, 2)
+	v, err := rd.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "v2" {
+		t.Fatalf("read = %q, want v2", v)
+	}
+}
+
+// TestPartitionBeyondBudgetFailsFast: with MaxDelay == 0 rounds run inline,
+// so a quorum-killing partition surfaces as an immediate ErrRoundStuck
+// instead of burning a timeout.
+func TestPartitionBeyondBudgetFailsFast(t *testing.T) {
+	c := New(Config{Servers: 4})
+	defer c.Close()
+	thr := th(t, 4, 1)
+	c.SetPartitioned(2, true)
+	c.SetPartitioned(3, true)
+	w := core.NewWriter(c.NewClient(types.Writer), thr)
+	start := time.Now()
+	err := w.Write("v1")
+	if !errors.Is(err, ErrRoundStuck) {
+		t.Fatalf("write with 2 > t partitioned objects: err = %v, want ErrRoundStuck", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("inline round took %v to fail — it burned a timeout", elapsed)
+	}
+	c.SetPartitioned(2, false)
+	c.SetPartitioned(3, false)
+	if err := w.Write("v2"); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+// TestNetemDropAndDup: message loss within the fault budget and duplicated
+// replies (which accumulators must dedupe by object id) leave every
+// operation correct, on both the inline and the delay-injection paths.
+func TestNetemDropAndDup(t *testing.T) {
+	for _, maxDelay := range []time.Duration{0, 200 * time.Microsecond} {
+		c := New(Config{Servers: 4, Seed: 11, MaxDelay: maxDelay})
+		thr := th(t, 4, 1)
+		c.SetNetem(2, rand.New(rand.NewSource(7)), 0.5, 0)
+		c.SetNetem(3, rand.New(rand.NewSource(8)), 0, 1.0) // every reply doubled
+		w := core.NewWriter(c.NewClient(types.Writer), thr)
+		rd := core.NewReader(c.NewClient(types.Reader(1)), thr, 1, 2)
+		for i := 0; i < 8; i++ {
+			val := types.Value(fmt.Sprintf("d%v-%d", maxDelay, i))
+			if err := w.Write(val); err != nil {
+				t.Fatalf("maxDelay=%v write %d: %v", maxDelay, i, err)
+			}
+			v, err := rd.Read()
+			if err != nil {
+				t.Fatalf("maxDelay=%v read %d: %v", maxDelay, i, err)
+			}
+			if v != val {
+				t.Fatalf("maxDelay=%v read %d = %q, want %q", maxDelay, i, v, val)
+			}
+		}
+		c.Close()
+	}
+}

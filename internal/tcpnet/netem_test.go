@@ -1,0 +1,92 @@
+package tcpnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"robustatomic/internal/core"
+	"robustatomic/internal/quorum"
+	"robustatomic/internal/types"
+)
+
+// TestTCPPartitionDropsWithoutProcessing: a partitioned daemon drops
+// requests before the WAL and the automaton — its state must not advance —
+// while the S-t live quorum keeps serving; healing folds it straight back.
+func TestTCPPartitionDropsWithoutProcessing(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, addrs := startCluster(t, 4)
+	servers[0].SetPartitioned(true)
+
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	w := core.NewWriter(wc, thr)
+	if err := w.Write("v1"); err != nil {
+		t.Fatalf("write with one partitioned daemon: %v", err)
+	}
+	if n := servers[0].Registers(); n != 0 {
+		t.Fatalf("partitioned daemon instantiated %d registers — it processed dropped requests", n)
+	}
+
+	servers[0].SetPartitioned(false)
+	if err := w.Write("v2"); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	// The write round completes on 2t+1 acks, possibly before the healed
+	// daemon drains its socket; give it a moment to show state.
+	deadline := time.Now().Add(2 * time.Second)
+	for servers[0].Registers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("healed daemon still not processing requests")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rc := NewClient(types.Reader(1), addrs)
+	defer rc.Close()
+	rd := core.NewReader(rc, thr, 1, 2)
+	v, err := rd.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "v2" {
+		t.Fatalf("read = %q, want v2", v)
+	}
+}
+
+// TestTCPNetemDropDupDelay: seeded link faults — dropped requests, doubled
+// replies (the demux discards the copy: its request id is already resolved),
+// and wire delay — stay within the fault budget and never corrupt results.
+func TestTCPNetemDropDupDelay(t *testing.T) {
+	thr, err := quorum.NewThresholds(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, addrs := startCluster(t, 4)
+	servers[1].SetNetem(rand.New(rand.NewSource(3)), 0.5, 0, 0)
+	servers[2].SetNetem(rand.New(rand.NewSource(4)), 0, 1.0, time.Millisecond)
+
+	wc := NewClient(types.Writer, addrs)
+	defer wc.Close()
+	w := core.NewWriter(wc, thr)
+	rc := NewClient(types.Reader(1), addrs)
+	defer rc.Close()
+	rd := core.NewReader(rc, thr, 1, 2)
+	for i := 0; i < 8; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(val); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		v, err := rd.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v != val {
+			t.Fatalf("read %d = %q, want %q", i, v, val)
+		}
+	}
+}

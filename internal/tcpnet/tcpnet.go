@@ -101,6 +101,14 @@ type Server struct {
 	batchRng     *rand.Rand
 	batchDrop    float64
 	batchShuffle bool
+	// Link-level fault injection (SetPartitioned/SetNetem): requests dropped
+	// before they reach the WAL or the automaton, replies delayed or
+	// duplicated on the wire.
+	partitioned bool
+	netemRng    *rand.Rand
+	netemDrop   float64
+	netemDup    float64
+	netemDelay  time.Duration
 }
 
 // NewServer starts serving object id on addr ("host:port"; ":0" picks a free
@@ -194,6 +202,51 @@ func (s *Server) SetBatchChaos(rng *rand.Rand, drop float64, shuffle bool) {
 	s.batchShuffle = shuffle
 }
 
+// SetPartitioned cuts the object off the network (or heals it): inbound
+// requests are dropped before they reach the WAL or the automaton, so —
+// unlike server.Silent, which processes the message and withholds the reply
+// — the object's state does not advance while partitioned. Connections stay
+// open (the peer sees silence, then round timeouts), which is exactly what a
+// filtering partition looks like from a client.
+func (s *Server) SetPartitioned(partitioned bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partitioned = partitioned
+}
+
+// SetNetem injects seeded link faults: each inbound request is dropped with
+// probability drop (never processed — a lost datagram, not a Byzantine
+// silence), each surviving reply is duplicated on the wire with probability
+// dup (clients must dedupe by request id), and every reply is held back by
+// delay before it is written. A nil rng clears drop/dup; delay applies
+// regardless. Orthogonal to SetBehavior and SetBatchChaos — netem is the
+// network, not the object.
+func (s *Server) SetNetem(rng *rand.Rand, drop, dup float64, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.netemRng = rng
+	s.netemDrop = drop
+	s.netemDup = dup
+	s.netemDelay = delay
+}
+
+// linkVerdict samples the partition/netem state for one inbound request.
+// The rng is shared across connection goroutines, hence the lock.
+func (s *Server) linkVerdict() (drop, dup bool, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.partitioned {
+		return true, false, 0
+	}
+	if s.netemRng != nil {
+		if s.netemDrop > 0 && s.netemRng.Float64() < s.netemDrop {
+			return true, false, 0
+		}
+		dup = s.netemDup > 0 && s.netemRng.Float64() < s.netemDup
+	}
+	return false, dup, s.netemDelay
+}
+
 // Close stops the server, waits for its connections to drain, and seals the
 // write-ahead log.
 func (s *Server) Close() {
@@ -284,6 +337,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		drop, dup, delay := s.linkVerdict()
+		if drop {
+			continue // partitioned or netem-dropped: never processed
+		}
 		var rsp wire.Response
 		var send bool
 		if len(req.Subs) > 0 {
@@ -296,8 +353,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		rsp.ID = req.ID
 		rsp.Server = s.ID
+		if delay > 0 {
+			// The reply stalls on this connection's ordered stream — later
+			// pipelined replies queue behind it, as real congestion would.
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-s.ctx.Done():
+				t.Stop()
+				return
+			}
+		}
 		if err := enc.EncodeResponse(rsp); err != nil {
 			return
+		}
+		if dup {
+			// Duplicated on the wire: the client's demux must drop the copy
+			// (its request id has already been resolved).
+			if err := enc.EncodeResponse(rsp); err != nil {
+				return
+			}
 		}
 	}
 }

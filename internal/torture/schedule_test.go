@@ -1,0 +1,104 @@
+package torture
+
+import (
+	"testing"
+)
+
+// TestPlanDeterministic: the schedule is a pure function of its inputs —
+// the replay guarantee the harness's failure messages promise.
+func TestPlanDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, mode := range []Mode{ModeLive, ModeTCP} {
+			a, err := Plan(sc, mode, 42, 1000, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Plan(sc, mode, 42, 1000, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("%s/%s: same seed planned different schedules:\n%s\nvs\n%s", sc, mode, a, b)
+			}
+			c, err := Plan(sc, mode, 43, 1000, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() == c.String() {
+				t.Fatalf("%s/%s: seeds 42 and 43 planned the identical schedule", sc, mode)
+			}
+		}
+	}
+}
+
+// TestPlanShape: events are ordered, stay inside the first 90% of the
+// workload, target valid objects, and never fault two objects at once (the
+// t=1 budget every scenario certifies against).
+func TestPlanShape(t *testing.T) {
+	opens := map[EventKind]bool{EvPartition: true, EvKill: true, EvWipe: true, EvChaos: true, EvNetem: true}
+	for _, sc := range Scenarios() {
+		for _, mode := range []Mode{ModeLive, ModeTCP} {
+			for seed := int64(1); seed <= 20; seed++ {
+				sched, err := Plan(sc, mode, seed, 600, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sched.Events) == 0 {
+					t.Fatalf("%s/%s seed %d: empty schedule", sc, mode, seed)
+				}
+				faulted := 0
+				for i, ev := range sched.Events {
+					if i > 0 && ev.At < sched.Events[i-1].At {
+						t.Fatalf("%s/%s seed %d: events out of order:\n%s", sc, mode, seed, sched)
+					}
+					if ev.At < 1 || ev.At >= 540 {
+						t.Fatalf("%s/%s seed %d: event outside the fault span: %s", sc, mode, seed, ev)
+					}
+					if ev.Sid < 1 || ev.Sid > 4 {
+						t.Fatalf("%s/%s seed %d: bad object id: %s", sc, mode, seed, ev)
+					}
+					if opens[ev.Kind] {
+						faulted++
+					} else {
+						faulted--
+					}
+					if faulted > 1 {
+						t.Fatalf("%s/%s seed %d: two objects faulted at once:\n%s", sc, mode, seed, sched)
+					}
+				}
+				if faulted != 0 {
+					t.Fatalf("%s/%s seed %d: schedule ends with an open fault window:\n%s", sc, mode, seed, sched)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanRepairOnlyOnTCP: the wipe + quorum-repair window needs real data
+// dirs, so it must appear on tcp schedules (where the last window is the
+// machine replacement) and never on live ones.
+func TestPlanRepairOnlyOnTCP(t *testing.T) {
+	count := func(sched Schedule, k EventKind) int {
+		n := 0
+		for _, ev := range sched.Events {
+			if ev.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	tcp, err := Plan(KillRestartRepair, ModeTCP, 7, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count(tcp, EvWipe) != 1 || count(tcp, EvRepair) != 1 {
+		t.Fatalf("tcp kill-restart-repair schedule lacks the wipe+repair window:\n%s", tcp)
+	}
+	lv, err := Plan(KillRestartRepair, ModeLive, 7, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count(lv, EvWipe) != 0 || count(lv, EvRepair) != 0 {
+		t.Fatalf("live schedule contains wipe/repair (no data dirs to wipe):\n%s", lv)
+	}
+}

@@ -1,0 +1,276 @@
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustatomic"
+	"robustatomic/internal/checker"
+	"robustatomic/internal/retry"
+	"robustatomic/internal/types"
+)
+
+// Config parameterizes one torture run. Seed, Scenario and Mode fully
+// determine the fault schedule; the workload shape determines its trigger
+// points.
+type Config struct {
+	Seed     int64
+	Scenario Scenario
+	Mode     Mode
+	// Faults is t (the cluster runs S = 3t+1 objects). Default 1.
+	Faults int
+	// Shards is the Store's register count; it must comfortably exceed Keys
+	// (the workload puts every key on its own shard, see pickKeys). Default
+	// 4×Keys.
+	Shards int
+	// Keys is the workload's key-space size. Default 16.
+	Keys int
+	// Clients is the number of concurrent simulated clients, split across
+	// two logical processes (distinct WriterIDs, disjoint readers).
+	Clients int
+	// OpsPerClient is each client's operation count.
+	OpsPerClient int
+	// ReadFrac is the probability an operation is a Get; of the rest,
+	// DeleteFrac are Deletes and the remainder Puts. Defaults 0.4 and 0.15.
+	ReadFrac, DeleteFrac float64
+	// Budget bounds each per-key linearization search. Zero selects the
+	// harness default (2M nodes, 30s) rather than an unlimited search.
+	Budget checker.Budget
+	// Dir is where ModeTCP daemons put their persist data dirs (required
+	// for tcp; ignored live).
+	Dir string
+	// Logf, when set, receives progress lines (schedule, fired events,
+	// summary).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.Faults == 0 {
+		c.Faults = 1
+	}
+	if c.Keys == 0 {
+		c.Keys = 16
+	}
+	if c.Shards == 0 {
+		c.Shards = 4 * c.Keys
+	}
+	if c.ReadFrac == 0 {
+		c.ReadFrac = 0.4
+	}
+	if c.DeleteFrac == 0 {
+		c.DeleteFrac = 0.15
+	}
+	if c.Budget == (checker.Budget{}) {
+		c.Budget = checker.Budget{MaxNodes: 2_000_000, Deadline: 30 * time.Second}
+	}
+}
+
+// Result summarizes a passed torture run.
+type Result struct {
+	Schedule Schedule
+	Ops      int // operations attempted by the workload
+	Failed   int // operations that errored mid-fault (recorded as pending)
+	Keys     int // distinct keys with non-empty histories
+	Checked  int // operations decided by the per-key atomicity checks
+}
+
+// pickKeys chooses n workload keys that hash onto n DISTINCT shards.
+// One-key-per-shard keeps the cross-process workload inside the Store's
+// guarantee envelope: contending writes to the SAME key are atomically
+// ordered register writes, but a process's writes to OTHER keys sharing a
+// shard can lose a cross-process flush race (shard-granularity LWW — the
+// Store documents that cross-process write isolation requires partitioning
+// across shards). Single-shard keys make per-key atomicity exactly
+// per-register atomicity, which is what the checker decides.
+func pickKeys(st *robustatomic.Store, n int) ([]string, error) {
+	if st.Shards() < n {
+		return nil, fmt.Errorf("torture: %d keys need ≥%d shards, store has %d", n, n, st.Shards())
+	}
+	keys := make([]string, 0, n)
+	used := make(map[int]bool, n)
+	for i := 0; len(keys) < n; i++ {
+		if i > 256*n {
+			return nil, fmt.Errorf("torture: could not place %d keys on distinct shards (got %d of %d)", n, len(keys), st.Shards())
+		}
+		key := fmt.Sprintf("k%03d", i)
+		if sh := st.ShardOf(key); !used[sh] {
+			used[sh] = true
+			keys = append(keys, key)
+		}
+	}
+	return keys, nil
+}
+
+// Run executes one seeded torture schedule against a real cluster and
+// decides every per-key history. It returns a non-nil error if any history
+// is non-atomic (or undecidable within the budget), if the quiesced
+// processes disagree on any key's value, or if the cluster breaks in a way
+// the fault schedule does not license. The returned error embeds the seed
+// and the full schedule; the test harness prints the replay command.
+func Run(cfg Config) (Result, error) {
+	cfg.defaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	totalOps := cfg.Clients * cfg.OpsPerClient
+	sched, err := Plan(cfg.Scenario, cfg.Mode, cfg.Seed, totalOps, 3*cfg.Faults+1)
+	if err != nil {
+		return Result{}, err
+	}
+	logf("%s", sched)
+
+	r, err := setup(cfg, cfg.Dir)
+	if err != nil {
+		return Result{Schedule: sched}, fmt.Errorf("torture: setup: %w", err)
+	}
+	defer r.close()
+
+	stores := make([]*robustatomic.Store, len(r.procs))
+	for p, c := range r.procs {
+		st, err := c.NewStore(robustatomic.StoreOptions{Shards: cfg.Shards, Readers: procReaders(p)})
+		if err != nil {
+			return Result{Schedule: sched}, fmt.Errorf("torture: store %d: %w", p, err)
+		}
+		stores[p] = st
+	}
+	keys, err := pickKeys(stores[0], cfg.Keys)
+	if err != nil {
+		return Result{Schedule: sched}, err
+	}
+
+	var (
+		rec     recorder
+		done    atomic.Int64 // completed operation attempts (success or failure)
+		failed  atomic.Int64
+		aborted atomic.Bool
+
+		evMu   sync.Mutex
+		evNext int
+		evErr  error
+	)
+	// fire applies every event whose threshold the global op counter has
+	// crossed. The crossing client's goroutine applies them, serialized by
+	// evMu; an event that cannot be applied aborts the whole run (the
+	// schedule IS the experiment — a half-applied schedule proves nothing).
+	fire := func(count int64) {
+		evMu.Lock()
+		defer evMu.Unlock()
+		for evNext < len(sched.Events) && int64(sched.Events[evNext].At) <= count && evErr == nil {
+			ev := sched.Events[evNext]
+			evNext++
+			logf("op %d: firing %s", count, ev)
+			if err := r.ctrl.apply(ev); err != nil {
+				evErr = err
+				aborted.Store(true)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			proc := ci % len(r.procs)
+			st := stores[proc]
+			self := types.WriterID(10 + ci)
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(1+ci)*0x9e3779b9))
+			bo := retry.Backoff{Base: time.Millisecond, Cap: 30 * time.Millisecond, Rng: rand.New(rand.NewSource(int64(ci)))}
+			for op := 0; op < cfg.OpsPerClient && !aborted.Load(); op++ {
+				key := keys[rng.Intn(len(keys))]
+				var err error
+				switch {
+				case rng.Float64() < cfg.ReadFrac:
+					id := rec.invoke(key, self, checker.OpRead, "")
+					var v string
+					if v, err = st.Get(key); err != nil {
+						rec.abandon(id)
+					} else {
+						rec.respond(id, types.Value(v))
+					}
+				case rng.Float64() < cfg.DeleteFrac:
+					id := rec.invoke(key, self, checker.OpWrite, types.Bottom)
+					if err = st.Delete(key); err != nil {
+						rec.abandon(id)
+					} else {
+						rec.respond(id, "")
+					}
+				default:
+					// Values are unique per attempt (writer-tagged), never
+					// retried, so the checker's distinct-values precondition
+					// holds by construction.
+					val := types.Value(fmt.Sprintf("c%d-%d", ci, op))
+					id := rec.invoke(key, self, checker.OpWrite, val)
+					if err = st.Put(key, string(val)); err != nil {
+						rec.abandon(id)
+					} else {
+						rec.respond(id, "")
+					}
+				}
+				if err != nil {
+					if n := failed.Add(1); n <= 16 {
+						logf("op failure %d (client %d, key %s): %v", n, ci, key, err)
+					}
+					time.Sleep(bo.Next(err))
+				} else {
+					bo.Reset()
+				}
+				fire(done.Add(1))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if evErr != nil {
+		return Result{Schedule: sched}, fmt.Errorf("torture: schedule event failed: %w\n%s", evErr, sched)
+	}
+	fire(int64(totalOps)) // defensive: nothing may be left pending
+	if err := r.ctrl.quiesce(); err != nil {
+		return Result{Schedule: sched}, fmt.Errorf("torture: quiesce: %w\n%s", err, sched)
+	}
+
+	// Quiescent agreement: with every fault healed, each process reads every
+	// key sequentially; the reads join the per-key histories (so atomicity
+	// covers them too) and the processes' views must agree exactly.
+	final := make([]map[string]string, len(r.procs))
+	for p := range r.procs {
+		final[p] = make(map[string]string, len(keys))
+		self := types.Reader(1000 + p)
+		for _, key := range keys {
+			id := rec.invoke(key, self, checker.OpRead, "")
+			v, err := stores[p].Get(key)
+			if err != nil {
+				return Result{Schedule: sched}, fmt.Errorf("torture: quiescent read of %q by process %d failed on a healed cluster: %w\n%s", key, p, err, sched)
+			}
+			rec.respond(id, types.Value(v))
+			final[p][key] = v
+		}
+	}
+	for _, key := range keys {
+		if final[0][key] != final[1][key] {
+			return Result{Schedule: sched}, fmt.Errorf(
+				"torture: quiescent disagreement on %q: process 0 reads %q, process 1 reads %q\n%s",
+				key, final[0][key], final[1][key], sched)
+		}
+	}
+
+	hists := rec.histories()
+	checked, err := checkAll(hists, cfg.Budget)
+	if err != nil {
+		return Result{Schedule: sched}, fmt.Errorf("torture: %w\n%s", err, sched)
+	}
+	res := Result{
+		Schedule: sched,
+		Ops:      totalOps,
+		Failed:   int(failed.Load()),
+		Keys:     len(hists),
+		Checked:  checked,
+	}
+	logf("torture pass: %d ops (%d failed mid-fault), %d keys, %d ops checker-accepted",
+		res.Ops, res.Failed, res.Keys, res.Checked)
+	return res, nil
+}

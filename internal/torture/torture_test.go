@@ -1,0 +1,135 @@
+package torture
+
+import (
+	"flag"
+	"testing"
+)
+
+// Replay and scale flags. Pass them after -args:
+//
+//	go test ./internal/torture/ -run TestTortureFull -v -args -torture.full
+//	go test ./internal/torture/ -run TestTortureReplay -v -args -torture.seed=7 -torture.scenario=byzantine-mix -torture.mode=tcp
+var (
+	tortureSeed     = flag.Int64("torture.seed", 0, "replay: run TestTortureReplay with this schedule seed")
+	tortureScenario = flag.String("torture.scenario", string(PartitionHeal), "replay: schedule family")
+	tortureMode     = flag.String("torture.mode", string(ModeLive), "replay: cluster mode (live | tcp)")
+	tortureFull     = flag.Bool("torture.full", false, "run the full-scale torture suite (make torture)")
+)
+
+// shortCfg is the CI-sized workload: all three scenarios in seconds, small
+// enough for -race.
+func shortCfg(sc Scenario, mode Mode, seed int64) Config {
+	return Config{
+		Seed: seed, Scenario: sc, Mode: mode,
+		Clients: 32, OpsPerClient: 6, Keys: 16,
+	}
+}
+
+// fullCfg is the acceptance-scale workload: ≥200 simulated clients per
+// schedule (make torture / the nightly integration run).
+func fullCfg(sc Scenario, mode Mode, seed int64) Config {
+	return Config{
+		Seed: seed, Scenario: sc, Mode: mode,
+		Clients: 224, OpsPerClient: 8, Keys: 48,
+	}
+}
+
+// runTorture runs one schedule and fails with the seed and a copy-pasteable
+// replay command reproducing the identical event schedule.
+func runTorture(t *testing.T, cfg Config, full bool) Result {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		fullFlag := ""
+		if full {
+			fullFlag = " -torture.full"
+		}
+		t.Fatalf("torture failed (seed %d):\n%v\n\nreplay: go test ./internal/torture/ -run TestTortureReplay -v -args -torture.seed=%d -torture.scenario=%s -torture.mode=%s%s",
+			cfg.Seed, err, cfg.Seed, cfg.Scenario, cfg.Mode, fullFlag)
+	}
+	if res.Checked == 0 {
+		t.Fatalf("torture run checked 0 operations — the harness recorded nothing")
+	}
+	return res
+}
+
+// TestTortureShort drives every scenario family at CI scale with fixed
+// seeds: partition+heal and the Byzantine mix against the in-process
+// runtime, kill+restart+wipe+repair against real TCP daemons with persist
+// data dirs (make torture-short).
+func TestTortureShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture needs real rounds; skipped in -short")
+	}
+	for _, tc := range []struct {
+		sc   Scenario
+		mode Mode
+		seed int64
+	}{
+		{PartitionHeal, ModeLive, 101},
+		{ByzantineMix, ModeLive, 103},
+		{KillRestartRepair, ModeTCP, 102},
+	} {
+		t.Run(string(tc.sc)+"/"+string(tc.mode), func(t *testing.T) {
+			res := runTorture(t, shortCfg(tc.sc, tc.mode, tc.seed), false)
+			t.Logf("%d ops (%d failed mid-fault), %d keys, %d checker-accepted",
+				res.Ops, res.Failed, res.Keys, res.Checked)
+		})
+	}
+}
+
+// TestTortureFull is the acceptance run (make torture): three distinct
+// seeded schedules, each over ≥200 simulated clients, every per-key history
+// decided by the multi-writer atomicity checker. Gated behind -torture.full
+// so the default `go test ./...` stays fast.
+func TestTortureFull(t *testing.T) {
+	if !*tortureFull {
+		t.Skip("full-scale torture runs under -args -torture.full (make torture)")
+	}
+	for _, tc := range []struct {
+		sc   Scenario
+		mode Mode
+		seed int64
+	}{
+		{PartitionHeal, ModeLive, 201},
+		{KillRestartRepair, ModeTCP, 202},
+		{ByzantineMix, ModeTCP, 203},
+	} {
+		t.Run(string(tc.sc)+"/"+string(tc.mode), func(t *testing.T) {
+			res := runTorture(t, fullCfg(tc.sc, tc.mode, tc.seed), true)
+			t.Logf("%d ops (%d failed mid-fault), %d keys, %d checker-accepted",
+				res.Ops, res.Failed, res.Keys, res.Checked)
+		})
+	}
+}
+
+// TestTortureReplay re-runs one seeded schedule from the command line — the
+// command every torture failure prints. It first proves the plan is the
+// identical event schedule (byte-for-byte), then runs it.
+func TestTortureReplay(t *testing.T) {
+	if *tortureSeed == 0 {
+		t.Skip("replay runs under -args -torture.seed=<seed> (printed by torture failures)")
+	}
+	mk := shortCfg
+	if *tortureFull {
+		mk = fullCfg
+	}
+	cfg := mk(Scenario(*tortureScenario), Mode(*tortureMode), *tortureSeed)
+	a, err := Plan(cfg.Scenario, cfg.Mode, cfg.Seed, cfg.Clients*cfg.OpsPerClient, 3+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg.Scenario, cfg.Mode, cfg.Seed, cfg.Clients*cfg.OpsPerClient, 3+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("replay planned a different schedule:\n%s\nvs\n%s", a, b)
+	}
+	t.Logf("replaying:\n%s", a)
+	res := runTorture(t, cfg, *tortureFull)
+	t.Logf("%d ops (%d failed mid-fault), %d keys, %d checker-accepted",
+		res.Ops, res.Failed, res.Keys, res.Checked)
+}

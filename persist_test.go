@@ -47,8 +47,10 @@ func TestStoreCrashRestartAtomicity(t *testing.T) {
 		writes  = 6
 		reads   = 4
 		readers = 2
-		seed    = 31
 	)
+	// The seed picks the victim, the kill point and the cluster's delay
+	// streams; a failure replays with -chaos.seed.
+	seed := chaosSeedFor(t, 31)
 	base := t.TempDir()
 	var servers [4]*tcpnet.Server
 	var addrs []string

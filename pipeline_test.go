@@ -30,17 +30,20 @@ func TestPipelinedBatchedRoundsAtomicUnderChaos(t *testing.T) {
 	// Object 1: flaky at the protocol level (drops whole replies) and
 	// unreliable at the batch level (drops 30% of sub-bundles, shuffles the
 	// survivors), so a batched round may get a partial, reordered bundle.
-	servers[0].SetBehavior(server.Flaky{Rand: rand.New(rand.NewSource(41)), DropProb: 0.4})
-	servers[0].SetBatchChaos(rand.New(rand.NewSource(42)), 0.3, true)
+	// Every chaos stream derives from one base seed so a failure replays
+	// with -chaos.seed.
+	base := chaosSeedFor(t, 41, 1, 2)
+	servers[0].SetBehavior(server.Flaky{Rand: rand.New(rand.NewSource(mixSeed(base, 1))), DropProb: 0.4})
+	servers[0].SetBatchChaos(rand.New(rand.NewSource(mixSeed(base, 1, 2))), 0.3, true)
 	// Object 2: answers everything, in scrambled sub-bundle order.
-	servers[1].SetBatchChaos(rand.New(rand.NewSource(43)), 0, true)
+	servers[1].SetBatchChaos(rand.New(rand.NewSource(mixSeed(base, 2))), 0, true)
 
-	c1, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 1, Seed: 401, Coalesce: CoalesceOn})
+	c1, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 1, Seed: mixSeed(base, 401), Coalesce: CoalesceOn})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	c2, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 2, Seed: 402, Coalesce: CoalesceOn})
+	c2, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 2, Seed: mixSeed(base, 402), Coalesce: CoalesceOn})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -162,6 +162,9 @@ type Cluster struct {
 
 	inproc *live.Cluster // nil when remote
 	addrs  []string      // nil when in-process
+	// shared marks a Sibling handle: Close must not shut down the in-process
+	// runtime it borrowed from its parent.
+	shared bool
 
 	mu         sync.Mutex   // guards tcpClients, mux, combiner
 	tcpClients []*tcpnet.Client
@@ -230,9 +233,31 @@ func Connect(addrs []string, opts Options) (*Cluster, error) {
 	}, nil
 }
 
+// Sibling returns a second logical client process over the same running
+// cluster: it shares the in-process runtime (or the daemon addresses) but
+// carries its own WriterID, reader identities, seed and transport state —
+// the in-process twin of a second machine running Connect. Concurrent
+// sibling processes MUST configure distinct WriterIDs and use disjoint
+// reader identities (reader handles own their write-back registers).
+// Closing a sibling releases only its own transports; the parent's Close
+// shuts the shared runtime down.
+func (c *Cluster) Sibling(opts Options) (*Cluster, error) {
+	opts.defaults()
+	if opts.Faults != c.opts.Faults {
+		return nil, fmt.Errorf("robustatomic: sibling fault budget %d != cluster's %d", opts.Faults, c.opts.Faults)
+	}
+	return &Cluster{
+		opts:   opts,
+		th:     c.th,
+		inproc: c.inproc,
+		addrs:  c.addrs,
+		shared: true,
+	}, nil
+}
+
 // Close shuts down an in-process cluster or the TCP connections.
 func (c *Cluster) Close() {
-	if c.inproc != nil {
+	if c.inproc != nil && !c.shared {
 		c.inproc.Close()
 	}
 	c.mu.Lock()
@@ -281,6 +306,59 @@ func (c *Cluster) InjectFault(sid int, mode string) error {
 		return fmt.Errorf("robustatomic: unknown fault mode %q", mode)
 	}
 	c.inproc.SetByzantine(sid, b)
+	return nil
+}
+
+// ClearFault restores in-process object sid to honest behavior, counting it
+// back out of the fault budget (chaos windows end this way).
+func (c *Cluster) ClearFault(sid int) error {
+	if c.inproc == nil {
+		return fmt.Errorf("robustatomic: fault injection needs an in-process cluster")
+	}
+	c.inproc.ClearByzantine(sid)
+	return nil
+}
+
+// Partition cuts in-process object sid off the network: its inbound messages
+// are dropped before processing, so its state does not advance — the
+// in-process twin of a network partition (and, since live objects have no
+// disk, also of a kill -9 with preserved state: the object resumes exactly
+// where it stopped when Heal reconnects it). At most t objects may be
+// partitioned at a time for rounds to stay live. Remote clusters partition
+// via tcpnet.Server.SetPartitioned on the daemons instead.
+func (c *Cluster) Partition(sid int) error {
+	if c.inproc == nil {
+		return fmt.Errorf("robustatomic: partitioning needs an in-process cluster")
+	}
+	c.inproc.SetPartitioned(sid, true)
+	return nil
+}
+
+// Heal reconnects a partitioned in-process object.
+func (c *Cluster) Heal(sid int) error {
+	if c.inproc == nil {
+		return fmt.Errorf("robustatomic: partitioning needs an in-process cluster")
+	}
+	c.inproc.SetPartitioned(sid, false)
+	return nil
+}
+
+// SetNetem injects seeded link faults on in-process object sid: each inbound
+// message is dropped with probability drop (never processed) and surviving
+// replies are duplicated with probability dup. Both zero clears. The rand
+// stream derives from the cluster seed and sid, so a replayed seed replays
+// the same loss pattern. Composes with InjectFault — netem is the network,
+// not the object.
+func (c *Cluster) SetNetem(sid int, drop, dup float64) error {
+	if c.inproc == nil {
+		return fmt.Errorf("robustatomic: netem needs an in-process cluster")
+	}
+	if drop == 0 && dup == 0 {
+		c.inproc.SetNetem(sid, nil, 0, 0)
+		return nil
+	}
+	rng := rand.New(rand.NewSource(mixSeed(c.opts.Seed, int64(sid), 0x6e65746d)))
+	c.inproc.SetNetem(sid, rng, drop, dup)
 	return nil
 }
 

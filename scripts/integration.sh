@@ -172,4 +172,13 @@ for i in 1 5 8; do
   [[ "$out" == "\"value-$i\""* ]] || { echo "FAIL: key:$i => $out"; exit 1; }
 done
 
+if [[ "${TORTURE:-}" == "full" ]]; then
+  # Nightly configuration: the full-scale deterministic torture suite —
+  # three seeded fault schedules over 224 simulated clients each, every
+  # per-key history decided by the atomicity checker. A failure prints the
+  # seed and a replay command.
+  echo "== full torture suite (TORTURE=full)"
+  go test -run TestTortureFull -v -timeout 1800s ./internal/torture/ -args -torture.full
+fi
+
 echo "PASS: durability + repair integration"

@@ -149,7 +149,8 @@ func TestStorePerKeyAtomicity(t *testing.T) {
 		reads   = 3
 		readers = 2
 	)
-	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: 15, MaxDelay: 200 * time.Microsecond})
+	seed := chaosSeedFor(t, 15, 2)
+	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: seed, MaxDelay: 200 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,8 @@ func TestStoreCoalescedAtomicityUnderFault(t *testing.T) {
 		reads   = 4
 		readers = 2
 	)
-	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: 22})
+	seed := chaosSeedFor(t, 22, 3)
+	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
