@@ -27,8 +27,9 @@ bench:
 	$(GO) test -run xxx -bench 'E7|E9|E10|E11|E12|E13' -benchmem -count=3 . | tee bench.txt
 
 # bench-diff re-runs the guarded hot-path benchmarks and compares them
-# against the committed baseline (bench_baseline.txt): E7/E9/E12/E13 ns/op
-# regressions beyond 20% fail, and E13's pipelined sub-benchmark must stay
+# against the committed baseline (bench_baseline.txt): E7/E12 ns/op
+# regressions beyond 20% fail, the instrumented E9/E13 beyond 10% (the obs
+# layer's overhead budget), and E13's pipelined sub-benchmark must stay
 # at least 3x faster than its lock-step baseline, so the reclaimed
 # multi-writer tax and the pipelining win cannot silently creep back.
 # Refresh the baseline intentionally with `make bench-baseline` after a

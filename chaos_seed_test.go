@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"robustatomic/internal/obs"
 )
 
 // chaosSeedFlag replays a chaos-enabled test under the exact fault streams
@@ -40,4 +42,21 @@ func chaosSeedFor(t *testing.T, def int64, sids ...int) int64 {
 		t.Logf("replay: go test -run '^%s$' -v -args -chaos.seed=%d", t.Name(), seed)
 	})
 	return seed
+}
+
+// chaosTracer returns a tracer for a chaos-enabled test's Options.Tracer,
+// tracing every op, and registers a cleanup that — if the test fails — dumps
+// the round traces of every failed op next to chaosSeedFor's replay command:
+// which rounds ran, which objects answered, and (for multiplexed replies)
+// which register sub-bundles each reply actually carried.
+func chaosTracer(t *testing.T) *obs.Tracer {
+	t.Helper()
+	tr := obs.NewTracer(64, 1)
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		t.Logf("failed-op round traces (dump-on-failure):\n%s", tr.FormatFailed())
+	})
+	return tr
 }

@@ -49,10 +49,13 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/persist"
 	"robustatomic/internal/server"
 	"robustatomic/internal/tcpnet"
@@ -68,6 +71,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "flaky: RNG seed for the drop pattern")
 	chaosBatchDrop := flag.Float64("chaos-batch-drop", 0, "probability of dropping each sub-bundle from a batched reply")
 	chaosBatchShuffle := flag.Bool("chaos-batch-shuffle", false, "scramble sub-bundle order in batched replies")
+	debugAddr := flag.String("debug-addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	flag.Parse()
 
 	mode, err := persist.ParseFsyncMode(*fsync)
@@ -102,6 +106,22 @@ func main() {
 	}
 	if *chaosBatchDrop > 0 || *chaosBatchShuffle {
 		s.SetBatchChaos(rand.New(rand.NewSource(*chaosSeed)), *chaosBatchDrop, *chaosBatchShuffle)
+	}
+	if *debugAddr != "" {
+		// Listen synchronously so a bad address fails loudly at startup (and
+		// integration scripts can curl the moment the banner prints), then
+		// serve in the background for the life of the daemon.
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "storaged: debug listener:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(ln, obs.Handler(obs.Default, nil)); err != nil {
+				fmt.Fprintln(os.Stderr, "storaged: debug server:", err)
+			}
+		}()
+		fmt.Printf("storaged: debug endpoints on http://%s/metrics /debug/vars /debug/pprof\n", ln.Addr())
 	}
 	durability := "volatile"
 	if *dataDir != "" {

@@ -29,6 +29,7 @@ import (
 
 	"robustatomic"
 	"robustatomic/internal/hdr"
+	"robustatomic/internal/obs"
 )
 
 type stepResult struct {
@@ -61,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	format := flag.String("format", "table", "output: table | csv | json")
 	chaos := flag.String("chaos", "", "in-process only: make object 2 Byzantine (flaky | stale | equivocate | silent | garbage)")
+	obsDump := flag.Bool("obs", false, "after the sweep, print the client-side obs snapshot (round counts, flush-path mix, mux state)")
 	flag.Parse()
 
 	var targets []int
@@ -106,6 +108,10 @@ func main() {
 		results = append(results, runStep(store, q, *duration, *warmup, *readFrac, *keys, *dist, *zipfS, payload, *workers, *seed))
 	}
 	emit(results, *format)
+	if *obsDump {
+		fmt.Println("\n== client obs snapshot")
+		fmt.Print(obs.Default.Snapshot().Format())
+	}
 }
 
 // runStep offers load at target ops/s for warmup+duration and returns the

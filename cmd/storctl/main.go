@@ -27,9 +27,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"robustatomic"
+	"robustatomic/internal/obs"
 	"robustatomic/internal/tcpnet"
 )
 
@@ -47,19 +51,27 @@ func main() {
 	readerIdx := flag.Int("reader", 1, "this client's reader index (1..R; concurrent clients use distinct indices)")
 	writerID := flag.Int("writer", 0, "this client's writer id (concurrent writing clients use distinct ids)")
 	shards := flag.Int("shards", 8, "shard count of the keyed store (put/get/del, repair/probe)")
+	trace := flag.Int("trace", 0, "per-op round tracing: sample one op in N (1 = every op, 0 = off); failed-op traces dump to stderr on error")
 	flag.Parse()
 
-	if err := run(*servers, *t, *readers, *readerIdx, *writerID, *shards, flag.Args()); err != nil {
+	if err := run(*servers, *t, *readers, *readerIdx, *writerID, *shards, *trace, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "storctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers string, t, readers, readerIdx, writerID, shards int, args []string) error {
+func run(servers string, t, readers, readerIdx, writerID, shards, trace int, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | repair <object-id> | probe <object-id>")
+		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | stats <debug-addr>... | repair <object-id> | probe <object-id>")
 	}
 	addrs := strings.Split(servers, ",")
+	if args[0] == "stats" {
+		// Stats scrapes daemon debug endpoints directly; no cluster needed.
+		if len(args) < 2 {
+			return fmt.Errorf("usage: storctl stats <debug-addr>... (the storaged -debug-addr addresses)")
+		}
+		return stats(args[1:])
+	}
 	if args[0] == "probe" {
 		// Probe talks to a single daemon directly; no cluster needed.
 		if len(args) != 2 {
@@ -83,7 +95,19 @@ func run(servers string, t, readers, readerIdx, writerID, shards int, args []str
 		}
 		return nil
 	}
-	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers, WriterID: writerID})
+	var tracer *obs.Tracer
+	if trace > 0 {
+		tracer = obs.NewTracer(256, trace)
+		// Dump the round traces of every failed op next to the error: which
+		// rounds ran, which objects replied, and what the replies carried.
+		defer func() {
+			if failed := tracer.Failed(); len(failed) > 0 {
+				fmt.Fprintln(os.Stderr, "== failed-op round traces")
+				fmt.Fprint(os.Stderr, tracer.FormatFailed())
+			}
+		}()
+	}
+	cluster, err := robustatomic.Connect(addrs, robustatomic.Options{Faults: t, Readers: readers, WriterID: writerID, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -232,4 +256,69 @@ func run(servers string, t, readers, readerIdx, writerID, shards int, args []str
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// stats scrapes each daemon's /debug/vars and renders one combined table:
+// metrics down, daemons across. Histograms render their sample count (the
+// full distributions stay on /metrics).
+func stats(debugAddrs []string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	snaps := make([]obs.Snapshot, len(debugAddrs))
+	for i, addr := range debugAddrs {
+		url := addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		resp, err := client.Get(url + "/debug/vars")
+		if err != nil {
+			return fmt.Errorf("stats: %s: %w", addr, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snaps[i])
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("stats: %s: %w", addr, err)
+		}
+	}
+	// Union of metric names across daemons, sorted: daemons restarted at
+	// different times (or with different roles) expose different subsets.
+	nameSet := map[string]bool{}
+	for _, s := range snaps {
+		for _, n := range s.Names() {
+			nameSet[n] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	width := len("metric")
+	for n := range nameSet {
+		names = append(names, n)
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-*s", width, "metric")
+	for i := range debugAddrs {
+		fmt.Printf(" %12s", fmt.Sprintf("s%d", i+1))
+	}
+	fmt.Println()
+	cell := func(s obs.Snapshot, name string) string {
+		if v, ok := s.Counters[name]; ok {
+			return strconv.FormatInt(v, 10)
+		}
+		if v, ok := s.Gauges[name]; ok {
+			return strconv.FormatInt(v, 10)
+		}
+		if h, ok := s.Hists[name]; ok {
+			return fmt.Sprintf("n=%d", h.Count)
+		}
+		return "-"
+	}
+	for _, n := range names {
+		fmt.Printf("%-*s", width, n)
+		for _, s := range snaps {
+			fmt.Printf(" %12s", cell(s, n))
+		}
+		fmt.Println()
+	}
+	return nil
 }

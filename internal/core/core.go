@@ -242,6 +242,10 @@ type Reader struct {
 }
 
 // NewReader returns the handle of reader idx out of `readers` total readers.
+// A fresh handle discovers the sequence number its write-back register is at
+// during its first read (every read queries its own register anyway), so a
+// new process reattaching with an identity earlier lifetimes used is safe;
+// CONCURRENT use of one reader identity remains forbidden.
 func NewReader(r proto.Rounder, th quorum.Thresholds, idx, readers int) *Reader {
 	return NewReaderAt(r, th, idx, readers, 0)
 }
@@ -257,6 +261,29 @@ func NewReaderAt(r proto.Rounder, th quorum.Thresholds, idx, readers int, seq in
 
 // Seq returns the reader's current write-back sequence number.
 func (r *Reader) Seq() int64 { return r.seq }
+
+// ResumeSeq returns the write-back sequence number a reader handle should
+// resume from after reading its own register: prev (the handle's count so
+// far), advanced to the raw maximum sequence number the query rounds
+// reported. The raw maximum — not the certified choice — is what must never
+// be re-issued: a crashed predecessor's prewrite may sit on a single object,
+// invisible to certification, and re-issuing its sequence number with a
+// different value would leave correct objects permanently disagreeing on one
+// timestamp's value (equal timestamps never overwrite), each such pair
+// spending a unit of the read decision's fault budget. But raw reports are
+// Byzantine-inflatable, so — exactly like the writer's discovery
+// (maxDiscoveryLead) — a raw lead past the certified anchor too large to be
+// honest history is ignored rather than allowed to burn the sequence space.
+func ResumeSeq(prev int64, cert, raw types.TS) int64 {
+	seq := prev
+	if cert.Seq > seq {
+		seq = cert.Seq
+	}
+	if raw.Seq > seq && raw.Seq-cert.Seq <= maxDiscoveryLead {
+		seq = raw.Seq
+	}
+	return seq
+}
 
 // Read performs the 4-round atomic read.
 func (r *Reader) Read() (types.Value, error) {
@@ -285,13 +312,18 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 	}
 
 	// Physical round 2: round 2 of every register's regular read, over the
-	// frozen round-1 views. The shared register (index 0) is multi-writer;
-	// each write-back register keeps its single reader-owner's discipline.
+	// frozen round-1 views. Every register runs the relaxed multi-writer
+	// decision: the shared register (index 0) genuinely has many writers,
+	// and a write-back register's owner resumes its sequence number by
+	// discovery (below), so its write at ℓ may follow a crashed
+	// predecessor's ℓ−1 that never completed — the exact premise under
+	// which the stricter SWMR causality filter would wrongly reject the
+	// true fault set (see regular.DecideAcc.MultiWriter).
 	accs2 := make([]*regular.DecideAcc, len(regs))
 	parts2 := make([]MuxPart, len(regs))
 	for i, reg := range regs {
 		accs2[i] = regular.NewDecideAcc(r.th, accs1[i].Replies)
-		accs2[i].MultiWriter = i == 0
+		accs2[i].MultiWriter = true
 		parts2[i] = MuxPart{
 			Reg: reg,
 			Req: func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
@@ -301,6 +333,19 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 	if err := r.rounder.Round(MuxRound("AREAD2", parts2)); err != nil {
 		return types.Pair{}, fmt.Errorf("core: read round 2: %w", err)
 	}
+
+	// Resume the write-back sequence number from the views just collected:
+	// regs[r.idx] is this reader's own register, so the read's two query
+	// rounds double as the discovery round a fresh handle needs. A handle
+	// that restarted its count at zero would re-issue sequence numbers an
+	// earlier lifetime of this identity already used, carrying this era's
+	// (different) value; objects keep whichever write they saw first (equal
+	// timestamps never overwrite), so correct objects end up durably
+	// disagreeing on one timestamp's value — each such pair burns a unit of
+	// the read decision's fault budget, and enough of them starve every
+	// later read of this register ("all replies in, accumulator
+	// unsatisfied").
+	r.seq = ResumeSeq(r.seq, accs2[r.idx].Choice().TS, accs2[r.idx].MaxTS())
 
 	// The read's result is the maximum pair across the writer's register
 	// and every reader's write-back register.
@@ -316,6 +361,9 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 	// Physical rounds 3 and 4: write the result back into this reader's own
 	// register before returning. Write-back registers are single-writer
 	// (the reader owns its own), so their timestamps keep WID 0.
+	if r.seq+1 <= 0 {
+		return types.Pair{}, fmt.Errorf("core: write-back register sequence space exhausted")
+	}
 	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), 0, types.At(r.seq))
 	if err := wb.WritePair(types.Pair{TS: types.At(r.seq + 1), Val: EncodePair(best)}); err != nil {
 		return types.Pair{}, fmt.Errorf("core: write-back: %w", err)

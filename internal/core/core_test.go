@@ -343,3 +343,80 @@ func TestNewReaderPanicsOnBadIndex(t *testing.T) {
 	}()
 	NewReader(nil, thr, 3, 2)
 }
+
+func TestReaderLifetimeChurnDiscoversSeq(t *testing.T) {
+	// The captured integration flake: a reader identity restarted with a
+	// fresh handle used to restart its write-back sequence count at zero,
+	// re-issuing timestamps an earlier lifetime already used with a
+	// DIFFERENT value. Objects keep whichever write they saw first (equal
+	// timestamps never overwrite), so correct objects end up durably
+	// disagreeing on one timestamp — each such pair burns a unit of every
+	// later read decision's fault budget, and enough of them starve reads
+	// of the register outright (see regular.TestDecideDisjointConflictsStarve
+	// for the decision-level mechanism). The fix: a read resumes its
+	// sequence number from the views its own query rounds just collected.
+	thr := th(t, 4, 1)
+	cl := newCluster(thr, 2)
+	s := sim.New(sim.Config{Servers: 4})
+	defer s.Close()
+
+	mustRun(t, s, s.Spawn("w-a", types.Writer, checker.OpWrite, "a", cl.writeOp("a")))
+
+	// Lifetime A of reader identity 1: a fresh handle (seq 0) whose
+	// write-back reaches only objects {1,2,3} — object 4 never learns that
+	// sequence number 1 of ReaderReg(1) carries enc(1,"a").
+	freshRead := func(out **Reader) sim.OpFunc {
+		return func(c *sim.Client) (types.Value, error) {
+			r := NewReaderAt(c, cl.thr, 1, cl.readers, 0)
+			*out = r
+			v, err := r.Read()
+			return v, err
+		}
+	}
+	var rdA *Reader
+	opA := s.Spawn("rd-lifeA", types.Reader(1), checker.OpRead, types.Bottom, freshRead(&rdA))
+	s.StepAll(opA)         // AREAD1
+	s.StepAll(opA)         // AREAD2
+	s.Step(opA, 1, 2, 3)   // write-back PREWRITE
+	s.Step(opA, 1, 2, 3)   // write-back WRITE
+	if !opA.Done() {
+		t.Fatal("lifetime A read did not complete on a quorum")
+	}
+	if v, err := opA.Result(); err != nil || v != "a" {
+		t.Fatalf("lifetime A read = %q, %v", v, err)
+	}
+
+	mustRun(t, s, s.Spawn("w-b", types.Writer, checker.OpWrite, "b", cl.writeOp("b")))
+
+	// Lifetime B: the same identity restarts from zero again. Its read must
+	// discover sequence number 1 from the query rounds and write back at 2
+	// rather than re-issuing 1 with this era's value.
+	var rdB *Reader
+	opB := s.Spawn("rd-lifeB", types.Reader(1), checker.OpRead, types.Bottom, freshRead(&rdB))
+	if v := mustRun(t, s, opB); v != "b" {
+		t.Fatalf("lifetime B read = %q, want b", v)
+	}
+	if got := rdB.Seq(); got != 2 {
+		t.Fatalf("lifetime B resumed write-back seq = %d, want 2 (discovered 1, wrote 2)", got)
+	}
+
+	// White-box invariant behind the whole incident: no two objects may
+	// hold different values at the same timestamp of ReaderReg(1).
+	for _, field := range []string{"pw", "w"} {
+		byTS := make(map[types.TS]types.Value)
+		for sid := 1; sid <= 4; sid++ {
+			st := s.Store(sid).Reg(types.ReaderReg(1))
+			pair := st.PW
+			if field == "w" {
+				pair = st.W
+			}
+			if pair.IsBottom() {
+				continue
+			}
+			if prev, seen := byTS[pair.TS]; seen && prev != pair.Val {
+				t.Fatalf("%s divergence at ts %v: %q vs %q", field, pair.TS, prev, pair.Val)
+			}
+			byTS[pair.TS] = pair.Val
+		}
+	}
+}

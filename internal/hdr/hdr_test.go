@@ -98,3 +98,39 @@ func TestIndexRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeMismatchedRanges merges histograms whose recorded magnitudes
+// live in disjoint ranges — sub-microsecond ticks, millisecond-scale
+// latencies, and multi-second outliers — the snapshot-time situation when
+// obs merges stripes that saw very different traffic. The merged quantiles,
+// count, sum and max must match recording everything into one histogram.
+func TestMergeMismatchedRanges(t *testing.T) {
+	var small, mid, huge, whole Histogram
+	for i := int64(0); i < 1000; i++ {
+		small.Record(i % 10) // 0..9
+		whole.Record(i % 10)
+		mid.Record(1_000 + i) // ~1e3
+		whole.Record(1_000 + i)
+		huge.Record(5_000_000_000 + i*1_000_000) // ~5e9, beyond int32
+		whole.Record(5_000_000_000 + i*1_000_000)
+	}
+	var m Histogram
+	m.Merge(&small)
+	m.Merge(&mid)
+	m.Merge(&huge)
+	if m.Count() != whole.Count() || m.Max() != whole.Max() || m.Mean() != whole.Mean() {
+		t.Fatalf("mismatched-range merge diverges: %v vs %v", m.String(), whole.String())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		if m.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %d vs whole %d", q, m.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is the identity.
+	var empty Histogram
+	before := m.String()
+	m.Merge(&empty)
+	if m.String() != before {
+		t.Fatalf("empty merge changed state: %s vs %s", m.String(), before)
+	}
+}

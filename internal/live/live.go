@@ -15,9 +15,21 @@ import (
 	"sync"
 	"time"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/proto"
 	"robustatomic/internal/server"
 	"robustatomic/internal/types"
+)
+
+// Runtime-wide observability counters. Per-label round counts and latency
+// live in per-client RoundStats caches (see Client.statsFor); these tally
+// the round-path mix and fault activity of the whole process.
+var (
+	mInlineRounds = obs.Default.Counter("live_rounds_inline_total")
+	mAsyncRounds  = obs.Default.Counter("live_rounds_async_total")
+	mRoundUnsat   = obs.Default.Counter("live_round_unsat_total")
+	mRoundStuck   = obs.Default.Counter("live_round_stuck_total")
+	mChaos        = obs.Default.Counter("live_chaos_injections_total")
 )
 
 // ErrClosed is returned by rounds after the cluster shut down.
@@ -210,6 +222,7 @@ func (c *Cluster) Close() {
 // SetByzantine makes object sid Byzantine with the given behavior (nil for
 // honest-but-flagged).
 func (c *Cluster) SetByzantine(sid int, b server.Behavior) {
+	mChaos.Inc()
 	sp := c.server(sid)
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
@@ -235,6 +248,9 @@ func (c *Cluster) ClearByzantine(sid int) {
 // messages were lost in transit. At most t objects may be partitioned at a
 // time for rounds to stay live.
 func (c *Cluster) SetPartitioned(sid int, partitioned bool) {
+	if partitioned {
+		mChaos.Inc()
+	}
 	sp := c.server(sid)
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
@@ -247,6 +263,9 @@ func (c *Cluster) SetPartitioned(sid int, partitioned bool) {
 // delays, so the copies can reorder). A nil rng clears. Faults compose with
 // any installed Byzantine behavior — netem is the network, not the object.
 func (c *Cluster) SetNetem(sid int, rng *rand.Rand, drop, dup float64) {
+	if rng != nil {
+		mChaos.Inc()
+	}
 	sp := c.server(sid)
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
@@ -378,6 +397,23 @@ type Client struct {
 	timer *time.Timer
 	// Rounds counts completed communication rounds (instrumentation).
 	Rounds int
+	// stats caches the per-label round metrics. The client is
+	// single-goroutine, so an unsynchronized linear-scan cache keeps the
+	// per-round cost to a few pointer-equality string compares — no name
+	// building, no registry lookup, no allocation.
+	stats obs.StatsCache
+}
+
+// statsFor returns the cached round metrics for the spec's label. Merged
+// batch rounds share one "BATCH" family: the Combiner's size-embedding
+// labels would otherwise explode metric cardinality (their size
+// distribution is proto_combine_batch_subs).
+func (cl *Client) statsFor(spec *proto.RoundSpec) *obs.RoundStats {
+	label := spec.Label
+	if len(spec.Subs) > 0 {
+		label = "BATCH"
+	}
+	return cl.stats.Get(obs.Default, "live", label)
 }
 
 var _ proto.Rounder = (*Client)(nil)
@@ -410,9 +446,15 @@ func (cl *Client) NumServers() int { return cl.c.NumServers() }
 func (cl *Client) Round(spec proto.RoundSpec) error {
 	cl.seq++
 	seq := cl.seq
+	st := cl.statsFor(&spec)
+	begun := st.Begin()
 	if cl.c.cfg.MaxDelay <= 0 {
-		return cl.roundInline(spec, seq)
+		mInlineRounds.Inc()
+		err := cl.roundInline(spec, seq)
+		st.Done(begun, err)
+		return err
 	}
+	mAsyncRounds.Inc()
 	// Anything buffered now is a stale reply to an earlier round: drain it
 	// so the channel has room for this round's replies.
 	for {
@@ -436,6 +478,7 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 			req.msg = spec.Req(sid)
 			req.msg.Seq = seq
 		}
+		spec.Trace.Event(sid, "send", "")
 		d := cl.c.delay()
 		cl.c.wg.Add(1)
 		go func(sid int, req request) {
@@ -449,7 +492,9 @@ func (cl *Client) Round(spec proto.RoundSpec) error {
 			}
 		}(sid, req)
 	}
-	return cl.roundAsync(spec, seq)
+	err := cl.roundAsync(spec, seq)
+	st.Done(begun, err)
+	return err
 }
 
 // roundInline is the MaxDelay == 0 round: deliver the request to every
@@ -473,7 +518,11 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 			}
 			out, ok, dup := cl.c.server(sid).processBatch(cl.proc, subs)
 			if !ok {
+				spec.Trace.Event(sid, "lost", "")
 				continue
+			}
+			if spec.Trace != nil {
+				spec.Trace.Event(sid, "reply", subsNote(out))
 			}
 			for _, rep := range out {
 				spec.AddSub(sid, rep.reg, rep.msg)
@@ -489,7 +538,11 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 		msg.Seq = seq
 		rep, ok, dup := cl.c.server(sid).process(cl.proc, cl.reg, msg)
 		if !ok {
+			spec.Trace.Event(sid, "lost", "")
 			continue // withheld reply: the client sees silence
+		}
+		if spec.Trace != nil {
+			spec.Trace.Event(sid, "reply", rep.TraceNote())
 		}
 		rep.Seq = seq
 		spec.Acc.Add(sid, rep)
@@ -499,10 +552,24 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 		}
 	}
 	if !spec.Done() {
+		mRoundUnsat.Inc()
 		return fmt.Errorf("%w: %s (all correct replies delivered inline)", ErrRoundStuck, spec.Label)
 	}
 	cl.Rounds++
 	return nil
+}
+
+// subsNote renders the register instances present in a batched reply — the
+// trace payload that shows which sub-bundles a flaky object dropped.
+func subsNote(out []subExchange) string {
+	note := "subs["
+	for i, sub := range out {
+		if i > 0 {
+			note += ","
+		}
+		note += fmt.Sprint(sub.reg)
+	}
+	return note + "]"
 }
 
 // integrate feeds one matched reply into the spec: a batched reply's
@@ -510,10 +577,16 @@ func (cl *Client) roundInline(spec proto.RoundSpec, seq int) error {
 // reply feeds the accumulator directly.
 func integrate(spec *proto.RoundSpec, rep reply) {
 	if len(rep.subs) > 0 {
+		if spec.Trace != nil {
+			spec.Trace.Event(rep.sid, "reply", subsNote(rep.subs))
+		}
 		for _, sub := range rep.subs {
 			spec.AddSub(rep.sid, sub.reg, sub.msg)
 		}
 		return
+	}
+	if spec.Trace != nil {
+		spec.Trace.Event(rep.sid, "reply", rep.msg.TraceNote())
 	}
 	spec.Acc.Add(rep.sid, rep.msg)
 }
@@ -576,6 +649,7 @@ func (cl *Client) roundAsync(spec proto.RoundSpec, seq int) error {
 				continue
 			}
 			cl.timer.Reset(cl.c.cfg.RoundTimeout)
+			mRoundStuck.Inc()
 			return fmt.Errorf("%w: %s after %v (%d replies)", ErrRoundStuck, spec.Label, cl.c.cfg.RoundTimeout, received)
 		}
 	}

@@ -1,0 +1,143 @@
+// Prometheus-text and JSON exposition of a Registry, and the /debug HTTP
+// handler storaged mounts behind -debug-addr.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// family splits a metric name into its family (the part before any label
+// braces) and the label block (`{...}` or empty).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// withLabel returns the metric name with one extra label folded into its
+// label block: withLabel(`h{op="put"}`, "quantile", "0.5") is
+// `h{op="put",quantile="0.5"}`.
+func withLabel(name, k, v string) string {
+	fam, labels := family(name)
+	if labels == "" {
+		return fam + `{` + k + `="` + v + `"}`
+	}
+	return fam + `{` + strings.TrimSuffix(labels[1:], "}") + `,` + k + `="` + v + `"}`
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Counters and gauges are scalars; histograms render as summaries
+// (quantile-labeled series plus _count and _sum-approximating _mean).
+// Output is sorted by name, so it is stable for golden tests.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	typed := map[string]bool{}
+	typeLine := func(name, kind string) {
+		fam, _ := family(name)
+		if !typed[fam] {
+			typed[fam] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+		}
+	}
+	for _, name := range s.Names() {
+		if v, ok := s.Counters[name]; ok {
+			typeLine(name, "counter")
+			fmt.Fprintf(w, "%s %d\n", name, v)
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			typeLine(name, "gauge")
+			fmt.Fprintf(w, "%s %d\n", name, v)
+			continue
+		}
+		h := s.Hists[name]
+		typeLine(name, "summary")
+		fmt.Fprintf(w, "%s %d\n", withLabel(name, "quantile", "0.5"), h.P50)
+		fmt.Fprintf(w, "%s %d\n", withLabel(name, "quantile", "0.9"), h.P90)
+		fmt.Fprintf(w, "%s %d\n", withLabel(name, "quantile", "0.99"), h.P99)
+		fmt.Fprintf(w, "%s %d\n", withLabel(name, "quantile", "1"), h.Max)
+		fam, labels := family(name)
+		fmt.Fprintf(w, "%s%s %d\n", fam+"_count", labels, h.Count)
+		fmt.Fprintf(w, "%s%s %g\n", fam+"_mean", labels, h.Mean)
+	}
+}
+
+// WriteJSON renders the snapshot as one JSON object (the /debug/vars
+// payload), keys sorted within each section by encoding/json's map
+// rendering.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Handler returns the debug mux for a registry (plus optional tracer):
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   JSON snapshot
+//	/debug/traces recent + failed op traces, text (when a tracer is given)
+//	/debug/pprof  the standard pprof family
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		if t == nil {
+			fmt.Fprintln(w, "tracing disabled")
+			return
+		}
+		if failed := t.Failed(); len(failed) > 0 {
+			fmt.Fprintln(w, "== failed ops")
+			for _, op := range failed {
+				fmt.Fprint(w, op.Format())
+			}
+		}
+		fmt.Fprintln(w, "== recent ops")
+		for _, op := range t.Recent() {
+			fmt.Fprint(w, op.Format())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Format renders a snapshot as an aligned text table (the storbench -obs
+// and storctl stats rendering).
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	names := s.Names()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			fmt.Fprintf(&b, "%-*s %12d\n", width, n, v)
+		} else if v, ok := s.Gauges[n]; ok {
+			fmt.Fprintf(&b, "%-*s %12d\n", width, n, v)
+		} else {
+			h := s.Hists[n]
+			fmt.Fprintf(&b, "%-*s %12d  mean=%.1f p50=%d p99=%d max=%d\n",
+				width, n, h.Count, h.Mean, h.P50, h.P99, h.Max)
+		}
+	}
+	return b.String()
+}

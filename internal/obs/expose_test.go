@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte on a private
+// registry: TYPE lines once per family, label-carrying names rendered
+// verbatim, histograms as quantile summaries with _count and _mean, output
+// sorted by name.
+func TestPrometheusGolden(t *testing.T) {
+	r := &Registry{}
+	r.Counter(`proto_rounds_total{transport="mux",label="AREAD2"}`).Add(41)
+	r.Counter(`proto_rounds_total{transport="mux",label="WVAL"}`).Add(7)
+	r.Gauge("tcpnet_inflight_waiters").Set(3)
+	h := r.Hist(`store_op_latency_us{op="put"}`)
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	r.GaugeFunc(`tcpnet_server_registers{id="2"}`, func() int64 { return 9 })
+
+	var b strings.Builder
+	r.Snapshot().WritePrometheus(&b)
+	got := b.String()
+	// Quantiles are hdr cell tops (upper bounds), hence p90 = 91 for the
+	// uniform 1..100 recording: 90 shares a 2-wide cell with 91.
+	want := `# TYPE proto_rounds_total counter
+proto_rounds_total{transport="mux",label="AREAD2"} 41
+proto_rounds_total{transport="mux",label="WVAL"} 7
+# TYPE store_op_latency_us summary
+store_op_latency_us{op="put",quantile="0.5"} 50
+store_op_latency_us{op="put",quantile="0.9"} 91
+store_op_latency_us{op="put",quantile="0.99"} 99
+store_op_latency_us{op="put",quantile="1"} 100
+store_op_latency_us_count{op="put"} 100
+store_op_latency_us_mean{op="put"} 50.5
+# TYPE tcpnet_inflight_waiters gauge
+tcpnet_inflight_waiters 3
+# TYPE tcpnet_server_registers gauge
+tcpnet_server_registers{id="2"} 9
+`
+	if got != want {
+		t.Fatalf("prometheus exposition drifted:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestJSONRoundTrip checks that the /debug/vars payload decodes back into a
+// Snapshot — the contract storctl stats scrapes through.
+func TestJSONRoundTrip(t *testing.T) {
+	r := &Registry{}
+	r.Counter("c_total").Add(5)
+	r.Gauge("g").Set(-2)
+	r.Hist("h_us").Record(10)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c_total"] != 5 || back.Gauges["g"] != -2 || back.Hists["h_us"].Count != 1 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	if got := back.Names(); len(got) != 3 {
+		t.Fatalf("names: %v", got)
+	}
+}
+
+// TestWithLabel checks quantile-label folding into existing label blocks.
+func TestWithLabel(t *testing.T) {
+	for _, tc := range []struct{ in, k, v, want string }{
+		{"plain", "quantile", "0.5", `plain{quantile="0.5"}`},
+		{`h{op="put"}`, "quantile", "0.99", `h{op="put",quantile="0.99"}`},
+	} {
+		if got := withLabel(tc.in, tc.k, tc.v); got != tc.want {
+			t.Fatalf("withLabel(%q): got %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSnapshotFormat smoke-checks the aligned table rendering used by
+// storbench -obs.
+func TestSnapshotFormat(t *testing.T) {
+	r := &Registry{}
+	r.Counter("a_total").Add(2)
+	r.Hist("lat_us").Record(7)
+	out := r.Snapshot().Format()
+	if !strings.Contains(out, "a_total") || !strings.Contains(out, "p50=7") {
+		t.Fatalf("table rendering: %q", out)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRecordSnapshot hammers every metric kind from many
+// goroutines while snapshots run concurrently — the -race proof that the
+// hot path (atomic adds, striped histogram records, sync.Map lookups) and
+// the snapshot path are safe together.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	r := &Registry{}
+	const goroutines = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			ga := r.Gauge("g")
+			h := r.Hist("h_us")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				ga.Add(1)
+				ga.Dec()
+				h.Record(int64(i % 500))
+			}
+		}(g)
+	}
+	// Concurrent snapshots and a churning callback gauge.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			r.GaugeFunc("gf", func() int64 { return 7 })
+			_ = r.Snapshot()
+			r.Unregister("gf")
+		}
+	}()
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["c_total"]; got != goroutines*per {
+		t.Fatalf("counter: got %d, want %d", got, goroutines*per)
+	}
+	if got := snap.Gauges["g"]; got != 0 {
+		t.Fatalf("gauge: got %d, want 0", got)
+	}
+	if got := snap.Hists["h_us"].Count; got != goroutines*per {
+		t.Fatalf("hist count: got %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestRegistryKinds checks get-or-create identity: the same name returns the
+// same metric, distinct names distinct metrics.
+func TestRegistryKinds(t *testing.T) {
+	r := &Registry{}
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity lost across lookups")
+	}
+	if r.Hist("h") != r.Hist("h") {
+		t.Fatal("hist identity lost across lookups")
+	}
+	r.Counter("a").Add(3)
+	if got := r.Snapshot().Counters["a"]; got != 3 {
+		t.Fatalf("counter value: got %d, want 3", got)
+	}
+}
+
+// TestRoundStats checks the per-label round bundle: every round counts, only
+// errors hit the error counter, and sampled rounds fill the latency hist.
+func TestRoundStats(t *testing.T) {
+	r := &Registry{}
+	rs := NewRoundStats(r, "test", "WVAL")
+	boom := errors.New("boom")
+	for i := 0; i < 64; i++ {
+		start := rs.Begin()
+		var err error
+		if i%4 == 0 {
+			err = boom
+		}
+		rs.Done(start, err)
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters[`proto_rounds_total{transport="test",label="WVAL"}`]; got != 64 {
+		t.Fatalf("rounds: got %d, want 64", got)
+	}
+	if got := snap.Counters[`proto_round_errors_total{transport="test",label="WVAL"}`]; got != 16 {
+		t.Fatalf("errors: got %d, want 16", got)
+	}
+	// 1-in-latSample rounds are timed; of 64 rounds, 8 sampled, some may
+	// coincide with error rounds (not recorded). At least one must land.
+	if got := snap.Hists[`proto_round_latency_us{transport="test",label="WVAL"}`].Count; got == 0 {
+		t.Fatal("no sampled latencies recorded")
+	}
+}
+
+// TestTracerSampling checks the sampling contract: rate 0 never traces,
+// rate 1 always traces, rate n traces one in n, and failed ops are retained
+// beyond the ring.
+func TestTracerSampling(t *testing.T) {
+	off := NewTracer(8, 0)
+	if op := off.StartOp("GET", "k"); op != nil {
+		t.Fatal("disabled tracer produced an op")
+	}
+	every := NewTracer(4, 1)
+	for i := 0; i < 10; i++ {
+		op := every.StartOp("GET", "k")
+		if op == nil {
+			t.Fatal("rate-1 tracer skipped an op")
+		}
+		var err error
+		if i < 2 {
+			err = errors.New("early failure")
+		}
+		every.EndOp(op, err)
+	}
+	if got := len(every.Recent()); got != 4 {
+		t.Fatalf("ring: got %d ops, want 4 (ring size)", got)
+	}
+	// The 2 early failures fell off the ring but stay in the failed list.
+	if got := len(every.Failed()); got != 2 {
+		t.Fatalf("failed: got %d, want 2", got)
+	}
+	sampled := NewTracer(64, 8)
+	n := 0
+	for i := 0; i < 64; i++ {
+		if op := sampled.StartOp("GET", "k"); op != nil {
+			n++
+			sampled.EndOp(op, nil)
+		}
+	}
+	if n != 8 {
+		t.Fatalf("rate-8 tracer sampled %d of 64 ops, want 8", n)
+	}
+}
+
+// TestOpTraceFormat checks the dump rendering: op header, rounds, per-object
+// events with notes — the text a chaos failure prints.
+func TestOpTraceFormat(t *testing.T) {
+	tr := NewTracer(4, 1)
+	op := tr.StartOp("FLUSH", "3 ops")
+	rt := op.StartRound("AREAD2", 2)
+	rt.Event(1, "send", "")
+	rt.Event(1, "reply", "MUX[REGw,REGr1]")
+	rt.Event(3, "lost", "connection reset")
+	rt.Finish(errors.New("AREAD2: all replies in, accumulator unsatisfied"))
+	tr.EndOp(op, errors.New("round failed"))
+
+	out := tr.FormatFailed()
+	for _, want := range []string{
+		"FLUSH", "AREAD2", "reg=2",
+		"MUX[REGw,REGr1]", "lost", "connection reset",
+		"accumulator unsatisfied",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracerConcurrent drives StartOp/EndOp and RoundTrace.Event from many
+// goroutines (the mux read loop appends events concurrently with the op
+// goroutine) — a -race check.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				op := tr.StartOp("PUT", "k")
+				rt := op.StartRound("WVAL", 0)
+				var inner sync.WaitGroup
+				for sid := 1; sid <= 4; sid++ {
+					inner.Add(1)
+					go func(sid int) {
+						defer inner.Done()
+						rt.Event(sid, "reply", "ACK")
+					}(sid)
+				}
+				inner.Wait()
+				rt.Finish(nil)
+				tr.EndOp(op, nil)
+				_ = tr.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestHistRecordSince sanity-checks the microsecond recording path.
+func TestHistRecordSince(t *testing.T) {
+	var h Hist
+	h.RecordSince(time.Now().Add(-3 * time.Millisecond))
+	m := h.Merged()
+	if m.Count() != 1 || m.Max() < 2000 || m.Max() > 100000 {
+		t.Fatalf("RecordSince: %s", m.String())
+	}
+}

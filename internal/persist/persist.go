@@ -49,9 +49,25 @@ import (
 	"sync"
 	"time"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/server"
 	"robustatomic/internal/types"
 	"robustatomic/internal/wire"
+)
+
+// Durability observability: append and fsync latency distributions (µs,
+// recorded unconditionally — both are I/O-bound, so the two time.Now calls
+// vanish in the noise), plus volume counters. Engines are per-daemon but
+// the metrics aggregate: a storaged process hosts one engine, and
+// multi-engine test processes just sum.
+var (
+	mWALAppends     = obs.Default.Counter("persist_wal_appends_total")
+	mWALBytes       = obs.Default.Counter("persist_wal_bytes_total")
+	mWALAppendLat   = obs.Default.Hist("persist_wal_append_us")
+	mWALFsyncs      = obs.Default.Counter("persist_fsyncs_total")
+	mWALFsyncLat    = obs.Default.Hist("persist_fsync_us")
+	mWALCompactions = obs.Default.Counter("persist_compactions_total")
+	mEngines        = obs.Default.Counter("persist_engines_opened_total")
 )
 
 // FsyncMode selects when appended records are fsynced. The zero value is
@@ -265,6 +281,7 @@ func Open(dir string, o Options) (*Engine, error) {
 	} else {
 		close(e.syncDone)
 	}
+	mEngines.Inc()
 	return e, nil
 }
 
@@ -375,6 +392,7 @@ func replayWAL(path string, tolerateTear bool, apply func(wire.Request) error) (
 // record is on disk per the engine's fsync mode; the caller must not let
 // the reply leave before then.
 func (e *Engine) Append(req wire.Request) error {
+	start := time.Now()
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -410,13 +428,17 @@ func (e *Engine) Append(req wire.Request) error {
 	}
 	e.walSize += int64(len(e.frame))
 	e.records++
+	mWALAppends.Inc()
+	mWALBytes.Add(int64(len(e.frame)))
 	switch e.mode {
 	case FsyncOff:
 		e.mu.Unlock()
+		mWALAppendLat.RecordSince(start)
 		return nil
 	case FsyncBatch:
 		e.dirty = true
 		e.mu.Unlock()
+		mWALAppendLat.RecordSince(start)
 		return nil
 	}
 	// FsyncAlways: group commit. Join (or start) the batch covering this
@@ -441,7 +463,10 @@ func (e *Engine) Append(req wire.Request) error {
 	e.pending = nil
 	f := e.f
 	e.mu.Unlock()
+	syncStart := time.Now()
 	b.err = f.Sync()
+	mWALFsyncs.Inc()
+	mWALFsyncLat.RecordSince(syncStart)
 	close(b.done)
 	e.mu.Lock()
 	if b.err != nil && e.f == f && !e.closed {
@@ -456,6 +481,7 @@ func (e *Engine) Append(req wire.Request) error {
 	if b.err != nil {
 		return fmt.Errorf("persist: wal fsync: %w", b.err)
 	}
+	mWALAppendLat.RecordSince(start)
 	return nil
 }
 
@@ -477,7 +503,11 @@ func (e *Engine) syncLoop() {
 			e.dirty = false
 			f := e.f
 			e.mu.Unlock()
-			if err := f.Sync(); err != nil {
+			syncStart := time.Now()
+			err := f.Sync()
+			mWALFsyncs.Inc()
+			mWALFsyncLat.RecordSince(syncStart)
+			if err != nil {
 				// A rotation may have closed f concurrently (rotation
 				// fsyncs the old file itself, so that loses nothing);
 				// only a failure on the still-current file latches.
@@ -557,6 +587,7 @@ func (e *Engine) Commit(gen uint64, snap []byte) error {
 	if err := writeSnapshotFile(snapPath(e.dir, gen), snap); err != nil {
 		return err
 	}
+	mWALCompactions.Inc()
 	// Prune: everything before gen is now covered by the snapshot.
 	entries, err := os.ReadDir(e.dir)
 	if err != nil {

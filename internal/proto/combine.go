@@ -12,6 +12,19 @@ package proto
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"robustatomic/internal/obs"
+)
+
+// mBatchSubs distributes the sub-round counts of merged rounds: how much
+// cross-shard coalescing the leader-handoff actually achieves under load.
+// Sampled 1-in-8 (batchSubsTick): a histogram record touches a ~15KB bucket
+// array under a mutex, too much for every merged round on the pipelined
+// write path.
+var (
+	mBatchSubs    = obs.Default.Hist("proto_combine_batch_subs")
+	batchSubsTick atomic.Uint64
 )
 
 // Combiner merges concurrent single-register rounds into batched rounds on
@@ -81,7 +94,7 @@ func (c *Combiner) round(reg int, spec RoundSpec) error {
 	if len(spec.Subs) > 0 {
 		return fmt.Errorf("proto: combiner: batched specs cannot be re-batched (round %s)", spec.Label)
 	}
-	sub := SubRound{Reg: reg, Label: spec.Label, Req: spec.Req, Acc: spec.Acc}
+	sub := SubRound{Reg: reg, Label: spec.Label, Req: spec.Req, Acc: spec.Acc, Trace: spec.Trace}
 	c.mu.Lock()
 	var b *combineBatch
 	for _, pb := range c.pending {
@@ -144,6 +157,9 @@ func finished(b *combineBatch, sub SubRound) error {
 
 // mergedSpec builds the batched spec for one batch.
 func mergedSpec(b *combineBatch) RoundSpec {
+	if batchSubsTick.Add(1)%8 == 0 {
+		mBatchSubs.Record(int64(len(b.subs)))
+	}
 	label := b.subs[0].Label
 	if len(b.subs) > 1 {
 		label = fmt.Sprintf("BATCH(%d:%s+%d)", len(b.subs), label, len(b.subs)-1)

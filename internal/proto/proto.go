@@ -14,6 +14,7 @@ package proto
 import (
 	"math/bits"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/types"
 )
 
@@ -47,6 +48,10 @@ type RoundSpec struct {
 	// instances must be distinct within one batch (a reply sub-bundle is
 	// routed to its sub-round by register instance).
 	Subs []SubRound
+	// Trace, when non-nil, receives per-object send/reply/error events from
+	// the runtime executing the round. Runtimes must tolerate nil (the
+	// untraced common case costs one nil check per event site).
+	Trace *obs.RoundTrace
 }
 
 // SubRound is one register instance's share of a batched round.
@@ -60,6 +65,10 @@ type SubRound struct {
 	Req func(sid int) types.Message
 	// Acc receives this sub-round's replies and decides its termination.
 	Acc Accumulator
+	// Trace, when non-nil, is the originating round's trace: the Combiner
+	// threads it through so a traced flush still sees its per-object events
+	// even when its round traveled inside another leader's merged frame.
+	Trace *obs.RoundTrace
 }
 
 // Done reports whether the spec's round may terminate: the accumulator is

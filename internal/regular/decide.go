@@ -101,6 +101,22 @@ func (a *DecideAcc) Done() bool { return a.done }
 // Choice returns the decision; valid only once Done.
 func (a *DecideAcc) Choice() types.Pair { return a.choice }
 
+// MaxTS returns the largest timestamp among the pw/w states of both query
+// rounds' replies. Like StateAcc.MaxTS the reports are uncertified — a
+// Byzantine object can inflate the result — so callers resuming a sequence
+// number from it must bound the lead against a certified anchor (see
+// core.ResumeSeq).
+func (a *DecideAcc) MaxTS() types.TS {
+	var best types.TS
+	for _, m := range a.r1 {
+		best = types.MaxTS(best, types.MaxTS(m.PW.TS, m.W.TS))
+	}
+	for _, m := range a.r2 {
+		best = types.MaxTS(best, types.MaxTS(m.PW.TS, m.W.TS))
+	}
+	return best
+}
+
 // srvView is one object's replies across the two query rounds.
 type srvView struct {
 	has1, has2 bool

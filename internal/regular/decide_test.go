@@ -186,6 +186,67 @@ func TestDecideValueConflictIncriminates(t *testing.T) {
 	}
 }
 
+func TestDecideDisjointConflictsStarve(t *testing.T) {
+	// The captured AREAD2 flake, reduced to its decision-procedure core: a
+	// reader identity that restarts its write-back sequence count re-issues
+	// timestamps with a different value, and objects keep whichever write
+	// they saw first — so correct objects end up durably disagreeing on a
+	// timestamp. One such conflict pair spends one unit of the fault budget;
+	// TWO DISJOINT pairs on the same register exceed t=1, every |F| ≤ t is
+	// inconsistent, and the accumulator never fires even with all S replies
+	// in ("all replies in, accumulator unsatisfied").
+	th := thr4(t)
+	r := view(
+		[3]interface{}{1, p(1, "a"), p(1, "a")},
+		[3]interface{}{2, p(1, "b"), p(1, "b")},
+		[3]interface{}{3, p(2, "c"), p(2, "c")},
+		[3]interface{}{4, p(2, "d"), p(2, "d")},
+	)
+	for _, mw := range []bool{false, true} {
+		if _, ok := decide(th, r, r, mw); ok {
+			t.Fatalf("mw=%v: decided over two disjoint equal-TS value conflicts", mw)
+		}
+		acc := NewDecideAcc(th, r)
+		acc.MultiWriter = mw
+		for sid, m := range r {
+			acc.Add(sid, m)
+		}
+		if acc.Done() {
+			t.Fatalf("mw=%v: accumulator satisfied despite starved decision", mw)
+		}
+	}
+
+	// Contrast: a SINGLE conflict pair stays within the budget — the fault
+	// set containing one conflicting object is consistent and the certified
+	// majority still decides.
+	single := view(
+		[3]interface{}{1, p(1, "a"), p(1, "a")},
+		[3]interface{}{2, p(1, "b"), p(1, "b")},
+		[3]interface{}{3, p(1, "a"), p(1, "a")},
+		[3]interface{}{4, p(1, "a"), p(1, "a")},
+	)
+	c, ok := decide(th, single, single, false)
+	if !ok || c != p(1, "a") {
+		t.Fatalf("single conflict: decide = %v, %v, want (1,a)", c, ok)
+	}
+}
+
+func TestDecideAccMaxTS(t *testing.T) {
+	// MaxTS spans the pw/w states of BOTH rounds: a crashed predecessor's
+	// prewrite may be visible on one object in one round only, and resuming
+	// below it would re-issue its sequence number.
+	th := thr4(t)
+	r1 := view(
+		[3]interface{}{1, p(5, "x"), p(3, "x")},
+		[3]interface{}{2, p(1, "a"), p(1, "a")},
+	)
+	acc := NewDecideAcc(th, r1)
+	acc.Add(3, types.Message{Kind: types.MsgState, PW: p(7, "y"), W: p(2, "y")})
+	if got := acc.MaxTS(); got != types.At(7) {
+		t.Fatalf("MaxTS = %v, want %v", got, types.At(7))
+	}
+}
+
 func TestForEachSubsetCounts(t *testing.T) {
 	count := 0
 	forEachSubset(4, 2, func(uint64) { count++ })

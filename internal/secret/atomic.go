@@ -138,7 +138,13 @@ func (r *AtomicReader) ReadPair() (types.Pair, error) {
 			continue
 		}
 		acc := regular.NewDecideAcc(r.th, fasts[i].Replies)
-		acc.MultiWriter = i == 0 // the shared register is multi-writer
+		// Every register runs the relaxed multi-writer decision: the shared
+		// register genuinely has many writers, and write-back owners resume
+		// their sequence numbers by discovery (below), which can leave a
+		// crashed predecessor's number without a completed predecessor — the
+		// premise the SWMR causality filter would turn against the true
+		// fault set (see core.Reader.ReadPair).
+		acc.MultiWriter = true
 		slowAccs = append(slowAccs, acc)
 		slowIdx = append(slowIdx, i)
 		slowParts = append(slowParts, core.MuxPart{
@@ -168,8 +174,27 @@ func (r *AtomicReader) ReadPair() (types.Pair, error) {
 		best = types.MaxPair(best, p)
 	}
 
+	// Resume the write-back sequence number from the views just collected
+	// (see core.Reader.ReadPair): a fresh handle restarting at zero would
+	// re-issue sequence numbers an earlier lifetime used with a different
+	// value, leaving correct objects durably disagreeing on one timestamp
+	// and bleeding the read decision's fault budget.
+	raw := types.TS{}
+	for _, m := range fasts[r.idx].Replies {
+		raw = types.MaxTS(raw, types.MaxTS(m.PW.TS, m.W.TS))
+	}
+	for j, i := range slowIdx {
+		if i == r.idx {
+			raw = types.MaxTS(raw, slowAccs[j].MaxTS())
+		}
+	}
+	r.seq = core.ResumeSeq(r.seq, choices[r.idx].TS, raw)
+
 	// Final two physical rounds: token-carrying write-back into the
 	// reader's own register (single-writer: WID stays 0).
+	if r.seq+1 <= 0 {
+		return types.Pair{}, fmt.Errorf("secret: write-back register sequence space exhausted")
+	}
 	wb := regular.NewWriterAt(r.rounder, r.th, types.ReaderReg(r.idx), 0, types.At(r.seq))
 	wb.NextToken = func() types.Token {
 		for {

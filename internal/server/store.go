@@ -14,8 +14,14 @@ import (
 	"fmt"
 	"sort"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/types"
 )
+
+// mStores counts register-instance automata created process-wide: the
+// instance-count signal behind the per-daemon register gauges (instances
+// are created on first touch and never destroyed short of process exit).
+var mStores = obs.Default.Counter("server_store_instances_total")
 
 // Automaton is a storage object's state machine. Handle processes one client
 // message and returns the reply (objects reply to each message before
@@ -52,6 +58,7 @@ type Store struct {
 
 // NewStore returns an empty storage object.
 func NewStore() *Store {
+	mStores.Inc()
 	return &Store{regs: make(map[types.RegID]*RegState)}
 }
 

@@ -28,15 +28,57 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/proto"
 	"robustatomic/internal/types"
 	"robustatomic/internal/wire"
 )
+
+// Client-transport observability. The in-flight gauge moves with the waiter
+// table (registered on send, released on delivery/abandon/teardown), so it
+// is the live pipelining depth across every connection of the process.
+var (
+	mMuxInFlight  = obs.Default.Gauge("tcpnet_inflight_waiters")
+	mMuxConnLost  = obs.Default.Counter("tcpnet_conn_lost_total")
+	mMuxTimeouts  = obs.Default.Counter("tcpnet_round_timeout_total")
+	mMuxUnsat     = obs.Default.Counter("tcpnet_round_unsat_total")
+	mMuxDials     = obs.Default.Counter("tcpnet_dials_total")
+	mMuxRedials   = obs.Default.Counter("tcpnet_redials_total")
+	mMuxDialFails = obs.Default.Counter("tcpnet_dial_fail_total")
+	mMuxTxBytes   = obs.Default.Counter("tcpnet_client_tx_bytes_total")
+	mMuxRxBytes   = obs.Default.Counter("tcpnet_client_rx_bytes_total")
+	mMuxBatchSubs = obs.Default.Hist("tcpnet_client_batch_subs")
+)
+
+// countingWriter / countingReader tally frame bytes at the buffer boundary:
+// one atomic add per flush / per buffered fill, not per frame.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
 
 // ErrRoundTimeout is returned when a round cannot gather sufficient replies.
 var ErrRoundTimeout = errors.New("tcpnet: round timed out")
@@ -207,6 +249,7 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 		ds.inflight = true
 		ds.syncDone = make(chan struct{})
 		m.mu.Unlock()
+		mMuxDials.Inc()
 		conn, err := net.DialTimeout("tcp", m.addrs[sid-1], dialTimeout)
 		m.mu.Lock()
 		ds.inflight = false
@@ -227,6 +270,7 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 	// object, the next one uses the connection if the dial succeeded.
 	ds.inflight = true
 	go func() {
+		mMuxRedials.Inc()
 		conn, err := net.DialTimeout("tcp", m.addrs[sid-1], dialTimeout)
 		m.mu.Lock()
 		ds.inflight = false
@@ -243,6 +287,7 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 func (m *Mux) installLocked(sid int, conn net.Conn, err error) (*muxConn, error) {
 	ds := &m.dials[sid-1]
 	if err != nil {
+		mMuxDialFails.Inc()
 		ds.failedAt = time.Now()
 		return nil, err
 	}
@@ -289,6 +334,10 @@ func (m *Mux) teardown(mc *muxConn, err error) {
 	mc.waiters = nil
 	mc.dead = true
 	mc.mu.Unlock()
+	if !errors.Is(err, errClientClosed) {
+		mMuxConnLost.Inc()
+	}
+	mMuxInFlight.Add(-int64(len(ws)))
 	for _, ch := range ws {
 		ch <- muxReply{sid: mc.sid, err: err}
 	}
@@ -298,7 +347,7 @@ func (m *Mux) teardown(mc *muxConn, err error) {
 // greedily into a buffered writer and flushes when the queue runs dry, so
 // pipelined bursts cost few syscalls.
 func (m *Mux) writeLoop(mc *muxConn) {
-	bw := bufio.NewWriterSize(mc.conn, 64<<10)
+	bw := bufio.NewWriterSize(countingWriter{mc.conn, mMuxTxBytes}, 64<<10)
 	enc := wire.NewEncoder(bw)
 	for {
 		select {
@@ -336,7 +385,7 @@ func (m *Mux) writeLoop(mc *muxConn) {
 // on the spot; delivery to a live waiter cannot block (see the package
 // comment), so one slow round never stalls the demux.
 func (m *Mux) readLoop(mc *muxConn) {
-	dec := wire.NewDecoder(mc.conn)
+	dec := wire.NewDecoder(countingReader{mc.conn, mMuxRxBytes})
 	for {
 		rsp, err := dec.DecodeResponse()
 		if err != nil {
@@ -352,6 +401,7 @@ func (m *Mux) readLoop(mc *muxConn) {
 		if !ok {
 			continue // abandoned or forged ID: discarded, slot already freed
 		}
+		mMuxInFlight.Dec()
 		ch <- muxReply{sid: mc.sid, msg: rsp.Msg, subs: rsp.Subs}
 		mc.release()
 	}
@@ -389,6 +439,7 @@ func (m *Mux) send(sid int, req wire.Request, replyCh chan muxReply) (*muxConn, 
 		return nil, ErrConnLost
 	}
 	mc.waiters[req.ID] = replyCh
+	mMuxInFlight.Inc() // inside the lock: teardown's bulk decrement counts this waiter
 	mc.mu.Unlock()
 	select {
 	case mc.sendCh <- req:
@@ -426,10 +477,24 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 			}
 			p.mc.mu.Unlock()
 			if owned {
+				mMuxInFlight.Dec()
 				p.mc.release()
 			}
 		}
 	}()
+	// traced is set when anyone wants per-object events: the round's own
+	// trace, or a merged sub-round's (the Combiner threads each originating
+	// flush's trace through its SubRound, so a traced flush keeps its events
+	// even when its round rode inside another leader's batch).
+	traced := spec.Trace != nil
+	if len(spec.Subs) > 0 {
+		mMuxBatchSubs.Record(int64(len(spec.Subs)))
+		for i := range spec.Subs {
+			if spec.Subs[i].Trace != nil {
+				traced = true
+			}
+		}
+	}
 	outstanding := 0
 	for sid := 1; sid <= n; sid++ {
 		req := wire.Request{ID: m.nextID.Add(1), From: proc}
@@ -450,7 +515,13 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 		}
 		mc, err := m.send(sid, req, replyCh)
 		if err != nil {
+			if traced {
+				traceEvent(&spec, sid, "skip", err.Error())
+			}
 			continue // unreachable object: counted as faulty
+		}
+		if traced {
+			traceEvent(&spec, sid, "send", "")
 		}
 		pending = append(pending, sent{mc, req.ID})
 		outstanding++
@@ -469,12 +540,21 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 		case r := <-replyCh:
 			outstanding--
 			if r.err != nil {
+				if traced {
+					traceEvent(&spec, r.sid, "lost", r.err.Error())
+				}
 				lost++
 			} else if len(r.subs) > 0 {
+				if traced {
+					traceSubReplies(&spec, r)
+				}
 				for _, sub := range r.subs {
 					spec.AddSub(r.sid, sub.Reg, sub.Msg)
 				}
 			} else {
+				if spec.Trace != nil {
+					spec.Trace.Event(r.sid, "reply", r.msg.TraceNote())
+				}
 				spec.Acc.Add(r.sid, r.msg)
 			}
 			if r.err == nil && spec.Done() {
@@ -489,13 +569,55 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 				if lost > 0 {
 					return fmt.Errorf("%w: %s: %d of %d requests failed", ErrConnLost, spec.Label, lost, n)
 				}
+				mMuxUnsat.Inc()
 				return fmt.Errorf("%w: %s: all replies in, accumulator unsatisfied", ErrRoundTimeout, spec.Label)
 			}
 		case <-deadline.C:
+			mMuxTimeouts.Inc()
 			return fmt.Errorf("%w: %s", ErrRoundTimeout, spec.Label)
 		case <-m.done:
 			return errClientClosed
 		}
+	}
+}
+
+// traceEvent posts a round-level event to whoever is tracing this round:
+// the spec's own trace when present, otherwise every traced sub-round (a
+// combiner-merged frame where only some originating flushes are traced).
+func traceEvent(spec *proto.RoundSpec, sid int, kind, note string) {
+	if spec.Trace != nil {
+		spec.Trace.Event(sid, kind, note)
+		return
+	}
+	for i := range spec.Subs {
+		spec.Subs[i].Trace.Event(sid, kind, note)
+	}
+}
+
+// traceSubReplies reports, per traced sub-round, whether object sid's
+// batched reply actually carried that register's sub-bundle — the exact
+// information a sub-bundle-dropping daemon hides from the accumulator.
+func traceSubReplies(spec *proto.RoundSpec, r muxReply) {
+	for i := range spec.Subs {
+		rt := spec.Subs[i].Trace
+		if rt == nil {
+			continue
+		}
+		found := false
+		for _, sub := range r.subs {
+			if sub.Reg == spec.Subs[i].Reg {
+				found = true
+				break
+			}
+		}
+		if found {
+			rt.Event(r.sid, "reply", "sub present")
+		} else {
+			rt.Event(r.sid, "reply", "SUB MISSING")
+		}
+	}
+	if spec.Trace != nil {
+		spec.Trace.Event(r.sid, "reply", fmt.Sprintf("%d/%d subs", len(r.subs), len(spec.Subs)))
 	}
 }
 
@@ -542,6 +664,19 @@ type Client struct {
 	reg   int
 	// Rounds counts completed rounds (instrumentation).
 	Rounds int
+	// stats caches per-label round metrics (single-goroutine per handle;
+	// see live.Client.statsFor for the rationale).
+	stats obs.StatsCache
+}
+
+// statsFor returns the cached round metrics for the spec's label; merged
+// batch rounds share the "BATCH" family to bound metric cardinality.
+func (c *Client) statsFor(spec *proto.RoundSpec) *obs.RoundStats {
+	label := spec.Label
+	if len(spec.Subs) > 0 {
+		label = "BATCH"
+	}
+	return c.stats.Get(obs.Default, "mux", label)
 }
 
 var _ proto.Rounder = (*Client)(nil)
@@ -582,7 +717,10 @@ func (c *Client) Close() {
 
 // Round implements proto.Rounder.
 func (c *Client) Round(spec proto.RoundSpec) error {
+	st := c.statsFor(&spec)
+	begun := st.Begin()
 	err := c.mux.round(c.Proc, c.reg, c.RoundTimeout, spec)
+	st.Done(begun, err)
 	if err == nil {
 		c.Rounds++
 	}

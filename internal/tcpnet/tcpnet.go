@@ -14,9 +14,25 @@ import (
 	"sync"
 	"time"
 
+	"robustatomic/internal/obs"
 	"robustatomic/internal/persist"
 	"robustatomic/internal/server"
 	"robustatomic/internal/wire"
+)
+
+// Daemon-side observability: request mix, batched sub-round fan-in, bytes
+// at the socket boundary, and fault-injection activity. Per-server register
+// counts are callback gauges keyed by object id (see NewServerWith).
+var (
+	mSrvConns        = obs.Default.Gauge("tcpnet_server_conns")
+	mSrvSingle       = obs.Default.Counter("tcpnet_server_requests_total")
+	mSrvBatch        = obs.Default.Counter("tcpnet_server_batch_requests_total")
+	mSrvBatchSubs    = obs.Default.Hist("tcpnet_server_batch_subs")
+	mSrvChaosDropped = obs.Default.Counter("tcpnet_server_chaos_subs_dropped_total")
+	mSrvLinkDropped  = obs.Default.Counter("tcpnet_server_link_dropped_total")
+	mSrvRxBytes      = obs.Default.Counter("tcpnet_server_rx_bytes_total")
+	mSrvTxBytes      = obs.Default.Counter("tcpnet_server_tx_bytes_total")
+	mSrvCompactions  = obs.Default.Counter("tcpnet_server_compactions_total")
 )
 
 // Persister is the durability hook around the storage-object automaton: it
@@ -154,6 +170,9 @@ func NewServerWith(id int, addr string, opts ServerOptions) (*Server, error) {
 	}
 	s.lis = lis
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	obs.Default.GaugeFunc(fmt.Sprintf("tcpnet_server_registers{id=\"%d\"}", id), func() int64 {
+		return int64(s.Registers())
+	})
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.persist != nil && opts.CompactAt > 0 {
@@ -250,6 +269,7 @@ func (s *Server) linkVerdict() (drop, dup bool, delay time.Duration) {
 // Close stops the server, waits for its connections to drain, and seals the
 // write-ahead log.
 func (s *Server) Close() {
+	obs.Default.Unregister(fmt.Sprintf("tcpnet_server_registers{id=\"%d\"}", s.ID))
 	s.cancel()
 	s.lis.Close()
 	s.wg.Wait()
@@ -280,7 +300,11 @@ func (s *Server) Compact() error {
 	if err != nil {
 		return err
 	}
-	return s.persist.Commit(gen, snap)
+	if err := s.persist.Commit(gen, snap); err != nil {
+		return err
+	}
+	mSrvCompactions.Inc()
+	return nil
 }
 
 // compactLoop triggers compaction whenever the WAL outgrows the threshold.
@@ -326,12 +350,14 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	mSrvConns.Inc()
+	defer mSrvConns.Dec()
 	go func() {
 		<-s.ctx.Done()
 		conn.Close()
 	}()
-	dec := wire.NewDecoder(conn)
-	enc := wire.NewEncoder(conn)
+	dec := wire.NewDecoder(countingReader{conn, mSrvRxBytes})
+	enc := wire.NewEncoder(countingWriter{conn, mSrvTxBytes})
 	for {
 		req, err := dec.DecodeRequest()
 		if err != nil {
@@ -339,13 +365,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		drop, dup, delay := s.linkVerdict()
 		if drop {
+			mSrvLinkDropped.Inc()
 			continue // partitioned or netem-dropped: never processed
 		}
 		var rsp wire.Response
 		var send bool
 		if len(req.Subs) > 0 {
+			mSrvBatch.Inc()
+			mSrvBatchSubs.Record(int64(len(req.Subs)))
 			rsp, send = s.handleBatch(req)
 		} else {
+			mSrvSingle.Inc()
 			rsp, send = s.handleSingle(req)
 		}
 		if !send {
@@ -473,6 +503,8 @@ func (s *Server) handleBatch(req wire.Request) (rsp wire.Response, send bool) {
 			for _, sub := range out {
 				if s.batchRng.Float64() >= s.batchDrop {
 					kept = append(kept, sub)
+				} else {
+					mSrvChaosDropped.Inc()
 				}
 			}
 			out = kept

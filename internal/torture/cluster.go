@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"robustatomic"
+	"robustatomic/internal/obs"
 	"robustatomic/internal/persist"
 	"robustatomic/internal/server"
 	"robustatomic/internal/tcpnet"
@@ -239,10 +240,13 @@ func (c *tcpCtl) close() {
 }
 
 // rig is a running cluster under torture: one client cluster handle per
-// logical process plus the fault controller.
+// logical process plus the fault controller. Every process traces every op
+// into the shared tracer, so a run failure dumps the round-level anatomy of
+// the ops that died next to the seed-replay command.
 type rig struct {
-	procs []*robustatomic.Cluster
-	ctrl  controller
+	procs  []*robustatomic.Cluster
+	ctrl   controller
+	tracer *obs.Tracer
 }
 
 func (r *rig) close() {
@@ -273,12 +277,14 @@ func procReaders(p int) []int {
 func setup(cfg Config, dir string) (*rig, error) {
 	nProcs := 2
 	totalReaders := 1 + nProcs*readersPerProc
+	tracer := obs.NewTracer(64, 1)
 	opts := func(p int) robustatomic.Options {
 		return robustatomic.Options{
 			Faults:   cfg.Faults,
 			Readers:  totalReaders,
 			WriterID: p + 1,
 			Seed:     cfg.Seed + int64(p),
+			Tracer:   tracer,
 		}
 	}
 
@@ -296,8 +302,9 @@ func setup(cfg Config, dir string) (*rig, error) {
 			return nil, err
 		}
 		return &rig{
-			procs: []*robustatomic.Cluster{root, sib},
-			ctrl:  &liveCtl{root: root, s: root.Objects()},
+			procs:  []*robustatomic.Cluster{root, sib},
+			ctrl:   &liveCtl{root: root, s: root.Objects()},
+			tracer: tracer,
 		}, nil
 
 	case ModeTCP:
@@ -337,7 +344,7 @@ func setup(cfg Config, dir string) (*rig, error) {
 			procs[p] = c
 		}
 		ctl.repairC = procs[0]
-		return &rig{procs: procs, ctrl: ctl}, nil
+		return &rig{procs: procs, ctrl: ctl, tracer: tracer}, nil
 	}
 	return nil, fmt.Errorf("torture: unknown mode %q", cfg.Mode)
 }

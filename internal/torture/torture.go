@@ -110,7 +110,7 @@ func pickKeys(st *robustatomic.Store, n int) ([]string, error) {
 // processes disagree on any key's value, or if the cluster breaks in a way
 // the fault schedule does not license. The returned error embeds the seed
 // and the full schedule; the test harness prints the replay command.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (res Result, err error) {
 	cfg.defaults()
 	logf := cfg.Logf
 	if logf == nil {
@@ -128,6 +128,15 @@ func Run(cfg Config) (Result, error) {
 		return Result{Schedule: sched}, fmt.Errorf("torture: setup: %w", err)
 	}
 	defer r.close()
+	// Dump-on-failure: every op of both processes is traced, so any failed
+	// run carries the round-level anatomy of the ops that died (which rounds
+	// ran, which objects answered, what each reply bundle carried) next to
+	// the schedule the replay command reproduces.
+	defer func() {
+		if err != nil {
+			err = fmt.Errorf("%w\n== failed-op round traces (dump-on-failure)\n%s", err, r.tracer.FormatFailed())
+		}
+	}()
 
 	stores := make([]*robustatomic.Store, len(r.procs))
 	for p, c := range r.procs {
@@ -263,7 +272,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{Schedule: sched}, fmt.Errorf("torture: %w\n%s", err, sched)
 	}
-	res := Result{
+	res = Result{
 		Schedule: sched,
 		Ops:      totalOps,
 		Failed:   int(failed.Load()),

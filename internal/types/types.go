@@ -23,6 +23,7 @@ package types
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Value is the register value domain. The initial register value is the
@@ -315,6 +316,26 @@ type Message struct {
 
 	// Sub carries the per-register payloads of a MsgMux bundle.
 	Sub []SubMsg
+}
+
+// TraceNote renders a compact payload summary for per-object trace events.
+// Multiplexed bundles list the register instances they actually carry —
+// which is exactly what a sub-bundle-withholding fault hides from the
+// accumulators — other kinds render as their name.
+func (m Message) TraceNote() string {
+	if m.Kind != MsgMux {
+		return m.Kind.String()
+	}
+	var b strings.Builder
+	b.WriteString("MUX[")
+	for i, sm := range m.Sub {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sm.Reg.String())
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // Clone returns a deep copy of m (the Sub slice is copied).

@@ -72,7 +72,7 @@ func TestStoreCrashRestartAtomicity(t *testing.T) {
 			s.Close()
 		}
 	}()
-	c, err := Connect(addrs, Options{Faults: 1, Readers: readers, Seed: seed})
+	c, err := Connect(addrs, Options{Faults: 1, Readers: readers, Seed: seed, Tracer: chaosTracer(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,12 +38,13 @@ func TestPipelinedBatchedRoundsAtomicUnderChaos(t *testing.T) {
 	// Object 2: answers everything, in scrambled sub-bundle order.
 	servers[1].SetBatchChaos(rand.New(rand.NewSource(mixSeed(base, 2))), 0, true)
 
-	c1, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 1, Seed: mixSeed(base, 401), Coalesce: CoalesceOn})
+	tracer := chaosTracer(t)
+	c1, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 1, Seed: mixSeed(base, 401), Coalesce: CoalesceOn, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	c2, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 2, Seed: mixSeed(base, 402), Coalesce: CoalesceOn})
+	c2, err := Connect(addrs, Options{Faults: 1, Readers: 4, WriterID: 2, Seed: mixSeed(base, 402), Coalesce: CoalesceOn, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}

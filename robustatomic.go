@@ -61,6 +61,7 @@ import (
 
 	"robustatomic/internal/core"
 	"robustatomic/internal/live"
+	"robustatomic/internal/obs"
 	"robustatomic/internal/proto"
 	"robustatomic/internal/quorum"
 	"robustatomic/internal/secret"
@@ -119,6 +120,14 @@ type Options struct {
 	// inferring it from latency). It may be called concurrently from the
 	// goroutines driving operations; keep it cheap and thread-safe.
 	RoundHook func(label string)
+	// Tracer, when set, samples per-operation round traces: every handle's
+	// round executor is wrapped so that a Store flush or Get the tracer
+	// selects records each of its rounds with per-object send/reply/error
+	// timestamps (including sub-rounds riding another leader's merged batch
+	// frame). Off the sampled path the wrapper costs one atomic load per
+	// round. Failed traced operations are retained for post-mortem dumps —
+	// see obs.Tracer.FormatFailed and the chaos harnesses.
+	Tracer *obs.Tracer
 }
 
 // CoalesceMode controls whether concurrent Store shard flushes merge into
@@ -462,6 +471,9 @@ type Writer struct {
 	c      *Cluster
 	plain  *core.Writer
 	secret *secret.AtomicWriter
+	// traced is the handle's trace-capable round executor (nil unless
+	// Options.Tracer is set); the Store layer points it at sampled OpTraces.
+	traced *proto.Traced
 }
 
 // Writer returns this process's writer handle for the standalone register
@@ -480,6 +492,10 @@ func (c *Cluster) writerOn(rc proto.Rounder, reg int, last types.TS) *Writer {
 	proc := types.WriterID(c.opts.WriterID)
 	wid := int64(c.opts.WriterID)
 	w := &Writer{c: c}
+	if c.opts.Tracer != nil {
+		w.traced = proto.Trace(rc, reg)
+		rc = w.traced
+	}
 	switch c.opts.Model {
 	case SecretTokens:
 		w.secret = secret.NewAtomicWriterAt(rc, c.th, c.handleRNG(proc, reg), wid, last)
@@ -534,10 +550,17 @@ type Reader struct {
 	c      *Cluster
 	plain  *core.Reader
 	secret *secret.AtomicReader
+	// traced is the handle's trace-capable round executor (nil unless
+	// Options.Tracer is set); the Store layer points it at sampled OpTraces.
+	traced *proto.Traced
 }
 
 // Reader returns reader handle idx (1-based, ≤ Options.Readers). Each
-// reader identity must be used by at most one client at a time.
+// reader identity must be used by at most one client at a time. Sequential
+// reuse across process lifetimes is safe: a fresh handle rediscovers its
+// write-back sequence number from its first read's query rounds, so it
+// never re-issues a number an earlier lifetime already used (see
+// core.ResumeSeq). Concurrent use of one identity remains forbidden.
 func (c *Cluster) Reader(idx int) (*Reader, error) { return c.readerReg(idx, 0) }
 
 // readerReg builds reader handle idx for register instance reg.
@@ -547,6 +570,10 @@ func (c *Cluster) readerReg(idx, reg int) (*Reader, error) {
 	}
 	rc := c.rounder(types.Reader(idx), reg)
 	r := &Reader{c: c}
+	if c.opts.Tracer != nil {
+		r.traced = proto.Trace(rc, reg)
+		rc = r.traced
+	}
 	switch c.opts.Model {
 	case SecretTokens:
 		r.secret = secret.NewAtomicReader(rc, c.th, c.handleRNG(types.Reader(idx), reg), idx, c.opts.Readers)

@@ -2,20 +2,25 @@
 # benchdiff.sh — compare a fresh benchmark run against the committed
 # baseline and fail loudly on hot-path regressions.
 #
-#   scripts/benchdiff.sh [baseline] [new] [threshold-pct]
+#   scripts/benchdiff.sh [baseline] [new] [threshold-pct] [obs-threshold-pct]
 #
-# Defaults: bench_baseline.txt bench.txt 20. Both files are `go test -bench`
-# output (any -count; runs of one benchmark are averaged). Benchmarks
-# present in only one file are reported but never fail the diff (new
-# benchmarks appear, machines differ in sub-benchmark sets).
+# Defaults: bench_baseline.txt bench.txt 20 10. Both files are `go test
+# -bench` output (any -count; the minimum over runs of one benchmark is
+# compared — see best() below). Benchmarks present in only one file are
+# reported but never fail the diff (new benchmarks appear, machines differ
+# in sub-benchmark sets).
 #
 # Guarded benchmarks: E7 and E9 (the write hot path whose trajectory the
 # adaptive-round work reclaimed), E12 (the fast-path/fallback split itself)
 # and E13 (the pipelined wire transport) — a >threshold% ns/op regression on
 # any of them exits non-zero, so the cost silently creeping back fails CI
-# instead of shifting the recorded trajectory. E13 additionally gates the
-# pipelining win itself: the pipelined sub-benchmark must stay at least 3x
-# the lock-step baseline's throughput.
+# instead of shifting the recorded trajectory. E9 and E13 carry the obs
+# instrumentation in their hot path (flush counters, latency histograms,
+# per-round RoundStats), so they get the tighter obs threshold: the
+# observability layer's overhead budget is <10%, and this gate is what
+# enforces it. E13 additionally gates the pipelining win itself: the
+# pipelined sub-benchmark must stay at least 3x the lock-step baseline's
+# throughput.
 #
 # benchstat is used for the human-readable report when installed; the
 # pass/fail decision is computed with awk so the gate needs nothing beyond
@@ -25,6 +30,7 @@ set -euo pipefail
 baseline=${1:-bench_baseline.txt}
 new=${2:-bench.txt}
 threshold=${3:-20}
+obs_threshold=${4:-10} # instrumented E9/E13: the obs overhead budget
 
 if [[ ! -f "$baseline" ]]; then
     echo "benchdiff: baseline $baseline not found" >&2
@@ -40,47 +46,51 @@ if command -v benchstat >/dev/null 2>&1; then
     echo
 fi
 
-# Average ns/op per benchmark name: "BenchmarkX/sub-N  <iters>  <ns> ns/op ..."
-avg() {
+# Best (minimum) ns/op per benchmark name: "BenchmarkX/sub-N  <iters>  <ns>
+# ns/op ...". The min over a file's runs, not the mean: on shared/virtualized
+# runners CPU-steal spikes inflate individual runs by 30%+, and the fastest
+# run is the most repeatable estimate of what the code actually costs.
+best() {
     awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
-        sum[name] += $3; cnt[name]++
+        if (!(name in min) || $3 + 0 < min[name]) min[name] = $3 + 0
     }
-    END { for (n in sum) printf "%s %.1f\n", n, sum[n] / cnt[n] }' "$1"
+    END { for (n in min) printf "%s %.1f\n", n, min[n] }' "$1"
 }
 
 fail=0
 while read -r name base_ns; do
     case "$name" in
-        BenchmarkE7*|BenchmarkE9*|BenchmarkE12*|BenchmarkE13*) ;;
+        BenchmarkE9*|BenchmarkE13*) t=$obs_threshold ;;
+        BenchmarkE7*|BenchmarkE12*) t=$threshold ;;
         *) continue ;;
     esac
-    new_ns=$(avg "$new" | awk -v n="$name" '$1 == n { print $2 }')
+    new_ns=$(best "$new" | awk -v n="$name" '$1 == n { print $2 }')
     if [[ -z "$new_ns" ]]; then
         echo "benchdiff: $name: only in baseline (skipped)"
         continue
     fi
-    verdict=$(awk -v b="$base_ns" -v n="$new_ns" -v t="$threshold" 'BEGIN {
+    verdict=$(awk -v b="$base_ns" -v n="$new_ns" -v t="$t" 'BEGIN {
         pct = (n - b) / b * 100
         printf "%+.1f%%", pct
         exit (pct > t) ? 1 : 0
     }') && ok=1 || ok=0
     if [[ $ok == 0 ]]; then
-        echo "benchdiff: REGRESSION $name: $base_ns -> $new_ns ns/op ($verdict > ${threshold}%)"
+        echo "benchdiff: REGRESSION $name: $base_ns -> $new_ns ns/op ($verdict > ${t}%)"
         fail=1
     else
-        echo "benchdiff: ok $name: $base_ns -> $new_ns ns/op ($verdict)"
+        echo "benchdiff: ok $name: $base_ns -> $new_ns ns/op ($verdict, gate ${t}%)"
     fi
-done < <(avg "$baseline" | sort)
+done < <(best "$baseline" | sort)
 
 # Surface benchmarks that exist only in the new run (informational).
-comm -13 <(avg "$baseline" | cut -d' ' -f1 | sort) <(avg "$new" | cut -d' ' -f1 | sort) |
+comm -13 <(best "$baseline" | cut -d' ' -f1 | sort) <(best "$new" | cut -d' ' -f1 | sort) |
     while read -r name; do echo "benchdiff: $name: new benchmark (no baseline)"; done
 
 # E13 gate: pipelined throughput must stay >= 3x lock-step in the NEW run.
-pipe=$(avg "$new" | awk '$1 == "BenchmarkE13PipelinedStorePut/pipelined" { print $2 }')
-lock=$(avg "$new" | awk '$1 == "BenchmarkE13PipelinedStorePut/lockstep" { print $2 }')
+pipe=$(best "$new" | awk '$1 == "BenchmarkE13PipelinedStorePut/pipelined" { print $2 }')
+lock=$(best "$new" | awk '$1 == "BenchmarkE13PipelinedStorePut/lockstep" { print $2 }')
 if [[ -n "$pipe" && -n "$lock" ]]; then
     if awk -v p="$pipe" -v l="$lock" 'BEGIN { exit (l / p >= 3) ? 0 : 1 }'; then
         speedup=$(awk -v p="$pipe" -v l="$lock" 'BEGIN { printf "%.1fx", l / p }')

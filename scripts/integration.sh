@@ -31,6 +31,8 @@ go build -o "$workdir/bin/" ./cmd/storaged ./cmd/storctl
 ports=(7101 7102 7103 7104)
 servers="127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103,127.0.0.1:7104"
 
+debug_ports=(8101 8102 8103 8104)
+
 start_daemon() { # $1 = object id; remaining args pass through (e.g. -chaos)
   local id=$1
   shift
@@ -38,6 +40,7 @@ start_daemon() { # $1 = object id; remaining args pass through (e.g. -chaos)
   # THIS launch, not a previous lifetime's line.
   [ -f "$workdir/s$id.log" ] && mv "$workdir/s$id.log" "$workdir/s$id.log.prev"
   "$workdir/bin/storaged" -id "$id" -addr "127.0.0.1:${ports[$((id - 1))]}" \
+    -debug-addr "127.0.0.1:${debug_ports[$((id - 1))]}" \
     -data-dir "$workdir/data/s$id" -fsync batch "$@" >"$workdir/s$id.log" 2>&1 &
   pids[$id]=$!
   disown "${pids[$id]}" # silence bash's job-control obituaries for kill -9
@@ -61,6 +64,26 @@ ctl() { "$workdir/bin/storctl" -servers "$servers" -t 1 -shards 8 "$@"; }
 echo "== populate"
 for i in $(seq 1 8); do ctl put "key:$i" "value-$i" >/dev/null; done
 ctl write "register-payload" >/dev/null
+
+echo "== obs: /metrics + /debug/vars + pprof + storctl stats"
+# The populate traffic above must already show up in daemon 1's counters.
+curl -sf "http://127.0.0.1:8101/metrics" >"$workdir/metrics.out"
+grep -q '^tcpnet_server_requests_total [1-9]' "$workdir/metrics.out" || {
+  echo "FAIL: /metrics missing live request counter:"; head -30 "$workdir/metrics.out"; exit 1
+}
+grep -q '^persist_wal_appends_total [1-9]' "$workdir/metrics.out" || {
+  echo "FAIL: /metrics missing WAL append counter:"; head -30 "$workdir/metrics.out"; exit 1
+}
+curl -sf "http://127.0.0.1:8101/debug/vars" | grep -q '"tcpnet_server_requests_total"' || {
+  echo "FAIL: /debug/vars missing counters"; exit 1
+}
+curl -sf "http://127.0.0.1:8101/debug/pprof/cmdline" >/dev/null || {
+  echo "FAIL: /debug/pprof unreachable"; exit 1
+}
+"$workdir/bin/storctl" stats 127.0.0.1:8101 127.0.0.1:8102 127.0.0.1:8103 127.0.0.1:8104 >"$workdir/stats.out"
+grep -q 'tcpnet_server_requests_total' "$workdir/stats.out" || {
+  echo "FAIL: storctl stats table:"; cat "$workdir/stats.out"; exit 1
+}
 
 echo "== kill -9 daemon 2 mid-deployment"
 kill -9 "${pids[2]}"
@@ -134,7 +157,10 @@ echo "== pipelined burst: kill -9 + restart a daemon mid-flight"
 # live daemons absorbs the loss, and after restart the redial folds daemon 2
 # back in. Every key of the burst must read back afterwards.
 burstn=600
-ctl -writer 1 -reader 1 burst "burst" "$burstn" >"$workdir/burst.out" 2>&1 &
+# -trace 1 traces every op: if the burst fails, the failed ops' round-level
+# anatomy (which objects answered, what each reply bundle carried) dumps to
+# burst.out next to the error.
+ctl -trace 1 -writer 1 -reader 1 burst "burst" "$burstn" >"$workdir/burst.out" 2>&1 &
 burst_pid=$!
 sleep 0.15
 kill -9 "${pids[2]}"
@@ -156,7 +182,10 @@ echo "== batch-chaos daemon: burst must survive sub-bundle drops + shuffles"
 kill -9 "${pids[1]}"
 start_daemon 1 -chaos-batch-drop 0.3 -chaos-batch-shuffle -chaos-seed 7
 wait_serving 1
-ctl -writer 1 -reader 1 burst "chaosburst" 120 >/dev/null
+ctl -trace 1 -writer 1 -reader 1 burst "chaosburst" 120 >"$workdir/chaosburst.out" 2>&1 || {
+  echo "FAIL: chaos burst errored (per-op round traces follow):"
+  cat "$workdir/chaosburst.out"; exit 1
+}
 out=$(ctl get "chaosburst:120")
 [[ "$out" == '"v120"'* ]] || { echo "FAIL: chaosburst:120 => $out"; exit 1; }
 kill -9 "${pids[1]}"

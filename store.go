@@ -3,11 +3,49 @@ package robustatomic
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"robustatomic/internal/core"
+	"robustatomic/internal/obs"
+	"robustatomic/internal/proto"
 	"robustatomic/internal/shard"
 	"robustatomic/internal/types"
 )
+
+// Flush-outcome counters and per-op latency distributions of the keyed Store
+// layer, process-wide. The four flush counters partition completed flushes by
+// the path that committed them (elided validation-only no-op, validated fast
+// path, certified read-modify-write, failed — ops parked in uncommitted), so
+// a scrape shows directly how often the adaptive committer wins its bet.
+var (
+	mFlushNoop      = obs.Default.Counter("store_flush_noop_total")
+	mFlushFast      = obs.Default.Counter("store_flush_fast_total")
+	mFlushCertified = obs.Default.Counter("store_flush_certified_total")
+	mFlushFailed    = obs.Default.Counter("store_flush_failed_total")
+
+	mPutLat = obs.Default.Hist(`store_op_latency_us{op="put"}`)
+	mDelLat = obs.Default.Hist(`store_op_latency_us{op="delete"}`)
+	mGetLat = obs.Default.Hist(`store_op_latency_us{op="get"}`)
+)
+
+// opLatSample is the per-op latency sampling rate: 1-in-8 ops are timed
+// (same convention as obs.RoundStats round latency). A no-op-elided Put is
+// ~900ns; two time.Now calls plus a histogram record on every op costs a
+// measurable slice of the <10% obs overhead budget, while 1-in-8 keeps the
+// latency distribution honest and amortizes the cost to a few ns per op.
+const opLatSample = 8
+
+var opSeq atomic.Uint64
+
+// opStart returns a start time for 1-in-opLatSample ops and the zero time
+// for the rest.
+func opStart() time.Time {
+	if opSeq.Add(1)%opLatSample != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
 
 // StoreOptions configures the sharded multi-key Store layer.
 type StoreOptions struct {
@@ -20,7 +58,10 @@ type StoreOptions struct {
 	// own their write-back registers exclusively, so separately Connected
 	// processes sharing shards must use DISJOINT sets here (writers need no
 	// such partitioning — the shard registers are multi-writer; only the
-	// per-reader write-back registers remain single-writer).
+	// per-reader write-back registers remain single-writer). Reusing an
+	// identity across sequential process lifetimes is safe — a fresh
+	// handle rediscovers its write-back sequence number during its first
+	// read (core.ResumeSeq) — but two live processes must never share one.
 	Readers []int
 }
 
@@ -121,6 +162,14 @@ type storeShard struct {
 	// value a reader may already have certified never silently vanishes.
 	uncommitted []func(*storeShard) bool
 
+	// tracer samples per-op round traces (nil when Options.Tracer is unset);
+	// wTraced is the committer's traced round executor, which the flush
+	// bracket points at the sampled OpTrace so every round the flush runs —
+	// including its sub-rounds inside another leader's merged frame — lands
+	// its per-object events on that trace.
+	tracer  *obs.Tracer
+	wTraced *proto.Traced
+
 	// The three committer-only register operations below are never called
 	// concurrently (exactly one committer runs at a time, and the
 	// lead-handoff channel establishes happens-before between consecutive
@@ -192,8 +241,22 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 	}
 	// Recovery read: learn the shard's current table and the timestamp the
 	// writer must exceed, so a new Store over an existing cluster neither
-	// clobbers other keys in the shard nor reuses timestamps.
-	cur, err := readers[0].readPair()
+	// clobbers other keys in the shard nor reuses timestamps. Traced as its
+	// own op: recovery reads race whatever chaos is in flight when a shard is
+	// first touched, which is exactly when flakes have fired historically.
+	cur, err := func() (types.Pair, error) {
+		r := readers[0]
+		if tr := s.c.opts.Tracer; tr != nil && r.traced != nil {
+			if op := tr.StartOp("RECOVER", fmt.Sprintf("shard %d", i)); op != nil {
+				r.traced.SetOp(op)
+				defer r.traced.SetOp(nil)
+				p, err := r.readPair()
+				tr.EndOp(op, err)
+				return p, err
+			}
+		}
+		return r.readPair()
+	}()
 	if err != nil {
 		return nil, fmt.Errorf("robustatomic: shard %d recovery: %w", i, err)
 	}
@@ -210,6 +273,8 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 		modify:     w.modifyPair,
 		writeClean: w.writeCleanPair,
 		validate:   w.validateClean,
+		tracer:     s.c.opts.Tracer,
+		wTraced:    w.traced,
 	}, nil
 }
 
@@ -229,6 +294,9 @@ func (s *Store) ShardOf(key string) int { return s.router.Locate(key) }
 // write (the round certifies the cached value is still current, which is
 // where the no-op linearizes).
 func (s *Store) Put(key, value string) error {
+	if start := opStart(); !start.IsZero() {
+		defer mPutLat.RecordSince(start)
+	}
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return err
@@ -250,6 +318,9 @@ func (s *Store) Put(key, value string) error {
 // Delete removes key (a write of the shard table without it). Deleting an
 // absent key is a no-op mutation (validated, not written — see Put).
 func (s *Store) Delete(key string) error {
+	if start := opStart(); !start.IsZero() {
+		defer mDelLat.RecordSince(start)
+	}
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return err
@@ -328,7 +399,21 @@ const slowFlushPenalty = 8
 // elided and the certified read alone linearizes it. Failed flushes park
 // their ops in uncommitted, which forces the certified path (and a real
 // write) until one succeeds.
-func (sh *storeShard) flush(b *commitBatch) error {
+func (sh *storeShard) flush(b *commitBatch) (err error) {
+	if sh.tracer != nil && sh.wTraced != nil {
+		if op := sh.tracer.StartOp("FLUSH", fmt.Sprintf("%d ops", len(b.ops))); op != nil {
+			sh.wTraced.SetOp(op)
+			defer func() {
+				sh.wTraced.SetOp(nil)
+				sh.tracer.EndOp(op, err)
+			}()
+		}
+	}
+	defer func() {
+		if err != nil {
+			mFlushFailed.Inc()
+		}
+	}()
 	// dirty tracks whether the cached table differs from what the register
 	// held at lastTS once the ops are applied. Ops from failed flushes
 	// always count as dirty: their values may have reached some objects at
@@ -356,6 +441,7 @@ func (sh *storeShard) flush(b *commitBatch) error {
 		if !dirty {
 			ok, err := sh.validate()
 			if err == nil && ok {
+				mFlushNoop.Inc()
 				return nil
 			}
 			if err == nil {
@@ -376,6 +462,7 @@ func (sh *storeShard) flush(b *commitBatch) error {
 			}
 			if ok {
 				sh.lastTS = p.TS
+				mFlushFast.Inc()
 				return nil
 			}
 			sh.penalty = slowFlushPenalty
@@ -423,19 +510,32 @@ func (sh *storeShard) flush(b *commitBatch) error {
 	}
 	sh.uncommitted = nil
 	sh.lastTS = p.TS
+	mFlushCertified.Inc()
 	return nil
 }
 
 // Get returns the value under key (4 communication rounds on the key's
 // shard). Absent keys read as the empty string, matching the register
 // initial value ⊥.
-func (s *Store) Get(key string) (string, error) {
+func (s *Store) Get(key string) (val string, err error) {
+	if start := opStart(); !start.IsZero() {
+		defer mGetLat.RecordSince(start)
+	}
 	sh, err := s.shards.Get(s.router.Locate(key))
 	if err != nil {
 		return "", err
 	}
 	r := sh.pool.Acquire()
 	defer sh.pool.Release(r)
+	if sh.tracer != nil && r.traced != nil {
+		if op := sh.tracer.StartOp("GET", key); op != nil {
+			r.traced.SetOp(op)
+			defer func() {
+				r.traced.SetOp(nil)
+				sh.tracer.EndOp(op, err)
+			}()
+		}
+	}
 	p, err := r.readPair()
 	if err != nil {
 		return "", err

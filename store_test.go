@@ -150,7 +150,7 @@ func TestStorePerKeyAtomicity(t *testing.T) {
 		readers = 2
 	)
 	seed := chaosSeedFor(t, 15, 2)
-	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: seed, MaxDelay: 200 * time.Microsecond})
+	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: seed, MaxDelay: 200 * time.Microsecond, Tracer: chaosTracer(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestStoreCoalescedAtomicityUnderFault(t *testing.T) {
 		readers = 2
 	)
 	seed := chaosSeedFor(t, 22, 3)
-	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: seed})
+	c, err := NewCluster(Options{Faults: 1, Readers: readers, Seed: seed, Tracer: chaosTracer(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
