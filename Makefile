@@ -20,26 +20,29 @@ race:
 
 # bench runs the hot-path experiment benchmarks (E7 live-runtime latency,
 # E9 sharded-Store throughput, E10 durability tax, E11 multi-writer
-# contention, E12 adaptive-round split, E13 pipelined wire transport) the
-# way CI records them; output feeds the benchmark trajectory in
-# EXPERIMENTS.md.
+# contention, E12 adaptive-round split, E13 pipelined wire transport,
+# E16 adaptive read path) the way CI records them; output feeds the
+# benchmark trajectory in EXPERIMENTS.md.
 bench:
-	$(GO) test -run xxx -bench 'E7|E9|E10|E11|E12|E13' -benchmem -count=3 . | tee bench.txt
+	$(GO) test -run xxx -bench 'E7|E9|E10|E11|E12|E13|E16' -benchmem -count=3 . | tee bench.txt
 
 # bench-diff re-runs the guarded hot-path benchmarks and compares them
-# against the committed baseline (bench_baseline.txt): E7/E12 ns/op
+# against the committed baseline (bench_baseline.txt): E7/E12/E16 ns/op
 # regressions beyond 20% fail, the instrumented E9/E13 beyond 10% (the obs
-# layer's overhead budget), and E13's pipelined sub-benchmark must stay
-# at least 3x faster than its lock-step baseline, so the reclaimed
-# multi-writer tax and the pipelining win cannot silently creep back.
+# layer's overhead budget), E13's pipelined sub-benchmark must stay
+# at least 3x faster than its lock-step baseline, and the adaptive read
+# gate holds E7LiveRead stable reads >=2x under the pre-elision 4-round
+# reference with the per-reader scaling slope collapsed >=2x — so the
+# reclaimed multi-writer tax, the pipelining win and the adaptive-read win
+# cannot silently creep back.
 # Refresh the baseline intentionally with `make bench-baseline` after a
 # deliberate trajectory change.
 bench-diff:
-	$(GO) test -run xxx -bench 'E7|E9|E12|E13' -benchmem -count=3 -benchtime 3000x . | tee bench.txt
+	$(GO) test -run xxx -bench 'E7|E9|E12|E13|E16' -benchmem -count=3 -benchtime 3000x . | tee bench.txt
 	./scripts/benchdiff.sh bench_baseline.txt bench.txt
 
 bench-baseline:
-	$(GO) test -run xxx -bench 'E7|E9|E12|E13' -benchmem -count=3 -benchtime 3000x . | tee bench_baseline.txt
+	$(GO) test -run xxx -bench 'E7|E9|E12|E13|E16' -benchmem -count=3 -benchtime 3000x . | tee bench_baseline.txt
 
 # bench-mwmr isolates the multi-writer contention experiment (E11).
 bench-mwmr:

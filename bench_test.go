@@ -6,6 +6,7 @@ package robustatomic
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -398,6 +399,82 @@ func BenchmarkE9StoreGet(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkE16AdaptiveRead measures the adaptive Store read path in the
+// three shapes the design targets. "stable" is the elision fast case:
+// repeated Gets against an unchanging shard decide in the two query rounds
+// and serve the table from the certified-TS cache (no write-back, no
+// decode). "contended" hammers ONE hot single-shard store from all procs so
+// concurrent Gets coalesce into shared protocol reads (the R-scaling
+// collapse also visible in E7LiveRead R=1/4/8). "zipfmix" is the realistic
+// blend: zipf-skewed Gets over 16 keys on 4 shards with a ~10% Put mix, so
+// the certified-table cache is repeatedly invalidated and re-earned and
+// elision degrades to the 4-round fallback around each write.
+func BenchmarkE16AdaptiveRead(b *testing.B) {
+	newStore := func(b *testing.B, seed int64, shards int) *Store {
+		b.Helper()
+		c, err := NewCluster(Options{Faults: 1, Readers: 4, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		st, err := c.NewStore(StoreOptions{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	b.Run("stable", func(b *testing.B) {
+		st := newStore(b, 16, 4)
+		if err := st.Put("hot", "v"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Get("hot"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("contended", func(b *testing.B) {
+		st := newStore(b, 17, 1)
+		if err := st.Put("hot", "v"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := st.Get("hot"); err != nil {
+					b.Error(err) // Fatal must not run off the benchmark goroutine
+					return
+				}
+			}
+		})
+	})
+	b.Run("zipfmix", func(b *testing.B) {
+		const keyCount = 16
+		st := newStore(b, 18, 4)
+		keys := make([]string, keyCount)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%02d", i)
+			if err := st.Put(keys[i], "v0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		zipf := rand.NewZipf(rand.New(rand.NewSource(18)), 1.2, 1, keyCount-1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[zipf.Uint64()]
+			if i%10 == 9 {
+				if err := st.Put(k, fmt.Sprintf("v%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, err := st.Get(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE10PersistPut measures the durability tax on the sharded Store

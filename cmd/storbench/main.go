@@ -13,6 +13,7 @@
 //	storbench -qps 500,1000,2000,4000 -duration 5s -read-frac 0.9
 //	storbench -servers host1:7001,host2:7001,host3:7001,host4:7001 -qps 1000 -format csv
 //	storbench -qps 2000 -dist uniform -chaos flaky   # in-process fault drill
+//	storbench -preset read-heavy -qps 1000,4000      # adaptive read path sweep
 package main
 
 import (
@@ -63,7 +64,36 @@ func main() {
 	format := flag.String("format", "table", "output: table | csv | json")
 	chaos := flag.String("chaos", "", "in-process only: make object 2 Byzantine (flaky | stale | equivocate | silent | garbage)")
 	obsDump := flag.Bool("obs", false, "after the sweep, print the client-side obs snapshot (round counts, flush-path mix, mux state)")
+	preset := flag.String("preset", "", "workload preset: read-heavy (0.98 Gets, zipf skew 1.3 over 128 keys, 16 reader handles — drives the adaptive read path: elision, coalescing, table cache); explicitly-set flags win")
 	flag.Parse()
+
+	// Presets fill in defaults for flags the user did NOT set explicitly:
+	// -preset read-heavy -keys 4096 sweeps a large read-heavy key space.
+	if *preset != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		switch *preset {
+		case "read-heavy":
+			if !set["read-frac"] {
+				*readFrac = 0.98
+			}
+			if !set["dist"] {
+				*dist = "zipf"
+			}
+			if !set["zipf-s"] {
+				*zipfS = 1.3
+			}
+			if !set["keys"] {
+				*keys = 128
+			}
+			if !set["readers"] {
+				*readers = 16
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "storbench: unknown -preset %q (want read-heavy)\n", *preset)
+			os.Exit(2)
+		}
+	}
 
 	var targets []int
 	for _, f := range strings.Split(*qpsList, ",") {

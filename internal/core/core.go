@@ -18,12 +18,29 @@
 // The lexicographic (Seq, WriterID) order totally orders even timestamps
 // picked concurrently.
 //
-// Reads execute the regular reads of all registers in parallel by
-// multiplexing their two query rounds onto two physical rounds (a physical
-// round carries one sub-request per register instance to every object), then
-// write the maximum pair back into the reader's own register (two more
-// rounds: PREWRITE, WRITE) before returning — 4 rounds total, matching the
-// optimum established by the paper's two lower bounds.
+// Reads are ADAPTIVE too: the two query rounds — the regular reads of all
+// registers multiplexed onto two physical rounds (a physical round carries
+// one sub-request per register instance to every object) — always run, but
+// the write-back into the reader's own register (two more rounds: PREWRITE,
+// WRITE) is ELIDED whenever the query rounds themselves certify the chosen
+// pair as completely written: a full quorum of S−t distinct objects
+// w-reported the chosen timestamp (or higher) on the SHARED register. So a
+// stable register reads in 2 rounds; only reads concurrent with a write, or
+// reads whose evidence a Byzantine minority withheld, pay the full 4 rounds
+// the paper's Prop. 1 proves necessary in the worst case — the lower bound
+// binds exactly the executions that still take 4.
+//
+// Elision safety: the condition exhibits ≥ S−t distinct w-reporters at or
+// above the chosen timestamp ts on the shared register, of which at most t
+// lie, so at least S−2t ≥ t+1 CORRECT objects durably hold w ≥ ts (w slots
+// are monotone at correct objects). Any later read's decision then returns
+// a pair ≥ ts without our help: under the true fault set F*, the level
+// ℓ* = min over those t+1 holders of their smallest w-report satisfies
+// ℓ* ≥ ts and counts |F*| + (t+1) ≥ 2t+1 supporters, so λ(F*) ≥ ts and the
+// decision's choice dominates it. The check runs against the shared
+// register only — write-back registers hold ENCODED inner pairs whose inner
+// timestamps are not monotone along the outer sequence across reader
+// lifetimes, so quorum w-support there certifies nothing about ts.
 //
 // Atomicity argument (Section 2.2 properties, multi-writer form): (1) values
 // travel only from writers through correct objects or genuinely-certified
@@ -31,9 +48,11 @@
 // complete write at timestamp ts reads the shared register regularly and
 // obtains a pair ≥ ts (the regular read's decision dominates every complete
 // write); (3) pairs cannot be observed before some writer issues them;
-// (4) a read rd2 succeeding rd1 reads rd1's write-back register regularly,
-// and rd1 completed its write-back before returning, so rd2's maximum is at
-// least rd1's result — no new/old inversion. Writes are ordered by their
+// (4) a read rd2 succeeding rd1 sees a pair at least rd1's result: either
+// rd1 completed its write-back before returning and rd2 reads that register
+// regularly, or rd1 elided — in which case the elision evidence above
+// already forces rd2's shared-register decision to dominate rd1's result —
+// so there is no new/old inversion either way. Writes are ordered by their
 // timestamps, which respect real time: a write's discovery round intersects
 // every earlier complete write's WRITE quorum in a correct object, so its
 // timestamp strictly dominates.
@@ -239,6 +258,24 @@ type Reader struct {
 	idx     int // this reader's index, 1-based
 	readers int // R
 	seq     int64
+
+	// Reusable round state, built on the first read and recycled after:
+	// one two-round accumulator per register, the multiplexed parts
+	// referencing them, and the sid-independent request bundle shared by
+	// both query rounds. Steady-state reads allocate nothing here.
+	regs  []types.RegID
+	accs  []*regular.ReadAcc
+	parts []MuxPart
+	req   types.Message
+
+	// Elided reports whether the last ReadPair skipped the write-back (the
+	// query rounds certified the chosen pair as completely written).
+	Elided bool
+	// FastReads and FallbackReads count reads that elided the write-back
+	// vs. paid the full 4 rounds (instrumentation; the round hook gives
+	// finer grain).
+	FastReads     int
+	FallbackReads int
 }
 
 // NewReader returns the handle of reader idx out of `readers` total readers.
@@ -285,52 +322,75 @@ func ResumeSeq(prev int64, cert, raw types.TS) int64 {
 	return seq
 }
 
-// Read performs the 4-round atomic read.
+// Read performs the adaptive atomic read: 2 rounds when the query rounds
+// certify the result as completely written, 4 otherwise.
 func (r *Reader) Read() (types.Value, error) {
 	p, err := r.ReadPair()
 	return p.Val, err
 }
 
-// ReadPair performs the 4-round atomic read, returning the chosen
-// timestamp-value pair.
-func (r *Reader) ReadPair() (types.Pair, error) {
-	regs := r.allRegs()
-
-	// Physical round 1: round 1 of every register's regular read.
-	accs1 := make([]*regular.StateAcc, len(regs))
-	parts1 := make([]MuxPart, len(regs))
-	for i, reg := range regs {
-		accs1[i] = regular.NewStateAcc(r.th)
-		parts1[i] = MuxPart{
+// init builds the reader's reusable round state: accumulators, multiplexed
+// parts, and the shared request bundle (read requests are sid-independent,
+// and runtimes treat request messages as immutable, so one bundle serves
+// every object in both query rounds).
+func (r *Reader) init() {
+	if r.accs != nil {
+		return
+	}
+	r.regs = r.allRegs()
+	r.accs = make([]*regular.ReadAcc, len(r.regs))
+	r.parts = make([]MuxPart, len(r.regs))
+	sub := make([]types.SubMsg, len(r.regs))
+	for i, reg := range r.regs {
+		// Every register runs the relaxed multi-writer decision: the shared
+		// register (index 0) genuinely has many writers, and a write-back
+		// register's owner resumes its sequence number by discovery (see
+		// ReadPair), so its write at ℓ may follow a crashed predecessor's
+		// ℓ−1 that never completed — the exact premise under which the
+		// stricter SWMR causality filter would wrongly reject the true
+		// fault set (see regular.DecideAcc.MultiWriter).
+		r.accs[i] = regular.NewReadAcc(r.th)
+		r.accs[i].MultiWriter = true
+		r.parts[i] = MuxPart{
 			Reg: reg,
 			Req: func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
-			Acc: accs1[i],
+			Acc: r.accs[i],
 		}
+		sub[i] = types.SubMsg{Reg: reg, Msg: types.Message{Kind: types.MsgRead1}}
 	}
-	if err := r.rounder.Round(MuxRound("AREAD1", parts1)); err != nil {
+	r.req = types.Message{Kind: types.MsgMux, Sub: sub}
+}
+
+// muxSpec builds the query-round spec over the reader's prebuilt parts and
+// shared request bundle (MuxRound minus the per-object bundle allocation).
+func (r *Reader) muxSpec(label string) proto.RoundSpec {
+	req := r.req
+	return proto.RoundSpec{
+		Label: label,
+		Req:   func(int) types.Message { return req },
+		Acc:   &muxAcc{parts: r.parts},
+	}
+}
+
+// ReadPair performs the adaptive atomic read, returning the chosen
+// timestamp-value pair.
+func (r *Reader) ReadPair() (types.Pair, error) {
+	r.init()
+	for _, a := range r.accs {
+		a.Reset()
+	}
+
+	// Physical round 1: round 1 of every register's regular read.
+	if err := r.rounder.Round(r.muxSpec("AREAD1")); err != nil {
 		return types.Pair{}, fmt.Errorf("core: read round 1: %w", err)
 	}
 
 	// Physical round 2: round 2 of every register's regular read, over the
-	// frozen round-1 views. Every register runs the relaxed multi-writer
-	// decision: the shared register (index 0) genuinely has many writers,
-	// and a write-back register's owner resumes its sequence number by
-	// discovery (below), so its write at ℓ may follow a crashed
-	// predecessor's ℓ−1 that never completed — the exact premise under
-	// which the stricter SWMR causality filter would wrongly reject the
-	// true fault set (see regular.DecideAcc.MultiWriter).
-	accs2 := make([]*regular.DecideAcc, len(regs))
-	parts2 := make([]MuxPart, len(regs))
-	for i, reg := range regs {
-		accs2[i] = regular.NewDecideAcc(r.th, accs1[i].Replies)
-		accs2[i].MultiWriter = true
-		parts2[i] = MuxPart{
-			Reg: reg,
-			Req: func(int) types.Message { return types.Message{Kind: types.MsgRead1} },
-			Acc: accs2[i],
-		}
+	// frozen round-1 views.
+	for _, a := range r.accs {
+		a.BeginDecide()
 	}
-	if err := r.rounder.Round(MuxRound("AREAD2", parts2)); err != nil {
+	if err := r.rounder.Round(r.muxSpec("AREAD2")); err != nil {
 		return types.Pair{}, fmt.Errorf("core: read round 2: %w", err)
 	}
 
@@ -344,19 +404,41 @@ func (r *Reader) ReadPair() (types.Pair, error) {
 	// disagreeing on one timestamp's value — each such pair burns a unit of
 	// the read decision's fault budget, and enough of them starve every
 	// later read of this register ("all replies in, accumulator
-	// unsatisfied").
-	r.seq = ResumeSeq(r.seq, accs2[r.idx].Choice().TS, accs2[r.idx].MaxTS())
+	// unsatisfied"). Resuming must happen on BOTH the elided and the
+	// fallback path: an elided read still observed the register, and the
+	// next fallback write-back must not re-issue what it saw.
+	r.seq = ResumeSeq(r.seq, r.accs[r.idx].Choice().TS, r.accs[r.idx].MaxTS())
 
 	// The read's result is the maximum pair across the writer's register
 	// and every reader's write-back register.
-	best := accs2[0].Choice() // writer's register holds pairs directly
-	for i := 1; i < len(regs); i++ {
-		p, err := DecodePair(accs2[i].Choice().Val)
+	best := r.accs[0].Choice() // writer's register holds pairs directly
+	for i := 1; i < len(r.regs); i++ {
+		p, err := DecodePair(r.accs[i].Choice().Val)
 		if err != nil {
-			return types.Pair{}, fmt.Errorf("core: write-back register %v: %w", regs[i], err)
+			return types.Pair{}, fmt.Errorf("core: write-back register %v: %w", r.regs[i], err)
 		}
 		best = types.MaxPair(best, p)
 	}
+
+	// Write-back elision: when a full quorum of S−t distinct objects
+	// w-reported the chosen timestamp (or higher) on the SHARED register,
+	// the chosen pair is already completely written — at least t+1 correct
+	// objects durably hold it, which forces every later read's decision to
+	// dominate it (see the package documentation's safety argument) — so
+	// the 2-round write-back re-asserting it is pure cost. The check runs
+	// against the shared register only: whatever register `best` surfaced
+	// from, its value originates in shared-register pairs (write-back
+	// registers hold encoded copies), and only the shared register's
+	// w slots are monotone in best's timestamp order. Byzantine objects
+	// cannot fake the condition (t forged reports < S−t) and can at worst
+	// withhold it, costing rounds, never safety.
+	if r.accs[0].WSupport(best.TS) >= r.th.Quorum() {
+		r.Elided = true
+		r.FastReads++
+		return best, nil
+	}
+	r.Elided = false
+	r.FallbackReads++
 
 	// Physical rounds 3 and 4: write the result back into this reader's own
 	// register before returning. Write-back registers are single-writer

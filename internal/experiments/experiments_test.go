@@ -17,12 +17,19 @@ func TestRecurrenceTable(t *testing.T) {
 }
 
 func TestMeasureComplexityMatchesPaper(t *testing.T) {
-	// The E4 table must reproduce the paper's claimed round counts. The
+	// The E4 table must reproduce the paper's claimed round counts, except
+	// where the adaptive paths BEAT them in these stable scenarios. The
 	// repository's atomic registers are multi-writer, but the adaptive
 	// write path recovers the SWMR-optimal 2 rounds whenever the optimistic
 	// proposal certifies — which it does in every scenario measured here,
-	// since E4's writes run before the Byzantine injection (the fallback
-	// costs are pinned by the round-count tests in internal/core).
+	// since E4's writes run before the Byzantine injection. Likewise the
+	// adaptive read elides its write-back when the query rounds certify the
+	// chosen pair as completely written: E4's reads follow completed writes,
+	// and even with t faulty objects the 2t+1 correct holders are exactly
+	// the S−t elision quorum at S = 3t+1 — so the atomic read lands at 2
+	// rounds and the secret-model read at 1 (fast path + elision). The
+	// paper's 4- and 3-round figures remain the WORST case, pinned by the
+	// fallback round-count tests in internal/core and internal/live.
 	for _, tt := range []int{1, 2} {
 		rows, err := MeasureComplexity(tt)
 		if err != nil {
@@ -31,8 +38,8 @@ func TestMeasureComplexityMatchesPaper(t *testing.T) {
 		want := map[string][2]int{
 			"ABD [3]":                   {1, 2},
 			"regular (GV06-style [15])": {2, 2},
-			"atomic = regular + transformation (this paper §5)": {2, 4},
-			"atomic, secret tokens ([8] model)":                 {2, 3},
+			"atomic = regular + transformation (this paper §5)": {2, 2},
+			"atomic, secret tokens ([8] model)":                 {2, 1},
 		}
 		for _, r := range rows {
 			w, ok := want[r.Name]

@@ -2,7 +2,6 @@ package regular
 
 import (
 	"math/bits"
-	"sort"
 
 	"robustatomic/internal/proto"
 	"robustatomic/internal/quorum"
@@ -68,6 +67,8 @@ type DecideAcc struct {
 	r2          map[int]types.Message
 	done        bool
 	choice      types.Pair
+	views       []srvView // scratch rebuilt from the maps per decision attempt
+	d           decider
 }
 
 var _ proto.Accumulator = (*DecideAcc)(nil)
@@ -89,7 +90,11 @@ func (a *DecideAcc) Add(sid int, m types.Message) {
 	if len(a.r2) < a.th.Refute() {
 		return
 	}
-	if c, ok := decide(a.th, a.r1, a.r2, a.MultiWriter); ok {
+	if a.views == nil {
+		a.views = make([]srvView, a.th.S+1)
+	}
+	fillViews(a.views, a.th.S, a.r1, a.r2)
+	if c, ok := a.d.decide(a.th, a.views, a.MultiWriter); ok {
 		a.done = true
 		a.choice = c
 	}
@@ -117,11 +122,145 @@ func (a *DecideAcc) MaxTS() types.TS {
 	return best
 }
 
+// WSupport returns how many distinct objects' WRITE-slot reports, in either
+// query round, carry a timestamp at or above ts — the completeness evidence
+// behind the adaptive read's write-back elision (see core.Reader.ReadPair):
+// a quorum of S−t such reports proves at least S−2t ≥ t+1 correct objects
+// durably hold w ≥ ts, which forces every later read's decision to dominate
+// ts without this read re-asserting it.
+func (a *DecideAcc) WSupport(ts types.TS) int {
+	n := 0
+	for sid := 1; sid <= a.th.S; sid++ {
+		m1, ok1 := a.r1[sid]
+		m2, ok2 := a.r2[sid]
+		if (ok1 && !m1.W.TS.Less(ts)) || (ok2 && !m2.W.TS.Less(ts)) {
+			n++
+		}
+	}
+	return n
+}
+
 // srvView is one object's replies across the two query rounds.
 type srvView struct {
 	has1, has2 bool
 	pw1, w1    types.Pair
 	pw2, w2    types.Pair
+}
+
+// fillViews rebuilds the per-object view table from the two reply maps.
+// Replies from object ids outside 1..s are dropped (they could only come
+// from a broken transport; the decision must not index past its table).
+func fillViews(views []srvView, s int, r1, r2 map[int]types.Message) {
+	for i := range views {
+		views[i] = srvView{}
+	}
+	for sid, m := range r1 {
+		if sid < 1 || sid > s {
+			continue
+		}
+		views[sid].has1 = true
+		views[sid].pw1, views[sid].w1 = m.PW, m.W
+	}
+	for sid, m := range r2 {
+		if sid < 1 || sid > s {
+			continue
+		}
+		views[sid].has2 = true
+		views[sid].pw2, views[sid].w2 = m.PW, m.W
+	}
+}
+
+// decide implements the decision procedure over map-shaped views (the
+// DecideAcc representation and the unit tests' natural input); the logic
+// lives in decider.decide, which works on the flat view table and reusable
+// scratch so the hot read path can run it allocation-free.
+func decide(th quorum.Thresholds, r1, r2 map[int]types.Message, mw bool) (types.Pair, bool) {
+	views := make([]srvView, th.S+1)
+	fillViews(views, th.S, r1, r2)
+	var d decider
+	return d.decide(th, views, mw)
+}
+
+// decider holds the decision procedure's scratch state: every slice the
+// procedure needs, grown once and recycled across invocations (same
+// discipline as proto.BitAcc replacing the map accumulators on the write
+// path). A zero decider is ready to use; it is not safe for concurrent use,
+// matching the accumulators that embed it.
+type decider struct {
+	subsS, subsT int      // thresholds the subset table was built for
+	subs         []uint64 // every fault bitmask |F| ≤ t over {1..s}
+
+	pairs   []types.Pair // distinct reported non-⊥ pairs
+	masks   []uint64     // reporter bitmask, parallel to pairs
+	levels  []types.TS   // distinct reported timestamps, descending
+	fmasks  []uint64     // consistent fault assignments
+	lambdas []types.TS   // λ(F), parallel to fmasks
+	cands   []types.Pair // candidate pairs, descending, ⊥ last
+
+	valTS []types.TS // value-agreement scratch: timestamp → first value
+	valV  []types.Value
+}
+
+// report records one reported pair, OR-ing the reporter into its bitmask.
+// The pair population per decision is at most 4s, so linear probing beats a
+// map both in allocations and in constants.
+func (d *decider) report(sid int, p types.Pair) {
+	if p.TS.IsZero() {
+		return
+	}
+	for i, q := range d.pairs {
+		if q == p {
+			d.masks[i] |= 1 << uint(sid)
+			return
+		}
+	}
+	d.pairs = append(d.pairs, p)
+	d.masks = append(d.masks, 1<<uint(sid))
+}
+
+// reporterMask returns the reporter bitmask of pair p (0 if unreported).
+func (d *decider) reporterMask(p types.Pair) uint64 {
+	for i, q := range d.pairs {
+		if q == p {
+			return d.masks[i]
+		}
+	}
+	return 0
+}
+
+// addLevel inserts a distinct timestamp keeping levels descending.
+func (d *decider) addLevel(l types.TS) {
+	for _, x := range d.levels {
+		if x == l {
+			return
+		}
+	}
+	d.levels = append(d.levels, l)
+	for i := len(d.levels) - 1; i > 0 && d.levels[i-1].Less(d.levels[i]); i-- {
+		d.levels[i-1], d.levels[i] = d.levels[i], d.levels[i-1]
+	}
+}
+
+// addCand inserts a candidate pair keeping cands descending.
+func (d *decider) addCand(p types.Pair) {
+	d.cands = append(d.cands, p)
+	for i := len(d.cands) - 1; i > 0 && d.cands[i-1].Less(d.cands[i]); i-- {
+		d.cands[i-1], d.cands[i] = d.cands[i], d.cands[i-1]
+	}
+}
+
+// allReportsAtLeast reports whether every reply sid gave shows w.ts ≥ ℓ
+// (vacuously true for fully silent objects) — the signature of an object
+// that acknowledged the WRITE phase of timestamp ℓ before the read began.
+func allReportsAtLeast(views []srvView, sid int, l types.TS) bool {
+	v := &views[sid]
+	if v.has1 && v.w1.TS.Less(l) {
+		return false
+	}
+	if v.has2 && v.w2.TS.Less(l) {
+		return false
+	}
+	return true
 }
 
 // decide implements the decision procedure. For every fault assignment F
@@ -131,76 +270,45 @@ type srvView struct {
 // λ(F) of — every consistent F. Soundness rests on the true fault set never
 // being rejected by the consistency checks, so the returned pair is genuine
 // and at least as fresh as the last complete write in the actual run.
-func decide(th quorum.Thresholds, r1, r2 map[int]types.Message, mw bool) (types.Pair, bool) {
+func (d *decider) decide(th quorum.Thresholds, views []srvView, mw bool) (types.Pair, bool) {
 	s, t := th.S, th.T
-	views := make([]srvView, s+1)
-	for sid, m := range r1 {
-		views[sid].has1 = true
-		views[sid].pw1, views[sid].w1 = m.PW, m.W
-	}
-	for sid, m := range r2 {
-		views[sid].has2 = true
-		views[sid].pw2, views[sid].w2 = m.PW, m.W
+	if d.subs == nil || d.subsS != s || d.subsT != t {
+		d.subsS, d.subsT = s, t
+		d.subs = d.subs[:0]
+		forEachSubset(s, t, func(f uint64) { d.subs = append(d.subs, f) })
 	}
 
-	// Reported pairs and their reporter bitmasks.
-	reporters := make(map[types.Pair]uint64)
-	report := func(sid int, p types.Pair) {
-		if !p.TS.IsZero() {
-			reporters[p] |= 1 << uint(sid)
-		}
-	}
+	// Reported pairs, their reporter bitmasks, and the distinct reported
+	// timestamps in descending lexicographic order.
+	d.pairs, d.masks, d.levels = d.pairs[:0], d.masks[:0], d.levels[:0]
 	for sid := 1; sid <= s; sid++ {
 		v := &views[sid]
 		if v.has1 {
-			report(sid, v.pw1)
-			report(sid, v.w1)
+			d.report(sid, v.pw1)
+			d.report(sid, v.w1)
 		}
 		if v.has2 {
-			report(sid, v.pw2)
-			report(sid, v.w2)
+			d.report(sid, v.pw2)
+			d.report(sid, v.w2)
 		}
 	}
-	// Distinct reported timestamps, descending lexicographic order.
-	levelSet := make(map[types.TS]bool, len(reporters))
-	for p := range reporters {
-		levelSet[p.TS] = true
-	}
-	levels := make([]types.TS, 0, len(levelSet))
-	for l := range levelSet {
-		levels = append(levels, l)
-	}
-	sort.Slice(levels, func(i, j int) bool { return levels[j].Less(levels[i]) })
-
-	// allReportsAtLeast(sid, ℓ): every reply sid gave shows w.ts ≥ ℓ
-	// (vacuously true for fully silent objects) — the signature of an
-	// object that acknowledged the WRITE phase of timestamp ℓ before the
-	// read began.
-	allReportsAtLeast := func(sid int, l types.TS) bool {
-		v := &views[sid]
-		if v.has1 && v.w1.TS.Less(l) {
-			return false
-		}
-		if v.has2 && v.w2.TS.Less(l) {
-			return false
-		}
-		return true
+	for _, p := range d.pairs {
+		d.addLevel(p.TS)
 	}
 
 	// Enumerate fault assignments F as bitmasks, |F| ≤ t.
-	var lambdas []types.TS
-	var fmasks []uint64
-	forEachSubset(s, t, func(f uint64) {
-		if !consistentF(th, views[:], f, mw) {
-			return
+	d.fmasks, d.lambdas = d.fmasks[:0], d.lambdas[:0]
+	for _, f := range d.subs {
+		if !d.consistentF(th, views, f, mw) {
+			continue
 		}
 		// λ(F): the highest reported timestamp whose WRITE phase could have
 		// gathered 2t+1 acknowledgements before the read began.
 		var lam types.TS
-		for _, l := range levels {
+		for _, l := range d.levels {
 			cnt := bits.OnesCount64(f)
 			for sid := 1; sid <= s; sid++ {
-				if f&(1<<uint(sid)) == 0 && allReportsAtLeast(sid, l) {
+				if f&(1<<uint(sid)) == 0 && allReportsAtLeast(views, sid, l) {
 					cnt++
 				}
 			}
@@ -209,30 +317,30 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message, mw bool) (types.
 				break
 			}
 		}
-		fmasks = append(fmasks, f)
-		lambdas = append(lambdas, lam)
-	})
-	if len(fmasks) == 0 {
+		d.fmasks = append(d.fmasks, f)
+		d.lambdas = append(d.lambdas, lam)
+	}
+	if len(d.fmasks) == 0 {
 		// The true fault set is always consistent; an empty set means the
 		// views are still too sparse. Keep waiting.
 		return types.Pair{}, false
 	}
 
-	// Candidates: reported pairs plus ⊥, by descending timestamp.
-	cands := make([]types.Pair, 0, len(reporters)+1)
-	for p := range reporters {
-		cands = append(cands, p)
+	// Candidates: reported pairs plus ⊥, by descending timestamp (reported
+	// pairs are all non-⊥, so ⊥ sorts last unconditionally).
+	d.cands = d.cands[:0]
+	for _, p := range d.pairs {
+		d.addCand(p)
 	}
-	cands = append(cands, types.BottomPair)
-	sort.Slice(cands, func(i, j int) bool { return cands[j].Less(cands[i]) })
-	for _, c := range cands {
+	d.cands = append(d.cands, types.BottomPair)
+	for _, c := range d.cands {
 		ok := true
-		for i, f := range fmasks {
-			if c.TS.Less(lambdas[i]) {
+		for i, f := range d.fmasks {
+			if c.TS.Less(d.lambdas[i]) {
 				ok = false
 				break
 			}
-			if !c.TS.IsZero() && reporters[c]&^f == 0 {
+			if !c.TS.IsZero() && d.reporterMask(c)&^f == 0 {
 				// Every reporter of c could be Byzantine under F.
 				ok = false
 				break
@@ -243,6 +351,23 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message, mw bool) (types.
 		}
 	}
 	return types.Pair{}, false
+}
+
+// checkPair enforces value agreement across one fault assignment's correct
+// reports: two correct objects reporting the same timestamp must report the
+// same pair. Scratch-backed equivalent of the old per-call map.
+func (d *decider) checkPair(p types.Pair) bool {
+	if p.TS.IsZero() {
+		return true
+	}
+	for i, ts := range d.valTS {
+		if ts == p.TS {
+			return d.valV[i] == p.Val
+		}
+	}
+	d.valTS = append(d.valTS, p.TS)
+	d.valV = append(d.valV, p.Val)
+	return true
 }
 
 // consistentF reports whether fault assignment f (bitmask of object ids) is
@@ -272,19 +397,9 @@ func decide(th quorum.Thresholds, r1, r2 map[int]types.Message, mw bool) (types.
 //     fabricated high timestamp to its fabricator: no fault set exonerating
 //     the liar survives, so λ(F) cannot be inflated beyond what genuine
 //     certified pairs can dominate, which the read's termination relies on.
-func consistentF(th quorum.Thresholds, views []srvView, f uint64, mw bool) bool {
+func (d *decider) consistentF(th quorum.Thresholds, views []srvView, f uint64, mw bool) bool {
 	s := th.S
-	vals := make(map[types.TS]types.Value, 8)
-	checkPair := func(p types.Pair) bool {
-		if p.TS.IsZero() {
-			return true
-		}
-		if v, seen := vals[p.TS]; seen {
-			return v == p.Val
-		}
-		vals[p.TS] = p.Val
-		return true
-	}
+	d.valTS, d.valV = d.valTS[:0], d.valV[:0]
 	maxR1 := int64(0)  // highest round-1 sequence number (SWMR causality)
 	var maxW1 types.TS // highest round-1 w-report (MWMR prewrite support)
 	for sid := 1; sid <= s; sid++ {
@@ -298,7 +413,7 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64, mw bool) bool 
 			}
 		}
 		if v.has1 {
-			if !checkPair(v.pw1) || !checkPair(v.w1) {
+			if !d.checkPair(v.pw1) || !d.checkPair(v.w1) {
 				return false
 			}
 			if l := max64(v.pw1.TS.Seq, v.w1.TS.Seq); l > maxR1 {
@@ -307,7 +422,7 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64, mw bool) bool 
 			maxW1 = types.MaxTS(maxW1, v.w1.TS)
 		}
 		if v.has2 {
-			if !checkPair(v.pw2) || !checkPair(v.w2) {
+			if !d.checkPair(v.pw2) || !d.checkPair(v.w2) {
 				return false
 			}
 		}
@@ -355,6 +470,122 @@ func consistentF(th quorum.Thresholds, views []srvView, f uint64, mw bool) bool 
 		}
 	}
 	return true
+}
+
+// ReadAcc is the allocation-free read accumulator: ONE accumulator drives
+// BOTH query rounds of one register's regular read, folding (pw, w) state
+// replies into a fixed per-object view table — proto.BitAcc's discipline
+// applied to the decision procedure. Phase 1 collects the frozen round-1
+// view (done at a quorum of S−t); BeginDecide switches to phase 2, whose
+// replies feed the fault-set enumeration exactly as DecideAcc does. Reset
+// recycles the accumulator and its decision scratch across reads, so a
+// long-lived reader's steady state allocates nothing per read: the map
+// accumulators put the 4-round read at 105 allocs/op against the adaptive
+// write's 7, and the per-reply map traffic was most of the difference.
+type ReadAcc struct {
+	th quorum.Thresholds
+	// MultiWriter selects the decision's consistency discipline, as on
+	// DecideAcc. Set it before the decision round runs.
+	MultiWriter bool
+	views       []srvView
+	m1, m2      uint64 // reply bitmasks per phase
+	deciding    bool   // phase 2 (decision round) in progress
+	done        bool
+	choice      types.Pair
+	d           decider
+}
+
+var _ proto.Accumulator = (*ReadAcc)(nil)
+
+// NewReadAcc returns a reusable two-round read accumulator.
+func NewReadAcc(th quorum.Thresholds) *ReadAcc {
+	return &ReadAcc{th: th, views: make([]srvView, th.S+1)}
+}
+
+// Reset clears the accumulator for the next read, keeping the scratch.
+func (a *ReadAcc) Reset() {
+	for i := range a.views {
+		a.views[i] = srvView{}
+	}
+	a.m1, a.m2 = 0, 0
+	a.deciding, a.done = false, false
+	a.choice = types.Pair{}
+}
+
+// BeginDecide freezes the round-1 view and switches the accumulator to the
+// decision round. Call it between the two physical rounds.
+func (a *ReadAcc) BeginDecide() { a.deciding = true }
+
+// Add implements proto.Accumulator.
+func (a *ReadAcc) Add(sid int, m types.Message) {
+	if m.Kind != types.MsgState || sid < 1 || sid > a.th.S {
+		return
+	}
+	bit := uint64(1) << uint(sid)
+	v := &a.views[sid]
+	if !a.deciding {
+		if a.m1&bit != 0 {
+			return
+		}
+		a.m1 |= bit
+		v.has1, v.pw1, v.w1 = true, m.PW, m.W
+		return
+	}
+	if a.done || a.m2&bit != 0 {
+		return
+	}
+	a.m2 |= bit
+	v.has2, v.pw2, v.w2 = true, m.PW, m.W
+	if bits.OnesCount64(a.m2) < a.th.Refute() {
+		return
+	}
+	if c, ok := a.d.decide(a.th, a.views, a.MultiWriter); ok {
+		a.done = true
+		a.choice = c
+	}
+}
+
+// Done implements proto.Accumulator: a quorum in phase 1, a decision in
+// phase 2.
+func (a *ReadAcc) Done() bool {
+	if !a.deciding {
+		return bits.OnesCount64(a.m1) >= a.th.Quorum()
+	}
+	return a.done
+}
+
+// Choice returns the decision; valid only once the decision round is Done.
+func (a *ReadAcc) Choice() types.Pair { return a.choice }
+
+// MaxTS returns the largest timestamp among the pw/w states of both query
+// rounds' replies — uncertified, see DecideAcc.MaxTS.
+func (a *ReadAcc) MaxTS() types.TS {
+	var best types.TS
+	for sid := 1; sid <= a.th.S; sid++ {
+		v := &a.views[sid]
+		if v.has1 {
+			best = types.MaxTS(best, types.MaxTS(v.pw1.TS, v.w1.TS))
+		}
+		if v.has2 {
+			best = types.MaxTS(best, types.MaxTS(v.pw2.TS, v.w2.TS))
+		}
+	}
+	return best
+}
+
+// WSupport returns how many distinct objects' WRITE-slot reports, in either
+// query round, carry a timestamp at or above ts — the completeness evidence
+// behind the adaptive read's write-back elision (see core.Reader.ReadPair
+// and DecideAcc.WSupport).
+func (a *ReadAcc) WSupport(ts types.TS) int {
+	n := 0
+	for sid := 1; sid <= a.th.S; sid++ {
+		v := &a.views[sid]
+		if (v.has1 && !v.w1.TS.Less(ts)) || (v.has2 && !v.w2.TS.Less(ts)) {
+			n++
+		}
+	}
+	return n
 }
 
 // forEachSubset invokes fn for every subset of {1..n} of size ≤ k, encoded

@@ -65,12 +65,17 @@ func (w *AtomicWriter) Modify(fn func(cur types.Pair) (types.Value, error)) (typ
 // LastTS returns the timestamp of the last completed write.
 func (w *AtomicWriter) LastTS() types.TS { return w.inner.LastTS() }
 
-// AtomicReader performs 3-round atomic reads in contention-free executions
-// (the [DMSS09]-model optimum the paper cites in Section 5), degrading to 4
-// rounds under read/write contention: one multiplexed fast-path query round
-// over the R+1 registers, an extra decision round only if some register
-// could not decide fast, then the 2-round write-back into the reader's own
-// register.
+// AtomicReader performs adaptive atomic reads in the secret-token model:
+// one multiplexed fast-path query round over the R+1 registers, an extra
+// decision round only if some register could not decide fast, then the
+// 2-round write-back into the reader's own register — ELIDED, like the
+// unauthenticated reader's (core.Reader.ReadPair), when the query replies
+// already certify the chosen pair as completely written on the shared
+// register. A stable register thus reads in a SINGLE round (at S = 3t+1
+// the fast hit's 2t+1 identical tuples are exactly the S−t-quorum elision
+// evidence), improving on
+// the 3-round contention-free optimum the paper cites from [DMSS09];
+// contended or Byzantine-disturbed reads degrade to the full 4 rounds.
 type AtomicReader struct {
 	rounder proto.Rounder
 	th      quorum.Thresholds
@@ -80,6 +85,8 @@ type AtomicReader struct {
 	rng     *rand.Rand
 	// FastPath reports whether the last read skipped the decision round.
 	FastPath bool
+	// Elided reports whether the last read skipped the write-back.
+	Elided bool
 }
 
 // NewAtomicReader returns the handle of reader idx out of `readers`.
@@ -189,6 +196,26 @@ func (r *AtomicReader) ReadPair() (types.Pair, error) {
 		}
 	}
 	r.seq = core.ResumeSeq(r.seq, choices[r.idx].TS, raw)
+
+	// Write-back elision (see core.Reader.ReadPair and the core package
+	// documentation's safety argument): a full quorum of S−t distinct
+	// objects w-reporting best's timestamp (or higher) on the SHARED
+	// register proves ≥ t+1 correct objects durably hold it, which forces
+	// every later read — fast path included: 2t+1 identical tuples of a
+	// staler pair would need more correct reporters than remain — to return
+	// a pair at least as fresh. The support spans whichever rounds register
+	// 0 actually ran (DecideAcc.WSupport covers both when it went slow).
+	support := fasts[0].WSupport(best.TS)
+	for j, i := range slowIdx {
+		if i == 0 {
+			support = slowAccs[j].WSupport(best.TS)
+		}
+	}
+	if support >= r.th.Quorum() {
+		r.Elided = true
+		return best, nil
+	}
+	r.Elided = false
 
 	// Final two physical rounds: token-carrying write-back into the
 	// reader's own register (single-writer: WID stays 0).

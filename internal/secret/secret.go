@@ -154,6 +154,21 @@ func (a *FastAcc) Fast() (types.Pair, bool) {
 	return *a.hit, true
 }
 
+// WSupport returns how many distinct objects' WRITE-slot reports carry a
+// timestamp at or above ts — the completeness evidence behind the atomic
+// read's write-back elision (see regular.DecideAcc.WSupport and
+// core.Reader.ReadPair; the secret-model composition checks it over the
+// fast round's replies).
+func (a *FastAcc) WSupport(ts types.TS) int {
+	n := 0
+	for _, m := range a.Replies {
+		if !m.W.TS.Less(ts) {
+			n++
+		}
+	}
+	return n
+}
+
 // Reader reads the secret-token register: one round on the fast path, two
 // on the slow path.
 type Reader struct {

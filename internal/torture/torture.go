@@ -36,6 +36,13 @@ type Config struct {
 	// ReadFrac is the probability an operation is a Get; of the rest,
 	// DeleteFrac are Deletes and the remainder Puts. Defaults 0.4 and 0.15.
 	ReadFrac, DeleteFrac float64
+	// ReadHeavy flips the default ReadFrac to 0.85, concentrating the
+	// schedule's fault windows on the adaptive read path: write-back
+	// elision (and its refusal under partial writes), shard read
+	// coalescing under concurrent Gets, and certified-table cache
+	// invalidation all get exercised while the faults fire. An explicit
+	// ReadFrac overrides it.
+	ReadHeavy bool
 	// Budget bounds each per-key linearization search. Zero selects the
 	// harness default (2M nodes, 30s) rather than an unlimited search.
 	Budget checker.Budget
@@ -59,6 +66,9 @@ func (c *Config) defaults() {
 	}
 	if c.ReadFrac == 0 {
 		c.ReadFrac = 0.4
+		if c.ReadHeavy {
+			c.ReadFrac = 0.85
+		}
 	}
 	if c.DeleteFrac == 0 {
 		c.DeleteFrac = 0.15

@@ -10,10 +10,11 @@ import (
 //	go test ./internal/torture/ -run TestTortureFull -v -args -torture.full
 //	go test ./internal/torture/ -run TestTortureReplay -v -args -torture.seed=7 -torture.scenario=byzantine-mix -torture.mode=tcp
 var (
-	tortureSeed     = flag.Int64("torture.seed", 0, "replay: run TestTortureReplay with this schedule seed")
-	tortureScenario = flag.String("torture.scenario", string(PartitionHeal), "replay: schedule family")
-	tortureMode     = flag.String("torture.mode", string(ModeLive), "replay: cluster mode (live | tcp)")
-	tortureFull     = flag.Bool("torture.full", false, "run the full-scale torture suite (make torture)")
+	tortureSeed      = flag.Int64("torture.seed", 0, "replay: run TestTortureReplay with this schedule seed")
+	tortureScenario  = flag.String("torture.scenario", string(PartitionHeal), "replay: schedule family")
+	tortureMode      = flag.String("torture.mode", string(ModeLive), "replay: cluster mode (live | tcp)")
+	tortureReadHeavy = flag.Bool("torture.readheavy", false, "replay: read-heavy workload (ReadFrac 0.85)")
+	tortureFull      = flag.Bool("torture.full", false, "run the full-scale torture suite (make torture)")
 )
 
 // shortCfg is the CI-sized workload: all three scenarios in seconds, small
@@ -42,12 +43,15 @@ func runTorture(t *testing.T, cfg Config, full bool) Result {
 	cfg.Logf = t.Logf
 	res, err := Run(cfg)
 	if err != nil {
-		fullFlag := ""
+		extraFlags := ""
+		if cfg.ReadHeavy {
+			extraFlags += " -torture.readheavy"
+		}
 		if full {
-			fullFlag = " -torture.full"
+			extraFlags += " -torture.full"
 		}
 		t.Fatalf("torture failed (seed %d):\n%v\n\nreplay: go test ./internal/torture/ -run TestTortureReplay -v -args -torture.seed=%d -torture.scenario=%s -torture.mode=%s%s",
-			cfg.Seed, err, cfg.Seed, cfg.Scenario, cfg.Mode, fullFlag)
+			cfg.Seed, err, cfg.Seed, cfg.Scenario, cfg.Mode, extraFlags)
 	}
 	if res.Checked == 0 {
 		t.Fatalf("torture run checked 0 operations — the harness recorded nothing")
@@ -64,16 +68,27 @@ func TestTortureShort(t *testing.T) {
 		t.Skip("torture needs real rounds; skipped in -short")
 	}
 	for _, tc := range []struct {
-		sc   Scenario
-		mode Mode
-		seed int64
+		sc        Scenario
+		mode      Mode
+		seed      int64
+		readHeavy bool
 	}{
-		{PartitionHeal, ModeLive, 101},
-		{ByzantineMix, ModeLive, 103},
-		{KillRestartRepair, ModeTCP, 102},
+		{PartitionHeal, ModeLive, 101, false},
+		{ByzantineMix, ModeLive, 103, false},
+		// Read-heavy Byzantine mix: fault windows land mostly on Gets, so
+		// the adaptive read path (elision, coalescing, table cache) soaks
+		// the chaos instead of the committer.
+		{ByzantineMix, ModeLive, 104, true},
+		{KillRestartRepair, ModeTCP, 102, false},
 	} {
-		t.Run(string(tc.sc)+"/"+string(tc.mode), func(t *testing.T) {
-			res := runTorture(t, shortCfg(tc.sc, tc.mode, tc.seed), false)
+		name := string(tc.sc) + "/" + string(tc.mode)
+		if tc.readHeavy {
+			name += "/readheavy"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := shortCfg(tc.sc, tc.mode, tc.seed)
+			cfg.ReadHeavy = tc.readHeavy
+			res := runTorture(t, cfg, false)
 			t.Logf("%d ops (%d failed mid-fault), %d keys, %d checker-accepted",
 				res.Ops, res.Failed, res.Keys, res.Checked)
 		})
@@ -89,16 +104,24 @@ func TestTortureFull(t *testing.T) {
 		t.Skip("full-scale torture runs under -args -torture.full (make torture)")
 	}
 	for _, tc := range []struct {
-		sc   Scenario
-		mode Mode
-		seed int64
+		sc        Scenario
+		mode      Mode
+		seed      int64
+		readHeavy bool
 	}{
-		{PartitionHeal, ModeLive, 201},
-		{KillRestartRepair, ModeTCP, 202},
-		{ByzantineMix, ModeTCP, 203},
+		{PartitionHeal, ModeLive, 201, false},
+		{KillRestartRepair, ModeTCP, 202, false},
+		{ByzantineMix, ModeTCP, 203, false},
+		{ByzantineMix, ModeLive, 204, true},
 	} {
-		t.Run(string(tc.sc)+"/"+string(tc.mode), func(t *testing.T) {
-			res := runTorture(t, fullCfg(tc.sc, tc.mode, tc.seed), true)
+		name := string(tc.sc) + "/" + string(tc.mode)
+		if tc.readHeavy {
+			name += "/readheavy"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := fullCfg(tc.sc, tc.mode, tc.seed)
+			cfg.ReadHeavy = tc.readHeavy
+			res := runTorture(t, cfg, true)
 			t.Logf("%d ops (%d failed mid-fault), %d keys, %d checker-accepted",
 				res.Ops, res.Failed, res.Keys, res.Checked)
 		})
@@ -117,6 +140,7 @@ func TestTortureReplay(t *testing.T) {
 		mk = fullCfg
 	}
 	cfg := mk(Scenario(*tortureScenario), Mode(*tortureMode), *tortureSeed)
+	cfg.ReadHeavy = *tortureReadHeavy
 	a, err := Plan(cfg.Scenario, cfg.Mode, cfg.Seed, cfg.Clients*cfg.OpsPerClient, 3+1)
 	if err != nil {
 		t.Fatal(err)

@@ -13,7 +13,9 @@
 #      -chaos-drop), hammer ONE key from two concurrent storctl put
 #      processes with distinct -writer/-reader identities, then certify by
 #      quorum read that exactly one of the written values survived
-#   6. kill a third daemon and verify reads still certify
+#   6. coalesced-read drill: storctl getburst re-reads the pipelined burst
+#      against a -chaos-batch-drop daemon that is kill -9'd mid-flight
+#   7. kill a third daemon and verify reads still certify
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -188,9 +190,24 @@ ctl -trace 1 -writer 1 -reader 1 burst "chaosburst" 120 >"$workdir/chaosburst.ou
 }
 out=$(ctl get "chaosburst:120")
 [[ "$out" == '"v120"'* ]] || { echo "FAIL: chaosburst:120 => $out"; exit 1; }
+
+echo "== coalesced-read burst vs the batch-chaos daemon, kill -9 mid-flight"
+# getburst re-reads every key of the pipelined burst: 16 workers through ONE
+# reader identity, so Gets landing on a shard with a read already in flight
+# coalesce into that read's decision rounds instead of queueing for the
+# pool. Daemon 1 is still dropping/shuffling 30% of its reply sub-bundles;
+# mid-flight it is kill -9'd and restarted honest. Every certified v<i>
+# must still come back: elision refuses while the quorum view is disturbed
+# and the 4-round fallback carries the reads.
+ctl -trace 1 -reader 2 getburst "burst" "$burstn" >"$workdir/getburst.out" 2>&1 &
+getburst_pid=$!
+sleep 0.1
 kill -9 "${pids[1]}"
+sleep 0.2
 start_daemon 1
 wait_serving 1
+wait "$getburst_pid" || { echo "FAIL: getburst errored:"; cat "$workdir/getburst.out"; exit 1; }
+grep -q "OK getburst" "$workdir/getburst.out" || { echo "FAIL: getburst output:"; cat "$workdir/getburst.out"; exit 1; }
 
 echo "== kill daemon 4: reads must still certify (budget restored by repair)"
 kill -9 "${pids[4]}"

@@ -29,6 +29,17 @@ var (
 	mGetLat = obs.Default.Hist(`store_op_latency_us{op="get"}`)
 )
 
+// Read-path counters: how often the adaptive Get wins each of its bets.
+// Coalesced counts Gets served by another Get's shared read (no protocol
+// execution of their own); elided counts shard reads whose write-back the
+// query rounds proved redundant; cache hits are shard reads that decided on
+// the already-decoded cached table and skipped the decode.
+var (
+	mGetCoalesced = obs.Default.Counter("store_get_coalesced_total")
+	mGetElided    = obs.Default.Counter("store_get_elided_total")
+	mGetCacheHit  = obs.Default.Counter("store_get_cache_hit_total")
+)
+
 // opLatSample is the per-op latency sampling rate: 1-in-8 ops are timed
 // (same convention as obs.RoundStats round latency). A no-op-elided Put is
 // ~900ns; two time.Now calls plus a histogram record on every op costs a
@@ -137,9 +148,33 @@ type Store struct {
 // establishes happens-before between consecutive committers), so only next,
 // flushing and batch op collection need the mutex.
 type storeShard struct {
+	idx int // shard index, for error/trace labels
+
 	mu       sync.Mutex   // guards next, flushing, and batch op appends
 	flushing bool         // a committer is running (its flush may be in flight)
 	next     *commitBatch // batch collecting mutations for the next flush; nil if none pending
+
+	// Read-side group commit, symmetric to the write side above: Gets that
+	// arrive while a shard read is in flight coalesce into one pending
+	// getBatch served by a SINGLE protocol read (and single write-back, when
+	// one is needed) once the in-flight read completes.
+	rmu      sync.Mutex // guards gnext, greading
+	greading bool       // a read leader is running
+	gnext    *getBatch  // batch collecting Gets for the next shared read; nil if none pending
+
+	// Certified-table cache: the decoded table of the most recent read
+	// decision, keyed by its register timestamp. A read deciding on the
+	// cached timestamp skips the table decode; the cache is an accelerator
+	// over certified protocol output, never a second copy of ground truth —
+	// timestamps name at most one genuinely-written value, so a hit cannot
+	// disagree with a decode. Invalidated whenever this process's committer
+	// moves the register head (the entry can no longer be decided by a
+	// correct read) and replaced whenever a read decides a newer timestamp.
+	// cacheTab is shared read-only by every Get it serves and must never
+	// alias the committer-private table.
+	cacheMu  sync.Mutex
+	cacheTS  types.TS
+	cacheTab map[string]string
 
 	pool *shard.Pool[*Reader]
 
@@ -200,6 +235,25 @@ type commitBatch struct {
 
 func newCommitBatch() *commitBatch {
 	return &commitBatch{done: make(chan struct{}), lead: make(chan struct{}, 1)}
+}
+
+// getBatch represents one shared shard read: every Get that joined blocks on
+// done; exactly one of them (or the previous leader, via lead) runs the
+// protocol read and publishes the decoded table. Sharing is linearizable:
+// joiners enter the batch strictly before the leader starts the read (the
+// leader detaches the batch under rmu first), so the shared read executes
+// within every joiner's operation interval and each Get may linearize at
+// the shared read's linearization point.
+type getBatch struct {
+	done    chan struct{} // closed when the covering read completes
+	lead    chan struct{} // capacity 1: the handoff token making its receiver the leader
+	waiters int           // Gets coalesced into this batch (guarded by rmu)
+	table   map[string]string
+	err     error // the covering read's result; valid after done is closed
+}
+
+func newGetBatch() *getBatch {
+	return &getBatch{done: make(chan struct{}), lead: make(chan struct{}, 1)}
 }
 
 // NewStore returns a keyed store over the cluster.
@@ -266,6 +320,7 @@ func (s *Store) buildShard(i int) (*storeShard, error) {
 	}
 	w := s.c.shardWriter(reg, cur.TS)
 	return &storeShard{
+		idx:        i,
 		table:      table,
 		keys:       shard.SortedKeys(table),
 		lastTS:     cur.TS,
@@ -462,6 +517,7 @@ func (sh *storeShard) flush(b *commitBatch) (err error) {
 			}
 			if ok {
 				sh.lastTS = p.TS
+				sh.invalidateCache()
 				mFlushFast.Inc()
 				return nil
 			}
@@ -509,14 +565,24 @@ func (sh *storeShard) flush(b *commitBatch) (err error) {
 		return err
 	}
 	sh.uncommitted = nil
+	if p.TS != sh.lastTS {
+		// The certified path wrote (or observed) a newer head; the cached
+		// read decision can no longer recur.
+		sh.invalidateCache()
+	}
 	sh.lastTS = p.TS
 	mFlushCertified.Inc()
 	return nil
 }
 
-// Get returns the value under key (4 communication rounds on the key's
-// shard). Absent keys read as the empty string, matching the register
-// initial value ⊥.
+// Get returns the value under key. The read path is adaptive at every
+// layer: an atomic shard read costs 2 communication rounds when the query
+// rounds certify the decision as completely written (the write-back is
+// elided; 4 rounds worst case, which the paper proves optimal), concurrent
+// Gets on the shard coalesce into one shared protocol read (group commit,
+// symmetric to Put's flush batching), and a read deciding on the cached
+// certified timestamp skips decoding the shard table. Absent keys read as
+// the empty string, matching the register initial value ⊥.
 func (s *Store) Get(key string) (val string, err error) {
 	if start := opStart(); !start.IsZero() {
 		defer mGetLat.RecordSince(start)
@@ -525,10 +591,61 @@ func (s *Store) Get(key string) (val string, err error) {
 	if err != nil {
 		return "", err
 	}
+	table, err := sh.sharedRead()
+	if err != nil {
+		return "", err
+	}
+	return table[key], nil
+}
+
+// sharedRead returns the shard table as decided by a protocol read executed
+// within the caller's operation interval — this caller's own, or a shared
+// one the caller coalesced into (see getBatch). The leader-handoff protocol
+// mirrors mutate: exactly one leader reads at a time, and the batch that
+// accumulates during its read is handed to one of its waiters.
+func (sh *storeShard) sharedRead() (map[string]string, error) {
+	sh.rmu.Lock()
+	b := sh.gnext
+	if b == nil {
+		b = newGetBatch()
+		sh.gnext = b
+	}
+	if sh.greading {
+		// A leader is running. Wait for our batch's shared read — unless the
+		// leader hands this batch off, making us the next leader.
+		b.waiters++
+		sh.rmu.Unlock()
+		select {
+		case <-b.done:
+			mGetCoalesced.Inc()
+			return b.table, b.err
+		case <-b.lead:
+			sh.rmu.Lock()
+		}
+	}
+	// Leader: one protocol read serves batch b.
+	sh.greading = true
+	sh.gnext = nil
+	sh.rmu.Unlock()
+	b.table, b.err = sh.readTable()
+	close(b.done)
+	sh.rmu.Lock()
+	if sh.gnext != nil {
+		sh.gnext.lead <- struct{}{}
+	} else {
+		sh.greading = false
+	}
+	sh.rmu.Unlock()
+	return b.table, b.err
+}
+
+// readTable performs one atomic shard read and returns the decoded table,
+// consulting and refreshing the certified-table cache.
+func (sh *storeShard) readTable() (tab map[string]string, err error) {
 	r := sh.pool.Acquire()
 	defer sh.pool.Release(r)
 	if sh.tracer != nil && r.traced != nil {
-		if op := sh.tracer.StartOp("GET", key); op != nil {
+		if op := sh.tracer.StartOp("GET", fmt.Sprintf("shard %d", sh.idx)); op != nil {
 			r.traced.SetOp(op)
 			defer func() {
 				r.traced.SetOp(nil)
@@ -538,13 +655,43 @@ func (s *Store) Get(key string) (val string, err error) {
 	}
 	p, err := r.readPair()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
+	if r.elided() {
+		mGetElided.Inc()
+	}
+	sh.cacheMu.Lock()
+	if sh.cacheTab != nil && p.TS == sh.cacheTS {
+		tab := sh.cacheTab
+		sh.cacheMu.Unlock()
+		mGetCacheHit.Inc()
+		return tab, nil
+	}
+	sh.cacheMu.Unlock()
 	table, err := shard.DecodeTable(string(p.Val))
 	if err != nil {
 		// Unreachable against ≤ t Byzantine objects: reads only return
 		// values certified by t+1 objects, hence genuinely written ones.
-		return "", fmt.Errorf("robustatomic: shard %d returned corrupt table: %w", s.router.Locate(key), err)
+		return nil, fmt.Errorf("robustatomic: shard %d returned corrupt table: %w", sh.idx, err)
 	}
-	return table[key], nil
+	sh.cacheMu.Lock()
+	// Replace only forward: a concurrent slower read that decided an older
+	// timestamp must not clobber a fresher entry (atomic reads are monotone
+	// in real time, but two in-flight reads may complete out of order).
+	if sh.cacheTab == nil || sh.cacheTS.Less(p.TS) {
+		sh.cacheTS, sh.cacheTab = p.TS, table
+	}
+	sh.cacheMu.Unlock()
+	return table, nil
+}
+
+// invalidateCache drops the certified-table cache entry. Called by the
+// committer whenever it moves the register head past the cached timestamp:
+// the entry stays CORRECT (a timestamp names at most one certified value),
+// but no future read can decide it, so holding a dead 14KB table only
+// costs memory.
+func (sh *storeShard) invalidateCache() {
+	sh.cacheMu.Lock()
+	sh.cacheTab = nil
+	sh.cacheMu.Unlock()
 }

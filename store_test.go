@@ -209,6 +209,85 @@ func TestStorePerKeyAtomicity(t *testing.T) {
 	}
 }
 
+// TestStoreReadHeavyChaos is the root-package twin of the torture suite's
+// read-heavy mode: a Get-dominated workload on FEW shards (so concurrent
+// Gets coalesce into shared reads and re-decide cached tables) under a
+// flaky Byzantine object and injected asynchrony, with two concurrent
+// putter streams per key so the multi-writer checker decides every
+// history. This is the chaos coverage for the adaptive read path: elision
+// firing and being refused mid-fault, leader handoff racing the committer,
+// and cache invalidation racing flushes — all -race-visible.
+func TestStoreReadHeavyChaos(t *testing.T) {
+	const (
+		shards  = 4 // deliberately fewer shards than keys: Gets contend and coalesce
+		keys    = 8
+		writes  = 3 // per putter stream
+		getters = 3
+		reads   = 6 // per getter
+	)
+	seed := chaosSeedFor(t, 27, 2)
+	c, err := NewCluster(Options{Faults: 1, Readers: 2, Seed: seed, MaxDelay: 200 * time.Microsecond, Tracer: chaosTracer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.NewStore(StoreOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(2, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+
+	hists := make([]*checker.History, keys)
+	for i := range hists {
+		hists[i] = &checker.History{}
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		k := k
+		key := fmt.Sprintf("key-%03d", k)
+		for w := 0; w < 2; w++ { // two concurrent putter streams per key
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 1; i <= writes; i++ {
+					val := fmt.Sprintf("k%d-w%d-v%d", k, w, i)
+					id := hists[k].Invoke(types.WriterID(10+w), checker.OpWrite, types.Value(val))
+					if err := st.Put(key, val); err != nil {
+						t.Errorf("put %s: %v", key, err)
+						return
+					}
+					hists[k].Respond(id, types.Value(val))
+				}
+			}()
+		}
+		for g := 0; g < getters; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < reads; i++ {
+					id := hists[k].Invoke(types.Reader(100+k*getters+g), checker.OpRead, "")
+					v, err := st.Get(key)
+					if err != nil {
+						t.Errorf("get %s: %v", key, err)
+						return
+					}
+					hists[k].Respond(id, types.Value(v))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for k, h := range hists {
+		if err := checker.CheckAtomicMW(h); err != nil {
+			t.Errorf("key %d: %v", k, err)
+		}
+	}
+}
+
 // TestStoreRejectsBadReaderSets pins reader-identity partitioning: a pool
 // may not duplicate an identity (two handles would write-race one
 // single-writer write-back register) nor claim one outside 1..R.
