@@ -2,9 +2,12 @@
 // APIs: the paper's single robust atomic register (write/read) and the
 // sharded multi-key Store layer (put/get/del), which hashes keys onto
 // -shards independent registers hosted on the same daemons. It is also the
-// operator tool for node replacement: repair reconstitutes a blank
-// replacement daemon from a quorum of its live peers, and probe inspects
-// one daemon's raw register state.
+// operator tool for membership: repair reconstitutes a blank replacement
+// daemon from a quorum of its live peers; probe inspects one daemon's raw
+// register state; doctor sweeps the whole cluster for diverged register
+// state; and config/join/leave/move query and change the epoch-versioned
+// membership live (state migrates to incoming daemons automatically, and
+// running clients refetch the new configuration transparently).
 //
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 write hello
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 read
@@ -12,6 +15,13 @@
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 get order:42
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 repair 3
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 probe 3
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 doctor
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 config
+//	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 -shards 8 move 2 h:7005
+//
+// The -servers list is only the BOOTSTRAP membership: if the cluster was
+// reconfigured since, operations transparently chase the wrong-epoch
+// redirect to the active configuration (storctl config shows it).
 //
 // Every invocation recovers shard state from the cluster before writing, so
 // puts compose across invocations. The registers are multi-writer:
@@ -40,8 +50,10 @@ import (
 	"time"
 
 	"robustatomic"
+	"robustatomic/internal/config"
 	"robustatomic/internal/obs"
 	"robustatomic/internal/tcpnet"
+	"robustatomic/internal/types"
 )
 
 func main() {
@@ -62,7 +74,7 @@ func main() {
 
 func run(servers string, t, readers, readerIdx, writerID, shards, trace int, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | getburst <prefix> <count> | stats <debug-addr>... | repair <object-id> | probe <object-id>")
+		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | getburst <prefix> <count> | stats <debug-addr>... | repair <object-id> | probe <object-id> | doctor | config | join <addr> | leave <slot> | move <slot> <addr>")
 	}
 	addrs := strings.Split(servers, ",")
 	if args[0] == "stats" {
@@ -73,7 +85,10 @@ func run(servers string, t, readers, readerIdx, writerID, shards, trace int, arg
 		return stats(args[1:])
 	}
 	if args[0] == "probe" {
-		// Probe talks to a single daemon directly; no cluster needed.
+		// Probe talks to a single daemon directly; no cluster needed. The
+		// writer's register prints for every instance; the per-reader
+		// write-back registers print only when non-blank (there are R of them
+		// per instance and most stay untouched).
 		if len(args) != 2 {
 			return fmt.Errorf("usage: storctl probe <object-id>")
 		}
@@ -92,8 +107,26 @@ func run(servers string, t, readers, readerIdx, writerID, shards, trace int, arg
 				return err
 			}
 			fmt.Printf("s%d reg %d: pw=%s w=%s\n", id, reg, pw, w)
+			for r := 1; r <= readers; r++ {
+				pw, w, err := d.ProbeReg(reg, types.ReaderReg(r))
+				if err != nil {
+					return err
+				}
+				if pw.IsBottom() && w.IsBottom() {
+					continue
+				}
+				fmt.Printf("s%d reg %d r%d: pw=%s w=%s\n", id, reg, r, pw, w)
+			}
 		}
 		return nil
+	}
+	if args[0] == "doctor" {
+		// Doctor scans every daemon's raw register state directly; no cluster
+		// needed.
+		if len(args) != 1 {
+			return fmt.Errorf("usage: storctl doctor")
+		}
+		return doctor(addrs, shards, readers)
 	}
 	var tracer *obs.Tracer
 	if trace > 0 {
@@ -314,9 +347,173 @@ func run(servers string, t, readers, readerIdx, writerID, shards, trace int, arg
 		}
 		fmt.Printf("OK (%d register instances)\n", len(repaired))
 		return nil
+	case "config":
+		cfg, err := cluster.ConfigQuery()
+		if err != nil {
+			return err
+		}
+		printConfig(cfg)
+		return nil
+	case "join":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl join <addr>")
+		}
+		cfg, migrated, err := cluster.Join(args[1], shards)
+		printMigrated(migrated)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK join: %s admitted\n", args[1])
+		printConfig(cfg)
+		return nil
+	case "leave":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl leave <slot>")
+		}
+		sid, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("leave: bad slot %q", args[1])
+		}
+		cfg, err := cluster.Leave(sid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK leave: slot %d vacated\n", sid)
+		printConfig(cfg)
+		return nil
+	case "move":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: storctl move <slot> <addr>")
+		}
+		sid, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("move: bad slot %q", args[1])
+		}
+		cfg, migrated, err := cluster.Move(sid, args[2], shards)
+		printMigrated(migrated)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK move: slot %d now %s\n", sid, args[2])
+		printConfig(cfg)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// printConfig renders one configuration, vacant slots marked.
+func printConfig(cfg config.Config) {
+	fmt.Printf("epoch %d (%d/%d slots live)\n", cfg.Epoch, cfg.Live(), len(cfg.Addrs))
+	for i, a := range cfg.Addrs {
+		if a == config.Vacant {
+			fmt.Printf("  slot %d: VACANT\n", i+1)
+			continue
+		}
+		fmt.Printf("  slot %d: %s\n", i+1, a)
+	}
+}
+
+// printMigrated renders a migration's per-instance outcomes.
+func printMigrated(migrated []robustatomic.RepairedRegister) {
+	for _, m := range migrated {
+		if m.Skipped {
+			fmt.Printf("migrate reg %d: blank (never written), skipped\n", m.Reg)
+			continue
+		}
+		fmt.Printf("migrate reg %d: transferred ts=%s (%d bytes)\n", m.Reg, m.TS, m.Bytes)
+	}
+}
+
+// doctor sweeps every daemon's raw register state — the writer's register
+// and all R per-reader write-back registers of every instance — and reports
+// timestamps at which daemons hold DIVERGED values: two pairs with one
+// timestamp but different contents. A correct history binds each timestamp
+// to exactly one value, so divergence is always pathological; on a
+// write-back register it is the known residue of pre-v8 reader write-back
+// sequence reuse (a reader restarting mid-operation could reissue a
+// write-back sequence number for a different certified value). Doctor
+// prints the affected daemons and the wipe+repair remediation, and fails
+// (exit 1) when anything diverged — clean clusters print OK.
+func doctor(addrs []string, shards, readers int) error {
+	type regKey struct {
+		reg int
+		id  types.RegID
+	}
+	type owner struct {
+		daemon int
+		pair   types.Pair
+		kind   string // "pw" or "w"
+	}
+	byTS := map[regKey]map[types.TS][]owner{}
+	scanned, unreachable := 0, 0
+	for i, addr := range addrs {
+		id := i + 1
+		d, err := tcpnet.DialDirect(addr, 5*time.Second)
+		if err != nil {
+			fmt.Printf("s%d %s: UNREACHABLE (%v) — skipped\n", id, addr, err)
+			unreachable++
+			continue
+		}
+		for reg := 0; reg <= shards; reg++ {
+			regIDs := make([]types.RegID, 0, readers+1)
+			regIDs = append(regIDs, types.WriterReg)
+			for r := 1; r <= readers; r++ {
+				regIDs = append(regIDs, types.ReaderReg(r))
+			}
+			for _, rid := range regIDs {
+				pw, w, err := d.ProbeReg(reg, rid)
+				if err != nil {
+					d.Close()
+					return fmt.Errorf("doctor: s%d reg %d %v: %w", id, reg, rid, err)
+				}
+				k := regKey{reg, rid}
+				for _, o := range []owner{{id, pw, "pw"}, {id, w, "w"}} {
+					if o.pair.IsBottom() {
+						continue
+					}
+					if byTS[k] == nil {
+						byTS[k] = map[types.TS][]owner{}
+					}
+					byTS[k][o.pair.TS] = append(byTS[k][o.pair.TS], o)
+				}
+			}
+		}
+		d.Close()
+		scanned++
+	}
+	diverged := 0
+	for k, tss := range byTS {
+		for ts, owners := range tss {
+			vals := map[types.Value]bool{}
+			for _, o := range owners {
+				vals[o.pair.Val] = true
+			}
+			if len(vals) < 2 {
+				continue
+			}
+			diverged++
+			fmt.Printf("DIVERGED reg %d %v ts=%s: %d distinct values at one timestamp\n", k.reg, k.id, ts, len(vals))
+			for _, o := range owners {
+				fmt.Printf("  s%d %s holds %q\n", o.daemon, o.kind, o.pair.Val)
+			}
+		}
+	}
+	if diverged == 0 {
+		fmt.Printf("OK doctor: %d daemons scanned, no diverged timestamps", scanned)
+		if unreachable > 0 {
+			fmt.Printf(" (%d unreachable, not scanned)", unreachable)
+		}
+		fmt.Println()
+		return nil
+	}
+	fmt.Println("remediation — for each daemon listed above, ONE AT A TIME (wiping more")
+	fmt.Println("than t daemons concurrently forfeits the fault budget):")
+	fmt.Println("  1. stop the daemon")
+	fmt.Println("  2. wipe its -data-dir")
+	fmt.Println("  3. restart it blank on the same address")
+	fmt.Println("  4. storctl -servers ... repair <object-id>")
+	return fmt.Errorf("doctor: %d diverged timestamp(s) found", diverged)
 }
 
 // stats scrapes each daemon's /debug/vars and renders one combined table:

@@ -1,0 +1,271 @@
+// Package config defines the cluster's versioned membership configuration:
+// the epoch-numbered object set that dynamic reconfiguration (join / leave /
+// move) advances one slot at a time.
+//
+// The configuration itself is stored in a robust atomic register — instance
+// Reg, a reserved register ID no Store shard can collide with — and decided
+// by the same certified multi-writer write protocol as every data register
+// (shardmaster-style Join/Leave/Move/Query semantics, but quorum-decided,
+// not Paxos). That makes reconfigurations linearizable for free: two
+// concurrent Joins serialize through the MW decide, and the loser's
+// read-modify-write re-validates its transition against the winner's config.
+//
+// The object count S and the fault budget t are epoch-invariant (the
+// fixed-S rule): a Join fills a vacant slot, a Leave vacates one, a Move
+// atomically swaps one slot's address. Slots are identified by the object
+// sid (1-based, matching the paper's s_1..s_S); a vacant slot holds the
+// empty address and behaves exactly like a crashed object — it consumes
+// fault budget until a Join fills it, which is why Validate caps vacancies
+// at t. Because each epoch changes at most one slot, any write quorum
+// (S−t objects) of epoch e and any quorum of epoch e+1 intersect in at
+// least S−2t−1 ≥ t common live slots — the quorum-intersection argument
+// DESIGN.md's "Dynamic membership and migration" section develops.
+//
+// Epoch stamps: wire requests carry the client's configuration epoch
+// (wire gen 0x04). Epoch 0 is the wildcard stamp — config-plane rounds,
+// Direct operator connections and legacy clients use it and are never
+// refused. Bootstrap clusters (a static -servers list, no config register
+// state yet) are epoch 1; the first reconfiguration writes epoch 2.
+package config
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"robustatomic/internal/types"
+)
+
+// Reg is the reserved register-instance ID holding the cluster
+// configuration. It sits at the top of tcpnet's register-ID space
+// (MaxRegisters−1), far above any Store shard (shard i uses instance i+1),
+// and robustatomic.StoreOptions refuses shard counts that could reach it.
+const Reg = 1<<16 - 1
+
+// MaxObjects bounds the object count an encoded configuration may carry —
+// the same 64-object ceiling proto.BitAcc's reply bitmask imposes on every
+// round accumulator.
+const MaxObjects = 64
+
+// Vacant is the address of an empty slot.
+const Vacant = ""
+
+// codecVersion is the first byte of every encoded configuration.
+const codecVersion = 0x01
+
+// Config is one epoch of cluster membership: slot sid (1-based) is served
+// by Addrs[sid-1], or vacant if that entry is empty.
+type Config struct {
+	Epoch uint64
+	Addrs []string
+}
+
+// Bootstrap is the implicit epoch-1 configuration of a cluster that has
+// never reconfigured: the static address list every client connected with.
+func Bootstrap(addrs []string) Config {
+	return Config{Epoch: 1, Addrs: append([]string(nil), addrs...)}
+}
+
+// Clone returns a deep copy.
+func (c Config) Clone() Config {
+	return Config{Epoch: c.Epoch, Addrs: append([]string(nil), c.Addrs...)}
+}
+
+// S returns the slot count (the epoch-invariant object count).
+func (c Config) S() int { return len(c.Addrs) }
+
+// Live returns the number of non-vacant slots.
+func (c Config) Live() int {
+	n := 0
+	for _, a := range c.Addrs {
+		if a != Vacant {
+			n++
+		}
+	}
+	return n
+}
+
+// Faults returns the fault budget t of the S = 3t+1 shape.
+func (c Config) Faults() int { return (len(c.Addrs) - 1) / 3 }
+
+// Slot returns the sid (1-based) serving addr, or 0 if absent.
+func (c Config) Slot(addr string) int {
+	if addr == Vacant {
+		return 0
+	}
+	for i, a := range c.Addrs {
+		if a == addr {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Validate checks the structural invariants every configuration must hold:
+// an S = 3t+1 slot count within [4, MaxObjects], no duplicate addresses,
+// and at most t vacant slots (each vacancy is a permanently crashed object
+// until a Join fills it, so more than t of them would exhaust the fault
+// budget the protocol's liveness depends on).
+func (c Config) Validate() error {
+	s := len(c.Addrs)
+	if s < 4 || s > MaxObjects {
+		return fmt.Errorf("config: %d slots outside [4, %d]", s, MaxObjects)
+	}
+	if (s-1)%3 != 0 {
+		return fmt.Errorf("config: %d slots is not of the 3t+1 form", s)
+	}
+	seen := make(map[string]int, s)
+	vacant := 0
+	for i, a := range c.Addrs {
+		if a == Vacant {
+			vacant++
+			continue
+		}
+		if prev, dup := seen[a]; dup {
+			return fmt.Errorf("config: address %q serves both slot %d and slot %d", a, prev, i+1)
+		}
+		seen[a] = i + 1
+	}
+	if t := c.Faults(); vacant > t {
+		return fmt.Errorf("config: %d vacant slots exceed the fault budget t=%d", vacant, t)
+	}
+	return nil
+}
+
+// Join returns the successor configuration with addr filling the
+// lowest-numbered vacant slot.
+func (c Config) Join(addr string) (Config, error) {
+	if addr == Vacant {
+		return Config{}, fmt.Errorf("config: join needs a non-empty address")
+	}
+	if sid := c.Slot(addr); sid != 0 {
+		return Config{}, fmt.Errorf("config: %q already serves slot %d", addr, sid)
+	}
+	next := c.Clone()
+	next.Epoch++
+	for i, a := range next.Addrs {
+		if a == Vacant {
+			next.Addrs[i] = addr
+			return next, next.Validate()
+		}
+	}
+	return Config{}, fmt.Errorf("config: no vacant slot to join (S is fixed at %d; leave or move first)", c.S())
+}
+
+// Leave returns the successor configuration with slot sid vacated.
+func (c Config) Leave(sid int) (Config, error) {
+	if sid < 1 || sid > c.S() {
+		return Config{}, fmt.Errorf("config: slot %d outside [1, %d]", sid, c.S())
+	}
+	if c.Addrs[sid-1] == Vacant {
+		return Config{}, fmt.Errorf("config: slot %d is already vacant", sid)
+	}
+	next := c.Clone()
+	next.Epoch++
+	next.Addrs[sid-1] = Vacant
+	return next, next.Validate()
+}
+
+// Move returns the successor configuration with slot sid served by addr —
+// the atomic replace: the old address departs and the new one takes over
+// the slot in one epoch.
+func (c Config) Move(sid int, addr string) (Config, error) {
+	if sid < 1 || sid > c.S() {
+		return Config{}, fmt.Errorf("config: slot %d outside [1, %d]", sid, c.S())
+	}
+	if addr == Vacant {
+		return Config{}, fmt.Errorf("config: move needs a non-empty address (use leave to vacate)")
+	}
+	if have := c.Slot(addr); have != 0 && have != sid {
+		return Config{}, fmt.Errorf("config: %q already serves slot %d", addr, have)
+	}
+	if c.Addrs[sid-1] == addr {
+		return Config{}, fmt.Errorf("config: slot %d already served by %q", sid, addr)
+	}
+	next := c.Clone()
+	next.Epoch++
+	next.Addrs[sid-1] = addr
+	return next, next.Validate()
+}
+
+// Encode renders the configuration as a register value:
+// [version][uvarint epoch][uvarint S][uvarint len + addr]...
+func (c Config) Encode() types.Value {
+	buf := make([]byte, 0, 16+16*len(c.Addrs))
+	buf = append(buf, codecVersion)
+	buf = binary.AppendUvarint(buf, c.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Addrs)))
+	for _, a := range c.Addrs {
+		buf = binary.AppendUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	return types.Value(buf)
+}
+
+// Decode parses an encoded configuration. It is hostile-input hardened —
+// the bytes may come from a Byzantine object's MsgWrongEpoch hint — but a
+// successful decode proves only well-formedness, never authenticity: trust
+// requires quorum certification by the caller.
+func Decode(v types.Value) (Config, error) {
+	b := []byte(v)
+	if len(b) == 0 {
+		return Config{}, fmt.Errorf("config: empty value")
+	}
+	if b[0] != codecVersion {
+		return Config{}, fmt.Errorf("config: unknown codec version 0x%02x", b[0])
+	}
+	b = b[1:]
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Config{}, fmt.Errorf("config: truncated epoch")
+	}
+	b = b[n:]
+	s, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Config{}, fmt.Errorf("config: truncated slot count")
+	}
+	if s > MaxObjects {
+		return Config{}, fmt.Errorf("config: %d slots exceed the %d-object bound", s, MaxObjects)
+	}
+	b = b[n:]
+	cfg := Config{Epoch: epoch, Addrs: make([]string, 0, s)}
+	for i := uint64(0); i < s; i++ {
+		alen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < alen {
+			return Config{}, fmt.Errorf("config: truncated address %d", i+1)
+		}
+		b = b[n:]
+		cfg.Addrs = append(cfg.Addrs, string(b[:alen]))
+		b = b[alen:]
+	}
+	if len(b) != 0 {
+		return Config{}, fmt.Errorf("config: %d trailing bytes", len(b))
+	}
+	return cfg, cfg.Validate()
+}
+
+// Equal reports whether the two configurations are identical.
+func (c Config) Equal(o Config) bool {
+	if c.Epoch != o.Epoch || len(c.Addrs) != len(o.Addrs) {
+		return false
+	}
+	for i := range c.Addrs {
+		if c.Addrs[i] != o.Addrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d:", c.Epoch)
+	for i, a := range c.Addrs {
+		if a == Vacant {
+			a = "<vacant>"
+		}
+		fmt.Fprintf(&b, " s%d=%s", i+1, a)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package config
+
+import (
+	"robustatomic/internal/types"
+	"strings"
+	"testing"
+)
+
+func base() Config {
+	return Bootstrap([]string{"h1:1", "h2:1", "h3:1", "h4:1"})
+}
+
+func TestBootstrapValid(t *testing.T) {
+	c := base()
+	if c.Epoch != 1 {
+		t.Fatalf("bootstrap epoch = %d, want 1", c.Epoch)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.S() != 4 || c.Faults() != 1 || c.Live() != 4 {
+		t.Fatalf("shape: S=%d t=%d live=%d", c.S(), c.Faults(), c.Live())
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	c := base()
+
+	// Leave vacates a slot and bumps the epoch.
+	left, err := c.Leave(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Epoch != 2 || left.Addrs[1] != Vacant || left.Live() != 3 {
+		t.Fatalf("leave: %v", left)
+	}
+	// A second leave would exceed t=1 vacancies.
+	if _, err := left.Leave(3); err == nil {
+		t.Fatal("second leave exceeded the fault budget but validated")
+	}
+	// Leaving a vacant slot is an error.
+	if _, err := left.Leave(2); err == nil {
+		t.Fatal("leave of a vacant slot validated")
+	}
+
+	// Join fills the vacancy.
+	joined, err := left.Join("h5:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Epoch != 3 || joined.Addrs[1] != "h5:1" || joined.Live() != 4 {
+		t.Fatalf("join: %v", joined)
+	}
+	// No vacancy → join refused (S is fixed).
+	if _, err := joined.Join("h6:1"); err == nil {
+		t.Fatal("join with no vacancy validated")
+	}
+	// Duplicate address refused.
+	if _, err := left.Join("h1:1"); err == nil {
+		t.Fatal("join of an address already serving a slot validated")
+	}
+
+	// Move swaps one slot atomically.
+	moved, err := c.Move(3, "h9:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Epoch != 2 || moved.Addrs[2] != "h9:1" || moved.Live() != 4 {
+		t.Fatalf("move: %v", moved)
+	}
+	if _, err := c.Move(3, "h1:1"); err == nil {
+		t.Fatal("move to an address serving another slot validated")
+	}
+	if _, err := c.Move(3, "h3:1"); err == nil {
+		t.Fatal("no-op move validated")
+	}
+	if _, err := c.Move(0, "x"); err == nil {
+		t.Fatal("move of slot 0 validated")
+	}
+
+	// The original is never mutated by any transition.
+	if !c.Equal(base()) {
+		t.Fatalf("transitions mutated the receiver: %v", c)
+	}
+}
+
+func TestValidateShapes(t *testing.T) {
+	bad := []Config{
+		{Epoch: 1, Addrs: []string{"a", "b", "c"}},            // S<4
+		{Epoch: 1, Addrs: []string{"a", "b", "c", "d", "e"}},  // not 3t+1
+		{Epoch: 1, Addrs: []string{"a", "b", "c", "a"}},       // duplicate
+		{Epoch: 1, Addrs: []string{"a", "b", Vacant, Vacant}}, // 2 vacancies > t
+		{Epoch: 1, Addrs: make([]string, MaxObjects+3)},       // > MaxObjects
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %v", i, c)
+		}
+	}
+	ok := Config{Epoch: 5, Addrs: []string{"a", Vacant, "c", "d"}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("one-vacancy config refused: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, c := range []Config{
+		base(),
+		{Epoch: 7, Addrs: []string{"10.0.0.1:7101", Vacant, "10.0.0.3:7103", "[::1]:9"}},
+	} {
+		got, err := Decode(c.Encode())
+		if err != nil {
+			t.Fatalf("decode(%v): %v", c, err)
+		}
+		if !got.Equal(c) {
+			t.Fatalf("round trip: %v != %v", got, c)
+		}
+	}
+}
+
+func TestDecodeHostile(t *testing.T) {
+	enc := string(base().Encode())
+	cases := map[string]string{
+		"empty":       "",
+		"bad version": "\x7f" + enc[1:],
+		"truncated":   enc[:len(enc)-3],
+		"trailing":    enc + "x",
+		// Declared slot count far past the payload.
+		"slot bomb": enc[:1] + "\x01\xff\xff\xff\xff\x0f",
+	}
+	for name, in := range cases {
+		if _, err := Decode(types.Value(in)); err == nil {
+			t.Errorf("%s: hostile input decoded", name)
+		}
+	}
+	// Every prefix must fail cleanly, never panic.
+	for i := 0; i < len(enc); i++ {
+		Decode(types.Value(enc[:i]))
+	}
+}
+
+func TestString(t *testing.T) {
+	c, _ := base().Leave(4)
+	s := c.String()
+	if !strings.Contains(s, "epoch 2") || !strings.Contains(s, "s4=<vacant>") {
+		t.Fatalf("String() = %q", s)
+	}
+}

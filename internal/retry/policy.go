@@ -29,6 +29,13 @@ const (
 	// cluster is not hammered, and so the moment it heals the first success
 	// resets the pacing.
 	Degraded
+	// Reconfig: the objects refused the round because the cluster's
+	// membership moved on (wrong-epoch redirect). Waiting cannot help — the
+	// old configuration never comes back — and is not needed: the refusal
+	// carries the newer config. The right reaction is a configuration
+	// refetch (adopt the certified new membership, re-aim the transport) and
+	// an immediate retry under the new epoch, so Next charges no delay.
+	Reconfig
 	// Fatal: not a known transient (protocol violation, closed client,
 	// malformed state). Retrying cannot help.
 	Fatal
@@ -41,6 +48,8 @@ func (c Class) String() string {
 		return "transient"
 	case Degraded:
 		return "degraded"
+	case Reconfig:
+		return "reconfig"
 	case Fatal:
 		return "fatal"
 	}
@@ -58,6 +67,8 @@ func Classify(err error) Class {
 		return Transient
 	case errors.Is(err, tcpnet.ErrRoundTimeout), errors.Is(err, live.ErrRoundStuck):
 		return Degraded
+	case errors.Is(err, tcpnet.ErrWrongEpoch):
+		return Reconfig
 	default:
 		return Fatal
 	}
@@ -104,6 +115,9 @@ func (b *Backoff) Next(err error) time.Duration {
 		}
 		return d
 	default:
+		// Reconfig and Fatal charge no delay: a Reconfig caller refetches
+		// the configuration and retries immediately (backing off would only
+		// stall the handoff), a Fatal caller stops retrying.
 		return 0
 	}
 }

@@ -25,6 +25,11 @@ func TestClassify(t *testing.T) {
 		{fmt.Errorf("retry: read round 3: %w", tcpnet.ErrRoundTimeout), Degraded},
 		{live.ErrRoundStuck, Degraded},
 		{fmt.Errorf("mw: read: %w (quorum unreachable)", live.ErrRoundStuck), Degraded},
+		// Wrong-epoch redirects: the typed error the mux returns unwraps to
+		// the sentinel, so the classifier sees it through any wrapping.
+		{tcpnet.ErrWrongEpoch, Reconfig},
+		{&tcpnet.WrongEpochError{Label: "mw write", Epoch: 3}, Reconfig},
+		{fmt.Errorf("store: flush: %w", &tcpnet.WrongEpochError{Epoch: 5}), Reconfig},
 		// Everything else must not be retried.
 		{errors.New("wire: protocol generation mismatch"), Fatal},
 		{live.ErrClosed, Fatal},
@@ -83,6 +88,21 @@ func TestBackoffNoStormAfterHealedPartition(t *testing.T) {
 	b.Reset()
 	if got := b.Next(timeout); got != time.Millisecond {
 		t.Fatalf("post-heal delay = %v, want Base", got)
+	}
+}
+
+func TestBackoffReconfigRefetchesNotWaits(t *testing.T) {
+	// A wrong-epoch refusal means the membership moved on; the old config
+	// never comes back, so pausing is pure stall. The caller's reaction is a
+	// config refetch + immediate retry — Next must charge no delay, and the
+	// refusal must not poison the degraded streak (the cluster is healthy,
+	// just renumbered).
+	b := &Backoff{Base: 2 * time.Millisecond, Cap: 64 * time.Millisecond}
+	if got := b.Next(fmt.Errorf("mw: write: %w", &tcpnet.WrongEpochError{Epoch: 4})); got != 0 {
+		t.Fatalf("reconfig delay = %v, want 0 (refetch, don't wait)", got)
+	}
+	if got := b.Next(tcpnet.ErrRoundTimeout); got != 2*time.Millisecond {
+		t.Fatalf("post-reconfig degraded delay = %v, want Base (streak untouched)", got)
 	}
 }
 

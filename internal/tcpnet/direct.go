@@ -74,6 +74,23 @@ func (d *Direct) Probe(reg int) (pw, w types.Pair, err error) {
 	return rsp.PW, rsp.W, nil
 }
 
+// ProbeReg reads the object's raw (pw, w) state for one specific register
+// of instance reg — the per-reader write-back registers a top-level Probe
+// (which addresses the writer's register) cannot see. Implemented as a
+// single-entry MUX bundle, the same sub-register addressing the protocol
+// itself uses.
+func (d *Direct) ProbeReg(reg int, id types.RegID) (pw, w types.Pair, err error) {
+	m := types.Message{Kind: types.MsgMux, Sub: []types.SubMsg{{Reg: id, Msg: types.Message{Kind: types.MsgRead1}}}}
+	rsp, err := d.exchange(types.Reader(1), reg, m)
+	if err != nil {
+		return types.Pair{}, types.Pair{}, fmt.Errorf("tcpnet: probe %v: %w", id, err)
+	}
+	if rsp.Kind != types.MsgMux || len(rsp.Sub) != 1 || rsp.Sub[0].Msg.Kind != types.MsgState {
+		return types.Pair{}, types.Pair{}, fmt.Errorf("tcpnet: probe %v: unexpected reply %v", id, rsp.Kind)
+	}
+	return rsp.Sub[0].Msg.PW, rsp.Sub[0].Msg.W, nil
+}
+
 // Seed installs a quorum-certified pair into the object's register instance
 // reg (writer's register): PREWRITE then WRITEBACK of the pair, verified by
 // reading the object's state back. The object's monotone state merge keeps

@@ -1,4 +1,4 @@
-// The multiplexed client transport (wire generation 3).
+// The multiplexed client transport (wire generations 3+).
 //
 // A Mux owns one TCP connection per storage object and pipelines any number
 // of concurrent protocol rounds over it. Per connection there are exactly
@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"robustatomic/internal/config"
 	"robustatomic/internal/obs"
 	"robustatomic/internal/proto"
 	"robustatomic/internal/types"
@@ -89,6 +90,32 @@ var ErrRoundTimeout = errors.New("tcpnet: round timed out")
 // from a slow quorum.
 var ErrConnLost = errors.New("tcpnet: connection lost with requests in flight")
 
+// ErrWrongEpoch is the sentinel every WrongEpochError wraps: the round was
+// refused by objects whose active configuration supersedes the client's.
+// The remedy is a config refetch and a retry — not a backoff
+// (internal/retry classifies it accordingly).
+var ErrWrongEpoch = errors.New("tcpnet: request epoch superseded by a newer configuration")
+
+// WrongEpochError reports a round refused for carrying a stale
+// configuration epoch. Epoch is the newest active epoch any refusing
+// object reported and Hints their encoded configurations
+// (config.Decode-able) — redirect hints only: a Byzantine object can
+// fabricate both, so callers must certify a hint by quorum (or re-read the
+// config register) before trusting it.
+type WrongEpochError struct {
+	Label string
+	Epoch uint64
+	Hints []types.Value
+}
+
+// Error implements error.
+func (e *WrongEpochError) Error() string {
+	return fmt.Sprintf("%v: %s: objects report active epoch %d", ErrWrongEpoch, e.Label, e.Epoch)
+}
+
+// Unwrap makes errors.Is(err, ErrWrongEpoch) hold.
+func (e *WrongEpochError) Unwrap() error { return ErrWrongEpoch }
+
 // errClientClosed is returned by rounds after Close.
 var errClientClosed = errors.New("tcpnet: client closed")
 
@@ -98,6 +125,11 @@ var errDialPending = errors.New("tcpnet: dial in progress")
 // errObjectDown is returned by connFor while a recently-failed object is in
 // its redial backoff window.
 var errObjectDown = errors.New("tcpnet: object unreachable, in dial backoff")
+
+// errSlotVacant is returned by connFor for a slot the active configuration
+// leaves vacant (a departed object): no dial, no backoff state — the slot
+// simply counts as faulty until a join fills it.
+var errSlotVacant = errors.New("tcpnet: configuration slot vacant")
 
 // dialTimeout bounds one connection attempt.
 const dialTimeout = 2 * time.Second
@@ -117,12 +149,22 @@ const sendQueueDepth = 128
 // (addresses[i] serves object i+1). Any number of Clients — and any number
 // of concurrent rounds — share it; thousands of register operations share
 // one connection per daemon.
+//
+// The address set is the mux's view of the active configuration and may
+// change at runtime (Reconfigure): the slot count S is fixed for the mux's
+// lifetime, but a slot's address can be swapped or vacated as the cluster
+// reconfigures. Every request is stamped with the configuration epoch the
+// mux holds; objects refuse stale stamps with MsgWrongEpoch and rounds
+// surface that as a WrongEpochError, which the cluster layer answers with
+// a config refetch + Reconfigure + retry.
 type Mux struct {
-	addrs       []string
+	n           int // slot count, immutable (the fixed-S rule)
 	maxInFlight int // ≤0 = unlimited; 1 reproduces lock-step
 	nextID      atomic.Uint64
+	epoch       atomic.Uint64 // configuration epoch stamped on requests
 
 	mu     sync.Mutex
+	addrs  []string // slot sid-1 → address; "" = vacant (guarded by mu)
 	conns  []*muxConn
 	dials  []dialState
 	closed bool
@@ -176,17 +218,78 @@ func NewMux(addrs []string) *Mux { return NewMuxLimited(addrs, 0) }
 // lock-step behavior of wire generations ≤2 — the E13 baseline and a
 // conservative escape hatch.
 func NewMuxLimited(addrs []string, maxInFlight int) *Mux {
-	return &Mux{
-		addrs:       addrs,
+	m := &Mux{
+		n:           len(addrs),
+		addrs:       append([]string(nil), addrs...),
 		maxInFlight: maxInFlight,
 		conns:       make([]*muxConn, len(addrs)),
 		dials:       make([]dialState, len(addrs)),
 		done:        make(chan struct{}),
 	}
+	m.epoch.Store(1) // the bootstrap configuration (see internal/config)
+	return m
 }
 
-// NumServers returns S, the number of storage objects.
-func (m *Mux) NumServers() int { return len(m.addrs) }
+// NumServers returns S, the number of storage objects (epoch-invariant).
+func (m *Mux) NumServers() int { return m.n }
+
+// Epoch returns the configuration epoch the mux stamps on requests.
+func (m *Mux) Epoch() uint64 { return m.epoch.Load() }
+
+// Addrs returns a copy of the mux's current address view (slot sid-1 →
+// address, "" for vacant slots).
+func (m *Mux) Addrs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.addrs...)
+}
+
+// Reconfigure installs a newer configuration: the mux adopts the epoch,
+// swaps its address view, and for every slot whose address changed tears
+// down the old connection and clears the slot's dial state — a departed
+// daemon must not keep an eternal redial loop (or its backoff latch)
+// alive. Connections on unchanged slots are untouched; in-flight rounds on
+// a torn-down slot fail with ErrConnLost and retry against the new
+// address. A stale call (epoch not newer than the mux's) is a no-op, so
+// racing refetches converge on the newest configuration.
+func (m *Mux) Reconfigure(epoch uint64, addrs []string) error {
+	if len(addrs) != m.n {
+		return fmt.Errorf("tcpnet: reconfigure with %d slots, mux has %d (S is fixed)", len(addrs), m.n)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return errClientClosed
+	}
+	if epoch <= m.epoch.Load() {
+		m.mu.Unlock()
+		return nil
+	}
+	m.epoch.Store(epoch)
+	var drop []*muxConn
+	for i := range addrs {
+		if m.addrs[i] == addrs[i] {
+			continue
+		}
+		m.addrs[i] = addrs[i]
+		if mc := m.conns[i]; mc != nil {
+			// Detach under the lock: no round may resolve the departed
+			// daemon's connection once the new address view is visible (its
+			// replies must never count for the reconfigured slot).
+			m.conns[i] = nil
+			drop = append(drop, mc)
+		}
+		// Clear the slot's dial state outright: a pending backoff or an
+		// in-flight background dial belongs to the departed address (the
+		// stale-address guard in installLocked discards its outcome).
+		m.dials[i] = dialState{}
+	}
+	m.mu.Unlock()
+	for _, mc := range drop {
+		m.teardown(mc, fmt.Errorf("%w (s%d reconfigured away)", ErrConnLost, mc.sid))
+	}
+	return nil
+}
 
 // Close tears down every connection, failing all in-flight waiters.
 func (m *Mux) Close() {
@@ -236,6 +339,14 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 		m.mu.Unlock()
 		return nil, nil, errClientClosed
 	}
+	addr := m.addrs[sid-1]
+	if addr == "" {
+		// The active configuration leaves this slot vacant: nothing to
+		// dial, no backoff state to keep — the slot counts as faulty until
+		// a join fills it (Reconfigure clears the state then).
+		m.mu.Unlock()
+		return nil, nil, errSlotVacant
+	}
 	ds := &m.dials[sid-1]
 	if ds.inflight {
 		wait := ds.syncDone
@@ -250,12 +361,12 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 		ds.syncDone = make(chan struct{})
 		m.mu.Unlock()
 		mMuxDials.Inc()
-		conn, err := net.DialTimeout("tcp", m.addrs[sid-1], dialTimeout)
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 		m.mu.Lock()
 		ds.inflight = false
 		close(ds.syncDone)
 		ds.syncDone = nil
-		mc, installErr := m.installLocked(sid, conn, err)
+		mc, installErr := m.installLocked(sid, addr, conn, err)
 		m.mu.Unlock()
 		if installErr != nil {
 			return nil, nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, installErr)
@@ -271,10 +382,10 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 	ds.inflight = true
 	go func() {
 		mMuxRedials.Inc()
-		conn, err := net.DialTimeout("tcp", m.addrs[sid-1], dialTimeout)
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 		m.mu.Lock()
 		ds.inflight = false
-		m.installLocked(sid, conn, err)
+		m.installLocked(sid, addr, conn, err)
 		m.mu.Unlock()
 	}()
 	m.mu.Unlock()
@@ -283,8 +394,17 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 
 // installLocked records the outcome of a dial attempt (under m.mu): on
 // success it installs the connection and starts its writer and reader
-// goroutines.
-func (m *Mux) installLocked(sid int, conn net.Conn, err error) (*muxConn, error) {
+// goroutines. addr is the address the dial actually targeted — if a
+// Reconfigure swapped the slot while the dial was in flight, the outcome
+// belongs to a departed daemon and is discarded (neither the connection
+// nor a failure's backoff latch may leak into the new address's state).
+func (m *Mux) installLocked(sid int, addr string, conn net.Conn, err error) (*muxConn, error) {
+	if m.addrs[sid-1] != addr {
+		if conn != nil {
+			conn.Close()
+		}
+		return nil, errObjectDown
+	}
 	ds := &m.dials[sid-1]
 	if err != nil {
 		mMuxDialFails.Inc()
@@ -294,6 +414,12 @@ func (m *Mux) installLocked(sid int, conn net.Conn, err error) (*muxConn, error)
 	if m.closed {
 		conn.Close()
 		return nil, errClientClosed
+	}
+	if mc := m.conns[sid-1]; mc != nil {
+		// A connection is already installed (racing dials after a
+		// reconfigure cleared the slot's dial state): keep it.
+		conn.Close()
+		return mc, nil
 	}
 	ds.failedAt = time.Time{}
 	mc := &muxConn{
@@ -456,7 +582,15 @@ func (m *Mux) send(sid int, req wire.Request, replyCh chan muxReply) (*muxConn, 
 // object (single or batch form, per the spec), replies demultiplexed by ID
 // and integrated as they arrive, out of order across concurrent rounds.
 func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec proto.RoundSpec) error {
-	n := len(m.addrs)
+	n := m.n
+	// Stamp the round with the active configuration epoch. Config-plane
+	// rounds (the config register itself) carry the epoch-0 wildcard: the
+	// config must stay read/writable ACROSS an epoch change, or a client
+	// refused for staleness could never learn the new configuration.
+	epoch := m.epoch.Load()
+	if len(spec.Subs) == 0 && reg == config.Reg {
+		epoch = 0
+	}
 	// Capacity n: every registered waiter delivers at most once, so sends
 	// to this channel can never block even after the round abandons it.
 	replyCh := make(chan muxReply, n)
@@ -497,7 +631,7 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 	}
 	outstanding := 0
 	for sid := 1; sid <= n; sid++ {
-		req := wire.Request{ID: m.nextID.Add(1), From: proc}
+		req := wire.Request{ID: m.nextID.Add(1), From: proc, Epoch: epoch}
 		// Seq is vestigial on this transport (matching is by ID) but the
 		// automata echo it, so stamp something round-unique for traces.
 		seq := int(req.ID & (1<<30 - 1))
@@ -535,6 +669,12 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	lost := 0
+	// Wrong-epoch refusals: a refusing object contributes nothing to the
+	// accumulator, so track them separately. More than t refusals prove at
+	// least one CORRECT object holds a newer configuration — fail the round
+	// immediately with the typed redirect instead of burning the deadline.
+	wrongEpoch := 0
+	weErr := &WrongEpochError{Label: spec.Label}
 	for {
 		select {
 		case r := <-replyCh:
@@ -544,6 +684,20 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 					traceEvent(&spec, r.sid, "lost", r.err.Error())
 				}
 				lost++
+			} else if r.msg.Kind == types.MsgWrongEpoch {
+				if traced {
+					traceEvent(&spec, r.sid, "reply", fmt.Sprintf("WRONG_EPOCH(%d)", r.msg.Pair.TS.Seq))
+				}
+				wrongEpoch++
+				if e := uint64(r.msg.Pair.TS.Seq); e > weErr.Epoch {
+					weErr.Epoch = e
+				}
+				if !r.msg.Pair.Val.IsBottom() {
+					weErr.Hints = append(weErr.Hints, r.msg.Pair.Val)
+				}
+				if wrongEpoch > (n-1)/3 {
+					return weErr
+				}
 			} else if len(r.subs) > 0 {
 				if traced {
 					traceSubReplies(&spec, r)
@@ -565,7 +719,15 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 				// loss) and the accumulators are still unsatisfied: no
 				// later delivery can complete this round. Withheld replies
 				// keep their waiters outstanding, so this fires only when
-				// nothing more can arrive.
+				// nothing more can arrive. Any wrong-epoch refusal in the
+				// mix makes the redirect the actionable diagnosis (during a
+				// partial activation, fewer than t+1 objects may refuse yet
+				// still deny the quorum) — a lone Byzantine forgery costs
+				// one refetch that finds nothing newer, then the retry runs
+				// the round unchanged.
+				if wrongEpoch > 0 {
+					return weErr
+				}
 				if lost > 0 {
 					return fmt.Errorf("%w: %s: %d of %d requests failed", ErrConnLost, spec.Label, lost, n)
 				}

@@ -12,11 +12,14 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"robustatomic/internal/config"
 	"robustatomic/internal/obs"
 	"robustatomic/internal/persist"
 	"robustatomic/internal/server"
+	"robustatomic/internal/types"
 	"robustatomic/internal/wire"
 )
 
@@ -33,6 +36,7 @@ var (
 	mSrvRxBytes      = obs.Default.Counter("tcpnet_server_rx_bytes_total")
 	mSrvTxBytes      = obs.Default.Counter("tcpnet_server_tx_bytes_total")
 	mSrvCompactions  = obs.Default.Counter("tcpnet_server_compactions_total")
+	mSrvStaleEpoch   = obs.Default.Counter("tcpnet_server_stale_epoch_total")
 )
 
 // Persister is the durability hook around the storage-object automaton: it
@@ -108,6 +112,18 @@ type Server struct {
 	warnAppend  sync.Once
 	warnCompact sync.Once
 
+	// Dynamic reconfiguration: activeEpoch is the epoch of the newest
+	// configuration this object has seen land in its config register
+	// (instance config.Reg); requests stamped with an older non-zero epoch
+	// are refused with MsgWrongEpoch. epochHint (under mu) is that
+	// configuration's encoded form, attached to refusals so redirected
+	// clients can refetch without an extra round. Both re-derive from the
+	// recovered config register at startup — the configuration is durable
+	// because it lives in an ordinary register instance, covered by the
+	// same WAL and snapshots as every shard.
+	activeEpoch atomic.Uint64
+	epochHint   types.Value
+
 	mu       sync.Mutex
 	stores   map[int]*server.Store
 	behavior server.Behavior
@@ -160,6 +176,7 @@ func NewServerWith(id int, addr string, opts ServerOptions) (*Server, error) {
 			return nil, fmt.Errorf("tcpnet: recover: %w", err)
 		}
 		s.stores = stores
+		s.refreshEpochLocked() // re-derive the active epoch from the recovered config register
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -172,6 +189,9 @@ func NewServerWith(id int, addr string, opts ServerOptions) (*Server, error) {
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	obs.Default.GaugeFunc(fmt.Sprintf("tcpnet_server_registers{id=\"%d\"}", id), func() int64 {
 		return int64(s.Registers())
+	})
+	obs.Default.GaugeFunc(fmt.Sprintf("tcpnet_server_epoch{id=\"%d\"}", id), func() int64 {
+		return int64(s.activeEpoch.Load())
 	})
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -270,6 +290,7 @@ func (s *Server) linkVerdict() (drop, dup bool, delay time.Duration) {
 // write-ahead log.
 func (s *Server) Close() {
 	obs.Default.Unregister(fmt.Sprintf("tcpnet_server_registers{id=\"%d\"}", s.ID))
+	obs.Default.Unregister(fmt.Sprintf("tcpnet_server_epoch{id=\"%d\"}", s.ID))
 	s.cancel()
 	s.lis.Close()
 	s.wg.Wait()
@@ -370,13 +391,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		var rsp wire.Response
 		var send bool
-		if len(req.Subs) > 0 {
-			mSrvBatch.Inc()
-			mSrvBatchSubs.Record(int64(len(req.Subs)))
-			rsp, send = s.handleBatch(req)
-		} else {
-			mSrvSingle.Inc()
-			rsp, send = s.handleSingle(req)
+		if rsp, send = s.refuseStale(req); !send {
+			if len(req.Subs) > 0 {
+				mSrvBatch.Inc()
+				mSrvBatchSubs.Record(int64(len(req.Subs)))
+				rsp, send = s.handleBatch(req)
+			} else {
+				mSrvSingle.Inc()
+				rsp, send = s.handleSingle(req)
+			}
 		}
 		if !send {
 			continue // withheld reply: the client sees silence
@@ -439,6 +462,9 @@ func (s *Server) handleSingle(req wire.Request) (rsp wire.Response, send bool) {
 	s.mu.Unlock()
 	if mutating {
 		s.applyMu.RUnlock()
+	}
+	if req.Reg == config.Reg && server.Mutates(req.Msg) {
+		s.refreshEpoch()
 	}
 	if !ok {
 		return rsp, false
@@ -517,6 +543,12 @@ func (s *Server) handleBatch(req wire.Request) (rsp wire.Response, send bool) {
 	if mutating {
 		s.applyMu.RUnlock()
 	}
+	for i := range req.Subs {
+		if req.Subs[i].Reg == config.Reg && server.Mutates(req.Subs[i].Msg) {
+			s.refreshEpoch()
+			break
+		}
+	}
 	if len(out) == 0 {
 		return rsp, false
 	}
@@ -533,5 +565,69 @@ func (s *Server) storeLocked(reg int) *server.Store {
 		s.stores[reg] = st
 	}
 	return st
+}
+
+// Epoch returns the object's active configuration epoch (instrumentation
+// and tests). Zero means no configuration has ever landed — the object
+// accepts every stamp.
+func (s *Server) Epoch() uint64 { return s.activeEpoch.Load() }
+
+// refuseStale refuses a request from a superseded configuration epoch: a
+// non-zero stamp below the active epoch gets a MsgWrongEpoch reply whose
+// Pair carries the active epoch (TS.Seq) and the encoded active config
+// (Val), so the client can refetch and retry against the new membership.
+// Epoch 0 is the wildcard stamp (config-plane rounds, Direct operator
+// connections, legacy clients) and stamps AHEAD of the object are accepted
+// too — the object is the stale party there, and it catches up when the
+// config write reaches it; refusing would deadlock the handoff. The check
+// runs before the WAL sees the request: a refused mutation is never logged
+// or applied.
+func (s *Server) refuseStale(req wire.Request) (wire.Response, bool) {
+	active := s.activeEpoch.Load()
+	if req.Epoch == 0 || req.Epoch >= active {
+		return wire.Response{}, false
+	}
+	mSrvStaleEpoch.Inc()
+	s.mu.Lock()
+	hint := s.epochHint
+	s.mu.Unlock()
+	return wire.Response{Msg: types.Message{
+		Kind: types.MsgWrongEpoch,
+		Pair: types.Pair{TS: types.TS{Seq: int64(active)}, Val: hint},
+		Seq:  req.Msg.Seq,
+	}}, true
+}
+
+// refreshEpoch re-derives the active epoch from the config register's
+// written state. Called after any mutation touching instance config.Reg
+// lands (and at recovery): when the decoded configuration's epoch exceeds
+// the active one, the object adopts it and starts refusing older stamps.
+// The epoch is monotone — a stale or Byzantine client writing an old
+// config value cannot roll it back (the register's own timestamp order
+// already prevents old pairs from overwriting new ones; this guard covers
+// the window where only the prewrite landed).
+func (s *Server) refreshEpoch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshEpochLocked()
+}
+
+func (s *Server) refreshEpochLocked() {
+	st, ok := s.stores[config.Reg]
+	if !ok {
+		return
+	}
+	w := st.Reg(types.WriterReg).W
+	if w.Val.IsBottom() {
+		return
+	}
+	cfg, err := config.Decode(w.Val)
+	if err != nil {
+		return // unparseable config value: keep the last good epoch
+	}
+	if cfg.Epoch > s.activeEpoch.Load() {
+		s.activeEpoch.Store(cfg.Epoch)
+		s.epochHint = w.Val
+	}
 }
 

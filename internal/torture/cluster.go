@@ -94,8 +94,10 @@ func (c *liveCtl) close() {} // the harness closes the root cluster
 type tcpCtl struct {
 	mu      sync.Mutex
 	seed    int64
-	addrs   []string
+	root    string   // base directory for data dirs
+	addrs   []string // index sid-1; tracks the ACTIVE configuration's addresses
 	dirs    []string
+	gen     []int            // per-slot replacement generation (names fresh data dirs)
 	servers []*tcpnet.Server // index sid-1; nil while killed
 	repairC *robustatomic.Cluster
 	shards  int
@@ -180,10 +182,69 @@ func (c *tcpCtl) apply(ev Event) error {
 	case EvClearNetem:
 		s.SetNetem(nil, 0, 0, 0)
 		time.Sleep(20 * time.Millisecond)
+	case EvLeave:
+		// Vacate the slot first — the config write still counts the leaving
+		// daemon toward its quorum — then kill it for real. Clients at the
+		// old epoch chase the wrong-epoch redirect to the vacancy config.
+		if _, err := c.repairC.Leave(ev.Sid); err != nil {
+			return fmt.Errorf("torture: leave s%d: %w", ev.Sid, err)
+		}
+		s.Close()
+		c.servers[ev.Sid-1] = nil
+		time.Sleep(20 * time.Millisecond)
+	case EvJoin:
+		// A genuinely fresh machine: blank data dir, new port. Join migrates
+		// every register instance to it before the config admits it.
+		srv, err := c.freshDaemon(ev.Sid)
+		if err != nil {
+			return err
+		}
+		// The migration's quorum reads ride the repair cluster's mux, which
+		// may still hold dial backoff from this window's kill; let it heal.
+		time.Sleep(tcpnet.DialBackoff + 200*time.Millisecond)
+		if _, _, err := c.repairC.Join(srv.Addr(), c.shards); err != nil {
+			srv.Close()
+			return fmt.Errorf("torture: join %s: %w", srv.Addr(), err)
+		}
+		c.servers[ev.Sid-1] = srv
+		c.addrs[ev.Sid-1] = srv.Addr()
+	case EvReplace:
+		// Live replace: fresh daemon up, state migrated, the single-slot Move
+		// decided, and only then the departing daemon killed — the slot is
+		// populated throughout and the fault budget never pays for it.
+		srv, err := c.freshDaemon(ev.Sid)
+		if err != nil {
+			return err
+		}
+		if _, _, err := c.repairC.Move(ev.Sid, srv.Addr(), c.shards); err != nil {
+			srv.Close()
+			return fmt.Errorf("torture: replace s%d with %s: %w", ev.Sid, srv.Addr(), err)
+		}
+		s.Close()
+		c.servers[ev.Sid-1] = srv
+		c.addrs[ev.Sid-1] = srv.Addr()
+		time.Sleep(20 * time.Millisecond)
 	default:
 		return fmt.Errorf("torture: event %v unsupported on tcp daemons", ev)
 	}
 	return nil
+}
+
+// freshDaemon starts slot sid's next-generation daemon: a new port and a
+// blank data dir (the old daemon may still be running and holding the
+// previous one). Callers hold c.mu and install the server on success.
+func (c *tcpCtl) freshDaemon(sid int) (*tcpnet.Server, error) {
+	c.gen[sid-1]++
+	dir := filepath.Join(c.root, fmt.Sprintf("s%d.g%d", sid, c.gen[sid-1]))
+	srv, err := tcpnet.NewServerWith(sid, "127.0.0.1:0", tcpnet.ServerOptions{
+		DataDir: dir,
+		Fsync:   persist.FsyncOff,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("torture: fresh daemon for slot %d: %w", sid, err)
+	}
+	c.dirs[sid-1] = dir
+	return srv, nil
 }
 
 // restart brings daemon sid back on its original address, recovering
@@ -311,8 +372,10 @@ func setup(cfg Config, dir string) (*rig, error) {
 		s := 3*cfg.Faults + 1
 		ctl := &tcpCtl{
 			seed:    cfg.Seed,
+			root:    dir,
 			addrs:   make([]string, s),
 			dirs:    make([]string, s),
+			gen:     make([]int, s),
 			servers: make([]*tcpnet.Server, s),
 			shards:  cfg.Shards,
 		}

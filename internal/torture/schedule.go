@@ -53,12 +53,33 @@ const (
 	// ByzantineMix cycles the Byzantine behaviors (flaky, stale, equivocate,
 	// batch-chaos) one object at a time, with a netem window mixed in.
 	ByzantineMix Scenario = "byzantine-mix"
+	// JoinLeave cycles membership vacancies: a daemon Leaves the active
+	// configuration (and dies), the vacancy spending the fault budget, then a
+	// fresh daemon on a NEW port Joins the vacant slot with migrated state.
+	// Needs real daemons (tcp only): live objects have no membership plane.
+	JoinLeave Scenario = "join-leave"
+	// ReplaceLive cycles atomic slot replacement: each window Moves one slot
+	// to a fresh daemon on a new port — state migrated first, the old daemon
+	// killed after — with no vacancy at any point. Tcp only.
+	ReplaceLive Scenario = "replace-live"
 )
 
 // Scenarios lists every schedule family, in the order `make torture` runs
 // them.
 func Scenarios() []Scenario {
-	return []Scenario{PartitionHeal, KillRestartRepair, ByzantineMix}
+	return []Scenario{PartitionHeal, KillRestartRepair, ByzantineMix, JoinLeave, ReplaceLive}
+}
+
+// ScenarioModes lists the runtimes scenario sc can torture: reconfiguration
+// scenarios need real TCP daemons (the membership plane lives on the wire
+// protocol's epoch stamps), everything else runs on both.
+func ScenarioModes(sc Scenario) []Mode {
+	switch sc {
+	case JoinLeave, ReplaceLive:
+		return []Mode{ModeTCP}
+	default:
+		return []Mode{ModeLive, ModeTCP}
+	}
 }
 
 // EventKind is one fault-event verb.
@@ -76,6 +97,9 @@ const (
 	EvClearChaos                      // restore Sid to honest
 	EvNetem                           // inject Drop/Dup/DelayUS link faults on Sid
 	EvClearNetem                      // clear Sid's link faults
+	EvLeave                           // vacate slot Sid from the configuration, kill its daemon
+	EvJoin                            // join a fresh daemon (new port, blank dir) into the vacancy
+	EvReplace                         // atomically Move slot Sid to a fresh daemon on a new port
 )
 
 // String implements fmt.Stringer.
@@ -101,6 +125,12 @@ func (k EventKind) String() string {
 		return "netem"
 	case EvClearNetem:
 		return "clear-netem"
+	case EvLeave:
+		return "leave"
+	case EvJoin:
+		return "join"
+	case EvReplace:
+		return "replace"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -159,6 +189,13 @@ func Plan(scenario Scenario, mode Mode, seed int64, totalOps, s int) (Schedule, 
 	}
 	if s < 4 {
 		return Schedule{}, fmt.Errorf("torture: need at least 4 objects, got %d", s)
+	}
+	modeOK := false
+	for _, m := range ScenarioModes(scenario) {
+		modeOK = modeOK || m == mode
+	}
+	if !modeOK {
+		return Schedule{}, fmt.Errorf("torture: scenario %q does not run on mode %q", scenario, mode)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	sched := Schedule{Seed: seed, Scenario: scenario, Mode: mode}
@@ -226,6 +263,19 @@ func Plan(scenario Scenario, mode Mode, seed int64, totalOps, s int) (Schedule, 
 					Event{At: start, Kind: EvChaos, Sid: sid, Behavior: behaviors[rng.Intn(len(behaviors))]},
 					Event{At: end, Kind: EvClearChaos, Sid: sid})
 			}
+		case JoinLeave:
+			// The vacancy IS the window's fault: between leave and join the
+			// cluster runs S-1 live slots, exactly the budget's one crashed
+			// object; the join closes it with a migrated fresh daemon.
+			sched.Events = append(sched.Events,
+				Event{At: start, Kind: EvLeave, Sid: sid},
+				Event{At: end, Kind: EvJoin, Sid: sid})
+		case ReplaceLive:
+			// The atomic replace never opens a vacancy, so the event is a
+			// point, not a window: the slot is always populated, and the
+			// fault budget stays free for the handoff itself.
+			sched.Events = append(sched.Events,
+				Event{At: jitter(start, end), Kind: EvReplace, Sid: sid})
 		default:
 			return Schedule{}, fmt.Errorf("torture: unknown scenario %q", scenario)
 		}

@@ -8,7 +8,7 @@ import (
 // the replay guarantee the harness's failure messages promise.
 func TestPlanDeterministic(t *testing.T) {
 	for _, sc := range Scenarios() {
-		for _, mode := range []Mode{ModeLive, ModeTCP} {
+		for _, mode := range ScenarioModes(sc) {
 			a, err := Plan(sc, mode, 42, 1000, 4)
 			if err != nil {
 				t.Fatal(err)
@@ -35,9 +35,12 @@ func TestPlanDeterministic(t *testing.T) {
 // workload, target valid objects, and never fault two objects at once (the
 // t=1 budget every scenario certifies against).
 func TestPlanShape(t *testing.T) {
-	opens := map[EventKind]bool{EvPartition: true, EvKill: true, EvWipe: true, EvChaos: true, EvNetem: true}
+	opens := map[EventKind]bool{EvPartition: true, EvKill: true, EvWipe: true, EvChaos: true, EvNetem: true, EvLeave: true}
+	// An atomic replace is a point event: the slot stays populated, so it
+	// neither opens nor closes a fault window.
+	neutral := map[EventKind]bool{EvReplace: true}
 	for _, sc := range Scenarios() {
-		for _, mode := range []Mode{ModeLive, ModeTCP} {
+		for _, mode := range ScenarioModes(sc) {
 			for seed := int64(1); seed <= 20; seed++ {
 				sched, err := Plan(sc, mode, seed, 600, 4)
 				if err != nil {
@@ -57,9 +60,11 @@ func TestPlanShape(t *testing.T) {
 					if ev.Sid < 1 || ev.Sid > 4 {
 						t.Fatalf("%s/%s seed %d: bad object id: %s", sc, mode, seed, ev)
 					}
-					if opens[ev.Kind] {
+					switch {
+					case opens[ev.Kind]:
 						faulted++
-					} else {
+					case neutral[ev.Kind]:
+					default:
 						faulted--
 					}
 					if faulted > 1 {
@@ -100,5 +105,35 @@ func TestPlanRepairOnlyOnTCP(t *testing.T) {
 	}
 	if count(lv, EvWipe) != 0 || count(lv, EvRepair) != 0 {
 		t.Fatalf("live schedule contains wipe/repair (no data dirs to wipe):\n%s", lv)
+	}
+}
+
+// TestPlanReconfigTCPOnly: the membership scenarios need real daemons (the
+// epoch plane lives on the wire protocol), so planning them against the
+// in-process runtime must refuse, and tcp schedules must actually carry the
+// reconfiguration events.
+func TestPlanReconfigTCPOnly(t *testing.T) {
+	for _, sc := range []Scenario{JoinLeave, ReplaceLive} {
+		if _, err := Plan(sc, ModeLive, 7, 600, 4); err == nil {
+			t.Errorf("%s planned against the live runtime, want refusal", sc)
+		}
+		sched, err := Plan(sc, ModeTCP, 7, 600, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[EventKind]int{}
+		for _, ev := range sched.Events {
+			got[ev.Kind]++
+		}
+		switch sc {
+		case JoinLeave:
+			if got[EvLeave] == 0 || got[EvLeave] != got[EvJoin] {
+				t.Errorf("%s schedule has %d leaves, %d joins; want paired ≥1:\n%s", sc, got[EvLeave], got[EvJoin], sched)
+			}
+		case ReplaceLive:
+			if got[EvReplace] < 2 {
+				t.Errorf("%s schedule has %d replaces, want ≥2:\n%s", sc, got[EvReplace], sched)
+			}
+		}
 	}
 }

@@ -80,6 +80,10 @@ func TestTortureShort(t *testing.T) {
 		// the chaos instead of the committer.
 		{ByzantineMix, ModeLive, 104, true},
 		{KillRestartRepair, ModeTCP, 102, false},
+		// Membership churn: vacancy (leave → join) and atomic live replace,
+		// the per-key histories spanning every epoch change.
+		{JoinLeave, ModeTCP, 105, false},
+		{ReplaceLive, ModeTCP, 106, false},
 	} {
 		name := string(tc.sc) + "/" + string(tc.mode)
 		if tc.readHeavy {
@@ -113,6 +117,8 @@ func TestTortureFull(t *testing.T) {
 		{KillRestartRepair, ModeTCP, 202, false},
 		{ByzantineMix, ModeTCP, 203, false},
 		{ByzantineMix, ModeLive, 204, true},
+		{JoinLeave, ModeTCP, 205, false},
+		{ReplaceLive, ModeTCP, 206, false},
 	} {
 		name := string(tc.sc) + "/" + string(tc.mode)
 		if tc.readHeavy {

@@ -251,6 +251,15 @@ const (
 
 	// Multiplexed physical round of the atomic transformation.
 	MsgMux // bundle of per-register sub-messages
+
+	// Dynamic reconfiguration (internal/config): an object refusing a
+	// request stamped with a configuration epoch older than its active one.
+	// The reply's Pair carries the refusing object's view of the new
+	// configuration: Pair.TS.Seq is the active epoch and Pair.Val the
+	// encoded config.Config, so redirected clients can refetch without an
+	// extra round (the hint is still certified by a quorum read before it
+	// is trusted — a Byzantine object can fabricate it).
+	MsgWrongEpoch
 )
 
 // String implements fmt.Stringer.
@@ -278,6 +287,8 @@ func (k MsgKind) String() string {
 		return "CONFIRM"
 	case MsgMux:
 		return "MUX"
+	case MsgWrongEpoch:
+		return "WRONG_EPOCH"
 	default:
 		return "MSG(" + strconv.Itoa(int(k)) + ")"
 	}

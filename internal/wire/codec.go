@@ -1,12 +1,13 @@
-// The live binary codec (wire generation 3).
+// The live binary codec (wire generation 4).
 //
 // Every envelope is one frame:
 //
-//	[0x03 version byte] [uvarint payload length] [payload]
+//	[0x04 version byte] [uvarint payload length] [payload]
 //
 // Request payload:
 //
-//	[uvarint ID] [varint From.Kind] [varint From.Idx] [tag byte] body
+//	[uvarint ID] [varint From.Kind] [varint From.Idx] [uvarint Epoch]
+//	[tag byte] body
 //
 // Response payload:
 //
@@ -63,7 +64,7 @@ import (
 )
 
 // wireVersion is the live wire generation's frame header byte.
-const wireVersion = 0x03
+const wireVersion = 0x04
 
 // Frame tag bytes: a frame carries either one register message or a batch
 // of per-register sub-requests — never both, never neither.
@@ -99,6 +100,7 @@ func (e *Encoder) EncodeRequest(req Request) error {
 	b := binary.AppendUvarint(e.payload[:0], req.ID)
 	b = binary.AppendVarint(b, int64(req.From.Kind))
 	b = binary.AppendVarint(b, int64(req.From.Idx))
+	b = binary.AppendUvarint(b, req.Epoch)
 	if len(req.Subs) > 0 {
 		b = append(b, tagBatch)
 		b = binary.AppendUvarint(b, uint64(len(req.Subs)))
@@ -172,7 +174,9 @@ func (d *Decoder) DecodeRequest() (Request, error) {
 	var kind, idx int64
 	if req.ID, payload, err = cutUvarint(payload); err == nil {
 		if kind, payload, err = cutVarint(payload); err == nil {
-			idx, payload, err = cutVarint(payload)
+			if idx, payload, err = cutVarint(payload); err == nil {
+				req.Epoch, payload, err = cutUvarint(payload)
+			}
 		}
 	}
 	if err != nil {

@@ -40,6 +40,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		req := Request{ID: uint64(i)*977 + 1, From: types.Reader(i + 1), Reg: i * 3, Msg: m}
 		if i%2 == 0 {
 			req.From = types.WriterID(i)
+			// The gen-4 epoch stamp must survive, including large epochs;
+			// odd-indexed requests keep the epoch-0 wildcard.
+			req.Epoch = uint64(i)<<40 + 7
 		}
 		want = append(want, req)
 		if err := enc.EncodeRequest(req); err != nil {

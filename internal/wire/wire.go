@@ -23,11 +23,16 @@
 // carried a scalar timestamp until the multi-writer refactor changed it to
 // the (Seq, WID) struct (a type change gob surfaces immediately); gen 2
 // replaced gob with the binary codec — lock-step request/reply, replies
-// matched by Message.Seq, one in-flight request per connection; gen 3 (the
-// current format) tags every frame with a 64-bit request ID and adds the
+// matched by Message.Seq, one in-flight request per connection; gen 3
+// tagged every frame with a 64-bit request ID and added the
 // batch frame, which is what turned the transport from lock-step into a
-// pipelined, multiplexed protocol — a gen-2 frame is rejected by gen 3's
-// version byte and vice versa, so mixed deployments fail loudly on the
+// pipelined, multiplexed protocol; gen 4 (the current format) stamps every
+// request with the client's configuration epoch (uvarint after From.Idx),
+// the dynamic-reconfiguration redirect key — objects refuse requests from
+// a superseded epoch with MsgWrongEpoch so clients refetch the membership
+// and retry, and epoch 0 is the wildcard stamp config-plane rounds and
+// operator tools use. A frame from any other generation is rejected by the
+// version byte, so mixed deployments fail loudly on the
 // first message. PERSISTED formats, in contrast, all have explicit legacy
 // paths (WAL gob mirror types, snapshot version bytes, shard-table and
 // write-back codecs): old data directories and old register contents replay
@@ -67,12 +72,21 @@ type SubReq struct {
 // batch of per-register sub-requests sharing one frame, each processed
 // against its own instance, used by the cross-shard flush coalescing). When
 // Subs is non-empty, Reg and Msg are ignored.
+//
+// Epoch stamps the sender's configuration epoch (internal/config). Objects
+// refuse requests whose epoch is older than their active configuration's
+// with a MsgWrongEpoch reply carrying the newer config; epoch 0 is the
+// wildcard stamp (config-plane rounds, Direct operator connections) and is
+// never refused. The WAL persists requests via gob, which omits absent
+// fields and ignores unknown ones, so pre-epoch data directories replay
+// unchanged with Epoch 0.
 type Request struct {
-	ID   uint64
-	From types.ProcID
-	Reg  int
-	Msg  types.Message
-	Subs []SubReq
+	ID    uint64
+	From  types.ProcID
+	Epoch uint64
+	Reg   int
+	Msg   types.Message
+	Subs  []SubReq
 }
 
 // Response is an object→client message. ID echoes the request's tag. A

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"robustatomic/internal/regular"
 	"robustatomic/internal/tcpnet"
 	"robustatomic/internal/types"
 )
@@ -43,8 +42,12 @@ func (c *Cluster) Repair(id int, shards int) ([]RepairedRegister, error) {
 	if c.addrs == nil {
 		return nil, fmt.Errorf("robustatomic: repair needs a remote cluster (Connect)")
 	}
-	if id < 1 || id > len(c.addrs) {
-		return nil, fmt.Errorf("robustatomic: object id %d out of 1..%d", id, len(c.addrs))
+	addrs := c.activeAddrs()
+	if id < 1 || id > len(addrs) {
+		return nil, fmt.Errorf("robustatomic: object id %d out of 1..%d", id, len(addrs))
+	}
+	if addrs[id-1] == "" {
+		return nil, fmt.Errorf("robustatomic: slot %d is vacant in the active configuration", id)
 	}
 	if shards < 0 {
 		return nil, fmt.Errorf("robustatomic: negative shard count %d", shards)
@@ -57,46 +60,10 @@ func (c *Cluster) Repair(id int, shards int) ([]RepairedRegister, error) {
 		// deployment. Refuse rather than half-repair.
 		return nil, fmt.Errorf("robustatomic: repair does not support the SecretTokens model (recovered state would lack the peers' tokens)")
 	}
-	d, err := tcpnet.DialDirect(c.addrs[id-1], 5*time.Second)
+	d, err := tcpnet.DialDirect(addrs[id-1], 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("robustatomic: repair: %w", err)
 	}
 	defer d.Close()
-	out := make([]RepairedRegister, 0, shards+1)
-	for reg := 0; reg <= shards; reg++ {
-		// The quorum read: reader identity 1 against this instance. Its
-		// write-back already repairs the *reader's* register as a side
-		// effect; the explicit seed below repairs the writer's register,
-		// which carries the certified head of the instance.
-		r, err := c.readerReg(1, reg)
-		if err != nil {
-			return out, fmt.Errorf("robustatomic: repair instance %d: %w", reg, err)
-		}
-		p, err := r.readPair()
-		if err != nil {
-			return out, fmt.Errorf("robustatomic: repair instance %d: quorum read: %w", reg, err)
-		}
-		if p.IsBottom() {
-			out = append(out, RepairedRegister{Reg: reg, Skipped: true})
-			continue
-		}
-		// Re-establish the prewrite-support invariant before installing the
-		// pair in the replacement's w: the multi-writer decision procedure
-		// assumes every pair a correct object holds in w completed its
-		// PREWRITE at 2t+1 objects, but a certified pair's original
-		// PREWRITE quorum may have been thinner (certification only needs
-		// one reporter outside each candidate fault set). One cluster-wide
-		// PREWRITE round of the certified pair — monotone, so it can never
-		// regress newer state — makes the seeded w-report consistent with
-		// the true fault set on every later read.
-		rc := c.rounder(types.Reader(1), reg)
-		if err := rc.Round(regular.PreWriteSpec(c.th, types.WriterReg, p, 0)); err != nil {
-			return out, fmt.Errorf("robustatomic: repair instance %d: prewrite support: %w", reg, err)
-		}
-		if err := d.Seed(reg, p); err != nil {
-			return out, fmt.Errorf("robustatomic: repair instance %d: %w", reg, err)
-		}
-		out = append(out, RepairedRegister{Reg: reg, TS: p.TS, Bytes: len(p.Val)})
-	}
-	return out, nil
+	return c.transferRegisters(d, shards)
 }

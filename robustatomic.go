@@ -512,42 +512,65 @@ func (c *Cluster) writerOn(rc proto.Rounder, reg int, last types.TS) *Writer {
 
 // Write stores v (2 communication rounds — the optimistic proposal plus
 // its commit — whenever no concurrent foreign writer interfered; bounded
-// fallback rounds otherwise, see internal/core's adaptive write flow).
+// fallback rounds otherwise, see internal/core's adaptive write flow). A
+// wrong-epoch redirect (the membership was reconfigured under the handle)
+// triggers a transparent config refetch and retry; every Writer operation
+// below reacts the same way.
 func (w *Writer) Write(v string) error {
-	if w.plain != nil {
-		return w.plain.Write(types.Value(v))
-	}
-	return w.secret.Write(types.Value(v))
+	return w.c.retryEpoch(func() error {
+		if w.plain != nil {
+			return w.plain.Write(types.Value(v))
+		}
+		return w.secret.Write(types.Value(v))
+	})
 }
 
 // modifyPair performs the certified read-modify-write the keyed Store layer
 // rebases through (4 rounds: certified 2-round regular read + 2-round write
 // at the successor timestamp).
-func (w *Writer) modifyPair(fn func(cur types.Pair) (types.Value, error)) (types.Pair, error) {
-	if w.plain != nil {
-		return w.plain.Modify(fn)
-	}
-	return w.secret.Modify(fn)
+func (w *Writer) modifyPair(fn func(cur types.Pair) (types.Value, error)) (p types.Pair, err error) {
+	err = w.c.retryEpoch(func() error {
+		var e error
+		if w.plain != nil {
+			p, e = w.plain.Modify(fn)
+		} else {
+			p, e = w.secret.Modify(fn)
+		}
+		return e
+	})
+	return p, err
 }
 
 // writeCleanPair attempts the flush fast path: one freshness round, then —
 // iff no foreign write landed since the writer's last timestamp — the two
 // write phases install v at the cached successor (3 rounds, no decision
 // procedure).
-func (w *Writer) writeCleanPair(v types.Value) (types.Pair, bool, error) {
-	if w.plain != nil {
-		return w.plain.WriteClean(v)
-	}
-	return w.secret.WriteClean(v)
+func (w *Writer) writeCleanPair(v types.Value) (p types.Pair, ok bool, err error) {
+	err = w.c.retryEpoch(func() error {
+		var e error
+		if w.plain != nil {
+			p, ok, e = w.plain.WriteClean(v)
+		} else {
+			p, ok, e = w.secret.WriteClean(v)
+		}
+		return e
+	})
+	return p, ok, err
 }
 
 // validateClean runs the 1-round freshness check backing no-op flush
 // elision.
-func (w *Writer) validateClean() (bool, error) {
-	if w.plain != nil {
-		return w.plain.Validate()
-	}
-	return w.secret.Validate()
+func (w *Writer) validateClean() (ok bool, err error) {
+	err = w.c.retryEpoch(func() error {
+		var e error
+		if w.plain != nil {
+			ok, e = w.plain.Validate()
+		} else {
+			ok, e = w.secret.Validate()
+		}
+		return e
+	})
+	return ok, err
 }
 
 // Reader is one of the register's R reader handles.
@@ -600,12 +623,20 @@ func (r *Reader) Read() (string, error) {
 }
 
 // readPair performs the atomic read and returns the chosen timestamp-value
-// pair (the Store layer needs the timestamp for writer recovery).
-func (r *Reader) readPair() (types.Pair, error) {
-	if r.plain != nil {
-		return r.plain.ReadPair()
-	}
-	return r.secret.ReadPair()
+// pair (the Store layer needs the timestamp for writer recovery). Like the
+// Writer operations, a wrong-epoch redirect refetches the configuration and
+// retries transparently.
+func (r *Reader) readPair() (p types.Pair, err error) {
+	err = r.c.retryEpoch(func() error {
+		var e error
+		if r.plain != nil {
+			p, e = r.plain.ReadPair()
+		} else {
+			p, e = r.secret.ReadPair()
+		}
+		return e
+	})
+	return p, err
 }
 
 // elided reports whether the last readPair skipped its write-back (the

@@ -15,7 +15,11 @@
 #      quorum read that exactly one of the written values survived
 #   6. coalesced-read drill: storctl getburst re-reads the pipelined burst
 #      against a -chaos-batch-drop daemon that is kill -9'd mid-flight
-#   7. kill a third daemon and verify reads still certify
+#   7. live replace drill: daemon 4 Leaves the configuration, is kill -9'd,
+#      and a fresh daemon Joins on a NEW port — all while a write burst and
+#      a read burst are in flight with zero failed ops; storctl doctor then
+#      certifies no register divergence across the epoch change
+#   8. kill a third daemon and verify reads still certify
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -208,6 +212,59 @@ start_daemon 1
 wait_serving 1
 wait "$getburst_pid" || { echo "FAIL: getburst errored:"; cat "$workdir/getburst.out"; exit 1; }
 grep -q "OK getburst" "$workdir/getburst.out" || { echo "FAIL: getburst output:"; cat "$workdir/getburst.out"; exit 1; }
+
+echo "== live replace drill: leave + kill -9 + join on a new port under fire"
+# Membership churn under load: while a write burst and a read burst hammer
+# the cluster, daemon 4 Leaves the configuration and is kill -9'd, and a
+# fresh daemon on a NEW port (blank data dir) Joins the vacant slot with
+# migrated state. Both bursts must complete with ZERO failed client ops —
+# the clients chase the wrong-epoch redirect to the new configuration
+# transparently — and every later storctl invocation still reaches the
+# cluster through the now-stale -servers bootstrap list.
+ctl config >"$workdir/config.out"
+grep -q "^epoch 1" "$workdir/config.out" || {
+  echo "FAIL: pre-replace config:"; cat "$workdir/config.out"; exit 1
+}
+ctl -trace 1 -writer 3 -reader 1 burst "livemove" 1200 >"$workdir/livemove.out" 2>&1 &
+live_burst=$!
+ctl -trace 1 -reader 2 getburst "burst" "$burstn" >"$workdir/livemove-get.out" 2>&1 &
+live_get=$!
+sleep 0.15
+ctl leave 4 >"$workdir/leave.out" || { echo "FAIL: leave:"; cat "$workdir/leave.out"; exit 1; }
+kill -9 "${pids[4]}"
+mv "$workdir/s4.log" "$workdir/s4.log.old"
+"$workdir/bin/storaged" -id 4 -addr "127.0.0.1:7105" -debug-addr "127.0.0.1:8105" \
+  -data-dir "$workdir/data/s4b" -fsync batch >"$workdir/s4.log" 2>&1 &
+pids[4]=$!
+disown "${pids[4]}"
+wait_serving 4
+ctl join "127.0.0.1:7105" >"$workdir/join.out" || {
+  echo "FAIL: join:"; cat "$workdir/join.out"; exit 1
+}
+wait "$live_burst" || { echo "FAIL: live-replace burst errored:"; cat "$workdir/livemove.out"; exit 1; }
+grep -q "OK burst" "$workdir/livemove.out" || { echo "FAIL: live-replace burst output:"; cat "$workdir/livemove.out"; exit 1; }
+wait "$live_get" || { echo "FAIL: live-replace getburst errored:"; cat "$workdir/livemove-get.out"; exit 1; }
+grep -q "OK getburst" "$workdir/livemove-get.out" || { echo "FAIL: live-replace getburst output:"; cat "$workdir/livemove-get.out"; exit 1; }
+# The decided configuration: epoch 3 (leave, then join) with slot 4 moved.
+ctl config >"$workdir/config.out"
+grep -q "^epoch 3" "$workdir/config.out" || {
+  echo "FAIL: post-replace epoch:"; cat "$workdir/config.out"; exit 1
+}
+grep -q "slot 4: 127.0.0.1:7105" "$workdir/config.out" || {
+  echo "FAIL: post-replace slot 4:"; cat "$workdir/config.out"; exit 1
+}
+# Writes that landed mid-churn and pre-churn keys all read back.
+out=$(ctl get "livemove:1200")
+[[ "$out" == '"v1200"'* ]] || { echo "FAIL: livemove:1200 => $out"; exit 1; }
+out=$(ctl get "key:1")
+[[ "$out" == '"value-1"'* ]] || { echo "FAIL: key:1 after replace => $out"; exit 1; }
+
+echo "== doctor: no diverged register state after the churn"
+servers_v2="127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103,127.0.0.1:7105"
+"$workdir/bin/storctl" -servers "$servers_v2" -t 1 -shards 8 doctor >"$workdir/doctor.out" || {
+  echo "FAIL: doctor:"; cat "$workdir/doctor.out"; exit 1
+}
+grep -q "OK doctor" "$workdir/doctor.out" || { echo "FAIL: doctor output:"; cat "$workdir/doctor.out"; exit 1; }
 
 echo "== kill daemon 4: reads must still certify (budget restored by repair)"
 kill -9 "${pids[4]}"

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"robustatomic/internal/config"
 	"robustatomic/internal/core"
 	"robustatomic/internal/obs"
 	"robustatomic/internal/proto"
@@ -271,6 +272,11 @@ func (c *Cluster) NewStore(opts StoreOptions) (*Store, error) {
 			return nil, fmt.Errorf("robustatomic: duplicate store reader index %d", idx)
 		}
 		seen[idx] = true
+	}
+	// Shard i lives on register instance i+1; the topmost instance must stay
+	// clear of the reserved configuration register.
+	if opts.Shards >= config.Reg {
+		return nil, fmt.Errorf("robustatomic: shard count %d collides with the reserved config register %d", opts.Shards, config.Reg)
 	}
 	router, err := shard.NewRouter(opts.Shards)
 	if err != nil {
