@@ -7,7 +7,9 @@
 // register state; doctor sweeps the whole cluster for diverged register
 // state; and config/join/leave/move query and change the epoch-versioned
 // membership live (state migrates to incoming daemons automatically, and
-// running clients refetch the new configuration transparently).
+// running clients refetch the new configuration transparently). reseed
+// re-installs the certified configuration into a newcomer a join/move
+// decided but failed to seed.
 //
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 write hello
 //	storctl -servers "h:7001,h:7002,h:7003,h:7004" -t 1 read
@@ -74,7 +76,7 @@ func main() {
 
 func run(servers string, t, readers, readerIdx, writerID, shards, trace int, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | getburst <prefix> <count> | stats <debug-addr>... | repair <object-id> | probe <object-id> | doctor | config | join <addr> | leave <slot> | move <slot> <addr>")
+		return fmt.Errorf("usage: storctl [flags] write <value> | read | put <key> <value> | get <key> | del <key> | burst <prefix> <count> | getburst <prefix> <count> | stats <debug-addr>... | repair <object-id> | probe <object-id> | doctor | config | join <addr> | leave <slot> | move <slot> <addr> | reseed <addr>")
 	}
 	addrs := strings.Split(servers, ",")
 	if args[0] == "stats" {
@@ -380,6 +382,18 @@ func run(servers string, t, readers, readerIdx, writerID, shards, trace int, arg
 		}
 		fmt.Printf("OK leave: slot %d vacated\n", sid)
 		printConfig(cfg)
+		return nil
+	case "reseed":
+		// The remediation for a join/move that decided the new configuration
+		// but failed to seed the newcomer (ErrNewcomerUnseeded): re-read the
+		// certified configuration and re-install it. Idempotent.
+		if len(args) != 2 {
+			return fmt.Errorf("usage: storctl reseed <addr>")
+		}
+		if err := cluster.ReseedConfig(args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("OK reseed: %s holds the certified configuration\n", args[1])
 		return nil
 	case "move":
 		if len(args) != 3 {

@@ -106,6 +106,17 @@ type WrongEpochError struct {
 	Label string
 	Epoch uint64
 	Hints []types.Value
+	// Cause is the failure the round would have reported had no refusal
+	// arrived — set only when fewer than t+1 objects refused yet the quorum
+	// was still denied (connection losses, or an accumulator no further
+	// reply can satisfy). In that ambiguous mix the refusals alone do not
+	// prove a newer configuration exists: callers whose config refetch
+	// finds nothing newer should fall back to Cause (ErrConnLost /
+	// ErrRoundTimeout — both retryable) so a lone Byzantine forgery cannot
+	// upgrade a transient failure into a hard error. Nil when > t refusals
+	// prove the redirect. Deliberately NOT exposed via Unwrap: the error
+	// classifies as Reconfig (refetch first), not Transient.
+	Cause error
 }
 
 // Error implements error.
@@ -246,9 +257,13 @@ func (m *Mux) Addrs() []string {
 
 // Reconfigure installs a newer configuration: the mux adopts the epoch,
 // swaps its address view, and for every slot whose address changed tears
-// down the old connection and clears the slot's dial state — a departed
+// down the old connection and drops the slot's backoff latch — a departed
 // daemon must not keep an eternal redial loop (or its backoff latch)
-// alive. Connections on unchanged slots are untouched; in-flight rounds on
+// alive, nor delay the replacement's first dial. A dial already in flight
+// for the old address is left to finish on its own (its outcome is
+// discarded by the stale-address guard); clobbering its marker here would
+// race a second dial onto the slot and panic the first dialer's channel
+// close. Connections on unchanged slots are untouched; in-flight rounds on
 // a torn-down slot fail with ErrConnLost and retry against the new
 // address. A stale call (epoch not newer than the mux's) is a no-op, so
 // racing refetches converge on the newest configuration.
@@ -279,10 +294,14 @@ func (m *Mux) Reconfigure(epoch uint64, addrs []string) error {
 			m.conns[i] = nil
 			drop = append(drop, mc)
 		}
-		// Clear the slot's dial state outright: a pending backoff or an
-		// in-flight background dial belongs to the departed address (the
+		// Drop only the backoff latch: the departed address must not delay
+		// the new one's first dial. The inflight/syncDone fields are
+		// preserved — a dial in flight for the old address still owns the
+		// slot's dial marker and clears it itself when it completes (the
 		// stale-address guard in installLocked discards its outcome).
-		m.dials[i] = dialState{}
+		// Zeroing them here would let a second dial start concurrently and
+		// would yank the channel the first dialer is about to close.
+		m.dials[i].failedAt = time.Time{}
 	}
 	m.mu.Unlock()
 	for _, mc := range drop {
@@ -357,17 +376,24 @@ func (m *Mux) connOrWait(sid int) (*muxConn, <-chan struct{}, error) {
 		return nil, nil, errDialPending
 	}
 	if ds.failedAt.IsZero() {
+		done := make(chan struct{})
 		ds.inflight = true
-		ds.syncDone = make(chan struct{})
+		ds.syncDone = done
 		m.mu.Unlock()
 		mMuxDials.Inc()
 		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 		m.mu.Lock()
-		ds.inflight = false
-		close(ds.syncDone)
-		ds.syncDone = nil
+		// Close the captured channel, never the shared field: if some reset
+		// replaced the slot's dial state while we dialed, ds.syncDone is no
+		// longer ours to close (or clear) — closing a nil or foreign channel
+		// would panic every round on the mux.
+		if ds.syncDone == done {
+			ds.inflight = false
+			ds.syncDone = nil
+		}
 		mc, installErr := m.installLocked(sid, addr, conn, err)
 		m.mu.Unlock()
+		close(done)
 		if installErr != nil {
 			return nil, nil, fmt.Errorf("tcpnet: dial s%d: %w", sid, installErr)
 		}
@@ -689,8 +715,15 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 					traceEvent(&spec, r.sid, "reply", fmt.Sprintf("WRONG_EPOCH(%d)", r.msg.Pair.TS.Seq))
 				}
 				wrongEpoch++
-				if e := uint64(r.msg.Pair.TS.Seq); e > weErr.Epoch {
-					weErr.Epoch = e
+				// The reported epoch rides in Seq, a Byzantine-controlled
+				// int64: a negative value would convert to an astronomical
+				// uint64 and permanently defeat the refetcher's
+				// already-adopted short-circuit, so ignore it. (Genuine
+				// epochs start at 1.)
+				if s := r.msg.Pair.TS.Seq; s > 0 {
+					if e := uint64(s); e > weErr.Epoch {
+						weErr.Epoch = e
+					}
 				}
 				if !r.msg.Pair.Val.IsBottom() {
 					weErr.Hints = append(weErr.Hints, r.msg.Pair.Val)
@@ -720,19 +753,29 @@ func (m *Mux) round(proc types.ProcID, reg int, timeout time.Duration, spec prot
 				// later delivery can complete this round. Withheld replies
 				// keep their waiters outstanding, so this fires only when
 				// nothing more can arrive. Any wrong-epoch refusal in the
-				// mix makes the redirect the actionable diagnosis (during a
-				// partial activation, fewer than t+1 objects may refuse yet
-				// still deny the quorum) — a lone Byzantine forgery costs
-				// one refetch that finds nothing newer, then the retry runs
-				// the round unchanged.
+				// mix makes the redirect the actionable diagnosis first
+				// (during a partial activation, fewer than t+1 objects may
+				// refuse yet still deny the quorum) — but with ≤ t refusers
+				// the redirect is unproven, so the error carries the
+				// underlying transient failure as Cause: if the refetch
+				// finds nothing newer (a lone Byzantine forgery, or a
+				// config not yet certifiable), the caller degrades to the
+				// Cause and its ordinary retry path instead of hard-failing.
+				if lost > 0 {
+					lostErr := fmt.Errorf("%w: %s: %d of %d requests failed", ErrConnLost, spec.Label, lost, n)
+					if wrongEpoch > 0 {
+						weErr.Cause = lostErr
+						return weErr
+					}
+					return lostErr
+				}
+				unsatErr := fmt.Errorf("%w: %s: all replies in, accumulator unsatisfied", ErrRoundTimeout, spec.Label)
 				if wrongEpoch > 0 {
+					weErr.Cause = unsatErr
 					return weErr
 				}
-				if lost > 0 {
-					return fmt.Errorf("%w: %s: %d of %d requests failed", ErrConnLost, spec.Label, lost, n)
-				}
 				mMuxUnsat.Inc()
-				return fmt.Errorf("%w: %s: all replies in, accumulator unsatisfied", ErrRoundTimeout, spec.Label)
+				return unsatErr
 			}
 		case <-deadline.C:
 			mMuxTimeouts.Inc()

@@ -54,6 +54,9 @@ func TestWrongEpochFailFast(t *testing.T) {
 	if len(we.Hints) == 0 {
 		t.Error("no hints collected from refusals")
 	}
+	if we.Cause != nil {
+		t.Errorf("proven redirect (> t refusers) carries Cause %v, want nil", we.Cause)
+	}
 	for _, h := range we.Hints {
 		if cfg, err := config.Decode(h); err != nil || cfg.Epoch != 7 {
 			t.Errorf("hint decoded to (%v, %v), want the epoch-7 config", cfg, err)
@@ -100,6 +103,22 @@ func TestWrongEpochMinorityStillRedirects(t *testing.T) {
 	}
 	if we.Epoch != 3 {
 		t.Errorf("reported epoch = %d, want 3", we.Epoch)
+	}
+	// ≤ t refusals do not PROVE a newer configuration — the error must carry
+	// the underlying denial as Cause, so a caller whose config refetch finds
+	// nothing newer can degrade to the ordinary retry path instead of
+	// hard-failing on a lone forged refusal.
+	if we.Cause == nil {
+		t.Fatal("minority redirect carries no Cause; refetch failure would hard-fail the operation")
+	}
+	if !errors.Is(we.Cause, ErrRoundTimeout) {
+		t.Errorf("Cause = %v, want ErrRoundTimeout (all replies in, accumulator unsatisfied)", we.Cause)
+	}
+	// Cause must stay OUT of the Unwrap chain: the error still classifies
+	// Reconfig (refetch first); the fallback to Cause is an explicit caller
+	// decision, not an errors.Is match.
+	if errors.Is(we, ErrRoundTimeout) || errors.Is(we, ErrConnLost) {
+		t.Error("WrongEpochError unwraps to its Cause; classification must stay Reconfig")
 	}
 	// A satisfiable round must NOT be aborted by the lone refusal: quorum 1
 	// is met by any correct object's ack.
@@ -217,6 +236,107 @@ func TestReconfigureSwapsSlotAndClearsDialState(t *testing.T) {
 	}
 	if n := m.pendingWaiters(); n != 0 {
 		t.Fatalf("%d pending waiters after quiescence, want 0", n)
+	}
+}
+
+// TestReconfigurePreservesInflightDial pins the fix for the reconfigure/
+// dial race: Reconfigure swapping a slot while a synchronous dial is in
+// flight must NOT zero the slot's dial marker. Doing so would (a) let a
+// second round start a concurrent dial for the slot and (b) leave the
+// first dialer to close a nil — or a foreign — syncDone channel, panicking
+// every round sharing the mux. The marker belongs to the in-flight dialer
+// until IT clears it; Reconfigure resets only the backoff latch.
+func TestReconfigurePreservesInflightDial(t *testing.T) {
+	addrA, _, _ := startRawServer(t, func(req wire.Request, enc *wire.Encoder) {})
+	addrB, _, _ := startRawServer(t, func(req wire.Request, enc *wire.Encoder) {
+		enc.EncodeResponse(wire.Response{ID: req.ID, Msg: types.Message{Kind: types.MsgAck}})
+	})
+	m := NewMux([]string{addrA})
+	defer m.Close()
+
+	// Plant the state connOrWait holds while its synchronous dial to addrA
+	// is blocked inside net.DialTimeout (m.mu released): inflight with a
+	// live syncDone, plus a stale backoff latch on the slot.
+	done := make(chan struct{})
+	m.mu.Lock()
+	m.dials[0] = dialState{failedAt: time.Now(), inflight: true, syncDone: done}
+	m.mu.Unlock()
+
+	if err := m.Reconfigure(2, []string{addrB}); err != nil {
+		t.Fatal(err)
+	}
+
+	m.mu.Lock()
+	ds := m.dials[0]
+	m.mu.Unlock()
+	if !ds.inflight || ds.syncDone != done {
+		t.Fatalf("reconfigure clobbered the in-flight dial marker (inflight=%v, syncDone preserved=%v): "+
+			"the dialer would close a nil/foreign channel", ds.inflight, ds.syncDone == done)
+	}
+	if !ds.failedAt.IsZero() {
+		t.Error("reconfigure kept the departed address's backoff latch")
+	}
+
+	// The dialer completes: it finds its own marker intact, clears it, and
+	// installLocked's stale-address guard discards the outcome (addrA is no
+	// longer slot 1's address). Replay exactly connOrWait's completion step.
+	m.mu.Lock()
+	if m.dials[0].syncDone == done {
+		m.dials[0].inflight = false
+		m.dials[0].syncDone = nil
+	}
+	_, installErr := m.installLocked(1, addrA, nil, errors.New("dial tcp: i/o timeout"))
+	m.mu.Unlock()
+	close(done)
+	if installErr == nil {
+		t.Fatal("stale dial outcome installed, want discarded")
+	}
+	m.mu.Lock()
+	stale := !m.dials[0].failedAt.IsZero()
+	m.mu.Unlock()
+	if stale {
+		t.Error("stale dial's failure latched a backoff onto the NEW address")
+	}
+
+	// The slot is clean: the next round dials the new address synchronously.
+	if err := m.Client(types.Reader(1), 0).Round(ackSpec("AFTER-RACE")); err != nil {
+		t.Fatalf("round after the settled race: %v", err)
+	}
+}
+
+// TestWrongEpochNegativeSeqIgnored pins the hostile-input clamp: the
+// refusal's epoch rides in Pair.TS.Seq, a Byzantine-controlled int64. A
+// negative value converted blindly to uint64 would report an astronomical
+// epoch that no genuine configuration can ever reach, permanently
+// defeating the refetcher's already-adopted short-circuit. Negative Seqs
+// must not contribute to the reported epoch.
+func TestWrongEpochNegativeSeqIgnored(t *testing.T) {
+	hint := config.Config{Epoch: 3, Addrs: []string{"a:1", "b:2", "c:3", "d:4"}}.Encode()
+	addrs := make([]string, 4)
+	for i := range addrs {
+		negative := i%2 == 0 // two forged refusals, two genuine epoch-3 ones
+		addrs[i], _, _ = startRawServer(t, func(req wire.Request, enc *wire.Encoder) {
+			if negative {
+				enc.EncodeResponse(wire.Response{ID: req.ID, Msg: types.Message{
+					Kind: types.MsgWrongEpoch,
+					Pair: types.Pair{TS: types.TS{Seq: -5}, Val: types.Bottom},
+					Seq:  req.Msg.Seq,
+				}})
+				return
+			}
+			enc.EncodeResponse(wrongEpochReply(req, 3, hint))
+		})
+	}
+	c := NewClient(types.Reader(1), addrs)
+	defer c.Close()
+
+	err := c.Round(ackSpec("FORGED"))
+	var we *WrongEpochError
+	if !errors.As(err, &we) {
+		t.Fatalf("refused round: err = %v, want *WrongEpochError", err)
+	}
+	if we.Epoch != 3 {
+		t.Errorf("reported epoch = %d, want 3 (negative Seq must be ignored)", we.Epoch)
 	}
 }
 

@@ -68,6 +68,15 @@ func (c *Cluster) retryEpoch(op func() error) error {
 			return err
 		}
 		if rerr := c.refreshConfig(we); rerr != nil {
+			if we.Cause != nil {
+				// The refusals were too few to prove a newer configuration
+				// and the refetch found none: the round actually died of
+				// we.Cause (connection losses, unsatisfied accumulator).
+				// Surface THAT — it classifies Transient/Degraded, so the
+				// caller's ordinary retry loop applies — instead of turning
+				// a lone forged refusal into an operation-level error.
+				return we.Cause
+			}
 			return fmt.Errorf("%w (config refetch: %v)", err, rerr)
 		}
 		err = op()
@@ -92,13 +101,15 @@ func configReadSpec(th quorum.Thresholds) (proto.RoundSpec, *regular.StateAcc) {
 	return spec, acc
 }
 
-// certifiedConfig extracts the newest certified configuration from a quorum
-// of config-register states: among w-pairs reported by at least t+1
+// certifiedConfigPair extracts the newest certified configuration from a
+// quorum of config-register states: among w-pairs reported by at least t+1
 // distinct objects — so at least one reporter is correct and the pair is
 // genuinely written, not a Byzantine fabrication — decode and return the
-// one with the highest epoch. ok is false when no non-⊥ pair certifies
-// (a freshly-bootstrapped cluster whose config register was never written).
-func certifiedConfig(th quorum.Thresholds, replies map[int]types.Message) (config.Config, bool) {
+// one with the highest epoch, alongside the register pair that carries it
+// (ReseedConfig installs exactly that pair into an unseeded newcomer). ok
+// is false when no non-⊥ pair certifies (a freshly-bootstrapped cluster
+// whose config register was never written).
+func certifiedConfigPair(th quorum.Thresholds, replies map[int]types.Message) (config.Config, types.Pair, bool) {
 	counts := make(map[types.Pair]int, len(replies))
 	for _, m := range replies {
 		if !m.W.IsBottom() {
@@ -106,6 +117,7 @@ func certifiedConfig(th quorum.Thresholds, replies map[int]types.Message) (confi
 		}
 	}
 	var best config.Config
+	var bestPair types.Pair
 	found := false
 	for p, n := range counts {
 		if n < th.Certify() {
@@ -116,10 +128,16 @@ func certifiedConfig(th quorum.Thresholds, replies map[int]types.Message) (confi
 			continue // fabricated bytes cannot reach t+1 reporters, but stay hostile-proof
 		}
 		if !found || best.Epoch < cfg.Epoch {
-			best, found = cfg, true
+			best, bestPair, found = cfg, p, true
 		}
 	}
-	return best, found
+	return best, bestPair, found
+}
+
+// certifiedConfig is certifiedConfigPair without the carrier pair.
+func certifiedConfig(th quorum.Thresholds, replies map[int]types.Message) (config.Config, bool) {
+	cfg, _, ok := certifiedConfigPair(th, replies)
+	return cfg, ok
 }
 
 // activeAddrs returns the cluster's current address view: the shared mux's
@@ -345,6 +363,17 @@ func (c *Cluster) transferRegisters(d *tcpnet.Direct, shards int) ([]RepairedReg
 	return out, nil
 }
 
+// ErrNewcomerUnseeded marks the one partial-failure state a Join/Move can
+// leave behind: the configuration transition is DECIDED cluster-wide (the
+// config register's certified write completed), but seeding the winning
+// pair into the incoming daemon failed even after retries. The newcomer is
+// then a member whose epoch gate never activated — it accepts stale-epoch
+// traffic until seeded. The remediation is idempotent: re-run
+// `storctl reseed <addr>` (Cluster.ReseedConfig), which re-reads the
+// certified configuration and re-installs it; seeding is monotone on the
+// daemon side, so repeating it is always safe.
+var ErrNewcomerUnseeded = errors.New("robustatomic: configuration decided but newcomer not seeded (its epoch gate is inactive; re-seed with 'storctl reseed <addr>')")
+
 // seedConfig installs the configuration pair into the incoming daemon's
 // config register: the daemon was not a member when the config write ran,
 // and its epoch gate activates from exactly this instance's state.
@@ -358,6 +387,51 @@ func seedConfig(addr string, p types.Pair) error {
 		return fmt.Errorf("robustatomic: seed config: %w", err)
 	}
 	return nil
+}
+
+// Newcomer seeding runs AFTER the transition is decided, so a failure there
+// cannot be rolled back — retry it a few times before surfacing the
+// decided-but-unseeded state to the operator.
+const (
+	seedAttempts   = 3
+	seedRetryPause = 200 * time.Millisecond
+)
+
+// seedNewcomer is seedConfig with retries and the distinguished
+// ErrNewcomerUnseeded wrapper (see that error's doc for why this state is
+// special: the config write already decided, only the newcomer's copy is
+// missing, and re-seeding is idempotent).
+func seedNewcomer(addr string, p types.Pair) error {
+	var err error
+	for attempt := 0; attempt < seedAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(seedRetryPause)
+		}
+		if err = seedConfig(addr, p); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s: %v", ErrNewcomerUnseeded, addr, err)
+}
+
+// ReseedConfig re-installs the cluster's newest certified configuration
+// into the daemon at addr — the remediation for ErrNewcomerUnseeded.
+// Idempotent and safe to run against any member: the daemon's config
+// register only moves forward, so re-seeding an already-seeded daemon is a
+// no-op.
+func (c *Cluster) ReseedConfig(addr string) error {
+	if err := c.configurable(); err != nil {
+		return err
+	}
+	spec, acc := configReadSpec(c.th)
+	if err := c.rounder(types.Reader(1), config.Reg).Round(spec); err != nil {
+		return fmt.Errorf("robustatomic: reseed: config read: %w", err)
+	}
+	_, p, ok := certifiedConfigPair(c.th, acc.Replies)
+	if !ok {
+		return fmt.Errorf("robustatomic: reseed: no certified configuration (register never written — nothing to seed)")
+	}
+	return seedConfig(addr, p)
 }
 
 // Join admits the daemon at addr into the lowest vacant slot of the active
@@ -381,10 +455,22 @@ func (c *Cluster) Join(addr string, shards int) (config.Config, []RepairedRegist
 	if err != nil {
 		return config.Config{}, migrated, err
 	}
-	if err := seedConfig(addr, p); err != nil {
-		return next, migrated, err
+	return next, migrated, c.sealTransition(next, addr, p)
+}
+
+// sealTransition finishes a decided Join/Move: seed the winning
+// configuration into the newcomer (with retries) and adopt it into this
+// cluster's own transport. The transition is decided regardless of either
+// outcome, so adoption runs even when seeding ultimately fails — the
+// caller keeps operating on the winning configuration while the
+// distinguished ErrNewcomerUnseeded tells the operator exactly what is
+// left to remediate (and how).
+func (c *Cluster) sealTransition(next config.Config, addr string, p types.Pair) error {
+	serr := seedNewcomer(addr, p)
+	if aerr := c.adopt(next); aerr != nil {
+		return errors.Join(serr, aerr)
 	}
-	return next, migrated, c.adopt(next)
+	return serr
 }
 
 // Leave vacates slot sid: the daemon at that slot stops being a member once
@@ -427,8 +513,5 @@ func (c *Cluster) Move(sid int, addr string, shards int) (config.Config, []Repai
 	if err != nil {
 		return config.Config{}, migrated, err
 	}
-	if err := seedConfig(addr, p); err != nil {
-		return next, migrated, err
-	}
-	return next, migrated, c.adopt(next)
+	return next, migrated, c.sealTransition(next, addr, p)
 }
